@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks for the substrate pieces whose cost gaps the
+//! paper's optimizations exploit: generic chained vs. specialized
+//! open-addressing hash tables, string comparison vs. dictionary codes,
+//! ANF construction with hash-consing, and the compiler passes themselves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dblab_runtime::hash::{ChainedMap, ChainedMultiMap, OpenMap};
+use dblab_runtime::StringDict;
+
+fn hash_tables(c: &mut Criterion) {
+    let n = 10_000i64;
+    let mut g = c.benchmark_group("hash-tables");
+    g.bench_function("chained-build-10k", |b| {
+        b.iter(|| {
+            let mut m: ChainedMap<i64, i64> = ChainedMap::new();
+            for i in 0..n {
+                m.insert(i * 7 % n, i);
+            }
+            m.len()
+        })
+    });
+    g.bench_function("open-addressing-build-10k", |b| {
+        b.iter(|| {
+            let mut m: OpenMap<i64, i64> = OpenMap::with_capacity(n as usize);
+            for i in 0..n {
+                *m.get_or_insert_with(i * 7 % n, || 0) = i;
+            }
+            m.len()
+        })
+    });
+    g.bench_function("multimap-probe-10k", |b| {
+        let mut mm: ChainedMultiMap<i64, i64> = ChainedMultiMap::new();
+        for i in 0..n {
+            mm.add_binding(i % 100, i);
+        }
+        b.iter(|| {
+            let mut acc = 0i64;
+            for k in 0..100 {
+                acc += mm.get(&k).len() as i64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn string_dictionary(c: &mut Criterion) {
+    let values: Vec<String> = (0..1000)
+        .map(|i| format!("VALUE NUMBER {:05}", i % 50))
+        .collect();
+    let refs: Vec<&str> = values.iter().map(|s| s.as_str()).collect();
+    let dict = StringDict::build(refs.iter().copied(), true);
+    let codes: Vec<i32> = refs.iter().map(|s| dict.code(s)).collect();
+    let needle = "VALUE NUMBER 00025";
+    let needle_code = dict.code(needle);
+
+    let mut g = c.benchmark_group("string-dictionary");
+    g.bench_function("strcmp-filter", |b| {
+        b.iter(|| refs.iter().filter(|s| **s == needle).count())
+    });
+    g.bench_function("dictionary-code-filter", |b| {
+        b.iter(|| codes.iter().filter(|c| **c == needle_code).count())
+    });
+    g.finish();
+}
+
+fn anf_builder(c: &mut Criterion) {
+    use dblab_ir::{Atom, IrBuilder, Level};
+    c.bench_function("anf-build-cse-1k", |b| {
+        b.iter_batched(
+            IrBuilder::new,
+            |mut bld| {
+                let v = bld.decl_var(Atom::Int(1));
+                let x = bld.read_var(v);
+                for i in 0..1000 {
+                    // Half of these are duplicates that CSE collapses.
+                    let k = Atom::Int(i % 500);
+                    let s = bld.add(x.clone(), k);
+                    let _ = bld.mul(s, Atom::Int(2));
+                }
+                bld.finish(Atom::Unit, Level::ScaLite)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn compiler_passes(c: &mut Criterion) {
+    let mut schema = dblab_tpch::tpch_schema();
+    for t in &mut schema.tables {
+        t.stats.row_count = 1000;
+        t.stats.int_max = vec![1000; t.columns.len()];
+        t.stats.distinct = vec![50; t.columns.len()];
+    }
+    let q6 = dblab_tpch::queries::q6();
+    let q3 = dblab_tpch::queries::q3();
+    let mut g = c.benchmark_group("compiler");
+    for (name, prog) in [("q6", &q6), ("q3", &q3)] {
+        for cfg in [
+            dblab_transform::StackConfig::level2(),
+            dblab_transform::StackConfig::level5(),
+        ] {
+            g.bench_function(format!("compile-{name}-L{}", cfg.levels), |b| {
+                b.iter(|| {
+                    dblab_transform::compile(prog, &schema, &cfg)
+                        .program
+                        .body
+                        .size()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    hash_tables,
+    string_dictionary,
+    anf_builder,
+    compiler_passes
+);
+criterion_main!(benches);

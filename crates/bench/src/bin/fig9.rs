@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 9**: compilation time per query,
+//! split into DBLAB program optimization / code generation vs C compiler
+//! time ("the compilation time is divided almost equally between DBLAB/LB
+//! and CLang" — here gcc).
+
+use dblab_bench::{data_dir, gen_dir, Args};
+use dblab_transform::StackConfig;
+
+fn main() {
+    let args = Args::parse();
+    let (db, _) = data_dir(args.sf);
+    let schema = db.schema.clone();
+    let out = gen_dir();
+    let cfg = StackConfig::level5();
+
+    println!("# Figure 9 — compilation time (s) per query, five-level stack");
+    println!(
+        "{:<6}{:>14}{:>12}{:>10}",
+        "query", "DBLAB gen", "gcc", "total"
+    );
+    let mut sum_gen = 0.0;
+    let mut sum_cc = 0.0;
+    for &q in &args.queries {
+        let prog = dblab_tpch::queries::query(q);
+        let name = format!("f9_q{q}");
+        match dblab_codegen::compile_query(&prog, &schema, &cfg, &out, &name) {
+            Ok((cq, compiled)) => {
+                let gen = cq.gen_time.as_secs_f64();
+                let cc = compiled.cc_time.as_secs_f64();
+                sum_gen += gen;
+                sum_cc += cc;
+                println!("Q{q:<5}{gen:>14.3}{cc:>12.3}{:>10.3}", gen + cc);
+            }
+            Err(e) => println!("Q{q:<5}  ERROR: {e}"),
+        }
+    }
+    let n = args.queries.len() as f64;
+    println!(
+        "# mean: generation {:.3}s, gcc {:.3}s (split {:.0}%/{:.0}%)",
+        sum_gen / n,
+        sum_cc / n,
+        100.0 * sum_gen / (sum_gen + sum_cc),
+        100.0 * sum_cc / (sum_gen + sum_cc)
+    );
+}

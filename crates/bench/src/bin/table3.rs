@@ -1,0 +1,70 @@
+//! Regenerates the paper's **Table 3**: query execution time (ms) for the
+//! 22 TPC-H queries under LegoBase, the 2–5-level DSL stacks, and the
+//! TPC-H-compliant configuration.
+//!
+//! ```text
+//! cargo run -p dblab-bench --release --bin table3 -- [--sf 0.1] [--runs 3] [--queries 1,6]
+//! ```
+
+use dblab_bench::{best_of, data_dir, gen_dir, table3_configs, Args};
+
+fn main() {
+    let args = Args::parse();
+    let (db, data) = data_dir(args.sf);
+    let schema = db.schema.clone();
+    let out = gen_dir();
+    let configs = table3_configs();
+
+    println!(
+        "# Table 3 — query time (ms), TPC-H SF {}, best of {} runs",
+        args.sf, args.runs
+    );
+    print!("{:<18}", "");
+    for q in &args.queries {
+        print!("{:>9}", format!("Q{q}"));
+    }
+    println!();
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for cfg in &configs {
+        let mut times = Vec::new();
+        for &q in &args.queries {
+            let prog = dblab_tpch::queries::query(q);
+            let name = format!("t3_q{q}_{}", cfg.levels.to_string() + cfg.name);
+            let name: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let ms = dblab_codegen::compile_query(&prog, &schema, cfg, &out, &name)
+                .and_then(|(_, compiled)| best_of(&compiled, &data, args.runs))
+                .map(|r| r.query_ms)
+                .unwrap_or(f64::NAN);
+            times.push(ms);
+        }
+        print!("{:<18}", cfg.name);
+        for t in &times {
+            print!("{t:>9.2}");
+        }
+        println!();
+        rows.push((cfg.name.to_string(), times));
+    }
+
+    // Shape check (the reproduction criterion): level stacks never regress.
+    println!("\n# shape: per-query speedup of each level over the 2-level stack");
+    let base = rows
+        .iter()
+        .find(|(n, _)| n == "DBLAB/LB 2")
+        .expect("level-2 row")
+        .1
+        .clone();
+    for (name, times) in &rows {
+        if name == "LegoBase" || name == "DBLAB/LB 2" {
+            continue;
+        }
+        print!("{name:<18}");
+        for (t, b) in times.iter().zip(&base) {
+            print!("{:>8.1}x", b / t);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,124 @@
+//! # dblab-bench — the evaluation harness
+//!
+//! One binary per artifact of the paper's evaluation (§7):
+//!
+//! | binary | regenerates | paper artifact |
+//! |--------|-------------|----------------|
+//! | `table3` | query times across {LegoBase, 2..5 levels, compliant} | Table 3 |
+//! | `fig8` | peak memory of the generated C per query | Figure 8 |
+//! | `fig9` | compile-time split (DBLAB generation vs gcc) | Figure 9 |
+//! | `table4` | lines of code per transformation | Table 4 |
+//!
+//! Shared helpers live here: data-directory management (generated once per
+//! scale factor and cached), the config row order, and flag parsing.
+
+use std::path::{Path, PathBuf};
+
+use dblab_runtime::Database;
+use dblab_transform::StackConfig;
+
+/// Default scale factor for benchmarks (laptop-scale substitute for the
+/// paper's SF8; see EXPERIMENTS.md).
+pub const DEFAULT_SF: f64 = 0.1;
+
+/// Generate (or reuse) the `.tbl` data directory for a scale factor.
+pub fn data_dir(sf: f64) -> (Database, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dblab_tpch_sf{sf}"));
+    let marker = dir.join("lineitem.tbl");
+    let db = dblab_tpch::generate(sf, &dir);
+    if !marker.exists() {
+        eprintln!("generating TPC-H data at SF {sf} into {}", dir.display());
+        db.write_all().expect("write .tbl files");
+    }
+    (db, dir)
+}
+
+/// Where generated C and binaries go.
+pub fn gen_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("dblab_gen");
+    std::fs::create_dir_all(&dir).expect("create gen dir");
+    dir
+}
+
+/// The Table 3 row order: LegoBase baseline first, then the incremental
+/// stacks, then the compliant configuration.
+pub fn table3_configs() -> Vec<StackConfig> {
+    let mut v = vec![StackConfig {
+        name: "LegoBase",
+        ..StackConfig::level4()
+    }];
+    v.extend(StackConfig::table3());
+    v
+}
+
+/// `--sf`, `--runs`, `--queries 1,6,14` flags shared by the binaries.
+pub struct Args {
+    pub sf: f64,
+    pub runs: usize,
+    pub queries: Vec<usize>,
+}
+
+impl Args {
+    pub fn parse() -> Args {
+        let mut sf = DEFAULT_SF;
+        let mut runs = 3;
+        let mut queries: Vec<usize> = (1..=22).collect();
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--sf" => {
+                    sf = argv[i + 1].parse().expect("--sf <float>");
+                    i += 2;
+                }
+                "--runs" => {
+                    runs = argv[i + 1].parse().expect("--runs <int>");
+                    i += 2;
+                }
+                "--queries" => {
+                    queries = argv[i + 1]
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("query number"))
+                        .collect();
+                    i += 2;
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        Args { sf, runs, queries }
+    }
+}
+
+/// Run one compiled query binary `runs` times; report the best in-query
+/// time (steady state, like the paper).
+pub fn best_of(
+    compiled: &dblab_codegen::Compiled,
+    data: &Path,
+    runs: usize,
+) -> std::io::Result<dblab_codegen::RunOutput> {
+    let mut best: Option<dblab_codegen::RunOutput> = None;
+    for _ in 0..runs.max(1) {
+        let out = dblab_codegen::run(compiled, data)?;
+        if best
+            .as_ref()
+            .map(|b| out.query_ms < b.query_ms)
+            .unwrap_or(true)
+        {
+            best = Some(out);
+        }
+    }
+    Ok(best.expect("at least one run"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_rows_match_table3() {
+        let rows = table3_configs();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].name, "LegoBase");
+        assert_eq!(rows[5].name, "TPC-H Compliant");
+    }
+}

@@ -1,0 +1,1030 @@
+//! The C.Scala → C unparser ("stringification", paper §4.1).
+//!
+//! Emits one self-contained C translation unit per query: record typedefs,
+//! generated `.tbl` loaders (honouring layout, dictionary and kept-column
+//! annotations), index/partition builders (Figure 7's pre-computation),
+//! per-key-type hash/equality functions for the generic containers, sort
+//! comparators, and a `main` that loads, runs and prints — "a stand-alone
+//! executable for the given query, which includes data loading and data
+//! processing" (§6).
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use dblab_catalog::{ColType, Schema};
+use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, Layout, PrimOp, Stmt, Sym, UnOp};
+use dblab_ir::types::StructId;
+use dblab_ir::{Program, Type};
+
+/// Generate the complete C source for a program.
+pub fn emit(p: &Program, schema: &Schema) -> String {
+    let mut e = Emitter::new(p, schema);
+    e.collect_tables(&p.body);
+    e.emit_structs();
+    e.emit_table_globals();
+    e.emit_loaders();
+    e.emit_index_builders(&p.body);
+    let mut body = String::new();
+    e.block(&p.body, 1, &mut body);
+    let mut out = String::new();
+    out.push_str("#include \"dblab_runtime.h\"\n\n");
+    out.push_str(&e.typedefs);
+    out.push('\n');
+    out.push_str(&e.top);
+    out.push_str("\nint main(int argc, char** argv) {\n");
+    out.push_str("    dblab_data_dir = argc > 1 ? argv[1] : \".\";\n");
+    out.push_str(&body);
+    out.push_str("    return 0;\n}\n");
+    out
+}
+
+#[derive(Clone)]
+struct TableInfo {
+    name: Rc<str>,
+    sid: StructId,
+    layout: Layout,
+    /// Original column index per (pruned) struct field.
+    kept: Vec<usize>,
+    /// Original column index -> ordered? for dictionary-encoded fields.
+    dicts: HashMap<usize, bool>,
+    /// Original column indices needing standalone key arrays for indexes.
+    index_keys: Vec<usize>,
+}
+
+struct Emitter<'p> {
+    p: &'p Program,
+    schema: &'p Schema,
+    typedefs: String,
+    top: String,
+    /// table sym -> info; also name -> sym for the index builders.
+    tables: HashMap<Sym, TableInfo>,
+    table_by_name: HashMap<Rc<str>, Sym>,
+    /// Columnar row handles: sym -> (table sym, row-index C expr).
+    handles: HashMap<Sym, (Sym, String)>,
+    /// elem C type -> wrapper typedef name.
+    arr_types: HashMap<String, String>,
+    /// sids with generated key hash/eq functions.
+    key_fns: HashSet<StructId>,
+    /// CSR builders already emitted: (table, col).
+    csr_built: HashSet<(Rc<str>, usize)>,
+    fn_ctr: usize,
+}
+
+impl<'p> Emitter<'p> {
+    fn new(p: &'p Program, schema: &'p Schema) -> Emitter<'p> {
+        Emitter {
+            p,
+            schema,
+            typedefs: String::new(),
+            top: String::new(),
+            tables: HashMap::new(),
+            table_by_name: HashMap::new(),
+            handles: HashMap::new(),
+            arr_types: HashMap::new(),
+            key_fns: HashSet::new(),
+            csr_built: HashSet::new(),
+            fn_ctr: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis & declarations
+    // ------------------------------------------------------------------
+
+    fn collect_tables(&mut self, b: &Block) {
+        for st in &b.stmts {
+            match &st.expr {
+                Expr::LoadTable { table, sid } => {
+                    let layout = self.p.annots.layout(st.sym).unwrap_or(Layout::Boxed);
+                    let ncols = self.schema.table(table).columns.len();
+                    let kept = self
+                        .p
+                        .annots
+                        .kept_columns(st.sym)
+                        .unwrap_or_else(|| (0..ncols).collect());
+                    let dicts = self.p.annots.dict_fields(st.sym).into_iter().collect();
+                    let info = TableInfo {
+                        name: table.clone(),
+                        sid: *sid,
+                        layout,
+                        kept,
+                        dicts,
+                        index_keys: Vec::new(),
+                    };
+                    self.table_by_name.insert(table.clone(), st.sym);
+                    self.tables.insert(st.sym, info);
+                }
+                Expr::LoadIndexUnique { table, field }
+                | Expr::LoadIndexStarts { table, field }
+                | Expr::LoadIndexItems { table, field } => {
+                    let sym = self.table_by_name[table];
+                    let info = self.tables.get_mut(&sym).expect("table loaded first");
+                    if !info.index_keys.contains(field) {
+                        info.index_keys.push(*field);
+                    }
+                }
+                _ => {}
+            }
+            for blk in st.expr.blocks() {
+                self.collect_tables(blk);
+            }
+        }
+    }
+
+    fn emit_structs(&mut self) {
+        // Forward declarations first (intrusive `next` fields are
+        // self-referential).
+        for (_, def) in self.p.structs.iter() {
+            let _ = writeln!(
+                self.typedefs,
+                "typedef struct {n} {n};",
+                n = ident(&def.name)
+            );
+        }
+        let defs: Vec<dblab_ir::StructDef> =
+            self.p.structs.iter().map(|(_, d)| d.clone()).collect();
+        for def in defs {
+            let mut s = format!("struct {} {{\n", ident(&def.name));
+            for f in &def.fields {
+                let ct = self.c_type(&f.ty);
+                let _ = writeln!(s, "    {} {};", ct, ident(&f.name));
+            }
+            s.push_str("};\n");
+            self.typedefs.push_str(&s);
+        }
+    }
+
+    fn c_type(&mut self, t: &Type) -> String {
+        match t {
+            Type::Unit => "void".into(),
+            Type::Bool | Type::Int => "int32_t".into(),
+            Type::Long => "int64_t".into(),
+            Type::Double => "double".into(),
+            Type::String => "const char*".into(),
+            Type::Record(sid) => format!("{}*", ident(&self.p.structs.get(*sid).name)),
+            Type::Pointer(inner) => match &**inner {
+                Type::Record(sid) => format!("{}*", ident(&self.p.structs.get(*sid).name)),
+                other => format!("{}*", self.c_type(other)),
+            },
+            Type::Array(elem) => {
+                let ec = self.c_type(elem);
+                self.arr_type(&ec)
+            }
+            Type::List(_) => "dblab_vec*".into(),
+            Type::HashMap(..) | Type::MultiMap(..) => "dblab_hash*".into(),
+            Type::Pool(_) => "dblab_pool*".into(),
+        }
+    }
+
+    /// Wrapper struct (data + len) for an element C type.
+    fn arr_type(&mut self, elem_c: &str) -> String {
+        if let Some(n) = self.arr_types.get(elem_c) {
+            return n.clone();
+        }
+        let name = format!("arr_{}", self.arr_types.len());
+        let _ = writeln!(
+            self.typedefs,
+            "typedef struct {{ {elem_c}* data; int64_t len; }} {name};"
+        );
+        self.arr_types.insert(elem_c.to_string(), name.clone());
+        name
+    }
+
+    fn emit_table_globals(&mut self) {
+        let mut infos: Vec<TableInfo> = self.tables.values().cloned().collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        for info in &infos {
+            let t = ident(&info.name);
+            let _ = writeln!(self.top, "static int64_t g_{t}_len;");
+            match info.layout {
+                Layout::Columnar => {
+                    let def = self.p.structs.get(info.sid).clone();
+                    for f in &def.fields {
+                        let ct = self.c_type(&f.ty);
+                        let _ = writeln!(self.top, "static {ct}* g_{t}_{};", ident(&f.name));
+                    }
+                }
+                _ => {
+                    let rec = ident(&self.p.structs.get(info.sid).name);
+                    let _ = writeln!(self.top, "static {rec}** g_{t}_rows;");
+                }
+            }
+            for &c in &info.index_keys {
+                let _ = writeln!(self.top, "static int32_t* g_{t}_key_{c};");
+            }
+            for (&c, _) in &info.dicts {
+                let _ = writeln!(self.top, "static dblab_dict g_dict_{}__{c};", ident(&info.name));
+            }
+        }
+    }
+
+    /// Generated `.tbl` loader for each table.
+    fn emit_loaders(&mut self) {
+        let mut infos: Vec<TableInfo> = self.tables.values().cloned().collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        for info in infos {
+            self.emit_loader(&info);
+        }
+    }
+
+    fn emit_loader(&mut self, info: &TableInfo) {
+        let t = ident(&info.name);
+        let def = self.schema.table(&info.name);
+        let rec_def = self.p.structs.get(info.sid).clone();
+        let mut s = String::new();
+        let _ = writeln!(s, "static void load_{t}(void) {{");
+        let _ = writeln!(s, "    int64_t size; char* buf = dblab_read_file(\"{}\", &size);", info.name);
+        let _ = writeln!(s, "    int64_t n = dblab_count_lines(buf, size);");
+        let _ = writeln!(s, "    g_{t}_len = n;");
+        // Allocation.
+        match info.layout {
+            Layout::Columnar => {
+                for (fi, f) in rec_def.fields.iter().enumerate() {
+                    let ct = self.c_type(&f.ty);
+                    let _ = writeln!(
+                        s,
+                        "    g_{t}_{} = ({ct}*)malloc((size_t)n * sizeof({ct}));",
+                        ident(&f.name)
+                    );
+                    let _ = fi;
+                }
+            }
+            _ => {
+                let rec = ident(&rec_def.name);
+                let _ = writeln!(s, "    g_{t}_rows = ({rec}**)malloc((size_t)n * sizeof({rec}*));");
+            }
+        }
+        for &c in &info.index_keys {
+            let _ = writeln!(s, "    g_{t}_key_{c} = (int32_t*)malloc((size_t)n * sizeof(int32_t));");
+        }
+        // Temporary raw-string columns for dictionary-encoded fields.
+        for (&c, _) in &info.dicts {
+            let _ = writeln!(s, "    char** raw_{c} = (char**)malloc((size_t)n * sizeof(char*));");
+        }
+        // Parse loop: tokenize in place.
+        let _ = writeln!(s, "    char* p = buf;");
+        let _ = writeln!(s, "    for (int64_t row = 0; row < n; row++) {{");
+        if !matches!(info.layout, Layout::Columnar) {
+            let rec = ident(&rec_def.name);
+            let _ = writeln!(s, "        {rec}* r = ({rec}*)malloc(sizeof({rec}));");
+            let _ = writeln!(s, "        g_{t}_rows[row] = r;");
+        }
+        for (ci, col) in def.columns.iter().enumerate() {
+            let _ = writeln!(s, "        char* f{ci} = p; while (*p != '|') p++; *p = '\\0'; p++;");
+            let field_pos = info.kept.iter().position(|&k| k == ci);
+            // Standalone key array (for index builders).
+            if info.index_keys.contains(&ci) {
+                let _ = writeln!(s, "        g_{t}_key_{ci}[row] = (int32_t)atoi(f{ci});");
+            }
+            if info.dicts.contains_key(&ci) {
+                let _ = writeln!(s, "        raw_{ci}[row] = f{ci};");
+                continue;
+            }
+            let Some(fp) = field_pos else { continue };
+            let fname = ident(&rec_def.fields[fp].name);
+            let target = match info.layout {
+                Layout::Columnar => format!("g_{t}_{fname}[row]"),
+                _ => format!("r->{fname}"),
+            };
+            let parse = match col.ty {
+                ColType::Int | ColType::Bool => format!("(int32_t)atoi(f{ci})"),
+                ColType::Long => format!("(int64_t)atoll(f{ci})"),
+                ColType::Double => format!("strtod(f{ci}, NULL)"),
+                ColType::Date => format!("dblab_parse_date(f{ci})"),
+                ColType::Char => format!("(int32_t)f{ci}[0]"),
+                ColType::String => format!("f{ci}"),
+            };
+            let _ = writeln!(s, "        {target} = {parse};");
+        }
+        let _ = writeln!(s, "        while (*p == '\\n' || *p == '\\r') p++;");
+        let _ = writeln!(s, "    }}");
+        // Build dictionaries and re-encode their columns.
+        for (&c, _) in &info.dicts {
+            let dict = format!("g_dict_{t}__{c}");
+            let _ = writeln!(s, "    {dict} = dblab_dict_build(raw_{c}, n);");
+            let fp = info
+                .kept
+                .iter()
+                .position(|&k| k == c)
+                .expect("dictionary column kept");
+            let fname = ident(&rec_def.fields[fp].name);
+            assert!(
+                matches!(info.layout, Layout::Columnar),
+                "dictionaries require the columnar loader"
+            );
+            let _ = writeln!(
+                s,
+                "    for (int64_t i = 0; i < n; i++) g_{t}_{fname}[i] = dblab_dict_lookup(&{dict}, raw_{c}[i]);"
+            );
+            let _ = writeln!(s, "    free(raw_{c});");
+        }
+        let _ = writeln!(s, "}}");
+        self.top.push_str(&s);
+        self.top.push('\n');
+    }
+
+    /// Index builders (Figure 7 pre-computation): unique row-position
+    /// arrays and CSR partitions, built from the standalone key arrays.
+    fn emit_index_builders(&mut self, b: &Block) {
+        let mut emitted: HashSet<String> = HashSet::new();
+        self.walk_for_indexes(b, &mut emitted);
+    }
+
+    fn walk_for_indexes(&mut self, b: &Block, emitted: &mut HashSet<String>) {
+        for st in &b.stmts {
+            match &st.expr {
+                Expr::LoadIndexUnique { table, field } => {
+                    let name = format!("build_uidx_{}_{field}", ident(table));
+                    if emitted.insert(name.clone()) {
+                        let t = ident(table);
+                        let arr = self.arr_type("int32_t");
+                        let mut s = String::new();
+                        let _ = writeln!(s, "static {arr} {name}(void) {{");
+                        let _ = writeln!(s, "    int64_t n = g_{t}_len;");
+                        let _ = writeln!(s, "    int32_t max = 0;");
+                        let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) if (g_{t}_key_{field}[i] > max) max = g_{t}_key_{field}[i];");
+                        let _ = writeln!(s, "    {arr} out; out.len = (int64_t)max + 2;");
+                        let _ = writeln!(s, "    out.data = (int32_t*)malloc((size_t)out.len * sizeof(int32_t));");
+                        let _ = writeln!(s, "    for (int64_t i = 0; i < out.len; i++) out.data[i] = -1;");
+                        let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) out.data[g_{t}_key_{field}[i]] = (int32_t)i;");
+                        let _ = writeln!(s, "    return out;");
+                        let _ = writeln!(s, "}}");
+                        self.top.push_str(&s);
+                    }
+                }
+                Expr::LoadIndexStarts { table, field } | Expr::LoadIndexItems { table, field } => {
+                    let key = (table.clone(), *field);
+                    if !self.csr_built.contains(&key) {
+                        self.csr_built.insert(key);
+                        let t = ident(table);
+                        let arr = self.arr_type("int32_t");
+                        let mut s = String::new();
+                        let _ = writeln!(s, "static {arr} g_csr_{t}_{field}_starts, g_csr_{t}_{field}_items;");
+                        let _ = writeln!(s, "static int g_csr_{t}_{field}_built = 0;");
+                        let _ = writeln!(s, "static void build_csr_{t}_{field}(void) {{");
+                        let _ = writeln!(s, "    if (g_csr_{t}_{field}_built) return;");
+                        let _ = writeln!(s, "    g_csr_{t}_{field}_built = 1;");
+                        let _ = writeln!(s, "    int64_t n = g_{t}_len;");
+                        let _ = writeln!(s, "    int32_t max = 0;");
+                        let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) if (g_{t}_key_{field}[i] > max) max = g_{t}_key_{field}[i];");
+                        let _ = writeln!(s, "    int64_t sn = (int64_t)max + 2;");
+                        let _ = writeln!(s, "    int32_t* counts = (int32_t*)calloc((size_t)sn, sizeof(int32_t));");
+                        let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) counts[g_{t}_key_{field}[i]]++;");
+                        let _ = writeln!(s, "    int32_t* starts = (int32_t*)malloc((size_t)(sn) * sizeof(int32_t));");
+                        let _ = writeln!(s, "    int32_t acc = 0;");
+                        let _ = writeln!(s, "    for (int64_t k = 0; k < sn; k++) {{ starts[k] = acc; acc += counts[k]; }}");
+                        let _ = writeln!(s, "    int32_t* items = (int32_t*)malloc((size_t)n * sizeof(int32_t));");
+                        let _ = writeln!(s, "    int32_t* cur = (int32_t*)calloc((size_t)sn, sizeof(int32_t));");
+                        let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) {{ int32_t k = g_{t}_key_{field}[i]; items[starts[k] + cur[k]] = (int32_t)i; cur[k]++; }}");
+                        let _ = writeln!(s, "    free(counts); free(cur);");
+                        let _ = writeln!(s, "    g_csr_{t}_{field}_starts.data = starts; g_csr_{t}_{field}_starts.len = sn;");
+                        let _ = writeln!(s, "    g_csr_{t}_{field}_items.data = items; g_csr_{t}_{field}_items.len = n;");
+                        let _ = writeln!(s, "}}");
+                        self.top.push_str(&s);
+                    }
+                }
+                _ => {}
+            }
+            for blk in st.expr.blocks() {
+                self.walk_for_indexes(blk, emitted);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atoms and helpers
+    // ------------------------------------------------------------------
+
+    fn atom(&self, a: &Atom) -> String {
+        match a {
+            Atom::Sym(s) => format!("x{}", s.0),
+            Atom::Unit => "0".into(),
+            Atom::Bool(b) => if *b { "1".into() } else { "0".into() },
+            Atom::Int(v) => format!("{v}"),
+            Atom::Long(v) => format!("{v}LL"),
+            Atom::Double(_) => {
+                let v = a.as_double().unwrap();
+                if v == f64::INFINITY {
+                    "(1.0/0.0)".into()
+                } else if v == f64::NEG_INFINITY {
+                    "(-1.0/0.0)".into()
+                } else {
+                    let s = format!("{v:?}");
+                    s
+                }
+            }
+            Atom::Str(s) => c_string(s),
+            Atom::Null(_) => "NULL".into(),
+        }
+    }
+
+    fn field_name(&self, sid: StructId, field: usize) -> String {
+        ident(&self.p.structs.get(sid).fields[field].name)
+    }
+
+    /// C lvalue/rvalue for a field access, resolving columnar row handles.
+    fn field_access(&self, obj: &Atom, sid: StructId, field: usize) -> String {
+        if let Atom::Sym(s) = obj {
+            if let Some((tsym, idx)) = self.handles.get(s) {
+                let info = &self.tables[tsym];
+                return format!(
+                    "g_{}_{}[{idx}]",
+                    ident(&info.name),
+                    self.field_name(sid, field)
+                );
+            }
+        }
+        format!("{}->{}", self.atom(obj), self.field_name(sid, field))
+    }
+
+    /// Box a key value into `void*` for the generic containers.
+    fn box_key(&mut self, key: &Atom) -> String {
+        match self.key_kind(key) {
+            KeyKind::Int => format!("(void*)(intptr_t){}", self.atom(key)),
+            KeyKind::Str | KeyKind::Rec(_) => format!("(void*){}", self.atom(key)),
+        }
+    }
+
+    fn key_kind(&self, key: &Atom) -> KeyKind {
+        match self.p.atom_type(key) {
+            Type::Int | Type::Long | Type::Bool => KeyKind::Int,
+            Type::String => KeyKind::Str,
+            Type::Record(sid) => KeyKind::Rec(sid),
+            // Memory hoisting rewrites record construction to pool
+            // pointers; keys keep their record identity.
+            Type::Pointer(inner) => match *inner {
+                Type::Record(sid) => KeyKind::Rec(sid),
+                other => panic!("unsupported generic hash key type {other}*"),
+            },
+            other => panic!("unsupported generic hash key type {other}"),
+        }
+    }
+
+    /// hash/eq function names for a key atom; generates record key
+    /// functions on demand.
+    fn key_fns(&mut self, key: &Atom) -> (String, String) {
+        match self.key_kind(key) {
+            KeyKind::Int => ("dblab_keyhash_int".into(), "dblab_keyeq_int".into()),
+            KeyKind::Str => ("dblab_keyhash_str".into(), "dblab_keyeq_str".into()),
+            KeyKind::Rec(sid) => {
+                let rec = ident(&self.p.structs.get(sid).name);
+                if !self.key_fns.contains(&sid) {
+                    self.key_fns.insert(sid);
+                    let def = self.p.structs.get(sid).clone();
+                    let mut s = String::new();
+                    let _ = writeln!(s, "static uint64_t keyhash_{rec}(void* vp) {{");
+                    let _ = writeln!(s, "    {rec}* k = ({rec}*)vp;");
+                    let _ = writeln!(s, "    uint64_t h = 7;");
+                    for f in &def.fields {
+                        let fname = ident(&f.name);
+                        let hx = match f.ty {
+                            Type::Double => format!("dblab_hash_dbl(k->{fname})"),
+                            Type::String => format!("dblab_hash_str(k->{fname})"),
+                            _ => format!("dblab_hash_i64((int64_t)k->{fname})"),
+                        };
+                        let _ = writeln!(s, "    h = h * 31 + {hx};");
+                    }
+                    let _ = writeln!(s, "    return h;");
+                    let _ = writeln!(s, "}}");
+                    let _ = writeln!(s, "static int keyeq_{rec}(void* va, void* vb) {{");
+                    let _ = writeln!(s, "    {rec}* a = ({rec}*)va; {rec}* b = ({rec}*)vb;");
+                    let mut conds = Vec::new();
+                    for f in &def.fields {
+                        let fname = ident(&f.name);
+                        conds.push(match f.ty {
+                            Type::String => format!("strcmp(a->{fname}, b->{fname}) == 0"),
+                            _ => format!("a->{fname} == b->{fname}"),
+                        });
+                    }
+                    let _ = writeln!(s, "    return {};", conds.join(" && "));
+                    let _ = writeln!(s, "}}");
+                    self.top.push_str(&s);
+                }
+                (format!("keyhash_{rec}"), format!("keyeq_{rec}"))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self, b: &Block, depth: usize, out: &mut String) {
+        for st in &b.stmts {
+            self.stmt(st, depth, out);
+        }
+    }
+
+    fn line(&self, depth: usize, out: &mut String, text: &str) {
+        for _ in 0..depth {
+            out.push_str("    ");
+        }
+        out.push_str(text);
+        out.push('\n');
+    }
+
+    /// Declare-and-assign helper.
+    fn def(&mut self, st: &Stmt, depth: usize, out: &mut String, rhs: &str) {
+        if st.ty == Type::Unit {
+            self.line(depth, out, &format!("{rhs};"));
+        } else {
+            let ct = self.c_type(&st.ty);
+            self.line(depth, out, &format!("{ct} x{} = {rhs};", st.sym.0));
+        }
+    }
+
+    fn stmt(&mut self, st: &Stmt, depth: usize, out: &mut String) {
+        match &st.expr {
+            Expr::Atom(a) => {
+                let rhs = self.atom(a);
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::Bin(op, a, b) => {
+                let (x, y) = (self.atom(a), self.atom(b));
+                let rhs = match op {
+                    BinOp::Add => format!("({x} + {y})"),
+                    BinOp::Sub => format!("({x} - {y})"),
+                    BinOp::Mul => format!("({x} * {y})"),
+                    BinOp::Div => format!("({x} / {y})"),
+                    BinOp::Mod => format!("({x} % {y})"),
+                    BinOp::Eq => format!("({x} == {y})"),
+                    BinOp::Ne => format!("({x} != {y})"),
+                    BinOp::Lt => format!("({x} < {y})"),
+                    BinOp::Le => format!("({x} <= {y})"),
+                    BinOp::Gt => format!("({x} > {y})"),
+                    BinOp::Ge => format!("({x} >= {y})"),
+                    BinOp::And => format!("({x} && {y})"),
+                    BinOp::Or => format!("({x} || {y})"),
+                    BinOp::BitAnd => format!("({x} & {y})"),
+                    BinOp::BitOr => format!("({x} | {y})"),
+                    BinOp::Max => format!("({x} > {y} ? {x} : {y})"),
+                    BinOp::Min => format!("({x} < {y} ? {x} : {y})"),
+                };
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::Un(op, a) => {
+                let x = self.atom(a);
+                let rhs = match op {
+                    UnOp::Neg => format!("(-{x})"),
+                    UnOp::Not => format!("(!{x})"),
+                    UnOp::I2D | UnOp::L2D => format!("(double){x}"),
+                    UnOp::I2L => format!("(int64_t){x}"),
+                    UnOp::L2I => format!("(int32_t){x}"),
+                    UnOp::Year => format!("({x} / 10000)"),
+                    UnOp::HashInt => format!("dblab_hash_i64((int64_t){x})"),
+                    UnOp::HashDouble => format!("dblab_hash_dbl({x})"),
+                };
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::Prim(op, args) => {
+                let a: Vec<String> = args.iter().map(|x| self.atom(x)).collect();
+                let rhs = match op {
+                    PrimOp::StrEq => format!("(strcmp({}, {}) == 0)", a[0], a[1]),
+                    PrimOp::StrNe => format!("(strcmp({}, {}) != 0)", a[0], a[1]),
+                    PrimOp::StrCmp => format!("strcmp({}, {})", a[0], a[1]),
+                    PrimOp::StrStartsWith => format!("dblab_starts_with({}, {})", a[0], a[1]),
+                    PrimOp::StrEndsWith => format!("dblab_ends_with({}, {})", a[0], a[1]),
+                    PrimOp::StrContains => format!("(strstr({}, {}) != NULL)", a[0], a[1]),
+                    PrimOp::StrLike => format!("dblab_like({}, {})", a[0], a[1]),
+                    PrimOp::StrSubstr => format!("dblab_substr({}, {}, {})", a[0], a[1], a[2]),
+                    PrimOp::StrLen => format!("(int32_t)strlen({})", a[0]),
+                    PrimOp::HashStr => format!("dblab_hash_str({})", a[0]),
+                    PrimOp::TimerStart => "dblab_timer_start()".into(),
+                    PrimOp::TimerStop => "dblab_timer_stop()".into(),
+                    PrimOp::PrintRusage => "dblab_print_rusage()".into(),
+                };
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::Dict { dict, op, arg } => {
+                let d = format!("g_dict_{}", ident(dict));
+                let x = self.atom(arg);
+                let rhs = match op {
+                    DictOp::Lookup => format!("dblab_dict_lookup(&{d}, {x})"),
+                    DictOp::RangeStart => format!("dblab_dict_range_start(&{d}, {x})"),
+                    DictOp::RangeEnd => format!("dblab_dict_range_end(&{d}, {x})"),
+                    DictOp::Decode => format!("{d}.values[{x}]"),
+                };
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = self.atom(cond);
+                if st.ty == Type::Unit {
+                    self.line(depth, out, &format!("if ({c}) {{"));
+                    self.block(then_b, depth + 1, out);
+                    if !else_b.stmts.is_empty() {
+                        self.line(depth, out, "} else {");
+                        self.block(else_b, depth + 1, out);
+                    }
+                    self.line(depth, out, "}");
+                } else {
+                    let ct = self.c_type(&st.ty);
+                    self.line(depth, out, &format!("{ct} x{};", st.sym.0));
+                    self.line(depth, out, &format!("if ({c}) {{"));
+                    self.block(then_b, depth + 1, out);
+                    let tr = self.atom(&then_b.result);
+                    self.line(depth + 1, out, &format!("x{} = {tr};", st.sym.0));
+                    self.line(depth, out, "} else {");
+                    self.block(else_b, depth + 1, out);
+                    let er = self.atom(&else_b.result);
+                    self.line(depth + 1, out, &format!("x{} = {er};", st.sym.0));
+                    self.line(depth, out, "}");
+                }
+            }
+            Expr::ForRange { lo, hi, var, body } => {
+                let (l, h) = (self.atom(lo), self.atom(hi));
+                self.line(
+                    depth,
+                    out,
+                    &format!("for (int64_t x{v} = {l}; x{v} < {h}; x{v}++) {{", v = var.0),
+                );
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::While { cond, body } => {
+                self.line(depth, out, "while (1) {");
+                self.block(cond, depth + 1, out);
+                let c = self.atom(&cond.result);
+                self.line(depth + 1, out, &format!("if (!({c})) break;"));
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::DeclVar { init } => {
+                let ct = self.c_type(&st.ty);
+                let rhs = self.atom(init);
+                self.line(depth, out, &format!("{ct} x{} = {rhs};", st.sym.0));
+            }
+            Expr::ReadVar(v) => {
+                let ct = self.c_type(&st.ty);
+                self.line(depth, out, &format!("{ct} x{} = x{};", st.sym.0, v.0));
+            }
+            Expr::Assign { var, value } => {
+                let rhs = self.atom(value);
+                self.line(depth, out, &format!("x{} = {rhs};", var.0));
+            }
+            Expr::StructNew { sid, args } => {
+                let rec = ident(&self.p.structs.get(*sid).name);
+                self.line(
+                    depth,
+                    out,
+                    &format!("{rec}* x{} = ({rec}*)malloc(sizeof({rec}));", st.sym.0),
+                );
+                for (i, a) in args.iter().enumerate() {
+                    let v = self.atom(a);
+                    let f = self.field_name(*sid, i);
+                    self.line(depth, out, &format!("x{}->{f} = {v};", st.sym.0));
+                }
+            }
+            Expr::FieldGet { obj, sid, field } => {
+                let rhs = self.field_access(obj, *sid, *field);
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::FieldSet {
+                obj,
+                sid,
+                field,
+                value,
+            } => {
+                let lv = self.field_access(obj, *sid, *field);
+                let v = self.atom(value);
+                self.line(depth, out, &format!("{lv} = {v};"));
+            }
+            Expr::ArrayNew { elem, len } => {
+                let ec = self.c_type(elem);
+                let an = self.arr_type(&ec);
+                let l = self.atom(len);
+                self.line(depth, out, &format!("{an} x{};", st.sym.0));
+                self.line(depth, out, &format!("x{}.len = {l};", st.sym.0));
+                self.line(
+                    depth,
+                    out,
+                    &format!(
+                        "x{s}.data = ({ec}*)calloc((size_t)x{s}.len, sizeof({ec}));",
+                        s = st.sym.0
+                    ),
+                );
+            }
+            Expr::ArrayGet { arr, idx } => {
+                let i = self.atom(idx);
+                if let Atom::Sym(asym) = arr {
+                    if let Some(info) = self.tables.get(asym) {
+                        match info.layout {
+                            Layout::Columnar => {
+                                // Row handle: no C value; later FieldGets
+                                // index the column arrays directly.
+                                self.handles.insert(st.sym, (*asym, i));
+                                return;
+                            }
+                            _ => {
+                                let rec = ident(&self.p.structs.get(info.sid).name);
+                                let t = ident(&info.name);
+                                self.line(
+                                    depth,
+                                    out,
+                                    &format!("{rec}* x{} = g_{t}_rows[{i}];", st.sym.0),
+                                );
+                                return;
+                            }
+                        }
+                    }
+                }
+                let a = self.atom(arr);
+                self.def(st, depth, out, &format!("{a}.data[{i}]"));
+            }
+            Expr::ArraySet { arr, idx, value } => {
+                let (a, i, v) = (self.atom(arr), self.atom(idx), self.atom(value));
+                self.line(depth, out, &format!("{a}.data[{i}] = {v};"));
+            }
+            Expr::ArrayLen(arr) => {
+                if let Atom::Sym(asym) = arr {
+                    if let Some(info) = self.tables.get(asym) {
+                        let t = ident(&info.name);
+                        self.def(st, depth, out, &format!("(int32_t)g_{t}_len"));
+                        return;
+                    }
+                }
+                let a = self.atom(arr);
+                self.def(st, depth, out, &format!("(int32_t){a}.len"));
+            }
+            Expr::SortArray {
+                arr,
+                len,
+                a,
+                b,
+                cmp,
+            } => {
+                // Comparator over boxed record pointers.
+                self.fn_ctr += 1;
+                let name = format!("dblab_cmp_{}", self.fn_ctr);
+                let elem_ty = self
+                    .p
+                    .atom_type(arr)
+                    .elem()
+                    .cloned()
+                    .expect("sort over array");
+                let ec = self.c_type(&elem_ty);
+                let mut f = String::new();
+                let _ = writeln!(f, "static int {name}(const void* pa, const void* pb) {{");
+                let _ = writeln!(f, "    {ec} x{} = *({ec}*)pa;", a.0);
+                let _ = writeln!(f, "    {ec} x{} = *({ec}*)pb;", b.0);
+                let mut body = String::new();
+                self.block(cmp, 1, &mut body);
+                f.push_str(&body);
+                let _ = writeln!(f, "    return (int){};", self.atom(&cmp.result));
+                let _ = writeln!(f, "}}");
+                self.top.push_str(&f);
+                let (av, lv) = (self.atom(arr), self.atom(len));
+                self.line(
+                    depth,
+                    out,
+                    &format!("qsort({av}.data, (size_t){lv}, sizeof({ec}), {name});"),
+                );
+            }
+            Expr::ListNew { .. } => {
+                self.def(st, depth, out, "dblab_vec_new()");
+            }
+            Expr::ListAppend { list, value } => {
+                let (l, v) = (self.atom(list), self.atom(value));
+                self.line(depth, out, &format!("dblab_vec_push({l}, (void*){v});"));
+            }
+            Expr::ListSize(l) => {
+                let lv = self.atom(l);
+                self.def(st, depth, out, &format!("(int32_t){lv}->len"));
+            }
+            Expr::ListForeach { list, var, body } => {
+                let l = self.atom(list);
+                let vt = self.p.type_of(*var).clone();
+                let et = self.c_type(&vt);
+                self.fn_ctr += 1;
+                let iv = format!("li_{}", self.fn_ctr);
+                self.line(
+                    depth,
+                    out,
+                    &format!("for (int64_t {iv} = 0; {iv} < {l}->len; {iv}++) {{"),
+                );
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("{et} x{} = ({et}){l}->items[{iv}];", var.0),
+                );
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::HashMapNew { .. } | Expr::MultiMapNew { .. } => {
+                // Key type comes from the map's IR type.
+                let key_ty = match self.p.type_of(st.sym) {
+                    Type::HashMap(k, _) | Type::MultiMap(k, _) => (**k).clone(),
+                    other => panic!("map stmt with type {other}"),
+                };
+                let probe = Atom::Null(Box::new(key_ty));
+                let (h, e) = self.key_fns(&probe);
+                self.def(st, depth, out, &format!("dblab_hash_new({h}, {e})"));
+            }
+            Expr::HashMapGetOrInit { map, key, init } => {
+                let m = self.atom(map);
+                let kk = self.box_key(key);
+                let vt = self.c_type(&st.ty);
+                self.line(depth, out, &format!("{vt} x{};", st.sym.0));
+                self.line(depth, out, "{");
+                self.line(depth + 1, out, &format!("void* kk = {kk};"));
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("void* got = dblab_hash_get({m}, kk);"),
+                );
+                self.line(depth + 1, out, "if (!got) {");
+                self.block(init, depth + 2, out);
+                let ir = self.atom(&init.result);
+                self.line(depth + 2, out, &format!("got = (void*){ir};"));
+                self.line(depth + 2, out, &format!("dblab_hash_put({m}, kk, got);"));
+                self.line(depth + 1, out, "}");
+                self.line(depth + 1, out, &format!("x{} = ({vt})got;", st.sym.0));
+                self.line(depth, out, "}");
+            }
+            Expr::HashMapForeach {
+                map,
+                kvar,
+                vvar,
+                body,
+            } => {
+                let m = self.atom(map);
+                self.fn_ctr += 1;
+                let (bi, nd) = (format!("hb_{}", self.fn_ctr), format!("hn_{}", self.fn_ctr));
+                self.line(
+                    depth,
+                    out,
+                    &format!("for (int64_t {bi} = 0; {bi} < {m}->nbuckets; {bi}++)"),
+                );
+                self.line(
+                    depth,
+                    out,
+                    &format!(
+                        "for (dblab_node* {nd} = {m}->buckets[{bi}]; {nd}; {nd} = {nd}->next) {{"
+                    ),
+                );
+                let kt = self.p.type_of(*kvar).clone();
+                let kc = self.c_type(&kt);
+                let unbox = match kt {
+                    Type::Int | Type::Long | Type::Bool => {
+                        format!("({kc})(intptr_t){nd}->key")
+                    }
+                    _ => format!("({kc}){nd}->key"),
+                };
+                self.line(depth + 1, out, &format!("{kc} x{} = {unbox};", kvar.0));
+                let vt = self.c_type(&self.p.type_of(*vvar).clone());
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("{vt} x{} = ({vt}){nd}->val;", vvar.0),
+                );
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::HashMapSize(m) => {
+                let mv = self.atom(m);
+                self.def(st, depth, out, &format!("(int32_t){mv}->len"));
+            }
+            Expr::MultiMapAdd { map, key, value } => {
+                let m = self.atom(map);
+                let kk = self.box_key(key);
+                let v = self.atom(value);
+                self.line(
+                    depth,
+                    out,
+                    &format!("dblab_multimap_add({m}, {kk}, (void*){v});"),
+                );
+            }
+            Expr::MultiMapForeachAt {
+                map,
+                key,
+                var,
+                body,
+            } => {
+                let m = self.atom(map);
+                let kk = self.box_key(key);
+                self.fn_ctr += 1;
+                let (lv, iv) = (format!("ml_{}", self.fn_ctr), format!("mi_{}", self.fn_ctr));
+                self.line(
+                    depth,
+                    out,
+                    &format!("dblab_vec* {lv} = (dblab_vec*)dblab_hash_get({m}, {kk});"),
+                );
+                self.line(depth, out, &format!("if ({lv}) for (int64_t {iv} = 0; {iv} < {lv}->len; {iv}++) {{"));
+                let vt = self.c_type(&self.p.type_of(*var).clone());
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("{vt} x{} = ({vt}){lv}->items[{iv}];", var.0),
+                );
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::Malloc { ty, count } => {
+                let ec = self.c_type(ty);
+                let c = self.atom(count);
+                self.def(
+                    st,
+                    depth,
+                    out,
+                    &format!("({ec}*)calloc((size_t)({c}), sizeof({ec}))"),
+                );
+            }
+            Expr::Free(ptr) => {
+                let p = self.atom(ptr);
+                self.line(depth, out, &format!("free((void*){p});"));
+            }
+            Expr::PoolNew { ty, cap } => {
+                let rec = match ty {
+                    Type::Record(sid) => ident(&self.p.structs.get(*sid).name),
+                    other => panic!("pool of {other}"),
+                };
+                let c = self.atom(cap);
+                self.def(
+                    st,
+                    depth,
+                    out,
+                    &format!("dblab_pool_new(sizeof({rec}), (size_t)({c}))"),
+                );
+            }
+            Expr::PoolAlloc { pool } => {
+                let pv = self.atom(pool);
+                let ct = self.c_type(&st.ty);
+                self.def(st, depth, out, &format!("({ct})dblab_pool_alloc({pv})"));
+            }
+            Expr::LoadTable { table, .. } => {
+                self.line(depth, out, &format!("load_{}();", ident(table)));
+            }
+            Expr::LoadIndexUnique { table, field } => {
+                let rhs = format!("build_uidx_{}_{field}()", ident(table));
+                self.def(st, depth, out, &rhs);
+            }
+            Expr::LoadIndexStarts { table, field } => {
+                let t = ident(table);
+                self.line(depth, out, &format!("build_csr_{t}_{field}();"));
+                self.def(st, depth, out, &format!("g_csr_{t}_{field}_starts"));
+            }
+            Expr::LoadIndexItems { table, field } => {
+                let t = ident(table);
+                self.line(depth, out, &format!("build_csr_{t}_{field}();"));
+                self.def(st, depth, out, &format!("g_csr_{t}_{field}_items"));
+            }
+            Expr::Printf { fmt, args } => {
+                let mut call = format!("printf({}", c_string(fmt));
+                for a in args {
+                    call.push_str(", ");
+                    // Cast per IR type so varargs promotion is well-defined.
+                    let cast = match self.p.atom_type(a) {
+                        Type::Int | Type::Bool => "(int)",
+                        Type::Long => "(long)",
+                        Type::Double => "(double)",
+                        _ => "",
+                    };
+                    call.push_str(cast);
+                    call.push_str(&self.atom(a));
+                }
+                call.push_str(");");
+                self.line(depth, out, &call);
+            }
+        }
+    }
+}
+
+enum KeyKind {
+    Int,
+    Str,
+    Rec(StructId),
+}
+
+/// Sanitize a name into a C identifier.
+fn ident(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Escape a Rust string into a C string literal.
+fn c_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '%' => out.push('%'),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\x{:02x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+

@@ -1,0 +1,39 @@
+//! # dblab-codegen — C code generation and compilation
+//!
+//! The bottom of the stack: unparse C.Scala-level IR into a C translation
+//! unit ([`emit`]), pair it with the generic runtime header ([`runtime`],
+//! our GLib stand-in), compile with `gcc -O3` and execute ([`cc`]).
+//!
+//! [`compile_query`] is the one-call convenience used by the benchmark
+//! harness and the differential tests: QueryProgram → configured stack →
+//! C → binary.
+
+pub mod cc;
+pub mod emit;
+pub mod runtime;
+
+use std::path::Path;
+
+use dblab_catalog::Schema;
+use dblab_frontend::qplan::QueryProgram;
+use dblab_transform::stack::CompiledQuery;
+use dblab_transform::StackConfig;
+
+pub use cc::{compile_c, run, Compiled, RunOutput};
+pub use emit::emit;
+
+/// End-to-end: compile a query through the configured DSL stack down to a
+/// native binary in `dir`. Returns the stack output (for stage inspection
+/// and generation-time metrics) alongside the compiled artifact.
+pub fn compile_query(
+    prog: &QueryProgram,
+    schema: &Schema,
+    cfg: &StackConfig,
+    dir: &Path,
+    name: &str,
+) -> std::io::Result<(CompiledQuery, Compiled)> {
+    let cq = dblab_transform::compile(prog, schema, cfg);
+    let source = emit(&cq.program, schema);
+    let compiled = cc::compile_c(&source, dir, name)?;
+    Ok((cq, compiled))
+}

@@ -1,0 +1,353 @@
+//! The generic C runtime header shipped with generated programs.
+//!
+//! This is our stand-in for the paper's GLib dependency: generic, boxed,
+//! pointer-chasing containers used by the *unspecialized* configurations
+//! (void-pointer chained hash tables with function-pointer hash/equality,
+//! growable vectors with one allocation per element push). Specialized
+//! levels bypass all of it — that gap is precisely what Table 3 measures.
+//! Also contains string helpers (paper Table 2 mappings), string
+//! dictionaries, memory pools, the query timer, and the RSS probe for
+//! Figure 8.
+
+/// Contents of `dblab_runtime.h`, written next to every generated program.
+pub const DBLAB_RUNTIME_H: &str = r#"
+#ifndef DBLAB_RUNTIME_H
+#define DBLAB_RUNTIME_H
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stdint.h>
+#include <time.h>
+#include <sys/resource.h>
+
+/* ---------------- growable vector (boxed) ---------------- */
+
+typedef struct dblab_vec {
+    void **items;
+    int64_t len, cap;
+} dblab_vec;
+
+static dblab_vec *dblab_vec_new(void) {
+    dblab_vec *v = (dblab_vec *)malloc(sizeof(dblab_vec));
+    v->items = (void **)malloc(8 * sizeof(void *));
+    v->len = 0;
+    v->cap = 8;
+    return v;
+}
+
+static void dblab_vec_push(dblab_vec *v, void *item) {
+    if (v->len == v->cap) {
+        v->cap *= 2;
+        v->items = (void **)realloc(v->items, (size_t)v->cap * sizeof(void *));
+    }
+    v->items[v->len++] = item;
+}
+
+/* ---------------- generic chained hash table ---------------- */
+
+typedef uint64_t (*dblab_hash_fn)(void *);
+typedef int (*dblab_eq_fn)(void *, void *);
+
+typedef struct dblab_node {
+    void *key, *val;
+    struct dblab_node *next;
+} dblab_node;
+
+typedef struct dblab_hash {
+    dblab_node **buckets;
+    int64_t nbuckets, len;
+    dblab_hash_fn hash;
+    dblab_eq_fn eq;
+} dblab_hash;
+
+static dblab_hash *dblab_hash_new(dblab_hash_fn h, dblab_eq_fn eq) {
+    dblab_hash *m = (dblab_hash *)malloc(sizeof(dblab_hash));
+    m->nbuckets = 16;
+    m->len = 0;
+    m->buckets = (dblab_node **)calloc((size_t)m->nbuckets, sizeof(dblab_node *));
+    m->hash = h;
+    m->eq = eq;
+    return m;
+}
+
+static void dblab_hash_grow(dblab_hash *m) {
+    int64_t nn = m->nbuckets * 2;
+    dblab_node **nb = (dblab_node **)calloc((size_t)nn, sizeof(dblab_node *));
+    for (int64_t i = 0; i < m->nbuckets; i++) {
+        dblab_node *n = m->buckets[i];
+        while (n) {
+            dblab_node *nx = n->next;
+            uint64_t b = m->hash(n->key) & (uint64_t)(nn - 1);
+            n->next = nb[b];
+            nb[b] = n;
+            n = nx;
+        }
+    }
+    free(m->buckets);
+    m->buckets = nb;
+    m->nbuckets = nn;
+}
+
+static void *dblab_hash_get(dblab_hash *m, void *key) {
+    uint64_t b = m->hash(key) & (uint64_t)(m->nbuckets - 1);
+    for (dblab_node *n = m->buckets[b]; n; n = n->next)
+        if (m->eq(n->key, key)) return n->val;
+    return NULL;
+}
+
+static void dblab_hash_put(dblab_hash *m, void *key, void *val) {
+    if (m->len * 4 >= m->nbuckets * 3) dblab_hash_grow(m);
+    uint64_t b = m->hash(key) & (uint64_t)(m->nbuckets - 1);
+    dblab_node *n = (dblab_node *)malloc(sizeof(dblab_node));
+    n->key = key;
+    n->val = val;
+    n->next = m->buckets[b];
+    m->buckets[b] = n;
+    m->len++;
+}
+
+/* multimap: values are dblab_vec* */
+static void dblab_multimap_add(dblab_hash *m, void *key, void *val) {
+    dblab_vec *v = (dblab_vec *)dblab_hash_get(m, key);
+    if (!v) {
+        v = dblab_vec_new();
+        dblab_hash_put(m, key, v);
+    }
+    dblab_vec_push(v, val);
+}
+
+/* ---------------- hash / equality functions ---------------- */
+
+static uint64_t dblab_hash_i64(int64_t x) {
+    uint64_t h = (uint64_t)x;
+    h ^= h >> 33; h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33; h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+}
+
+static uint64_t dblab_hash_dbl(double x) {
+    uint64_t bits;
+    memcpy(&bits, &x, 8);
+    if (bits == 0x8000000000000000ULL) bits = 0; /* -0.0 == 0.0 */
+    return dblab_hash_i64((int64_t)bits);
+}
+
+static uint64_t dblab_hash_str(const char *s) {
+    uint64_t h = 1469598103934665603ULL;
+    for (; *s; s++) { h ^= (uint64_t)(unsigned char)*s; h *= 1099511628211ULL; }
+    return h;
+}
+
+static uint64_t dblab_keyhash_int(void *k) { return dblab_hash_i64((int64_t)(intptr_t)k); }
+static int dblab_keyeq_int(void *a, void *b) { return a == b; }
+static uint64_t dblab_keyhash_str(void *k) { return dblab_hash_str((const char *)k); }
+static int dblab_keyeq_str(void *a, void *b) {
+    return strcmp((const char *)a, (const char *)b) == 0;
+}
+
+/* ---------------- string helpers (paper Table 2) ---------------- */
+
+static int dblab_starts_with(const char *x, const char *y) {
+    return strncmp(x, y, strlen(y)) == 0;
+}
+
+static int dblab_ends_with(const char *x, const char *y) {
+    size_t lx = strlen(x), ly = strlen(y);
+    return lx >= ly && strcmp(x + lx - ly, y) == 0;
+}
+
+/* SQL LIKE with %-wildcards only. */
+static int dblab_like(const char *s, const char *pattern) {
+    size_t plen = strlen(pattern);
+    char *pat = (char *)malloc(plen + 1);
+    memcpy(pat, pattern, plen + 1);
+    int anchored_start = pattern[0] != '%';
+    int anchored_end = plen > 0 && pattern[plen - 1] != '%';
+    int ok = 1, first = 1;
+    const char *pos = s;
+    char *save = NULL;
+    for (char *seg = strtok_r(pat, "%", &save); seg; seg = strtok_r(NULL, "%", &save)) {
+        int last = (save == NULL || *save == '\0');
+        if (first && anchored_start) {
+            if (strncmp(pos, seg, strlen(seg)) != 0) { ok = 0; break; }
+            pos += strlen(seg);
+        } else if (last && anchored_end) {
+            size_t ls = strlen(seg), lp = strlen(pos);
+            if (lp < ls || strcmp(pos + lp - ls, seg) != 0) { ok = 0; break; }
+            pos += lp;
+        } else {
+            const char *found = strstr(pos, seg);
+            if (!found) { ok = 0; break; }
+            pos = found + strlen(seg);
+        }
+        first = 0;
+    }
+    free(pat);
+    return ok;
+}
+
+static char *dblab_substr(const char *s, int32_t start1, int32_t len) {
+    size_t sl = strlen(s);
+    size_t from = start1 > 0 ? (size_t)(start1 - 1) : 0;
+    if (from > sl) from = sl;
+    size_t n = (size_t)len;
+    if (from + n > sl) n = sl - from;
+    char *out = (char *)malloc(n + 1);
+    memcpy(out, s + from, n);
+    out[n] = '\0';
+    return out;
+}
+
+/* ---------------- string dictionaries (paper 5.3) ---------------- */
+
+typedef struct dblab_dict {
+    char **values; /* sorted lexicographically */
+    int32_t n;
+} dblab_dict;
+
+static int32_t dblab_dict_lookup(dblab_dict *d, const char *s) {
+    int32_t lo = 0, hi = d->n - 1;
+    while (lo <= hi) {
+        int32_t mid = (lo + hi) / 2;
+        int c = strcmp(d->values[mid], s);
+        if (c == 0) return mid;
+        if (c < 0) lo = mid + 1; else hi = mid - 1;
+    }
+    return -1;
+}
+
+static int32_t dblab_dict_range_start(dblab_dict *d, const char *prefix) {
+    int32_t lo = 0, hi = d->n;
+    size_t pl = strlen(prefix);
+    while (lo < hi) {
+        int32_t mid = (lo + hi) / 2;
+        if (strncmp(d->values[mid], prefix, pl) < 0) lo = mid + 1; else hi = mid;
+    }
+    if (lo < d->n && strncmp(d->values[lo], prefix, pl) == 0) return lo;
+    return 0; /* empty range is (0, -1) */
+}
+
+static int32_t dblab_dict_range_end(dblab_dict *d, const char *prefix) {
+    size_t pl = strlen(prefix);
+    int32_t s = dblab_dict_range_start(d, prefix);
+    if (d->n == 0 || strncmp(d->values[s], prefix, pl) != 0) return -1;
+    int32_t e = s;
+    while (e + 1 < d->n && strncmp(d->values[e + 1], prefix, pl) == 0) e++;
+    return e;
+}
+
+static int dblab_cmp_str(const void *a, const void *b) {
+    return strcmp(*(const char **)a, *(const char **)b);
+}
+
+/* Build a dictionary from n raw values (duplicates allowed). */
+static dblab_dict dblab_dict_build(char **raw, int64_t n) {
+    char **tmp = (char **)malloc((size_t)n * sizeof(char *));
+    memcpy(tmp, raw, (size_t)n * sizeof(char *));
+    qsort(tmp, (size_t)n, sizeof(char *), dblab_cmp_str);
+    int64_t d = 0;
+    for (int64_t i = 0; i < n; i++)
+        if (i == 0 || strcmp(tmp[i], tmp[d - 1]) != 0) tmp[d++] = tmp[i];
+    dblab_dict out;
+    out.values = tmp;
+    out.n = (int32_t)d;
+    return out;
+}
+
+/* ---------------- memory pools (paper App. D.1) ---------------- */
+
+typedef struct dblab_pool {
+    char *data;
+    size_t elem, cap, used;
+} dblab_pool;
+
+static dblab_pool *dblab_pool_new(size_t elem, size_t cap) {
+    dblab_pool *p = (dblab_pool *)malloc(sizeof(dblab_pool));
+    p->elem = elem;
+    p->cap = cap ? cap : 16;
+    p->used = 0;
+    p->data = (char *)calloc(p->cap, elem);
+    return p;
+}
+
+static void *dblab_pool_alloc(dblab_pool *p) {
+    if (p->used == p->cap) {
+        /* Overflow fallback: chain a fresh arena twice the size (old
+           pointers must stay valid, so no realloc). */
+        p->cap *= 2;
+        p->data = (char *)calloc(p->cap, p->elem);
+        p->used = 0;
+    }
+    void *out = p->data + p->used * p->elem;
+    p->used++;
+    return out;
+}
+
+/* ---------------- instrumentation ---------------- */
+
+static double dblab_timer_start_ms;
+
+static double dblab_now_ms(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec * 1000.0 + (double)ts.tv_nsec / 1e6;
+}
+
+static void dblab_timer_start(void) { dblab_timer_start_ms = dblab_now_ms(); }
+
+static void dblab_timer_stop(void) {
+    fprintf(stderr, "QUERY_TIME_MS: %.3f\n", dblab_now_ms() - dblab_timer_start_ms);
+}
+
+static void dblab_print_rusage(void) {
+    struct rusage ru;
+    getrusage(RUSAGE_SELF, &ru);
+    fprintf(stderr, "PEAK_RSS_KB: %ld\n", ru.ru_maxrss);
+}
+
+/* ---------------- .tbl loading ---------------- */
+
+static const char *dblab_data_dir;
+
+/* Read a whole file; returns buffer (caller keeps) and size. */
+static char *dblab_read_file(const char *table, int64_t *size) {
+    char path[1024];
+    snprintf(path, sizeof(path), "%s/%s.tbl", dblab_data_dir, table);
+    FILE *f = fopen(path, "rb");
+    if (!f) {
+        fprintf(stderr, "cannot open %s\n", path);
+        exit(1);
+    }
+    fseek(f, 0, SEEK_END);
+    long n = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *buf = (char *)malloc((size_t)n + 1);
+    if (fread(buf, 1, (size_t)n, f) != (size_t)n) {
+        fprintf(stderr, "short read on %s\n", path);
+        exit(1);
+    }
+    buf[n] = '\0';
+    fclose(f);
+    *size = n;
+    return buf;
+}
+
+static int64_t dblab_count_lines(const char *buf, int64_t size) {
+    int64_t lines = 0;
+    for (int64_t i = 0; i < size; i++)
+        if (buf[i] == '\n') lines++;
+    return lines;
+}
+
+static int32_t dblab_parse_date(const char *s) {
+    /* yyyy-mm-dd */
+    int32_t y = (s[0]-'0')*1000 + (s[1]-'0')*100 + (s[2]-'0')*10 + (s[3]-'0');
+    int32_t m = (s[5]-'0')*10 + (s[6]-'0');
+    int32_t d = (s[8]-'0')*10 + (s[9]-'0');
+    return y * 10000 + m * 100 + d;
+}
+
+#endif /* DBLAB_RUNTIME_H */
+"#;

@@ -1,0 +1,270 @@
+//! Scalar expression evaluation over dynamic rows.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dblab_catalog::ColType;
+use dblab_frontend::expr::{BinOp, Lit, ScalarExpr};
+use dblab_runtime::Value;
+
+/// Evaluation environment: the input column list (for name resolution) and
+/// scalar-subquery parameter bindings.
+pub struct Env<'a> {
+    pub cols: &'a [(Rc<str>, ColType)],
+    index: HashMap<Rc<str>, usize>,
+    pub params: &'a HashMap<Rc<str>, Value>,
+}
+
+impl<'a> Env<'a> {
+    pub fn new(cols: &'a [(Rc<str>, ColType)], params: &'a HashMap<Rc<str>, Value>) -> Env<'a> {
+        let index = cols
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i))
+            .collect();
+        Env {
+            cols,
+            index,
+            params,
+        }
+    }
+
+    pub fn col_index(&self, name: &str) -> usize {
+        *self
+            .index
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown column {name}"))
+    }
+}
+
+pub fn lit_value(l: &Lit) -> Value {
+    match l {
+        Lit::Bool(b) => Value::Bool(*b),
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Long(v) => Value::Long(*v),
+        Lit::Double(v) => Value::Double(*v),
+        Lit::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Evaluate `e` against one row.
+pub fn eval(e: &ScalarExpr, row: &[Value], env: &Env<'_>) -> Value {
+    match e {
+        ScalarExpr::Col(n) => row[env.col_index(n)].clone(),
+        ScalarExpr::Param(n) => env
+            .params
+            .get(n)
+            .unwrap_or_else(|| panic!("unbound parameter {n}"))
+            .clone(),
+        ScalarExpr::Lit(l) => lit_value(l),
+        ScalarExpr::Bin(op, a, b) => {
+            // Short-circuit the logical operators.
+            match op {
+                BinOp::And => {
+                    return if eval(a, row, env).as_bool() {
+                        eval(b, row, env)
+                    } else {
+                        Value::Bool(false)
+                    }
+                }
+                BinOp::Or => {
+                    return if eval(a, row, env).as_bool() {
+                        Value::Bool(true)
+                    } else {
+                        eval(b, row, env)
+                    }
+                }
+                _ => {}
+            }
+            let va = eval(a, row, env);
+            let vb = eval(b, row, env);
+            bin(*op, &va, &vb)
+        }
+        ScalarExpr::Not(x) => Value::Bool(!eval(x, row, env).as_bool()),
+        ScalarExpr::Neg(x) => match eval(x, row, env) {
+            Value::Int(v) => Value::Int(-v),
+            Value::Long(v) => Value::Long(-v),
+            Value::Double(v) => Value::Double(-v),
+            other => panic!("neg on {other:?}"),
+        },
+        ScalarExpr::Year(x) => Value::Int((eval(x, row, env).as_i64() / 10000) as i32),
+        ScalarExpr::Like(x, pat) => Value::Bool(like_match(eval(x, row, env).as_str(), pat)),
+        ScalarExpr::StartsWith(x, p) => Value::Bool(eval(x, row, env).as_str().starts_with(&**p)),
+        ScalarExpr::EndsWith(x, p) => Value::Bool(eval(x, row, env).as_str().ends_with(&**p)),
+        ScalarExpr::Contains(x, p) => Value::Bool(eval(x, row, env).as_str().contains(&**p)),
+        ScalarExpr::Substr(x, start, len) => {
+            let v = eval(x, row, env);
+            let s = v.as_str();
+            let from = (*start as usize).saturating_sub(1);
+            let to = (from + *len as usize).min(s.len());
+            Value::str(&s[from.min(s.len())..to])
+        }
+        ScalarExpr::InList(x, lits) => {
+            let v = eval(x, row, env);
+            Value::Bool(lits.iter().any(|l| lit_value(l) == v))
+        }
+        ScalarExpr::Case(whens, els) => {
+            for (cond, val) in whens {
+                if eval(cond, row, env).as_bool() {
+                    return eval(val, row, env);
+                }
+            }
+            eval(els, row, env)
+        }
+    }
+}
+
+fn bin(op: BinOp, a: &Value, b: &Value) -> Value {
+    use BinOp::*;
+    match op {
+        Eq => Value::Bool(a == b),
+        Ne => Value::Bool(a != b),
+        Lt => Value::Bool(a < b),
+        Le => Value::Bool(a <= b),
+        Gt => Value::Bool(a > b),
+        Ge => Value::Bool(a >= b),
+        Add | Sub | Mul | Div => arith(op, a, b),
+        And | Or => unreachable!("handled by short-circuit path"),
+    }
+}
+
+fn arith(op: BinOp, a: &Value, b: &Value) -> Value {
+    use BinOp::*;
+    match (a, b) {
+        (Value::Double(_), _) | (_, Value::Double(_)) => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Value::Double(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                _ => unreachable!(),
+            })
+        }
+        (Value::Long(_), _) | (_, Value::Long(_)) => {
+            let (x, y) = (a.as_i64(), b.as_i64());
+            Value::Long(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                _ => unreachable!(),
+            })
+        }
+        _ => {
+            let (x, y) = (a.as_i64() as i32, b.as_i64() as i32);
+            Value::Int(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+/// SQL LIKE with `%` wildcards only (what TPC-H uses): the pattern is split
+/// on `%`; segments must occur in order, anchored at the ends when the
+/// pattern does not start/end with `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let segments: Vec<&str> = pattern.split('%').collect();
+    let anchored_start = !pattern.starts_with('%');
+    let anchored_end = !pattern.ends_with('%');
+    let mut pos = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.is_empty() {
+            continue;
+        }
+        if i == 0 && anchored_start {
+            if !s.starts_with(seg) {
+                return false;
+            }
+            pos = seg.len();
+        } else if i == segments.len() - 1 && anchored_end {
+            return s.len() >= pos + seg.len() && s.ends_with(seg);
+        } else {
+            match s[pos..].find(seg) {
+                Some(at) => pos += at + seg.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_frontend::expr::*;
+
+    fn env_cols() -> Vec<(Rc<str>, ColType)> {
+        vec![
+            ("a".into(), ColType::Int),
+            ("b".into(), ColType::Double),
+            ("s".into(), ColType::String),
+        ]
+    }
+
+    fn run(e: &ScalarExpr, row: &[Value]) -> Value {
+        let cols = env_cols();
+        let params = HashMap::new();
+        let env = Env::new(&cols, &params);
+        eval(e, row, &env)
+    }
+
+    fn row() -> Vec<Value> {
+        vec![Value::Int(3), Value::Double(1.5), Value::str("PROMO ANODIZED")]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        assert_eq!(run(&col("a").add(lit_i(2)), &row()), Value::Int(5));
+        assert_eq!(run(&col("a").mul(col("b")), &row()), Value::Double(4.5));
+        assert_eq!(run(&col("a").lt(lit_i(4)), &row()), Value::Bool(true));
+        assert_eq!(
+            run(&col("b").between(lit_d(1.0), lit_d(2.0)), &row()),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn short_circuit_and() {
+        // The right side would panic (string > int) if evaluated.
+        let e = col("a").gt(lit_i(100)).and(col("s").gt(lit_i(0)));
+        assert_eq!(run(&e, &row()), Value::Bool(false));
+    }
+
+    #[test]
+    fn string_predicates() {
+        assert_eq!(
+            run(&col("s").starts_with("PROMO"), &row()),
+            Value::Bool(true)
+        );
+        assert_eq!(run(&col("s").contains("ANOD"), &row()), Value::Bool(true));
+        assert_eq!(run(&col("s").ends_with("ZED"), &row()), Value::Bool(true));
+        assert_eq!(run(&col("s").substr(1, 5), &row()), Value::str("PROMO"));
+    }
+
+    #[test]
+    fn case_and_in_list() {
+        let e = ScalarExpr::case_when(col("a").eq(lit_i(3)), lit_d(1.0), lit_d(0.0));
+        assert_eq!(run(&e, &row()), Value::Double(1.0));
+        let i = col("a").in_list(vec![Lit::Int(1), Lit::Int(3)]);
+        assert_eq!(run(&i, &row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_semantics() {
+        assert!(like_match("special requests", "%special%requests%"));
+        assert!(!like_match("special demands", "%special%requests%"));
+        assert!(like_match("PROMO X", "PROMO%"));
+        assert!(!like_match("X PROMO", "PROMO%"));
+        assert!(like_match("a POLISHED STEEL", "%STEEL"));
+        assert!(!like_match("STEEL a", "%STEEL"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("abcbc", "a%bc"));
+        assert!(like_match("ab", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+}

@@ -1,0 +1,558 @@
+//! Plan execution: materializing operator implementations.
+//!
+//! Each operator fully materializes its output — the least clever and most
+//! obviously correct strategy, which is exactly what an oracle should be.
+//! Group-by uses an ordered map so results are deterministic even for
+//! queries without a final `ORDER BY`.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::rc::Rc;
+
+use dblab_catalog::{ColType, Schema};
+use dblab_frontend::expr::ScalarExpr;
+use dblab_frontend::qplan::{AggFunc, JoinKind, QPlan, QueryProgram, SortDir};
+use dblab_runtime::{Database, Value};
+
+use crate::eval::{eval, Env};
+
+/// A fully materialized query result.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    pub cols: Vec<(Rc<str>, ColType)>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Pipe-separated text rendering (matches the generated C programs'
+    /// output format, enabling differential testing). `Char` columns print
+    /// as characters, like C's `%c`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                match (v, self.cols[i].1) {
+                    (Value::Int(c), ColType::Char) => out.push(*c as u8 as char),
+                    _ => out.push_str(&v.to_string()),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Execute a plan with no scalar-subquery parameters.
+pub fn execute_plan(plan: &QPlan, db: &Database) -> ResultSet {
+    run(plan, db, &HashMap::new())
+}
+
+/// Execute a full program: lets first (each must yield at least one row;
+/// its first column's first value binds the parameter), then the main plan.
+pub fn execute_program(prog: &QueryProgram, db: &Database) -> ResultSet {
+    let mut params = HashMap::new();
+    for (name, plan) in &prog.lets {
+        let rs = run(plan, db, &params);
+        let v = rs
+            .rows
+            .first()
+            .map(|r| r[0].clone())
+            .unwrap_or(Value::Double(0.0));
+        // Parameters are always read back as doubles (see ScalarExpr::Param).
+        let v = match v {
+            Value::Int(_) | Value::Long(_) => Value::Double(v.as_f64()),
+            other => other,
+        };
+        params.insert(name.clone(), v);
+    }
+    run(&prog.main, db, &params)
+}
+
+fn run(plan: &QPlan, db: &Database, params: &HashMap<Rc<str>, Value>) -> ResultSet {
+    let schema = &db.schema;
+    match plan {
+        QPlan::Scan { table, .. } => {
+            let t = db.table(table);
+            let rows = (0..t.len()).map(|i| t.row(i)).collect();
+            ResultSet {
+                cols: plan.output_cols(schema),
+                rows,
+            }
+        }
+        QPlan::Select { child, pred } => {
+            let input = run(child, db, params);
+            let env = Env::new(&input.cols, params);
+            let rows = input
+                .rows
+                .iter()
+                .filter(|r| eval(pred, r, &env).as_bool())
+                .cloned()
+                .collect();
+            ResultSet {
+                cols: input.cols.clone(),
+                rows,
+            }
+        }
+        QPlan::Project { child, cols } => {
+            let input = run(child, db, params);
+            let env = Env::new(&input.cols, params);
+            let rows = input
+                .rows
+                .iter()
+                .map(|r| cols.iter().map(|(_, e)| eval(e, r, &env)).collect())
+                .collect();
+            ResultSet {
+                cols: plan.output_cols(schema),
+                rows,
+            }
+        }
+        QPlan::HashJoin {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let l = run(left, db, params);
+            let r = run(right, db, params);
+            join(plan, &l, &r, *kind, left_keys, right_keys, residual, schema, params)
+        }
+        QPlan::Agg {
+            child,
+            group_by,
+            aggs,
+        } => {
+            let input = run(child, db, params);
+            aggregate(plan, &input, group_by, aggs, schema, params)
+        }
+        QPlan::Sort { child, keys } => {
+            let input = run(child, db, params);
+            let env = Env::new(&input.cols, params);
+            let mut decorated: Vec<(Vec<Value>, Vec<Value>)> = input
+                .rows
+                .into_iter()
+                .map(|r| {
+                    let k: Vec<Value> = keys.iter().map(|(e, _)| eval(e, &r, &env)).collect();
+                    (k, r)
+                })
+                .collect();
+            decorated.sort_by(|(ka, _), (kb, _)| {
+                for (i, (_, dir)) in keys.iter().enumerate() {
+                    let ord = ka[i].cmp(&kb[i]);
+                    let ord = if *dir == SortDir::Desc {
+                        ord.reverse()
+                    } else {
+                        ord
+                    };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            ResultSet {
+                cols: input.cols.clone(),
+                rows: decorated.into_iter().map(|(_, r)| r).collect(),
+            }
+        }
+        QPlan::Limit { child, n } => {
+            let mut input = run(child, db, params);
+            input.rows.truncate(*n as usize);
+            input
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn join(
+    plan: &QPlan,
+    l: &ResultSet,
+    r: &ResultSet,
+    kind: JoinKind,
+    left_keys: &[ScalarExpr],
+    right_keys: &[ScalarExpr],
+    residual: &Option<ScalarExpr>,
+    schema: &Schema,
+    params: &HashMap<Rc<str>, Value>,
+) -> ResultSet {
+    let lenv = Env::new(&l.cols, params);
+    let renv = Env::new(&r.cols, params);
+    // Build on the right, probe with the left (keeps left-major row order,
+    // which makes results deterministic).
+    let mut built: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in r.rows.iter().enumerate() {
+        let k: Vec<Value> = right_keys.iter().map(|e| eval(e, row, &renv)).collect();
+        built.entry(k).or_default().push(i);
+    }
+    // Residual predicates see the concatenated row.
+    let combined_cols: Vec<(Rc<str>, ColType)> = l
+        .cols
+        .iter()
+        .cloned()
+        .chain(r.cols.iter().cloned())
+        .collect();
+    let cenv = Env::new(&combined_cols, params);
+
+    let defaults: Vec<Value> = r
+        .cols
+        .iter()
+        .map(|(_, t)| match t {
+            ColType::Double => Value::Double(0.0),
+            ColType::String => Value::str(""),
+            ColType::Long => Value::Long(0),
+            _ => Value::Int(0),
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for lrow in &l.rows {
+        let k: Vec<Value> = left_keys.iter().map(|e| eval(e, lrow, &lenv)).collect();
+        let matches = built.get(&k).map(|v| v.as_slice()).unwrap_or(&[]);
+        let passes = |ri: usize| -> bool {
+            match residual {
+                None => true,
+                Some(p) => {
+                    let mut combined = lrow.clone();
+                    combined.extend(r.rows[ri].iter().cloned());
+                    eval(p, &combined, &cenv).as_bool()
+                }
+            }
+        };
+        match kind {
+            JoinKind::Inner => {
+                for &ri in matches {
+                    if passes(ri) {
+                        let mut row = lrow.clone();
+                        row.extend(r.rows[ri].iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+            JoinKind::LeftSemi => {
+                if matches.iter().any(|&ri| passes(ri)) {
+                    rows.push(lrow.clone());
+                }
+            }
+            JoinKind::LeftAnti => {
+                if !matches.iter().any(|&ri| passes(ri)) {
+                    rows.push(lrow.clone());
+                }
+            }
+            JoinKind::LeftOuter => {
+                let mut any = false;
+                for &ri in matches {
+                    if passes(ri) {
+                        any = true;
+                        let mut row = lrow.clone();
+                        row.extend(r.rows[ri].iter().cloned());
+                        row.push(Value::Bool(true));
+                        rows.push(row);
+                    }
+                }
+                if !any {
+                    let mut row = lrow.clone();
+                    row.extend(defaults.iter().cloned());
+                    row.push(Value::Bool(false));
+                    rows.push(row);
+                }
+            }
+        }
+    }
+    ResultSet {
+        cols: plan.output_cols(schema),
+        rows,
+    }
+}
+
+enum Acc {
+    Sum(f64),
+    Count(i64),
+    Avg(f64, i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Distinct(HashSet<Value>),
+}
+
+fn aggregate(
+    plan: &QPlan,
+    input: &ResultSet,
+    group_by: &[(Rc<str>, ScalarExpr)],
+    aggs: &[(Rc<str>, AggFunc)],
+    schema: &Schema,
+    params: &HashMap<Rc<str>, Value>,
+) -> ResultSet {
+    let env = Env::new(&input.cols, params);
+    let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
+    let fresh = |aggs: &[(Rc<str>, AggFunc)]| -> Vec<Acc> {
+        aggs.iter()
+            .map(|(_, a)| match a {
+                AggFunc::Sum(_) => Acc::Sum(0.0),
+                AggFunc::Count => Acc::Count(0),
+                AggFunc::Avg(_) => Acc::Avg(0.0, 0),
+                AggFunc::Min(_) => Acc::Min(None),
+                AggFunc::Max(_) => Acc::Max(None),
+                AggFunc::CountDistinct(_) => Acc::Distinct(HashSet::new()),
+            })
+            .collect()
+    };
+    // A global aggregate (no GROUP BY) must produce a row even on empty
+    // input, like SQL.
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), fresh(aggs));
+    }
+    for row in &input.rows {
+        let key: Vec<Value> = group_by.iter().map(|(_, e)| eval(e, row, &env)).collect();
+        let accs = groups.entry(key).or_insert_with(|| fresh(aggs));
+        for (acc, (_, f)) in accs.iter_mut().zip(aggs) {
+            match (acc, f) {
+                (Acc::Sum(s), AggFunc::Sum(e)) => *s += eval(e, row, &env).as_f64(),
+                (Acc::Count(c), AggFunc::Count) => *c += 1,
+                (Acc::Avg(s, c), AggFunc::Avg(e)) => {
+                    *s += eval(e, row, &env).as_f64();
+                    *c += 1;
+                }
+                (Acc::Min(m), AggFunc::Min(e)) => {
+                    let v = eval(e, row, &env);
+                    if m.as_ref().map(|cur| v < *cur).unwrap_or(true) {
+                        *m = Some(v);
+                    }
+                }
+                (Acc::Max(m), AggFunc::Max(e)) => {
+                    let v = eval(e, row, &env);
+                    if m.as_ref().map(|cur| v > *cur).unwrap_or(true) {
+                        *m = Some(v);
+                    }
+                }
+                (Acc::Distinct(set), AggFunc::CountDistinct(e)) => {
+                    set.insert(eval(e, row, &env));
+                }
+                _ => unreachable!("accumulator/function mismatch"),
+            }
+        }
+    }
+    let out_cols = plan.output_cols(schema);
+    let agg_types: Vec<ColType> = out_cols[group_by.len()..]
+        .iter()
+        .map(|(_, t)| *t)
+        .collect();
+    let rows = groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut row = key;
+            for (acc, ty) in accs.into_iter().zip(&agg_types) {
+                row.push(match acc {
+                    Acc::Sum(s) => {
+                        if *ty == ColType::Double {
+                            Value::Double(s)
+                        } else {
+                            Value::Long(s as i64)
+                        }
+                    }
+                    Acc::Count(c) => Value::Long(c),
+                    Acc::Avg(s, c) => Value::Double(if c == 0 { 0.0 } else { s / c as f64 }),
+                    Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Double(0.0)),
+                    Acc::Distinct(set) => Value::Long(set.len() as i64),
+                });
+            }
+            row
+        })
+        .collect();
+    ResultSet {
+        cols: out_cols,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_catalog::TableDef;
+    use dblab_frontend::expr::*;
+    use dblab_runtime::Table;
+
+    fn db() -> Database {
+        let schema = Schema::new(vec![
+            TableDef::new(
+                "r",
+                vec![
+                    ("r_id", ColType::Int),
+                    ("r_name", ColType::String),
+                    ("r_sid", ColType::Int),
+                ],
+            )
+            .with_primary_key(&["r_id"]),
+            TableDef::new(
+                "s",
+                vec![("s_rid", ColType::Int), ("s_w", ColType::Double)],
+            ),
+        ]);
+        let mut r = Table::empty(schema.table("r"));
+        for (id, name, sid) in [
+            (1, "R1", 10),
+            (2, "R2", 10),
+            (3, "R1", 20),
+            (4, "R3", 30),
+        ] {
+            r.push_row(vec![Value::Int(id), Value::str(name), Value::Int(sid)]);
+        }
+        let mut s = Table::empty(schema.table("s"));
+        for (rid, w) in [(10, 1.0), (10, 2.0), (20, 5.0), (99, 9.0)] {
+            s.push_row(vec![Value::Int(rid), Value::Double(w)]);
+        }
+        Database {
+            schema,
+            tables: vec![r, s],
+            dir: std::env::temp_dir(),
+        }
+    }
+
+    #[test]
+    fn paper_example_query_counts_matches() {
+        // SELECT COUNT(*) FROM R, S WHERE R.name == "R1" AND R.sid == S.rid
+        let plan = QPlan::scan("r")
+            .select(col("r_name").eq(lit_s("R1")))
+            .hash_join(
+                QPlan::scan("s"),
+                JoinKind::Inner,
+                vec![col("r_sid")],
+                vec![col("s_rid")],
+            )
+            .agg(vec![], vec![("count", AggFunc::Count)]);
+        let rs = execute_plan(&plan, &db());
+        // R1 rows: (1, sid 10) matches 2 s-rows; (3, sid 20) matches 1.
+        assert_eq!(rs.rows, vec![vec![Value::Long(3)]]);
+    }
+
+    #[test]
+    fn semi_anti_outer_joins() {
+        let mk = |kind| {
+            QPlan::scan("r").hash_join(
+                QPlan::scan("s"),
+                kind,
+                vec![col("r_sid")],
+                vec![col("s_rid")],
+            )
+        };
+        let semi = execute_plan(&mk(JoinKind::LeftSemi), &db());
+        assert_eq!(semi.rows.len(), 3); // ids 1, 2, 3
+
+        let anti = execute_plan(&mk(JoinKind::LeftAnti), &db());
+        assert_eq!(anti.rows.len(), 1);
+        assert_eq!(anti.rows[0][0], Value::Int(4));
+
+        let outer = execute_plan(&mk(JoinKind::LeftOuter), &db());
+        // 2 + 2 + 1 matches plus 1 unmatched = 6 rows.
+        assert_eq!(outer.rows.len(), 6);
+        let unmatched: Vec<_> = outer
+            .rows
+            .iter()
+            .filter(|r| r.last() == Some(&Value::Bool(false)))
+            .collect();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(unmatched[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn residual_join_predicate() {
+        let plan = QPlan::scan("r")
+            .hash_join(
+                QPlan::scan("s"),
+                JoinKind::Inner,
+                vec![col("r_sid")],
+                vec![col("s_rid")],
+            )
+            .join_residual(col("s_w").gt(lit_d(1.5)))
+            .agg(vec![], vec![("n", AggFunc::Count)]);
+        let rs = execute_plan(&plan, &db());
+        // r1 and r2 (sid 10) each match s(10, 2.0); r3 (sid 20) matches
+        // s(20, 5.0); the w=1.0 rows fail the residual.
+        assert_eq!(rs.rows, vec![vec![Value::Long(3)]]);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let plan = QPlan::scan("s").agg(
+            vec![("k", col("s_rid"))],
+            vec![
+                ("total", AggFunc::Sum(col("s_w"))),
+                ("n", AggFunc::Count),
+                ("avg", AggFunc::Avg(col("s_w"))),
+                ("mx", AggFunc::Max(col("s_w"))),
+            ],
+        );
+        let rs = execute_plan(&plan, &db());
+        assert_eq!(rs.rows.len(), 3);
+        // BTreeMap ordering: keys 10, 20, 99.
+        assert_eq!(
+            rs.rows[0],
+            vec![
+                Value::Int(10),
+                Value::Double(3.0),
+                Value::Long(2),
+                Value::Double(1.5),
+                Value::Double(2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let plan = QPlan::scan("r")
+            .select(col("r_name").eq(lit_s("NOPE")))
+            .agg(vec![], vec![("n", AggFunc::Count)]);
+        let rs = execute_plan(&plan, &db());
+        assert_eq!(rs.rows, vec![vec![Value::Long(0)]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let plan = QPlan::scan("s")
+            .sort(vec![
+                (col("s_w"), SortDir::Desc),
+                (col("s_rid"), SortDir::Asc),
+            ])
+            .limit(2);
+        let rs = execute_plan(&plan, &db());
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1], Value::Double(9.0));
+        assert_eq!(rs.rows[1][1], Value::Double(5.0));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let plan = QPlan::scan("s").agg(
+            vec![],
+            vec![("d", AggFunc::CountDistinct(col("s_rid")))],
+        );
+        let rs = execute_plan(&plan, &db());
+        assert_eq!(rs.rows, vec![vec![Value::Long(3)]]);
+    }
+
+    #[test]
+    fn scalar_subquery_program() {
+        // let avg_w = AVG(s_w); main: count s rows with s_w > avg_w
+        let prog = QueryProgram::new(
+            QPlan::scan("s")
+                .select(col("s_w").gt(param("avg_w")))
+                .agg(vec![], vec![("n", AggFunc::Count)]),
+        )
+        .with_let(
+            "avg_w",
+            QPlan::scan("s").agg(vec![], vec![("a", AggFunc::Avg(col("s_w")))]),
+        );
+        let rs = execute_program(&prog, &db());
+        // avg = 4.25; rows above: 5.0 and 9.0.
+        assert_eq!(rs.rows, vec![vec![Value::Long(2)]]);
+    }
+
+    #[test]
+    fn result_text_rendering() {
+        let plan = QPlan::scan("s").limit(1);
+        let rs = execute_plan(&plan, &db());
+        assert_eq!(rs.to_text(), "10|1.0000\n");
+    }
+}

@@ -1,0 +1,13 @@
+//! # dblab-engine — the Volcano-style reference engine
+//!
+//! The classical alternative to compilation (paper §1: System R "quickly
+//! abandoned [compilation] in favor of query interpretation"): a
+//! straightforward interpreter over [`dblab_frontend::qplan::QPlan`]. It is
+//! deliberately simple and obviously correct — it serves as the **oracle**
+//! every compiled configuration is differentially tested against, and as
+//! the "interpretation" context point in the benchmarks.
+
+pub mod eval;
+pub mod exec;
+
+pub use exec::{execute_plan, execute_program, ResultSet};

@@ -1,0 +1,303 @@
+//! The scalar expression language shared by both front-ends.
+//!
+//! Expressions reference columns *by name* (operator output columns are
+//! named), so plans compose without positional bookkeeping. A fluent
+//! builder API keeps the 22 TPC-H query definitions readable.
+
+use std::rc::Rc;
+
+use dblab_catalog::ColType;
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Bool(bool),
+    Int(i32),
+    Long(i64),
+    Double(f64),
+    Str(Rc<str>),
+}
+
+impl Lit {
+    pub fn ty(&self) -> ColType {
+        match self {
+            Lit::Bool(_) => ColType::Bool,
+            Lit::Int(_) => ColType::Int,
+            Lit::Long(_) => ColType::Long,
+            Lit::Double(_) => ColType::Double,
+            Lit::Str(_) => ColType::String,
+        }
+    }
+}
+
+/// Binary operators of the front-end expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A scalar expression over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Column reference.
+    Col(Rc<str>),
+    /// The result of a previously evaluated scalar subquery (always
+    /// `Double` in our workload; see `QueryProgram`).
+    Param(Rc<str>),
+    Lit(Lit),
+    Bin(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    Not(Box<ScalarExpr>),
+    Neg(Box<ScalarExpr>),
+    /// Extract the year of a `yyyymmdd` date.
+    Year(Box<ScalarExpr>),
+    /// SQL `LIKE` with `%` wildcards (constant pattern).
+    Like(Box<ScalarExpr>, Rc<str>),
+    StartsWith(Box<ScalarExpr>, Rc<str>),
+    EndsWith(Box<ScalarExpr>, Rc<str>),
+    Contains(Box<ScalarExpr>, Rc<str>),
+    /// `substring(s, start, len)`, 1-based start as in SQL.
+    Substr(Box<ScalarExpr>, u32, u32),
+    /// `expr IN (lits...)`.
+    InList(Box<ScalarExpr>, Vec<Lit>),
+    /// `CASE WHEN p THEN v ... ELSE e END`.
+    Case(Vec<(ScalarExpr, ScalarExpr)>, Box<ScalarExpr>),
+}
+
+/// Column reference.
+pub fn col(name: &str) -> ScalarExpr {
+    ScalarExpr::Col(name.into())
+}
+
+/// Scalar-subquery parameter reference.
+pub fn param(name: &str) -> ScalarExpr {
+    ScalarExpr::Param(name.into())
+}
+
+pub fn lit_i(v: i32) -> ScalarExpr {
+    ScalarExpr::Lit(Lit::Int(v))
+}
+pub fn lit_l(v: i64) -> ScalarExpr {
+    ScalarExpr::Lit(Lit::Long(v))
+}
+pub fn lit_d(v: f64) -> ScalarExpr {
+    ScalarExpr::Lit(Lit::Double(v))
+}
+pub fn lit_s(v: &str) -> ScalarExpr {
+    ScalarExpr::Lit(Lit::Str(v.into()))
+}
+/// A `CHAR(1)` literal (carried as its ASCII code, like the runtime).
+pub fn lit_c(v: char) -> ScalarExpr {
+    ScalarExpr::Lit(Lit::Int(v as i32))
+}
+/// A date literal `yyyy-mm-dd` encoded as `yyyymmdd`.
+pub fn date(y: i32, m: i32, d: i32) -> ScalarExpr {
+    ScalarExpr::Lit(Lit::Int(dblab_catalog::dates::encode(y, m, d)))
+}
+
+macro_rules! bin_method {
+    ($name:ident, $op:ident) => {
+        pub fn $name(self, rhs: ScalarExpr) -> ScalarExpr {
+            ScalarExpr::Bin(BinOp::$op, Box::new(self), Box::new(rhs))
+        }
+    };
+}
+
+impl ScalarExpr {
+    bin_method!(add, Add);
+    bin_method!(sub, Sub);
+    bin_method!(mul, Mul);
+    bin_method!(div, Div);
+    bin_method!(eq, Eq);
+    bin_method!(ne, Ne);
+    bin_method!(lt, Lt);
+    bin_method!(le, Le);
+    bin_method!(gt, Gt);
+    bin_method!(ge, Ge);
+    bin_method!(and, And);
+    bin_method!(or, Or);
+
+    pub fn not(self) -> ScalarExpr {
+        ScalarExpr::Not(Box::new(self))
+    }
+    pub fn neg(self) -> ScalarExpr {
+        ScalarExpr::Neg(Box::new(self))
+    }
+    pub fn year(self) -> ScalarExpr {
+        ScalarExpr::Year(Box::new(self))
+    }
+    pub fn like(self, pattern: &str) -> ScalarExpr {
+        ScalarExpr::Like(Box::new(self), pattern.into())
+    }
+    pub fn starts_with(self, prefix: &str) -> ScalarExpr {
+        ScalarExpr::StartsWith(Box::new(self), prefix.into())
+    }
+    pub fn ends_with(self, suffix: &str) -> ScalarExpr {
+        ScalarExpr::EndsWith(Box::new(self), suffix.into())
+    }
+    pub fn contains(self, needle: &str) -> ScalarExpr {
+        ScalarExpr::Contains(Box::new(self), needle.into())
+    }
+    pub fn substr(self, start: u32, len: u32) -> ScalarExpr {
+        ScalarExpr::Substr(Box::new(self), start, len)
+    }
+    pub fn in_list(self, lits: Vec<Lit>) -> ScalarExpr {
+        ScalarExpr::InList(Box::new(self), lits)
+    }
+    /// `expr BETWEEN lo AND hi` (inclusive).
+    pub fn between(self, lo: ScalarExpr, hi: ScalarExpr) -> ScalarExpr {
+        self.clone().ge(lo).and(self.le(hi))
+    }
+
+    /// `CASE WHEN cond THEN self ELSE els END`.
+    pub fn case_when(cond: ScalarExpr, then: ScalarExpr, els: ScalarExpr) -> ScalarExpr {
+        ScalarExpr::Case(vec![(cond, then)], Box::new(els))
+    }
+
+    /// Infer this expression's type against an input column list.
+    pub fn ty(&self, cols: &[(Rc<str>, ColType)]) -> ColType {
+        match self {
+            ScalarExpr::Col(n) => {
+                cols.iter()
+                    .find(|(c, _)| c == n)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "unknown column {n}; available: {:?}",
+                            cols.iter().map(|(c, _)| c.to_string()).collect::<Vec<_>>()
+                        )
+                    })
+                    .1
+            }
+            ScalarExpr::Param(_) => ColType::Double,
+            ScalarExpr::Lit(l) => l.ty(),
+            ScalarExpr::Bin(op, a, b) => {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    ColType::Bool
+                } else {
+                    match (a.ty(cols), b.ty(cols)) {
+                        (ColType::Double, _) | (_, ColType::Double) => ColType::Double,
+                        (ColType::Long, _) | (_, ColType::Long) => ColType::Long,
+                        (t, _) => t,
+                    }
+                }
+            }
+            ScalarExpr::Not(_) => ColType::Bool,
+            ScalarExpr::Neg(e) => e.ty(cols),
+            ScalarExpr::Year(_) => ColType::Int,
+            ScalarExpr::Like(..)
+            | ScalarExpr::StartsWith(..)
+            | ScalarExpr::EndsWith(..)
+            | ScalarExpr::Contains(..)
+            | ScalarExpr::InList(..) => ColType::Bool,
+            ScalarExpr::Substr(..) => ColType::String,
+            ScalarExpr::Case(whens, _) => whens[0].1.ty(cols),
+        }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns(&self) -> Vec<Rc<str>> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<Rc<str>>) {
+        match self {
+            ScalarExpr::Col(n) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            ScalarExpr::Param(_) | ScalarExpr::Lit(_) => {}
+            ScalarExpr::Bin(_, a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            ScalarExpr::Not(e)
+            | ScalarExpr::Neg(e)
+            | ScalarExpr::Year(e)
+            | ScalarExpr::Like(e, _)
+            | ScalarExpr::StartsWith(e, _)
+            | ScalarExpr::EndsWith(e, _)
+            | ScalarExpr::Contains(e, _)
+            | ScalarExpr::Substr(e, _, _)
+            | ScalarExpr::InList(e, _) => e.collect_columns(out),
+            ScalarExpr::Case(whens, els) => {
+                for (c, v) in whens {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                els.collect_columns(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols() -> Vec<(Rc<str>, ColType)> {
+        vec![
+            ("a".into(), ColType::Int),
+            ("b".into(), ColType::Double),
+            ("s".into(), ColType::String),
+            ("d".into(), ColType::Date),
+        ]
+    }
+
+    #[test]
+    fn fluent_construction_and_types() {
+        let e = col("a").add(lit_i(1)).mul(col("b"));
+        assert_eq!(e.ty(&cols()), ColType::Double);
+        let p = col("a").lt(lit_i(10)).and(col("s").starts_with("x"));
+        assert_eq!(p.ty(&cols()), ColType::Bool);
+        assert_eq!(col("d").year().ty(&cols()), ColType::Int);
+        assert_eq!(col("s").substr(1, 2).ty(&cols()), ColType::String);
+    }
+
+    #[test]
+    fn date_literal_encoding() {
+        assert_eq!(date(1998, 9, 2), lit_i(19980902));
+    }
+
+    #[test]
+    fn between_desugars_to_range_check() {
+        let e = col("a").between(lit_i(1), lit_i(5));
+        assert_eq!(e.ty(&cols()), ColType::Bool);
+        // both bounds reference the column
+        assert_eq!(e.columns(), vec![Rc::<str>::from("a")]);
+    }
+
+    #[test]
+    fn columns_deduplicate() {
+        let e = col("a").add(col("a")).mul(col("b"));
+        let names: Vec<String> = e.columns().iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_is_loud() {
+        col("zzz").ty(&cols());
+    }
+}

@@ -1,0 +1,21 @@
+//! # dblab-frontend — the QPlan and QMonad front-end DSLs
+//!
+//! Two declarative front-ends sit on top of the DSL stack (paper Figure 2):
+//!
+//! * [`qplan`] — an algebra of physical query-plan operators "typically
+//!   encountered in various commercial database systems, including semi-,
+//!   anti- and outer joins" (§4.1); and
+//! * [`qmonad`] — a collection-programming DSL in the tradition of monad
+//!   calculus / Spark RDDs (§4.5).
+//!
+//! Both share the scalar [`expr`] language. Front-end programs are plain
+//! ASTs (the paper: an AST IR "is sufficient for performing algebraic
+//! rewrite rules on such algebraic languages", §3.3); the ANF machinery
+//! only starts below, after pipelining lowers them into ScaLite\[Map, List\].
+
+pub mod expr;
+pub mod qmonad;
+pub mod qplan;
+
+pub use expr::{BinOp, Lit, ScalarExpr};
+pub use qplan::{AggFunc, JoinKind, QPlan, QueryProgram, SortDir};

@@ -1,0 +1,222 @@
+//! QMonad — the collection-programming front-end (§4.5).
+//!
+//! A functional DSL "inspired by Monad Calculus on lists, Query and Monoid
+//! Comprehensions and other collection programming APIs like Spark RDDs".
+//! Programs are chains of higher-order combinators; the paper's Figure 4c
+//! example reads here as:
+//!
+//! ```
+//! use dblab_frontend::qmonad::QMonad;
+//! use dblab_frontend::expr::{col, lit_s};
+//! let q = QMonad::source("r")
+//!     .filter(col("r_name").eq(lit_s("R1")))
+//!     .hash_join(QMonad::source("s"), vec![col("r_sid")], vec![col("s_rid")])
+//!     .count();
+//! ```
+//!
+//! Two lowerings exist: shortcut fusion straight into ScaLite\[Map, List\]
+//! (`dblab_transform::fusion`, the paper's §5.1 path), and a structural
+//! [`QMonad::to_qplan`] conversion used by the Volcano oracle — which also
+//! witnesses the expressibility principle: everything QMonad says, the
+//! plan algebra can say too.
+
+use std::rc::Rc;
+
+use crate::expr::ScalarExpr;
+use crate::qplan::{AggFunc, JoinKind, QPlan, SortDir};
+
+/// A collection-programming query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QMonad {
+    /// The rows of a base relation.
+    Source { table: Rc<str> },
+    Filter {
+        child: Box<QMonad>,
+        pred: ScalarExpr,
+    },
+    /// `map` to a named record of expressions.
+    Map {
+        child: Box<QMonad>,
+        cols: Vec<(Rc<str>, ScalarExpr)>,
+    },
+    /// Inner hash join on (composite) keys.
+    HashJoin {
+        left: Box<QMonad>,
+        right: Box<QMonad>,
+        left_keys: Vec<ScalarExpr>,
+        right_keys: Vec<ScalarExpr>,
+    },
+    /// `groupBy(keys).aggregate(aggs)`; empty `keys` folds the whole
+    /// collection to one row (count / sum / fold sugar below).
+    GroupBy {
+        child: Box<QMonad>,
+        keys: Vec<(Rc<str>, ScalarExpr)>,
+        aggs: Vec<(Rc<str>, AggFunc)>,
+    },
+    SortBy {
+        child: Box<QMonad>,
+        keys: Vec<(ScalarExpr, SortDir)>,
+    },
+    Take {
+        child: Box<QMonad>,
+        n: u64,
+    },
+}
+
+impl QMonad {
+    pub fn source(table: &str) -> QMonad {
+        QMonad::Source {
+            table: table.into(),
+        }
+    }
+
+    pub fn filter(self, pred: ScalarExpr) -> QMonad {
+        QMonad::Filter {
+            child: Box::new(self),
+            pred,
+        }
+    }
+
+    pub fn map(self, cols: Vec<(&str, ScalarExpr)>) -> QMonad {
+        QMonad::Map {
+            child: Box::new(self),
+            cols: cols.into_iter().map(|(n, e)| (n.into(), e)).collect(),
+        }
+    }
+
+    pub fn hash_join(
+        self,
+        right: QMonad,
+        left_keys: Vec<ScalarExpr>,
+        right_keys: Vec<ScalarExpr>,
+    ) -> QMonad {
+        QMonad::HashJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+        }
+    }
+
+    pub fn group_by(self, keys: Vec<(&str, ScalarExpr)>, aggs: Vec<(&str, AggFunc)>) -> QMonad {
+        QMonad::GroupBy {
+            child: Box::new(self),
+            keys: keys.into_iter().map(|(n, e)| (n.into(), e)).collect(),
+            aggs: aggs.into_iter().map(|(n, a)| (n.into(), a)).collect(),
+        }
+    }
+
+    /// `count` — fold to a single `Long`.
+    pub fn count(self) -> QMonad {
+        self.group_by(vec![], vec![("count", AggFunc::Count)])
+    }
+
+    /// `sum(e)` — fold to a single number.
+    pub fn sum(self, e: ScalarExpr) -> QMonad {
+        self.group_by(vec![], vec![("sum", AggFunc::Sum(e))])
+    }
+
+    /// General fold to several aggregates at once.
+    pub fn fold(self, aggs: Vec<(&str, AggFunc)>) -> QMonad {
+        self.group_by(vec![], aggs)
+    }
+
+    pub fn sort_by(self, keys: Vec<(ScalarExpr, SortDir)>) -> QMonad {
+        QMonad::SortBy {
+            child: Box::new(self),
+            keys,
+        }
+    }
+
+    pub fn take(self, n: u64) -> QMonad {
+        QMonad::Take {
+            child: Box::new(self),
+            n,
+        }
+    }
+
+    /// Structural translation into the plan algebra (used by the Volcano
+    /// oracle and as the expressibility witness).
+    pub fn to_qplan(&self) -> QPlan {
+        match self {
+            QMonad::Source { table } => QPlan::scan(table),
+            QMonad::Filter { child, pred } => child.to_qplan().select(pred.clone()),
+            QMonad::Map { child, cols } => QPlan::Project {
+                child: Box::new(child.to_qplan()),
+                cols: cols.clone(),
+            },
+            QMonad::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => left.to_qplan().hash_join(
+                right.to_qplan(),
+                JoinKind::Inner,
+                left_keys.clone(),
+                right_keys.clone(),
+            ),
+            QMonad::GroupBy { child, keys, aggs } => QPlan::Agg {
+                child: Box::new(child.to_qplan()),
+                group_by: keys.clone(),
+                aggs: aggs.clone(),
+            },
+            QMonad::SortBy { child, keys } => child.to_qplan().sort(keys.clone()),
+            QMonad::Take { child, n } => child.to_qplan().limit(*n),
+        }
+    }
+
+    /// Base tables referenced (with multiplicity).
+    pub fn tables(&self) -> Vec<Rc<str>> {
+        self.to_qplan().tables()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::*;
+
+    #[test]
+    fn figure_4c_example_converts_to_figure_4b_plan() {
+        // R.filter(_.name == "R1").hashJoin(S)(_.sid)(_.rid).count
+        let q = QMonad::source("r")
+            .filter(col("r_name").eq(lit_s("R1")))
+            .hash_join(
+                QMonad::source("s"),
+                vec![col("r_sid")],
+                vec![col("s_rid")],
+            )
+            .count();
+        let plan = q.to_qplan();
+        // AggOp(HashJoinOp(SelectOp(R, ...), S, sid, rid), COUNT)
+        match plan {
+            QPlan::Agg { child, aggs, .. } => {
+                assert_eq!(aggs.len(), 1);
+                assert!(matches!(aggs[0].1, AggFunc::Count));
+                assert!(matches!(*child, QPlan::HashJoin { .. }));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sugar_folds() {
+        let q = QMonad::source("r").sum(col("r_v"));
+        match q {
+            QMonad::GroupBy { keys, aggs, .. } => {
+                assert!(keys.is_empty());
+                assert!(matches!(aggs[0].1, AggFunc::Sum(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_and_sort_roundtrip_through_qplan() {
+        let q = QMonad::source("r")
+            .sort_by(vec![(col("r_v"), SortDir::Desc)])
+            .take(5);
+        assert!(matches!(q.to_qplan(), QPlan::Limit { n: 5, .. }));
+    }
+}

@@ -1,0 +1,310 @@
+//! DSL levels (dialects) and the expressibility validator.
+//!
+//! The paper's *expressibility principle* (§2.2): anything expressible at a
+//! level must remain expressible at every lower level. We realise this by
+//! assigning every IR node a *level range* — the highest level it may appear
+//! at and the lowest — and checking programs against their declared level.
+//! ScaLite is the common core: its nodes are legal at every IR level.
+//! Collection nodes are legal only at the levels that still possess them,
+//! and memory-management nodes only at C.Scala.
+
+use crate::expr::{Atom, Block, Expr, Program, Sym};
+use crate::types::Type;
+
+/// The DSL levels of the stack, ordered from **highest** abstraction to
+/// lowest (paper Figure 2). The two front-ends (QPlan, QMonad) are separate
+/// ASTs in `dblab-frontend`; IR programs start at `MapList`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// ScaLite\[Map, List\] — hash tables, lists, no nested mutability.
+    MapList,
+    /// ScaLite\[List\] — lists only; MultiMaps have become `Array[List[T]]`.
+    List,
+    /// ScaLite — loops, records, arrays; GC-managed memory.
+    ScaLite,
+    /// C.Scala — explicit memory management; unparses 1:1 to C.
+    CScala,
+}
+
+impl Level {
+    pub const ALL: [Level; 4] = [Level::MapList, Level::List, Level::ScaLite, Level::CScala];
+
+    /// The next lower level, if any.
+    pub fn lower(self) -> Option<Level> {
+        match self {
+            Level::MapList => Some(Level::List),
+            Level::List => Some(Level::ScaLite),
+            Level::ScaLite => Some(Level::CScala),
+            Level::CScala => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::MapList => "ScaLite[Map, List]",
+            Level::List => "ScaLite[List]",
+            Level::ScaLite => "ScaLite",
+            Level::CScala => "C.Scala",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A violation found by [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    pub sym: Sym,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.sym, self.message)
+    }
+}
+
+/// Inclusive level range `[highest, lowest]` at which a node kind may occur.
+fn level_range(e: &Expr) -> (Level, Level) {
+    use Level::*;
+    match e {
+        // Hash tables exist only at the top IR level.
+        Expr::HashMapNew { .. }
+        | Expr::HashMapGetOrInit { .. }
+        | Expr::HashMapForeach { .. }
+        | Expr::HashMapSize(_)
+        | Expr::MultiMapNew { .. }
+        | Expr::MultiMapAdd { .. }
+        | Expr::MultiMapForeachAt { .. } => (MapList, MapList),
+        // Lists survive one level further down.
+        Expr::ListNew { .. }
+        | Expr::ListAppend { .. }
+        | Expr::ListSize(_)
+        | Expr::ListForeach { .. } => (MapList, List),
+        // Memory management appears only at the bottom.
+        Expr::Malloc { .. } | Expr::Free(_) | Expr::PoolNew { .. } | Expr::PoolAlloc { .. } => {
+            (CScala, CScala)
+        }
+        // Everything else is core ScaLite, legal everywhere.
+        _ => (MapList, CScala),
+    }
+}
+
+/// Does `ty` belong to `level`? (Type-level mirror of [`level_range`].)
+fn type_ok(ty: &Type, level: Level) -> bool {
+    match ty {
+        Type::HashMap(k, v) | Type::MultiMap(k, v) => {
+            level == Level::MapList && type_ok(k, level) && type_ok(v, level)
+        }
+        Type::List(e) => level <= Level::List && type_ok(e, level),
+        Type::Pointer(e) | Type::Pool(e) => level == Level::CScala && type_ok(e, level),
+        Type::Array(e) => type_ok(e, level),
+        _ => true,
+    }
+}
+
+/// Validate that `p.body` only uses vocabulary available at `p.level`, and
+/// that the ScaLite\[Map, List\] *no-nested-mutability* invariant holds
+/// (§4.3): records reached through a MultiMap iteration must not be
+/// field-mutated.
+pub fn validate(p: &Program) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut mm_elems: Vec<Sym> = Vec::new();
+    validate_block(&p.body, p, &mut mm_elems, &mut out);
+    out
+}
+
+fn validate_block(b: &Block, p: &Program, mm_elems: &mut Vec<Sym>, out: &mut Vec<Violation>) {
+    for st in &b.stmts {
+        let (hi, lo) = level_range(&st.expr);
+        if p.level < hi || p.level > lo {
+            out.push(Violation {
+                sym: st.sym,
+                message: format!(
+                    "node {:?} is only legal between {} and {}, program is at {}",
+                    discriminant_name(&st.expr),
+                    hi,
+                    lo,
+                    p.level
+                ),
+            });
+        }
+        if !type_ok(&st.ty, p.level) {
+            out.push(Violation {
+                sym: st.sym,
+                message: format!("type {} is not expressible at {}", st.ty, p.level),
+            });
+        }
+        // No-nested-mutability check, only meaningful at MapList.
+        if p.level == Level::MapList {
+            if let Expr::FieldSet { obj: Atom::Sym(s), .. } = &st.expr {
+                if mm_elems.contains(s) {
+                    out.push(Violation {
+                        sym: st.sym,
+                        message: format!(
+                            "nested mutability: field write to {s}, an element obtained \
+                             from a MultiMap (forbidden at {})",
+                            Level::MapList
+                        ),
+                    });
+                }
+            }
+        }
+        let pushed = if let Expr::MultiMapForeachAt { var, .. } = &st.expr {
+            mm_elems.push(*var);
+            true
+        } else {
+            false
+        };
+        for blk in st.expr.blocks() {
+            validate_block(blk, p, mm_elems, out);
+        }
+        if pushed {
+            mm_elems.pop();
+        }
+    }
+}
+
+fn discriminant_name(e: &Expr) -> &'static str {
+    match e {
+        Expr::Atom(_) => "Atom",
+        Expr::Bin(..) => "Bin",
+        Expr::Un(..) => "Un",
+        Expr::Prim(..) => "Prim",
+        Expr::Dict { .. } => "Dict",
+        Expr::If { .. } => "If",
+        Expr::ForRange { .. } => "ForRange",
+        Expr::While { .. } => "While",
+        Expr::DeclVar { .. } => "DeclVar",
+        Expr::ReadVar(_) => "ReadVar",
+        Expr::Assign { .. } => "Assign",
+        Expr::StructNew { .. } => "StructNew",
+        Expr::FieldGet { .. } => "FieldGet",
+        Expr::FieldSet { .. } => "FieldSet",
+        Expr::ArrayNew { .. } => "ArrayNew",
+        Expr::ArrayGet { .. } => "ArrayGet",
+        Expr::ArraySet { .. } => "ArraySet",
+        Expr::ArrayLen(_) => "ArrayLen",
+        Expr::SortArray { .. } => "SortArray",
+        Expr::ListNew { .. } => "ListNew",
+        Expr::ListAppend { .. } => "ListAppend",
+        Expr::ListSize(_) => "ListSize",
+        Expr::ListForeach { .. } => "ListForeach",
+        Expr::HashMapNew { .. } => "HashMapNew",
+        Expr::HashMapGetOrInit { .. } => "HashMapGetOrInit",
+        Expr::HashMapForeach { .. } => "HashMapForeach",
+        Expr::HashMapSize(_) => "HashMapSize",
+        Expr::MultiMapNew { .. } => "MultiMapNew",
+        Expr::MultiMapAdd { .. } => "MultiMapAdd",
+        Expr::MultiMapForeachAt { .. } => "MultiMapForeachAt",
+        Expr::Malloc { .. } => "Malloc",
+        Expr::Free(_) => "Free",
+        Expr::PoolNew { .. } => "PoolNew",
+        Expr::PoolAlloc { .. } => "PoolAlloc",
+        Expr::LoadTable { .. } => "LoadTable",
+        Expr::LoadIndexUnique { .. } => "LoadIndexUnique",
+        Expr::LoadIndexStarts { .. } => "LoadIndexStarts",
+        Expr::LoadIndexItems { .. } => "LoadIndexItems",
+        Expr::Printf { .. } => "Printf",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Annotations, Stmt};
+    use crate::types::StructRegistry;
+
+    fn prog(level: Level, stmts: Vec<Stmt>, ntypes: usize) -> Program {
+        Program {
+            structs: StructRegistry::new(),
+            body: Block::unit(stmts),
+            sym_types: vec![Type::Unit; ntypes],
+            level,
+            annots: Annotations::default(),
+        }
+    }
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::MapList < Level::List);
+        assert!(Level::List < Level::ScaLite);
+        assert!(Level::ScaLite < Level::CScala);
+        assert_eq!(Level::MapList.lower(), Some(Level::List));
+        assert_eq!(Level::CScala.lower(), None);
+    }
+
+    #[test]
+    fn multimap_illegal_below_maplist() {
+        let st = Stmt {
+            sym: Sym(0),
+            ty: Type::multi_map(Type::Int, Type::Int),
+            expr: Expr::MultiMapNew {
+                key: Type::Int,
+                value: Type::Int,
+            },
+        };
+        assert!(validate(&prog(Level::MapList, vec![st.clone()], 1)).is_empty());
+        let v = validate(&prog(Level::List, vec![st], 1));
+        assert_eq!(v.len(), 2); // node violation + type violation
+    }
+
+    #[test]
+    fn malloc_only_at_cscala() {
+        let st = Stmt {
+            sym: Sym(0),
+            ty: Type::pointer(Type::Int),
+            expr: Expr::Malloc {
+                ty: Type::Int,
+                count: Atom::Int(4),
+            },
+        };
+        assert!(validate(&prog(Level::CScala, vec![st.clone()], 1)).is_empty());
+        assert!(!validate(&prog(Level::ScaLite, vec![st], 1)).is_empty());
+    }
+
+    #[test]
+    fn nested_mutability_detected() {
+        // for (e <- mm.at(k)) { e.f = 1 }  -- illegal at MapList
+        let body = Block::unit(vec![Stmt {
+            sym: Sym(3),
+            ty: Type::Unit,
+            expr: Expr::FieldSet {
+                obj: Atom::Sym(Sym(2)),
+                sid: crate::types::StructId(0),
+                field: 0,
+                value: Atom::Int(1),
+            },
+        }]);
+        let st = Stmt {
+            sym: Sym(1),
+            ty: Type::Unit,
+            expr: Expr::MultiMapForeachAt {
+                map: Atom::Sym(Sym(0)),
+                key: Atom::Int(7),
+                var: Sym(2),
+                body,
+            },
+        };
+        let violations = validate(&prog(Level::MapList, vec![st], 4));
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("nested mutability")));
+    }
+
+    #[test]
+    fn scalite_core_legal_everywhere() {
+        let st = Stmt {
+            sym: Sym(0),
+            ty: Type::Int,
+            expr: Expr::Bin(crate::expr::BinOp::Add, Atom::Int(1), Atom::Int(2)),
+        };
+        for lvl in Level::ALL {
+            assert!(validate(&prog(lvl, vec![st.clone()], 1)).is_empty());
+        }
+    }
+}

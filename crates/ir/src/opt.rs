@@ -1,0 +1,251 @@
+//! Framework-level ("out of the box", §6) optimizations:
+//!
+//! * [`dce`] — dead-code elimination, including dead-store elimination of
+//!   write-only variables, run to fixpoint;
+//! * [`inline_aliases`] — unnecessary-let-binding removal (Appendix C);
+//! * [`optimize`] — the fixpoint driver the stack uses at every level
+//!   (paper §2.2: "we recursively apply optimizations inside the same
+//!   abstraction level until we reach a fixed point").
+//!
+//! CSE and constant folding live in the builder and therefore re-run on
+//! every rewrite; they are not separate passes.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::expr::{Atom, Block, Expr, Program, Sym};
+use crate::effects::effects_of;
+use crate::rewrite::{run_rule, Identity};
+
+/// Dead-code elimination. A statement is removed when its symbol is unused
+/// and its effects are removable (no writes, no IO). Additionally, mutable
+/// variables that are only ever written (never read) are removed together
+/// with their assignments. Runs to fixpoint.
+pub fn dce(p: &Program) -> Program {
+    let mut p = p.clone();
+    loop {
+        let uses = body_uses(&p.body);
+        let write_only = write_only_vars(&p.body, &uses);
+        let mut changed = false;
+        p.body = dce_block(&p.body, &uses, &write_only, &mut changed);
+        if !changed {
+            return p;
+        }
+    }
+}
+
+/// Collect every symbol that is *read* (used as an operand, a block result,
+/// or read as a variable) anywhere in the body. `Assign { var }` does not
+/// count as a read of `var`.
+fn body_uses(b: &Block) -> HashMap<Sym, usize> {
+    let mut counts = HashMap::new();
+    fn visit(b: &Block, counts: &mut HashMap<Sym, usize>) {
+        for st in &b.stmts {
+            st.expr.for_each_atom(|a| {
+                if let Atom::Sym(s) = a {
+                    *counts.entry(*s).or_insert(0) += 1;
+                }
+            });
+            if let Expr::ReadVar(v) = &st.expr {
+                *counts.entry(*v).or_insert(0) += 1;
+            }
+            for blk in st.expr.blocks() {
+                visit(blk, counts);
+            }
+        }
+        if let Atom::Sym(s) = b.result {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+    }
+    visit(b, &mut counts);
+    counts
+}
+
+/// Variables declared with `DeclVar` whose only uses are assignments.
+fn write_only_vars(b: &Block, reads: &HashMap<Sym, usize>) -> HashSet<Sym> {
+    let mut vars = HashSet::new();
+    fn collect(b: &Block, vars: &mut HashSet<Sym>) {
+        for st in &b.stmts {
+            if matches!(st.expr, Expr::DeclVar { .. }) {
+                vars.insert(st.sym);
+            }
+            for blk in st.expr.blocks() {
+                collect(blk, vars);
+            }
+        }
+    }
+    collect(b, &mut vars);
+    vars.retain(|v| reads.get(v).copied().unwrap_or(0) == 0);
+    vars
+}
+
+fn dce_block(
+    b: &Block,
+    uses: &HashMap<Sym, usize>,
+    write_only: &HashSet<Sym>,
+    changed: &mut bool,
+) -> Block {
+    let mut stmts = Vec::with_capacity(b.stmts.len());
+    for st in &b.stmts {
+        // Assignments to write-only variables are dead stores.
+        if let Expr::Assign { var, .. } = &st.expr {
+            if write_only.contains(var) {
+                *changed = true;
+                continue;
+            }
+        }
+        if matches!(st.expr, Expr::DeclVar { .. }) && write_only.contains(&st.sym) {
+            *changed = true;
+            continue;
+        }
+        let used = uses.get(&st.sym).copied().unwrap_or(0) > 0;
+        let eff = effects_of(&st.expr);
+        if !used && eff.is_removable() {
+            *changed = true;
+            continue;
+        }
+        // Recurse into sub-blocks.
+        let mut st = st.clone();
+        st.expr = map_blocks(&st.expr, |blk| dce_block(blk, uses, write_only, changed));
+        stmts.push(st);
+    }
+    Block {
+        stmts,
+        result: b.result.clone(),
+    }
+}
+
+/// Clone an expression with its sub-blocks transformed.
+pub fn map_blocks<F: FnMut(&Block) -> Block>(e: &Expr, mut f: F) -> Expr {
+    let mut e = e.clone();
+    match &mut e {
+        Expr::If { then_b, else_b, .. } => {
+            *then_b = f(then_b);
+            *else_b = f(else_b);
+        }
+        Expr::ForRange { body, .. }
+        | Expr::ListForeach { body, .. }
+        | Expr::HashMapForeach { body, .. }
+        | Expr::MultiMapForeachAt { body, .. } => *body = f(body),
+        Expr::While { cond, body } => {
+            *cond = f(cond);
+            *body = f(body);
+        }
+        Expr::SortArray { cmp, .. } => *cmp = f(cmp),
+        Expr::HashMapGetOrInit { init, .. } => *init = f(init),
+        _ => {}
+    }
+    e
+}
+
+/// Unnecessary-let-binding removal (Appendix C): pure single-value aliases
+/// (`val x = y`) are substituted away. Realised by the identity rewrite —
+/// reconstruction maps `Expr::Atom` bindings directly to the aliased atom.
+pub fn inline_aliases(p: &Program) -> Program {
+    run_rule(p, &mut Identity, p.level)
+}
+
+/// The per-level fixpoint driver: alternate alias-inlining (which re-runs
+/// CSE/folding) and DCE until the program stops shrinking or `max_iters`
+/// is reached (termination guard; see paper footnote 4).
+pub fn optimize(p: &Program, max_iters: usize) -> Program {
+    let mut cur = p.clone();
+    let mut last_size = usize::MAX;
+    for _ in 0..max_iters {
+        cur = dce(&inline_aliases(&cur));
+        let size = cur.body.size();
+        if size >= last_size {
+            break;
+        }
+        last_size = size;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IrBuilder;
+    use crate::level::Level;
+
+    #[test]
+    fn dce_removes_unused_pure_code() {
+        let mut b = IrBuilder::new();
+        let v = b.decl_var(Atom::Int(1));
+        let x = b.read_var(v);
+        let _dead = b.add(x.clone(), Atom::Int(42));
+        let live = b.add(x, Atom::Int(1));
+        let p = b.finish(live, Level::ScaLite);
+        let q = dce(&p);
+        assert_eq!(q.body.stmts.len(), 3); // decl, read, live add
+    }
+
+    #[test]
+    fn dce_keeps_effectful_statements() {
+        let mut b = IrBuilder::new();
+        b.printf("hello\n", vec![]);
+        let p = b.finish(Atom::Unit, Level::ScaLite);
+        let q = dce(&p);
+        assert_eq!(q.body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn dce_removes_write_only_variables() {
+        let mut b = IrBuilder::new();
+        let v = b.decl_var(Atom::Int(0));
+        b.assign(v, Atom::Int(1));
+        b.assign(v, Atom::Int(2));
+        let p = b.finish(Atom::Unit, Level::ScaLite);
+        let q = dce(&p);
+        assert!(q.body.stmts.is_empty(), "{:?}", q.body.stmts);
+    }
+
+    #[test]
+    fn dce_removes_empty_loops_transitively() {
+        let mut b = IrBuilder::new();
+        let v = b.decl_var(Atom::Int(0));
+        b.for_range(Atom::Int(0), Atom::Int(10), |bb, _i| {
+            bb.assign(v, Atom::Int(1));
+        });
+        let p = b.finish(Atom::Unit, Level::ScaLite);
+        // v is write-only: assignments die, then the loop is pure and dies,
+        // then the DeclVar dies.
+        let q = dce(&p);
+        assert!(q.body.stmts.is_empty(), "{:?}", q.body.stmts);
+    }
+
+    #[test]
+    fn dce_keeps_loops_with_live_writes() {
+        let mut b = IrBuilder::new();
+        let v = b.decl_var(Atom::Int(0));
+        b.for_range(Atom::Int(0), Atom::Int(10), |bb, i| {
+            let cur = bb.read_var(v);
+            let nxt = bb.add(cur, i);
+            bb.assign(v, nxt);
+        });
+        let out = b.read_var(v);
+        let p = b.finish(out, Level::ScaLite);
+        let q = dce(&p);
+        assert_eq!(q.body.stmts.len(), 3);
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint() {
+        let mut b = IrBuilder::new();
+        b.cse_enabled = false;
+        let v = b.decl_var(Atom::Int(5));
+        let x = b.read_var(v);
+        // alias chain: a = x; c = a + 0 (folds to alias); dead = c * 0
+        let a = b.emit(Type::Int, Expr::Atom(x.clone()));
+        let c = b.emit(Type::Int, Expr::Bin(crate::expr::BinOp::Add, a, Atom::Int(0)));
+        let _dead = b.emit(
+            Type::Int,
+            Expr::Bin(crate::expr::BinOp::Mul, c.clone(), Atom::Int(0)),
+        );
+        let p = b.finish(c, Level::ScaLite);
+        let q = optimize(&p, 10);
+        assert_eq!(q.body.stmts.len(), 2); // decl + read
+        assert!(matches!(q.body.result, Atom::Sym(_)));
+    }
+
+    use crate::types::Type;
+}

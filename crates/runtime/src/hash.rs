@@ -1,0 +1,403 @@
+//! Hash structures with the cost profiles the compiler reasons about.
+//!
+//! * [`ChainedMap`] / [`ChainedMultiMap`] — separate chaining with one heap
+//!   node per entry. This is the *generic* structure (our GLib stand-in)
+//!   that unspecialized generated code uses; its malloc-per-insert,
+//!   pointer-chasing profile is exactly what the paper's two/three-level
+//!   stacks pay for.
+//! * [`OpenMap`] — open addressing with linear probing over a flat array;
+//!   the shape hash-table specialization lowers to (§5.2, Appendix B.2).
+//!
+//! The IR interpreter executes *abstract* HashMap/MultiMap nodes on these,
+//! and the criterion micro-benchmarks compare them directly.
+
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+
+/// A fast, deterministic FxHash-style hasher (we avoid SipHash's per-key
+/// cost; HashDoS is not a concern for a query engine's internal tables).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+    fn write_u8(&mut self, b: u8) {
+        self.state = (self.state.rotate_left(5) ^ b as u64).wrapping_mul(SEED);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.state = (self.state.rotate_left(5) ^ v as u64).wrapping_mul(SEED);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+    fn write_i32(&mut self, v: i32) {
+        self.write_u32(v as u32);
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+fn hash_one<K: Hash>(k: &K) -> u64 {
+    FxBuildHasher::default().hash_one(k)
+}
+
+// ---------------------------------------------------------------------
+// Chained hash map (generic / GLib-like)
+// ---------------------------------------------------------------------
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    next: Option<Box<Node<K, V>>>,
+}
+
+/// Separate-chaining hash map; one boxed node per entry.
+pub struct ChainedMap<K, V> {
+    buckets: Vec<Option<Box<Node<K, V>>>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq, V> Default for ChainedMap<K, V> {
+    fn default() -> Self {
+        Self::with_buckets(16)
+    }
+}
+
+impl<K: Hash + Eq, V> ChainedMap<K, V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_buckets(n: usize) -> Self {
+        ChainedMap {
+            buckets: (0..n.next_power_of_two()).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket(&self, key: &K) -> usize {
+        (hash_one(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.buckets[self.bucket(key)].as_deref();
+        while let Some(node) = cur {
+            if node.key == *key {
+                return Some(&node.value);
+            }
+            cur = node.next.as_deref();
+        }
+        None
+    }
+
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let b = self.bucket(key);
+        let mut cur = self.buckets[b].as_deref_mut();
+        while let Some(node) = cur {
+            if node.key == *key {
+                return Some(&mut node.value);
+            }
+            cur = node.next.as_deref_mut();
+        }
+        None
+    }
+
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if let Some(v) = self.get_mut(&key) {
+            return Some(std::mem::replace(v, value));
+        }
+        self.grow_if_needed();
+        let b = self.bucket(&key);
+        let next = self.buckets[b].take();
+        self.buckets[b] = Some(Box::new(Node { key, value, next }));
+        self.len += 1;
+        None
+    }
+
+    /// The aggregation workhorse: return the value for `key`, inserting
+    /// `init()` on first sight.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&mut self, key: K, init: F) -> &mut V {
+        self.grow_if_needed();
+        let b = self.bucket(&key);
+        let mut exists = false;
+        let mut cur = self.buckets[b].as_deref();
+        while let Some(node) = cur {
+            if node.key == key {
+                exists = true;
+                break;
+            }
+            cur = node.next.as_deref();
+        }
+        if !exists {
+            let next = self.buckets[b].take();
+            self.buckets[b] = Some(Box::new(Node {
+                key,
+                value: init(),
+                next,
+            }));
+            self.len += 1;
+            return &mut self.buckets[b].as_deref_mut().expect("just inserted").value;
+        }
+        let mut cur = self.buckets[b].as_deref_mut();
+        while let Some(node) = cur {
+            if node.key == key {
+                return &mut node.value;
+            }
+            cur = node.next.as_deref_mut();
+        }
+        unreachable!("key vanished between probes")
+    }
+
+    fn grow_if_needed(&mut self) {
+        if self.len < self.buckets.len() * 3 / 4 {
+            return;
+        }
+        let new_n = self.buckets.len() * 2;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_n).map(|_| None).collect(),
+        );
+        for mut head in old.into_iter().flatten() {
+            loop {
+                let next = head.next.take();
+                let b = (hash_one(&head.key) as usize) & (new_n - 1);
+                head.next = self.buckets[b].take();
+                self.buckets[b] = Some(head);
+                match next {
+                    Some(n) => head = n,
+                    None => break,
+                }
+            }
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets.iter().flat_map(|b| {
+            let mut out = Vec::new();
+            let mut cur = b.as_deref();
+            while let Some(node) = cur {
+                out.push((&node.key, &node.value));
+                cur = node.next.as_deref();
+            }
+            out
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chained multi-map (hash join build side)
+// ---------------------------------------------------------------------
+
+/// key -> bag of values, separate chaining (the paper's `MultiMap`).
+pub struct ChainedMultiMap<K, V> {
+    inner: ChainedMap<K, Vec<V>>,
+    total: usize,
+}
+
+impl<K: Hash + Eq + Clone, V> Default for ChainedMultiMap<K, V> {
+    fn default() -> Self {
+        ChainedMultiMap {
+            inner: ChainedMap::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> ChainedMultiMap<K, V> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_binding(&mut self, key: K, value: V) {
+        self.inner.get_or_insert_with(key, Vec::new).push(value);
+        self.total += 1;
+    }
+
+    /// All values bound to `key` (the paper's `get` + `match Some`).
+    pub fn get(&self, key: &K) -> &[V] {
+        self.inner.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn key_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn value_count(&self) -> usize {
+        self.total
+    }
+}
+
+// ---------------------------------------------------------------------
+// Open-addressing map (the specialized shape)
+// ---------------------------------------------------------------------
+
+/// Open addressing with linear probing over one flat allocation — the
+/// layout hash-table specialization produces.
+pub struct OpenMap<K, V> {
+    slots: Vec<Option<(K, V)>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq, V> OpenMap<K, V> {
+    /// `capacity` is sized up to the next power of two ≥ 2 * capacity so the
+    /// table never exceeds 50% load (no resize on the hot path — the
+    /// compiler sizes it from cardinality analysis, Appendix D.1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let n = (capacity.max(1) * 2).next_power_of_two();
+        OpenMap {
+            slots: (0..n).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn probe(&self, key: &K) -> usize {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_one(key) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if k == key => return i,
+                None => return i,
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slots[self.probe(key)].as_ref().map(|(_, v)| v)
+    }
+
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&mut self, key: K, init: F) -> &mut V {
+        assert!(
+            self.len * 2 < self.slots.len(),
+            "OpenMap sized too small (cardinality analysis bug)"
+        );
+        let i = self.probe(&key);
+        if self.slots[i].is_none() {
+            self.slots[i] = Some((key, init()));
+            self.len += 1;
+        }
+        self.slots[i].as_mut().map(|(_, v)| v).expect("occupied")
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.slots.iter().flatten().map(|(k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_map_insert_get_grow() {
+        let mut m: ChainedMap<i64, i64> = ChainedMap::with_buckets(2);
+        for i in 0..1000 {
+            assert_eq!(m.insert(i, i * 10), None);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000 {
+            assert_eq!(m.get(&i), Some(&(i * 10)));
+        }
+        assert_eq!(m.get(&-1), None);
+        assert_eq!(m.insert(5, 99), Some(50));
+        assert_eq!(m.get(&5), Some(&99));
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn chained_map_get_or_insert() {
+        let mut m: ChainedMap<String, i32> = ChainedMap::new();
+        *m.get_or_insert_with("a".to_string(), || 0) += 1;
+        *m.get_or_insert_with("a".to_string(), || 0) += 1;
+        *m.get_or_insert_with("b".to_string(), || 10) += 1;
+        assert_eq!(m.get(&"a".to_string()), Some(&2));
+        assert_eq!(m.get(&"b".to_string()), Some(&11));
+    }
+
+    #[test]
+    fn chained_map_iteration_covers_all() {
+        let mut m: ChainedMap<i64, i64> = ChainedMap::new();
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        let mut seen: Vec<i64> = m.iter().map(|(k, _)| *k).collect();
+        seen.sort();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multimap_bindings() {
+        let mut mm: ChainedMultiMap<i32, &str> = ChainedMultiMap::new();
+        mm.add_binding(1, "a");
+        mm.add_binding(1, "b");
+        mm.add_binding(2, "c");
+        assert_eq!(mm.get(&1), &["a", "b"]);
+        assert_eq!(mm.get(&2), &["c"]);
+        assert_eq!(mm.get(&3), &[] as &[&str]);
+        assert_eq!(mm.key_count(), 2);
+        assert_eq!(mm.value_count(), 3);
+    }
+
+    #[test]
+    fn open_map_basics() {
+        let mut m: OpenMap<i64, i64> = OpenMap::with_capacity(100);
+        for i in 0..100 {
+            *m.get_or_insert_with(i, || 0) = i * 2;
+        }
+        for i in 0..100 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.get(&1000), None);
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized too small")]
+    fn open_map_overflow_is_loud() {
+        let mut m: OpenMap<i64, i64> = OpenMap::with_capacity(2);
+        for i in 0..100 {
+            m.get_or_insert_with(i, || 0);
+        }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        let h1 = hash_one(&42i64);
+        let h2 = hash_one(&42i64);
+        assert_eq!(h1, h2);
+        assert_ne!(hash_one(&1i64), hash_one(&2i64));
+        assert_ne!(hash_one(&"abc"), hash_one(&"abd"));
+    }
+}

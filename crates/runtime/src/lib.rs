@@ -1,0 +1,20 @@
+//! # dblab-runtime — the execution-time substrate
+//!
+//! Everything a running query touches: dynamic [`value::Value`]s, columnar
+//! [`table::Table`]s with `.tbl` IO (format-compatible with TPC-H `dbgen`
+//! output), the *generic* hash structures whose cost profile the generated
+//! unspecialized C mirrors ([`hash`]), order-preserving string dictionaries
+//! (paper §5.3), and memory pools (Appendix D.1).
+//!
+//! The Volcano reference engine, the IR interpreter and the TPC-H data
+//! generator are all built on this crate.
+
+pub mod hash;
+pub mod pool;
+pub mod string_dict;
+pub mod table;
+pub mod value;
+
+pub use string_dict::StringDict;
+pub use table::{ColData, Database, Table};
+pub use value::Value;

@@ -1,0 +1,313 @@
+//! Columnar in-memory tables and `.tbl` IO.
+//!
+//! The on-disk format is the TPC-H `dbgen` text format: one row per line,
+//! `|`-separated fields, dates as `yyyy-mm-dd`. Our generator writes it and
+//! both the Rust loaders and the generated C loaders read it, so the system
+//! can also be pointed at official `dbgen` output.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+use std::rc::Rc;
+
+use dblab_catalog::{ColType, Schema, TableDef};
+
+use crate::value::Value;
+
+/// One column of data. `Date`/`Char` columns are carried as `Int`
+/// (`yyyymmdd` / ASCII code).
+#[derive(Debug, Clone)]
+pub enum ColData {
+    Int(Vec<i32>),
+    Long(Vec<i64>),
+    Double(Vec<f64>),
+    Str(Vec<Rc<str>>),
+}
+
+impl ColData {
+    fn new(ty: ColType) -> ColData {
+        match ty {
+            ColType::Int | ColType::Date | ColType::Char | ColType::Bool => {
+                ColData::Int(Vec::new())
+            }
+            ColType::Long => ColData::Long(Vec::new()),
+            ColType::Double => ColData::Double(Vec::new()),
+            ColType::String => ColData::Str(Vec::new()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColData::Int(v) => v.len(),
+            ColData::Long(v) => v.len(),
+            ColData::Double(v) => v.len(),
+            ColData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, row: usize) -> Value {
+        match self {
+            ColData::Int(v) => Value::Int(v[row]),
+            ColData::Long(v) => Value::Long(v[row]),
+            ColData::Double(v) => Value::Double(v[row]),
+            ColData::Str(v) => Value::Str(v[row].clone()),
+        }
+    }
+
+    fn push(&mut self, v: Value) {
+        match (self, v) {
+            (ColData::Int(c), Value::Int(x)) => c.push(x),
+            (ColData::Long(c), Value::Long(x)) => c.push(x),
+            (ColData::Long(c), Value::Int(x)) => c.push(x as i64),
+            (ColData::Double(c), Value::Double(x)) => c.push(x),
+            (ColData::Double(c), Value::Int(x)) => c.push(x as f64),
+            (ColData::Str(c), Value::Str(x)) => c.push(x),
+            (col, v) => panic!("pushed {v:?} into column {col:?}"),
+        }
+    }
+}
+
+/// A columnar table with its schema definition.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub def: TableDef,
+    pub cols: Vec<ColData>,
+}
+
+impl Table {
+    pub fn empty(def: &TableDef) -> Table {
+        Table {
+            def: def.clone(),
+            cols: def.columns.iter().map(|c| ColData::new(c.ty)).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.cols[col].get(row)
+    }
+
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        (0..self.cols.len()).map(|c| self.get(i, c)).collect()
+    }
+
+    /// Serialize in `dbgen` `.tbl` format.
+    pub fn write_tbl(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = BufWriter::new(std::fs::File::create(path)?);
+        let n = self.len();
+        let mut field = String::new();
+        for row in 0..n {
+            for (i, col) in self.cols.iter().enumerate() {
+                field.clear();
+                format_field(&mut field, col, self.def.columns[i].ty, row);
+                out.write_all(field.as_bytes())?;
+                out.write_all(b"|")?;
+            }
+            out.write_all(b"\n")?;
+        }
+        out.flush()
+    }
+
+    /// Parse a `.tbl` file for the given table definition.
+    pub fn read_tbl(def: &TableDef, path: &Path) -> std::io::Result<Table> {
+        let mut table = Table::empty(def);
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut line = String::new();
+        while reader.read_line(&mut line)? != 0 {
+            let trimmed = line.trim_end_matches('\n');
+            if !trimmed.is_empty() {
+                push_tbl_line(&mut table, trimmed);
+            }
+            line.clear();
+        }
+        Ok(table)
+    }
+}
+
+fn format_field(out: &mut String, col: &ColData, ty: ColType, row: usize) {
+    use std::fmt::Write as _;
+    match (col, ty) {
+        (ColData::Int(v), ColType::Date) => {
+            let d = v[row];
+            let _ = write!(out, "{:04}-{:02}-{:02}", d / 10000, d / 100 % 100, d % 100);
+        }
+        (ColData::Int(v), ColType::Char) => out.push(v[row] as u8 as char),
+        (ColData::Int(v), _) => {
+            let _ = write!(out, "{}", v[row]);
+        }
+        (ColData::Long(v), _) => {
+            let _ = write!(out, "{}", v[row]);
+        }
+        (ColData::Double(v), _) => {
+            let _ = write!(out, "{:.2}", v[row]);
+        }
+        (ColData::Str(v), _) => out.push_str(&v[row]),
+    }
+}
+
+fn push_tbl_line(table: &mut Table, line: &str) {
+    let mut fields = line.split('|');
+    let n = table.cols.len();
+    for i in 0..n {
+        let raw = fields
+            .next()
+            .unwrap_or_else(|| panic!("too few fields for {}: {line}", table.def.name));
+        let ty = table.def.columns[i].ty;
+        let v = parse_field(raw, ty);
+        table.cols[i].push(v);
+    }
+}
+
+/// Parse a single `.tbl` field of the given type.
+pub fn parse_field(raw: &str, ty: ColType) -> Value {
+    match ty {
+        ColType::Int => Value::Int(raw.parse().expect("int field")),
+        ColType::Bool => Value::Int(if raw == "1" || raw == "true" { 1 } else { 0 }),
+        ColType::Long => Value::Long(raw.parse().expect("long field")),
+        ColType::Double => Value::Double(raw.parse().expect("double field")),
+        ColType::String => Value::str(raw),
+        ColType::Char => Value::Int(raw.as_bytes().first().copied().unwrap_or(b' ') as i32),
+        ColType::Date => {
+            let mut it = raw.split('-');
+            let y: i32 = it.next().and_then(|s| s.parse().ok()).expect("year");
+            let m: i32 = it.next().and_then(|s| s.parse().ok()).expect("month");
+            let d: i32 = it.next().and_then(|s| s.parse().ok()).expect("day");
+            Value::Int(y * 10000 + m * 100 + d)
+        }
+    }
+}
+
+/// An in-memory database: all tables of a schema, plus the directory the
+/// `.tbl` files live in (the generated C loads from the same directory).
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub schema: Schema,
+    pub tables: Vec<Table>,
+    pub dir: std::path::PathBuf,
+}
+
+impl Database {
+    pub fn table(&self, name: &str) -> &Table {
+        self.tables
+            .iter()
+            .find(|t| &*t.def.name == name)
+            .unwrap_or_else(|| panic!("no table {name} in database"))
+    }
+
+    /// Write every table as `<dir>/<name>.tbl`.
+    pub fn write_all(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        for t in &self.tables {
+            t.write_tbl(&self.dir.join(format!("{}.tbl", t.def.name)))?;
+        }
+        Ok(())
+    }
+
+    /// Load every table of `schema` from `<dir>/<name>.tbl`.
+    pub fn read_all(schema: &Schema, dir: &Path) -> std::io::Result<Database> {
+        let mut tables = Vec::new();
+        for def in &schema.tables {
+            tables.push(Table::read_tbl(def, &dir.join(format!("{}.tbl", def.name)))?);
+        }
+        Ok(Database {
+            schema: schema.clone(),
+            tables,
+            dir: dir.to_path_buf(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def() -> TableDef {
+        TableDef::new(
+            "t",
+            vec![
+                ("a", ColType::Int),
+                ("b", ColType::Double),
+                ("c", ColType::String),
+                ("d", ColType::Date),
+                ("e", ColType::Char),
+            ],
+        )
+    }
+
+    fn sample() -> Table {
+        let mut t = Table::empty(&def());
+        t.push_row(vec![
+            Value::Int(1),
+            Value::Double(2.5),
+            Value::str("hello"),
+            Value::Int(19980902),
+            Value::Int('R' as i32),
+        ]);
+        t.push_row(vec![
+            Value::Int(2),
+            Value::Double(-1.0),
+            Value::str("world"),
+            Value::Int(19951231),
+            Value::Int('A' as i32),
+        ]);
+        t
+    }
+
+    #[test]
+    fn tbl_roundtrip() {
+        let dir = std::env::temp_dir().join("dblab_tbl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tbl");
+        let t = sample();
+        t.write_tbl(&path).unwrap();
+        let txt = std::fs::read_to_string(&path).unwrap();
+        assert!(txt.starts_with("1|2.50|hello|1998-09-02|R|"));
+        let back = Table::read_tbl(&def(), &path).unwrap();
+        assert_eq!(back.len(), 2);
+        for r in 0..2 {
+            for c in 0..5 {
+                assert_eq!(back.get(r, c), t.get(r, c), "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn date_field_roundtrip() {
+        assert_eq!(parse_field("1998-09-02", ColType::Date), Value::Int(19980902));
+        assert_eq!(parse_field("R", ColType::Char), Value::Int(82));
+        assert_eq!(parse_field("3.14", ColType::Double), Value::Double(3.14));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = sample();
+        t.push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn row_accessor() {
+        let t = sample();
+        let row = t.row(1);
+        assert_eq!(row[0], Value::Int(2));
+        assert_eq!(row[2], Value::str("world"));
+    }
+}

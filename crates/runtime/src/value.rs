@@ -1,0 +1,195 @@
+//! Dynamically-typed runtime values with total equality/ordering/hashing —
+//! the currency of the Volcano engine and the IR interpreter (group-by keys
+//! require `Eq + Hash`, sort keys require `Ord`).
+
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// A runtime value. Dates and single characters are carried as `Int`
+/// (`yyyymmdd` / ASCII code respectively), mirroring the generated C.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i32),
+    Long(i64),
+    Double(f64),
+    Str(Rc<str>),
+}
+
+impl Value {
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v as i64,
+            Value::Long(v) => *v,
+            Value::Bool(b) => *b as i64,
+            other => panic!("as_i64 on {other:?}"),
+        }
+    }
+
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Long(v) => *v as f64,
+            Value::Double(v) => *v,
+            other => panic!("as_f64 on {other:?}"),
+        }
+    }
+
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("as_bool on {other:?}"),
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("as_str on {other:?}"),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Long(_) | Value::Double(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: numeric kinds compare by value (so `Int(1) == Long(1)`),
+    /// distinct kinds by tag, doubles by IEEE total order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Long(a), Long(b)) => a.cmp(b),
+            (Int(a), Long(b)) => (*a as i64).cmp(b),
+            (Long(a), Int(b)) => a.cmp(&(*b as i64)),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Long(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Long(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.tag().cmp(&b.tag()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => b.hash(state),
+            // Numeric kinds hash consistently with the numeric equality
+            // above: integers hash as i64, doubles that are whole numbers
+            // hash as their integer value.
+            Value::Int(v) => (*v as i64).hash(state),
+            Value::Long(v) => v.hash(state),
+            Value::Double(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    (*v as i64).hash(state)
+                } else {
+                    v.to_bits().hash(state)
+                }
+            }
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Long(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash_agree() {
+        assert_eq!(Value::Int(5), Value::Long(5));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::Long(5)));
+        assert_eq!(Value::Int(5), Value::Double(5.0));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::Double(5.0)));
+        assert_ne!(Value::Int(5), Value::Double(5.5));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![
+            Value::str("b"),
+            Value::Int(3),
+            Value::Double(2.5),
+            Value::Null,
+            Value::str("a"),
+            Value::Long(1),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Long(1));
+        assert_eq!(vals[2], Value::Double(2.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::str("a"));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_i64(), 7);
+        assert_eq!(Value::Double(1.5).as_f64(), 1.5);
+        assert_eq!(Value::str("x").as_str(), "x");
+        assert!(Value::Null.is_null());
+        assert!(Value::Bool(true).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "as_i64")]
+    fn wrong_accessor_panics() {
+        Value::str("x").as_i64();
+    }
+}

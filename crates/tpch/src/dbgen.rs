@@ -1,0 +1,505 @@
+//! A deterministic TPC-H data generator.
+//!
+//! Substitutes for the official `dbgen` at laptop scale (DESIGN.md §2):
+//! identical schema, same `.tbl` text format, and value distributions that
+//! exercise every predicate in the 22 queries — nations/regions per spec,
+//! spec-formula retail prices, date windows, `special … requests` /
+//! `Customer … Complaints` comment seeding, country-code phones, and
+//! customers without orders (`custkey % 3 == 0`, as in the spec).
+//! Generation is deterministic for a given (seed, scale factor).
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dblab_catalog::dates;
+use dblab_runtime::{ColData, Database, Table, Value};
+
+use crate::schema::tpch_schema;
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The 25 nations with their region keys (TPC-H spec, Table 4.2.3).
+pub const NATIONS: [(&str, i32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_S2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+pub const CONTAINER_S1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINER_S2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Part-name colors (Q9 needs `green`, Q20 needs `forest`).
+pub const COLORS: [&str; 32] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornsilk", "cream",
+    "cyan", "firebrick", "forest", "frosted", "goldenrod", "green", "honeydew", "indian",
+    "ivory", "khaki", "lavender", "lemon", "linen", "magenta", "maroon",
+];
+
+const WORDS: [&str; 24] = [
+    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
+    "regular", "express", "bold", "even", "silent", "daring", "fluffy", "ruthless", "idle",
+    "busy", "deposits", "accounts", "packages", "theodolites", "instructions", "foxes",
+];
+
+const START_DATE: i32 = 19920101;
+const ORDER_DATE_SPAN_DAYS: i32 = 2405; // 1992-01-01 .. 1998-08-02
+
+fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+fn words(rng: &mut StdRng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(pick(rng, &WORDS));
+    }
+    out
+}
+
+fn v_string(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len)
+        .map(|_| {
+            let c = rng.gen_range(0..36);
+            if c < 10 {
+                (b'0' + c) as char
+            } else {
+                (b'a' + c - 10) as char
+            }
+        })
+        .collect()
+}
+
+fn phone(rng: &mut StdRng, nationkey: i32) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// Spec formula 4.2.3: deterministic per-part retail price.
+pub fn retail_price(partkey: i32) -> f64 {
+    (90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000)) as f64 / 100.0
+}
+
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    cents(rng.gen_range(lo..hi))
+}
+
+/// Round to exact cents. `(x * 100).round() / 100` is bit-identical to
+/// parsing the `%.2f` rendering back, so `.tbl` roundtrips are lossless.
+fn cents(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+/// Generate the full database at the given scale factor. `dir` is recorded
+/// as the `.tbl` home (call [`Database::write_all`] to materialize).
+pub fn generate(sf: f64, dir: &Path) -> Database {
+    let schema = tpch_schema();
+    let mut rng = StdRng::seed_from_u64(0x7c_db1a_b);
+
+    let n_supp = ((10_000.0 * sf) as usize).max(10);
+    let n_part = ((200_000.0 * sf) as usize).max(40);
+    let n_cust = ((150_000.0 * sf) as usize).max(30);
+    let n_orders = ((1_500_000.0 * sf) as usize).max(150);
+
+    let mut region = Table::empty(schema.table("region"));
+    for (i, name) in REGIONS.iter().enumerate() {
+        region.push_row(vec![
+            Value::Int(i as i32),
+            Value::str(name),
+            Value::str(&words(&mut rng, 4)),
+        ]);
+    }
+
+    let mut nation = Table::empty(schema.table("nation"));
+    for (i, (name, rk)) in NATIONS.iter().enumerate() {
+        nation.push_row(vec![
+            Value::Int(i as i32),
+            Value::str(name),
+            Value::Int(*rk),
+            Value::str(&words(&mut rng, 4)),
+        ]);
+    }
+
+    let mut supplier = Table::empty(schema.table("supplier"));
+    for k in 1..=n_supp as i32 {
+        let nk = rng.gen_range(0..25);
+        // ~5 per 10,000 suppliers complain (Q16's anti-join predicate).
+        let comment = if rng.gen_bool(0.01) {
+            format!("{} Customer {} Complaints", words(&mut rng, 2), pick(&mut rng, &WORDS))
+        } else {
+            words(&mut rng, 5)
+        };
+        supplier.push_row(vec![
+            Value::Int(k),
+            Value::str(&format!("Supplier#{k:09}")),
+            Value::str(&v_string(&mut rng, 10, 30)),
+            Value::Int(nk),
+            Value::str(&phone(&mut rng, nk)),
+            Value::Double(money(&mut rng, -999.99, 9999.99)),
+            Value::str(&comment),
+        ]);
+    }
+
+    let mut part = Table::empty(schema.table("part"));
+    for k in 1..=n_part as i32 {
+        let mfgr = rng.gen_range(1..=5);
+        let brand = format!("Brand#{}{}", mfgr, rng.gen_range(1..=5));
+        let ty = format!(
+            "{} {} {}",
+            pick(&mut rng, &TYPE_S1),
+            pick(&mut rng, &TYPE_S2),
+            pick(&mut rng, &TYPE_S3)
+        );
+        let container = format!(
+            "{} {}",
+            pick(&mut rng, &CONTAINER_S1),
+            pick(&mut rng, &CONTAINER_S2)
+        );
+        let name: String = {
+            let mut cs: Vec<&str> = Vec::with_capacity(5);
+            for _ in 0..5 {
+                cs.push(pick(&mut rng, &COLORS));
+            }
+            cs.join(" ")
+        };
+        part.push_row(vec![
+            Value::Int(k),
+            Value::str(&name),
+            Value::str(&format!("Manufacturer#{mfgr}")),
+            Value::str(&brand),
+            Value::str(&ty),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::str(&container),
+            Value::Double(retail_price(k)),
+            Value::str(&words(&mut rng, 3)),
+        ]);
+    }
+
+    let mut partsupp = Table::empty(schema.table("partsupp"));
+    for pk in 1..=n_part as i32 {
+        // Four suppliers per part, spread deterministically like the spec.
+        for j in 0i32..4 {
+            let sk = ((pk + j * (n_supp as i32 / 4 + 1)) % n_supp as i32) + 1;
+            partsupp.push_row(vec![
+                Value::Int(pk),
+                Value::Int(sk),
+                Value::Int(rng.gen_range(1..=9999)),
+                Value::Double(money(&mut rng, 1.0, 1000.0)),
+                Value::str(&words(&mut rng, 5)),
+            ]);
+        }
+    }
+
+    let mut customer = Table::empty(schema.table("customer"));
+    for k in 1..=n_cust as i32 {
+        let nk = rng.gen_range(0..25);
+        customer.push_row(vec![
+            Value::Int(k),
+            Value::str(&format!("Customer#{k:09}")),
+            Value::str(&v_string(&mut rng, 10, 30)),
+            Value::Int(nk),
+            Value::str(&phone(&mut rng, nk)),
+            Value::Double(money(&mut rng, -999.99, 9999.99)),
+            Value::str(pick(&mut rng, &SEGMENTS)),
+            Value::str(&words(&mut rng, 6)),
+        ]);
+    }
+
+    let mut orders = Table::empty(schema.table("orders"));
+    let mut lineitem = Table::empty(schema.table("lineitem"));
+    let cutoff = 19950617;
+    for ok in 1..=n_orders as i32 {
+        // Customers with custkey % 3 == 0 never order (spec §4.2.3) — this
+        // is what Q13 and Q22 measure.
+        let ck = loop {
+            let c = rng.gen_range(1..=n_cust as i32);
+            if c % 3 != 0 {
+                break c;
+            }
+        };
+        let odate = dates::add_days(START_DATE, rng.gen_range(0..=ORDER_DATE_SPAN_DAYS));
+        let n_lines = rng.gen_range(1..=7);
+        let mut total = 0.0;
+        let mut all_f = true;
+        let mut all_o = true;
+        for ln in 1..=n_lines {
+            let pk = rng.gen_range(1..=n_part as i32);
+            let j = rng.gen_range(0..4i32);
+            let sk = ((pk + j * (n_supp as i32 / 4 + 1)) % n_supp as i32) + 1;
+            let qty = rng.gen_range(1..=50) as f64;
+            let extprice = cents(qty * retail_price(pk));
+            let discount = rng.gen_range(0..=10) as f64 / 100.0;
+            let tax = rng.gen_range(0..=8) as f64 / 100.0;
+            let ship = dates::add_days(odate, rng.gen_range(1..=121));
+            let commit = dates::add_days(odate, rng.gen_range(30..=90));
+            let receipt = dates::add_days(ship, rng.gen_range(1..=30));
+            let returnflag = if receipt <= cutoff {
+                if rng.gen_bool(0.5) {
+                    'R'
+                } else {
+                    'A'
+                }
+            } else {
+                'N'
+            };
+            let linestatus = if ship > cutoff { 'O' } else { 'F' };
+            if linestatus == 'O' {
+                all_f = false;
+            } else {
+                all_o = false;
+            }
+            total += extprice * (1.0 + tax) * (1.0 - discount);
+            lineitem.push_row(vec![
+                Value::Int(ok),
+                Value::Int(pk),
+                Value::Int(sk),
+                Value::Int(ln),
+                Value::Double(qty),
+                Value::Double(extprice),
+                Value::Double(discount),
+                Value::Double(tax),
+                Value::Int(returnflag as i32),
+                Value::Int(linestatus as i32),
+                Value::Int(ship),
+                Value::Int(commit),
+                Value::Int(receipt),
+                Value::str(pick(&mut rng, &INSTRUCTIONS)),
+                Value::str(pick(&mut rng, &MODES)),
+                Value::str(&words(&mut rng, 4)),
+            ]);
+        }
+        let status = if all_f {
+            'F'
+        } else if all_o {
+            'O'
+        } else {
+            'P'
+        };
+        // ~1.2% of order comments mention special … requests (Q13).
+        let comment = if rng.gen_bool(0.012) {
+            format!("{} special {} requests", pick(&mut rng, &WORDS), pick(&mut rng, &WORDS))
+        } else {
+            words(&mut rng, 5)
+        };
+        orders.push_row(vec![
+            Value::Int(ok),
+            Value::Int(ck),
+            Value::Int(status as i32),
+            Value::Double(cents(total)),
+            Value::Int(odate),
+            Value::str(pick(&mut rng, &PRIORITIES)),
+            Value::str(&format!("Clerk#{:09}", rng.gen_range(1..=(1000.0 * sf).max(10.0) as i32))),
+            Value::Int(0),
+            Value::str(&comment),
+        ]);
+    }
+
+    let mut db = Database {
+        schema,
+        tables: vec![
+            region, nation, supplier, part, partsupp, customer, orders, lineitem,
+        ],
+        dir: dir.to_path_buf(),
+    };
+    compute_stats(&mut db);
+    db
+}
+
+/// Fill the statistics annotations (row counts, integer maxima, distinct
+/// counts) that drive pool sizing, dense-key detection and the string-
+/// dictionary applicability test (Appendix D.1, §5.3).
+pub fn compute_stats(db: &mut Database) {
+    for table in &mut db.tables {
+        let rows = table.len() as u64;
+        let ncols = table.cols.len();
+        let mut int_max = vec![0u64; ncols];
+        let mut distinct = vec![0u64; ncols];
+        for (c, col) in table.cols.iter().enumerate() {
+            match col {
+                ColData::Int(v) => {
+                    int_max[c] = v.iter().copied().max().unwrap_or(0).max(0) as u64;
+                    let mut set: Vec<i32> = v.clone();
+                    set.sort_unstable();
+                    set.dedup();
+                    distinct[c] = set.len() as u64;
+                }
+                ColData::Str(v) => {
+                    let mut set: Vec<&str> = v.iter().map(|s| &**s).collect();
+                    set.sort_unstable();
+                    set.dedup();
+                    distinct[c] = set.len() as u64;
+                }
+                _ => {}
+            }
+        }
+        table.def.stats.row_count = rows;
+        table.def.stats.int_max = int_max;
+        table.def.stats.distinct = distinct;
+        // Mirror into the schema copy (what the compiler reads).
+        let def = db.schema.table_mut(&table.def.name.clone());
+        def.stats = table.def.stats.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Database {
+        generate(0.002, Path::new("/tmp/dblab-test-tpch"))
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny();
+        let b = tiny();
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta.len(), tb.len());
+            if ta.len() > 0 {
+                assert_eq!(ta.row(0), tb.row(0));
+                assert_eq!(ta.row(ta.len() - 1), tb.row(tb.len() - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        let db = tiny();
+        let n_supp = db.table("supplier").len() as i64;
+        let n_part = db.table("part").len() as i64;
+        let n_cust = db.table("customer").len() as i64;
+        let n_orders = db.table("orders").len() as i64;
+        let li = db.table("lineitem");
+        for i in 0..li.len() {
+            assert!((1..=n_orders).contains(&li.get(i, 0).as_i64()));
+            assert!((1..=n_part).contains(&li.get(i, 1).as_i64()));
+            assert!((1..=n_supp).contains(&li.get(i, 2).as_i64()));
+        }
+        let orders = db.table("orders");
+        for i in 0..orders.len() {
+            let ck = orders.get(i, 1).as_i64();
+            assert!((1..=n_cust).contains(&ck));
+            assert_ne!(ck % 3, 0, "custkey % 3 == 0 must have no orders");
+        }
+    }
+
+    #[test]
+    fn lineitem_dates_are_consistent() {
+        let db = tiny();
+        let li = db.table("lineitem");
+        let ship_idx = 10;
+        let receipt_idx = 12;
+        for i in 0..li.len() {
+            let ship = li.get(i, ship_idx).as_i64();
+            let receipt = li.get(i, receipt_idx).as_i64();
+            assert!(receipt > ship, "receipt after ship");
+            // return flag N exactly when receipt after the cutoff
+            let rf = li.get(i, 8).as_i64() as u8 as char;
+            assert_eq!(rf == 'N', receipt > 19950617, "row {i}");
+        }
+    }
+
+    #[test]
+    fn stats_are_computed() {
+        let db = tiny();
+        let part = db.schema.table("part");
+        assert_eq!(part.stats.row_count, db.table("part").len() as u64);
+        // p_partkey is dense 1..n
+        assert_eq!(part.stats.int_max[0], db.table("part").len() as u64);
+        // p_brand has at most 25 distinct values
+        assert!(part.stats.distinct[3] <= 25);
+        // p_name is high-cardinality
+        assert!(part.stats.distinct[1] > 25);
+    }
+
+    #[test]
+    fn predicate_selectivities_are_nontrivial() {
+        let db = tiny();
+        // Q13/Q16 comment seeding and Q14 PROMO types must appear.
+        let orders = db.table("orders");
+        let special = (0..orders.len())
+            .filter(|&i| {
+                let c = orders.get(i, 8);
+                c.as_str().contains("special") && c.as_str().contains("requests")
+            })
+            .count();
+        assert!(special > 0, "no special-requests comments generated");
+        let part = db.table("part");
+        let promo = (0..part.len())
+            .filter(|&i| part.get(i, 4).as_str().starts_with("PROMO"))
+            .count();
+        assert!(promo > 0);
+        let forest = (0..part.len())
+            .filter(|&i| part.get(i, 1).as_str().starts_with("forest"))
+            .count();
+        assert!(forest > 0, "Q20 needs forest-prefixed part names");
+    }
+
+    #[test]
+    fn tbl_write_read_roundtrip() {
+        let mut db = generate(0.001, &std::env::temp_dir().join("dblab_tbl_rt"));
+        db.write_all().unwrap();
+        let back = Database::read_all(&db.schema, &db.dir).unwrap();
+        for (ta, tb) in db.tables.iter().zip(&back.tables) {
+            assert_eq!(ta.len(), tb.len(), "{}", ta.def.name);
+        }
+        // Spot-check full equality on a money column (2-decimal roundtrip).
+        let a = db.table("lineitem");
+        let b = back.table("lineitem");
+        for i in 0..a.len().min(50) {
+            assert_eq!(a.get(i, 5), b.get(i, 5));
+        }
+        compute_stats(&mut db);
+    }
+}

@@ -1,0 +1,22 @@
+//! # dblab-tpch — the TPC-H substrate
+//!
+//! The paper evaluates on TPC-H (§7): "a benchmark suite which simulates
+//! data-warehousing and decision support; it provides a set of 22 queries
+//! [with] a high degree of complexity". This crate supplies everything the
+//! evaluation needs, built from scratch:
+//!
+//! * [`schema`] — the 8-relation schema with the primary-/foreign-key and
+//!   statistics annotations the specializations rely on (Appendix B.1);
+//! * [`dbgen`] — a deterministic, scale-factor-driven data generator whose
+//!   value distributions exercise every predicate of the 22 queries and
+//!   whose `.tbl` output is format-compatible with the official `dbgen`;
+//! * [`queries`] — all 22 TPC-H queries expressed as `QueryProgram`s over
+//!   the QPlan front-end (correlated subqueries decorrelated into
+//!   semi-/anti-joins and scalar-subquery lets, as LegoBase does).
+
+pub mod dbgen;
+pub mod queries;
+pub mod schema;
+
+pub use dbgen::generate;
+pub use schema::tpch_schema;

@@ -1,0 +1,1105 @@
+//! The 22 TPC-H queries as QPlan programs (§7).
+//!
+//! Correlated subqueries are decorrelated the way LegoBase's physical plans
+//! do it: `EXISTS` / `NOT EXISTS` become semi-/anti-joins (with residual
+//! predicates for the `<>` correlations, Q21), per-group scalar subqueries
+//! become aggregate subplans joined back on the group key (Q2, Q17, Q18,
+//! Q20), and uncorrelated scalar subqueries become [`QueryProgram`] lets
+//! (Q11, Q15, Q22). Date intervals are constant-folded at plan-build time.
+
+use dblab_frontend::expr::*;
+use dblab_frontend::qplan::{AggFunc, JoinKind, QPlan, QueryProgram, SortDir};
+
+use AggFunc::{Avg, Count, CountDistinct, Max, Min, Sum};
+use JoinKind::{Inner, LeftAnti, LeftOuter, LeftSemi};
+use SortDir::{Asc, Desc};
+
+fn scan(t: &str) -> QPlan {
+    QPlan::scan(t)
+}
+
+/// `l_extendedprice * (1 - l_discount)` — the revenue expression used by
+/// half the benchmark.
+fn revenue() -> ScalarExpr {
+    col("l_extendedprice").mul(lit_d(1.0).sub(col("l_discount")))
+}
+
+/// Query 1: pricing summary report.
+pub fn q1() -> QueryProgram {
+    QueryProgram::new(
+        scan("lineitem")
+            .select(col("l_shipdate").le(date(1998, 9, 2)))
+            .agg(
+                vec![
+                    ("l_returnflag", col("l_returnflag")),
+                    ("l_linestatus", col("l_linestatus")),
+                ],
+                vec![
+                    ("sum_qty", Sum(col("l_quantity"))),
+                    ("sum_base_price", Sum(col("l_extendedprice"))),
+                    ("sum_disc_price", Sum(revenue())),
+                    (
+                        "sum_charge",
+                        Sum(revenue().mul(lit_d(1.0).add(col("l_tax")))),
+                    ),
+                    ("avg_qty", Avg(col("l_quantity"))),
+                    ("avg_price", Avg(col("l_extendedprice"))),
+                    ("avg_disc", Avg(col("l_discount"))),
+                    ("count_order", Count),
+                ],
+            )
+            .sort(vec![
+                (col("l_returnflag"), Asc),
+                (col("l_linestatus"), Asc),
+            ]),
+    )
+}
+
+/// Suppliers in a region, used twice by Q2.
+fn q2_region_suppliers() -> QPlan {
+    scan("supplier")
+        .hash_join(
+            scan("nation"),
+            Inner,
+            vec![col("s_nationkey")],
+            vec![col("n_nationkey")],
+        )
+        .hash_join(
+            scan("region").select(col("r_name").eq(lit_s("EUROPE"))),
+            Inner,
+            vec![col("n_regionkey")],
+            vec![col("r_regionkey")],
+        )
+}
+
+/// Query 2: minimum-cost supplier.
+pub fn q2() -> QueryProgram {
+    let min_cost = scan("partsupp")
+        .hash_join(
+            q2_region_suppliers(),
+            Inner,
+            vec![col("ps_suppkey")],
+            vec![col("s_suppkey")],
+        )
+        .agg(
+            vec![("mc_partkey", col("ps_partkey"))],
+            vec![("min_cost", Min(col("ps_supplycost")))],
+        );
+    let main = scan("part")
+        .select(
+            col("p_size")
+                .eq(lit_i(15))
+                .and(col("p_type").ends_with("BRASS")),
+        )
+        .hash_join(
+            scan("partsupp"),
+            Inner,
+            vec![col("p_partkey")],
+            vec![col("ps_partkey")],
+        )
+        .hash_join(
+            q2_region_suppliers(),
+            Inner,
+            vec![col("ps_suppkey")],
+            vec![col("s_suppkey")],
+        )
+        .hash_join(
+            min_cost,
+            Inner,
+            vec![col("p_partkey"), col("ps_supplycost")],
+            vec![col("mc_partkey"), col("min_cost")],
+        )
+        .project(vec![
+            ("s_acctbal", col("s_acctbal")),
+            ("s_name", col("s_name")),
+            ("n_name", col("n_name")),
+            ("p_partkey", col("p_partkey")),
+            ("p_mfgr", col("p_mfgr")),
+            ("s_address", col("s_address")),
+            ("s_phone", col("s_phone")),
+            ("s_comment", col("s_comment")),
+        ])
+        .sort(vec![
+            (col("s_acctbal"), Desc),
+            (col("n_name"), Asc),
+            (col("s_name"), Asc),
+            (col("p_partkey"), Asc),
+        ])
+        .limit(100);
+    QueryProgram::new(main)
+}
+
+/// Query 3: shipping-priority order backlog.
+pub fn q3() -> QueryProgram {
+    QueryProgram::new(
+        scan("customer")
+            .select(col("c_mktsegment").eq(lit_s("BUILDING")))
+            .hash_join(
+                scan("orders").select(col("o_orderdate").lt(date(1995, 3, 15))),
+                Inner,
+                vec![col("c_custkey")],
+                vec![col("o_custkey")],
+            )
+            .hash_join(
+                scan("lineitem").select(col("l_shipdate").gt(date(1995, 3, 15))),
+                Inner,
+                vec![col("o_orderkey")],
+                vec![col("l_orderkey")],
+            )
+            .agg(
+                vec![
+                    ("l_orderkey", col("l_orderkey")),
+                    ("o_orderdate", col("o_orderdate")),
+                    ("o_shippriority", col("o_shippriority")),
+                ],
+                vec![("revenue", Sum(revenue()))],
+            )
+            .project(vec![
+                ("l_orderkey", col("l_orderkey")),
+                ("revenue", col("revenue")),
+                ("o_orderdate", col("o_orderdate")),
+                ("o_shippriority", col("o_shippriority")),
+            ])
+            .sort(vec![
+                (col("revenue"), Desc),
+                (col("o_orderdate"), Asc),
+                (col("l_orderkey"), Asc),
+            ])
+            .limit(10),
+    )
+}
+
+/// Query 4: order-priority checking (EXISTS → semi join).
+pub fn q4() -> QueryProgram {
+    QueryProgram::new(
+        scan("orders")
+            .select(
+                col("o_orderdate")
+                    .ge(date(1993, 7, 1))
+                    .and(col("o_orderdate").lt(date(1993, 10, 1))),
+            )
+            .hash_join(
+                scan("lineitem").select(col("l_commitdate").lt(col("l_receiptdate"))),
+                LeftSemi,
+                vec![col("o_orderkey")],
+                vec![col("l_orderkey")],
+            )
+            .agg(
+                vec![("o_orderpriority", col("o_orderpriority"))],
+                vec![("order_count", Count)],
+            )
+            .sort(vec![(col("o_orderpriority"), Asc)]),
+    )
+}
+
+/// Query 5: local supplier volume (note the composite supplier join that
+/// enforces `c_nationkey = s_nationkey`).
+pub fn q5() -> QueryProgram {
+    QueryProgram::new(
+        scan("customer")
+            .hash_join(
+                scan("orders").select(
+                    col("o_orderdate")
+                        .ge(date(1994, 1, 1))
+                        .and(col("o_orderdate").lt(date(1995, 1, 1))),
+                ),
+                Inner,
+                vec![col("c_custkey")],
+                vec![col("o_custkey")],
+            )
+            .hash_join(
+                scan("lineitem"),
+                Inner,
+                vec![col("o_orderkey")],
+                vec![col("l_orderkey")],
+            )
+            .hash_join(
+                scan("supplier"),
+                Inner,
+                vec![col("l_suppkey"), col("c_nationkey")],
+                vec![col("s_suppkey"), col("s_nationkey")],
+            )
+            .hash_join(
+                scan("nation"),
+                Inner,
+                vec![col("s_nationkey")],
+                vec![col("n_nationkey")],
+            )
+            .hash_join(
+                scan("region").select(col("r_name").eq(lit_s("ASIA"))),
+                Inner,
+                vec![col("n_regionkey")],
+                vec![col("r_regionkey")],
+            )
+            .agg(
+                vec![("n_name", col("n_name"))],
+                vec![("revenue", Sum(revenue()))],
+            )
+            .sort(vec![(col("revenue"), Desc)]),
+    )
+}
+
+/// Query 6: revenue-change forecast (pure scan/filter/aggregate).
+pub fn q6() -> QueryProgram {
+    QueryProgram::new(
+        scan("lineitem")
+            .select(
+                col("l_shipdate")
+                    .ge(date(1994, 1, 1))
+                    .and(col("l_shipdate").lt(date(1995, 1, 1)))
+                    .and(col("l_discount").between(lit_d(0.05), lit_d(0.07)))
+                    .and(col("l_quantity").lt(lit_d(24.0))),
+            )
+            .agg(
+                vec![],
+                vec![("revenue", Sum(col("l_extendedprice").mul(col("l_discount"))))],
+            ),
+    )
+}
+
+/// Query 7: volume shipping between two nations.
+pub fn q7() -> QueryProgram {
+    let france_germany = col("n1_n_name")
+        .eq(lit_s("FRANCE"))
+        .and(col("n2_n_name").eq(lit_s("GERMANY")))
+        .or(col("n1_n_name")
+            .eq(lit_s("GERMANY"))
+            .and(col("n2_n_name").eq(lit_s("FRANCE"))));
+    QueryProgram::new(
+        scan("supplier")
+            .hash_join(
+                scan("lineitem").select(
+                    col("l_shipdate")
+                        .ge(date(1995, 1, 1))
+                        .and(col("l_shipdate").le(date(1996, 12, 31))),
+                ),
+                Inner,
+                vec![col("s_suppkey")],
+                vec![col("l_suppkey")],
+            )
+            .hash_join(
+                scan("orders"),
+                Inner,
+                vec![col("l_orderkey")],
+                vec![col("o_orderkey")],
+            )
+            .hash_join(
+                scan("customer"),
+                Inner,
+                vec![col("o_custkey")],
+                vec![col("c_custkey")],
+            )
+            .hash_join(
+                QPlan::scan_as("nation", "n1"),
+                Inner,
+                vec![col("s_nationkey")],
+                vec![col("n1_n_nationkey")],
+            )
+            .hash_join(
+                QPlan::scan_as("nation", "n2"),
+                Inner,
+                vec![col("c_nationkey")],
+                vec![col("n2_n_nationkey")],
+            )
+            .select(france_germany)
+            .project(vec![
+                ("supp_nation", col("n1_n_name")),
+                ("cust_nation", col("n2_n_name")),
+                ("l_year", col("l_shipdate").year()),
+                ("volume", revenue()),
+            ])
+            .agg(
+                vec![
+                    ("supp_nation", col("supp_nation")),
+                    ("cust_nation", col("cust_nation")),
+                    ("l_year", col("l_year")),
+                ],
+                vec![("revenue", Sum(col("volume")))],
+            )
+            .sort(vec![
+                (col("supp_nation"), Asc),
+                (col("cust_nation"), Asc),
+                (col("l_year"), Asc),
+            ]),
+    )
+}
+
+/// Query 8: national market share.
+pub fn q8() -> QueryProgram {
+    QueryProgram::new(
+        scan("part")
+            .select(col("p_type").eq(lit_s("ECONOMY ANODIZED STEEL")))
+            .hash_join(
+                scan("lineitem"),
+                Inner,
+                vec![col("p_partkey")],
+                vec![col("l_partkey")],
+            )
+            .hash_join(
+                scan("supplier"),
+                Inner,
+                vec![col("l_suppkey")],
+                vec![col("s_suppkey")],
+            )
+            .hash_join(
+                scan("orders").select(
+                    col("o_orderdate")
+                        .ge(date(1995, 1, 1))
+                        .and(col("o_orderdate").le(date(1996, 12, 31))),
+                ),
+                Inner,
+                vec![col("l_orderkey")],
+                vec![col("o_orderkey")],
+            )
+            .hash_join(
+                scan("customer"),
+                Inner,
+                vec![col("o_custkey")],
+                vec![col("c_custkey")],
+            )
+            .hash_join(
+                QPlan::scan_as("nation", "n1"),
+                Inner,
+                vec![col("c_nationkey")],
+                vec![col("n1_n_nationkey")],
+            )
+            .hash_join(
+                scan("region").select(col("r_name").eq(lit_s("AMERICA"))),
+                Inner,
+                vec![col("n1_n_regionkey")],
+                vec![col("r_regionkey")],
+            )
+            .hash_join(
+                QPlan::scan_as("nation", "n2"),
+                Inner,
+                vec![col("s_nationkey")],
+                vec![col("n2_n_nationkey")],
+            )
+            .project(vec![
+                ("o_year", col("o_orderdate").year()),
+                ("volume", revenue()),
+                ("nation2", col("n2_n_name")),
+            ])
+            .agg(
+                vec![("o_year", col("o_year"))],
+                vec![
+                    (
+                        "brazil_volume",
+                        Sum(ScalarExpr::case_when(
+                            col("nation2").eq(lit_s("BRAZIL")),
+                            col("volume"),
+                            lit_d(0.0),
+                        )),
+                    ),
+                    ("total_volume", Sum(col("volume"))),
+                ],
+            )
+            .project(vec![
+                ("o_year", col("o_year")),
+                ("mkt_share", col("brazil_volume").div(col("total_volume"))),
+            ])
+            .sort(vec![(col("o_year"), Asc)]),
+    )
+}
+
+/// Query 9: product-type profit measure.
+pub fn q9() -> QueryProgram {
+    QueryProgram::new(
+        scan("part")
+            .select(col("p_name").contains("green"))
+            .hash_join(
+                scan("lineitem"),
+                Inner,
+                vec![col("p_partkey")],
+                vec![col("l_partkey")],
+            )
+            .hash_join(
+                scan("supplier"),
+                Inner,
+                vec![col("l_suppkey")],
+                vec![col("s_suppkey")],
+            )
+            .hash_join(
+                scan("partsupp"),
+                Inner,
+                vec![col("l_suppkey"), col("l_partkey")],
+                vec![col("ps_suppkey"), col("ps_partkey")],
+            )
+            .hash_join(
+                scan("orders"),
+                Inner,
+                vec![col("l_orderkey")],
+                vec![col("o_orderkey")],
+            )
+            .hash_join(
+                scan("nation"),
+                Inner,
+                vec![col("s_nationkey")],
+                vec![col("n_nationkey")],
+            )
+            .project(vec![
+                ("nation", col("n_name")),
+                ("o_year", col("o_orderdate").year()),
+                (
+                    "amount",
+                    revenue().sub(col("ps_supplycost").mul(col("l_quantity"))),
+                ),
+            ])
+            .agg(
+                vec![("nation", col("nation")), ("o_year", col("o_year"))],
+                vec![("sum_profit", Sum(col("amount")))],
+            )
+            .sort(vec![(col("nation"), Asc), (col("o_year"), Desc)]),
+    )
+}
+
+/// Query 10: returned-item reporting.
+pub fn q10() -> QueryProgram {
+    QueryProgram::new(
+        scan("customer")
+            .hash_join(
+                scan("orders").select(
+                    col("o_orderdate")
+                        .ge(date(1993, 10, 1))
+                        .and(col("o_orderdate").lt(date(1994, 1, 1))),
+                ),
+                Inner,
+                vec![col("c_custkey")],
+                vec![col("o_custkey")],
+            )
+            .hash_join(
+                scan("lineitem").select(col("l_returnflag").eq(lit_c('R'))),
+                Inner,
+                vec![col("o_orderkey")],
+                vec![col("l_orderkey")],
+            )
+            .hash_join(
+                scan("nation"),
+                Inner,
+                vec![col("c_nationkey")],
+                vec![col("n_nationkey")],
+            )
+            .agg(
+                vec![
+                    ("c_custkey", col("c_custkey")),
+                    ("c_name", col("c_name")),
+                    ("c_acctbal", col("c_acctbal")),
+                    ("c_phone", col("c_phone")),
+                    ("n_name", col("n_name")),
+                    ("c_address", col("c_address")),
+                    ("c_comment", col("c_comment")),
+                ],
+                vec![("revenue", Sum(revenue()))],
+            )
+            .project(vec![
+                ("c_custkey", col("c_custkey")),
+                ("c_name", col("c_name")),
+                ("revenue", col("revenue")),
+                ("c_acctbal", col("c_acctbal")),
+                ("n_name", col("n_name")),
+                ("c_address", col("c_address")),
+                ("c_phone", col("c_phone")),
+                ("c_comment", col("c_comment")),
+            ])
+            .sort(vec![(col("revenue"), Desc), (col("c_custkey"), Asc)])
+            .limit(20),
+    )
+}
+
+/// Partsupp value in Germany, shared by Q11's let and main plans.
+fn q11_base() -> QPlan {
+    scan("partsupp")
+        .hash_join(
+            scan("supplier"),
+            Inner,
+            vec![col("ps_suppkey")],
+            vec![col("s_suppkey")],
+        )
+        .hash_join(
+            scan("nation").select(col("n_name").eq(lit_s("GERMANY"))),
+            Inner,
+            vec![col("s_nationkey")],
+            vec![col("n_nationkey")],
+        )
+}
+
+/// Query 11: important stock identification (HAVING over a global scalar).
+pub fn q11() -> QueryProgram {
+    let value = col("ps_supplycost").mul(col("ps_availqty"));
+    QueryProgram::new(
+        q11_base()
+            .agg(
+                vec![("ps_partkey", col("ps_partkey"))],
+                vec![("value", Sum(value.clone()))],
+            )
+            .select(col("value").gt(param("q11_threshold")))
+            .sort(vec![(col("value"), Desc), (col("ps_partkey"), Asc)]),
+    )
+    .with_let(
+        "q11_threshold",
+        q11_base()
+            .agg(vec![], vec![("total", Sum(value))])
+            .project(vec![("threshold", col("total").mul(lit_d(0.0001)))]),
+    )
+}
+
+/// Query 12: shipping mode and order priority.
+pub fn q12() -> QueryProgram {
+    let high = col("o_orderpriority")
+        .eq(lit_s("1-URGENT"))
+        .or(col("o_orderpriority").eq(lit_s("2-HIGH")));
+    QueryProgram::new(
+        scan("orders")
+            .hash_join(
+                scan("lineitem").select(
+                    col("l_shipmode")
+                        .in_list(vec![Lit::Str("MAIL".into()), Lit::Str("SHIP".into())])
+                        .and(col("l_commitdate").lt(col("l_receiptdate")))
+                        .and(col("l_shipdate").lt(col("l_commitdate")))
+                        .and(col("l_receiptdate").ge(date(1994, 1, 1)))
+                        .and(col("l_receiptdate").lt(date(1995, 1, 1))),
+                ),
+                Inner,
+                vec![col("o_orderkey")],
+                vec![col("l_orderkey")],
+            )
+            .agg(
+                vec![("l_shipmode", col("l_shipmode"))],
+                vec![
+                    (
+                        "high_line_count",
+                        Sum(ScalarExpr::case_when(high.clone(), lit_i(1), lit_i(0))),
+                    ),
+                    (
+                        "low_line_count",
+                        Sum(ScalarExpr::case_when(high.not(), lit_i(1), lit_i(0))),
+                    ),
+                ],
+            )
+            .sort(vec![(col("l_shipmode"), Asc)]),
+    )
+}
+
+/// Query 13: customer distribution (left outer join; `COUNT(o_orderkey)`
+/// becomes a sum over the `__matched` flag — see the qplan module docs).
+pub fn q13() -> QueryProgram {
+    QueryProgram::new(
+        scan("customer")
+            .hash_join(
+                scan("orders").select(col("o_comment").like("%special%requests%").not()),
+                LeftOuter,
+                vec![col("c_custkey")],
+                vec![col("o_custkey")],
+            )
+            .agg(
+                vec![("c_custkey", col("c_custkey"))],
+                vec![(
+                    "c_count",
+                    Sum(ScalarExpr::case_when(
+                        col(QPlan::MATCHED),
+                        lit_i(1),
+                        lit_i(0),
+                    )),
+                )],
+            )
+            .agg(
+                vec![("c_count", col("c_count"))],
+                vec![("custdist", Count)],
+            )
+            .sort(vec![(col("custdist"), Desc), (col("c_count"), Desc)]),
+    )
+}
+
+/// Query 14: promotion effect.
+pub fn q14() -> QueryProgram {
+    QueryProgram::new(
+        scan("lineitem")
+            .select(
+                col("l_shipdate")
+                    .ge(date(1995, 9, 1))
+                    .and(col("l_shipdate").lt(date(1995, 10, 1))),
+            )
+            .hash_join(
+                scan("part"),
+                Inner,
+                vec![col("l_partkey")],
+                vec![col("p_partkey")],
+            )
+            .agg(
+                vec![],
+                vec![
+                    (
+                        "promo",
+                        Sum(ScalarExpr::case_when(
+                            col("p_type").starts_with("PROMO"),
+                            revenue(),
+                            lit_d(0.0),
+                        )),
+                    ),
+                    ("total", Sum(revenue())),
+                ],
+            )
+            .project(vec![(
+                "promo_revenue",
+                lit_d(100.0).mul(col("promo")).div(col("total")),
+            )]),
+    )
+}
+
+/// The `revenue` view of Q15 (a per-supplier revenue aggregate).
+fn q15_revenue() -> QPlan {
+    scan("lineitem")
+        .select(
+            col("l_shipdate")
+                .ge(date(1996, 1, 1))
+                .and(col("l_shipdate").lt(date(1996, 4, 1))),
+        )
+        .agg(
+            vec![("supplier_no", col("l_suppkey"))],
+            vec![("total_revenue", Sum(revenue()))],
+        )
+}
+
+/// Query 15: top supplier.
+pub fn q15() -> QueryProgram {
+    QueryProgram::new(
+        scan("supplier")
+            .hash_join(
+                q15_revenue(),
+                Inner,
+                vec![col("s_suppkey")],
+                vec![col("supplier_no")],
+            )
+            // total_revenue = max(total_revenue); tolerance band because the
+            // two sides are computed independently in floating point.
+            .select(col("total_revenue").between(
+                param("q15_max").sub(lit_d(0.009)),
+                param("q15_max").add(lit_d(0.009)),
+            ))
+            .project(vec![
+                ("s_suppkey", col("s_suppkey")),
+                ("s_name", col("s_name")),
+                ("s_address", col("s_address")),
+                ("s_phone", col("s_phone")),
+                ("total_revenue", col("total_revenue")),
+            ])
+            .sort(vec![(col("s_suppkey"), Asc)]),
+    )
+    .with_let(
+        "q15_max",
+        q15_revenue().agg(vec![], vec![("m", Max(col("total_revenue")))]),
+    )
+}
+
+/// Query 16: parts/supplier relationship (NOT EXISTS → anti join,
+/// `COUNT(DISTINCT)`).
+pub fn q16() -> QueryProgram {
+    let sizes = [49, 14, 23, 45, 19, 3, 36, 9]
+        .into_iter()
+        .map(Lit::Int)
+        .collect();
+    QueryProgram::new(
+        scan("partsupp")
+            .hash_join(
+                scan("supplier").select(col("s_comment").like("%Customer%Complaints%")),
+                LeftAnti,
+                vec![col("ps_suppkey")],
+                vec![col("s_suppkey")],
+            )
+            .hash_join(
+                scan("part").select(
+                    col("p_brand")
+                        .ne(lit_s("Brand#45"))
+                        .and(col("p_type").starts_with("MEDIUM POLISHED").not())
+                        .and(col("p_size").in_list(sizes)),
+                ),
+                Inner,
+                vec![col("ps_partkey")],
+                vec![col("p_partkey")],
+            )
+            .agg(
+                vec![
+                    ("p_brand", col("p_brand")),
+                    ("p_type", col("p_type")),
+                    ("p_size", col("p_size")),
+                ],
+                vec![("supplier_cnt", CountDistinct(col("ps_suppkey")))],
+            )
+            .sort(vec![
+                (col("supplier_cnt"), Desc),
+                (col("p_brand"), Asc),
+                (col("p_type"), Asc),
+                (col("p_size"), Asc),
+            ]),
+    )
+}
+
+/// Query 17: small-quantity-order revenue (correlated AVG → aggregate
+/// subplan joined back with a residual).
+pub fn q17() -> QueryProgram {
+    let avg_qty = scan("lineitem")
+        .agg(
+            vec![("ag_partkey", col("l_partkey"))],
+            vec![("avg_qty", Avg(col("l_quantity")))],
+        )
+        .project(vec![
+            ("ag_partkey", col("ag_partkey")),
+            ("limit_qty", lit_d(0.2).mul(col("avg_qty"))),
+        ]);
+    QueryProgram::new(
+        scan("lineitem")
+            .hash_join(
+                scan("part").select(
+                    col("p_brand")
+                        .eq(lit_s("Brand#23"))
+                        .and(col("p_container").eq(lit_s("MED BOX"))),
+                ),
+                Inner,
+                vec![col("l_partkey")],
+                vec![col("p_partkey")],
+            )
+            .hash_join(
+                avg_qty,
+                Inner,
+                vec![col("l_partkey")],
+                vec![col("ag_partkey")],
+            )
+            .join_residual(col("l_quantity").lt(col("limit_qty")))
+            .agg(vec![], vec![("total", Sum(col("l_extendedprice")))])
+            .project(vec![("avg_yearly", col("total").div(lit_d(7.0)))]),
+    )
+}
+
+/// Query 18: large-volume customers.
+pub fn q18() -> QueryProgram {
+    let big_orders = scan("lineitem")
+        .agg(
+            vec![("bo_orderkey", col("l_orderkey"))],
+            vec![("sum_qty", Sum(col("l_quantity")))],
+        )
+        .select(col("sum_qty").gt(lit_d(300.0)));
+    QueryProgram::new(
+        scan("customer")
+            .hash_join(
+                scan("orders"),
+                Inner,
+                vec![col("c_custkey")],
+                vec![col("o_custkey")],
+            )
+            .hash_join(
+                big_orders,
+                Inner,
+                vec![col("o_orderkey")],
+                vec![col("bo_orderkey")],
+            )
+            .project(vec![
+                ("c_name", col("c_name")),
+                ("c_custkey", col("c_custkey")),
+                ("o_orderkey", col("o_orderkey")),
+                ("o_orderdate", col("o_orderdate")),
+                ("o_totalprice", col("o_totalprice")),
+                ("sum_qty", col("sum_qty")),
+            ])
+            .sort(vec![
+                (col("o_totalprice"), Desc),
+                (col("o_orderdate"), Asc),
+                (col("o_orderkey"), Asc),
+            ])
+            .limit(100),
+    )
+}
+
+/// Query 19: discounted revenue (three disjunctive brand/container/quantity
+/// branches as a join residual).
+pub fn q19() -> QueryProgram {
+    let containers = |list: [&str; 4]| -> ScalarExpr {
+        col("p_container").in_list(list.iter().map(|s| Lit::Str((*s).into())).collect())
+    };
+    let branch = |brand: &str, conts: [&str; 4], qlo: f64, qhi: f64, smax: i32| -> ScalarExpr {
+        col("p_brand")
+            .eq(lit_s(brand))
+            .and(containers(conts))
+            .and(col("l_quantity").ge(lit_d(qlo)))
+            .and(col("l_quantity").le(lit_d(qhi)))
+            .and(col("p_size").between(lit_i(1), lit_i(smax)))
+    };
+    let residual = branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
+        .or(branch(
+            "Brand#23",
+            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10.0,
+            20.0,
+            10,
+        ))
+        .or(branch(
+            "Brand#34",
+            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        ));
+    QueryProgram::new(
+        scan("lineitem")
+            .select(
+                col("l_shipinstruct").eq(lit_s("DELIVER IN PERSON")).and(
+                    col("l_shipmode")
+                        .in_list(vec![Lit::Str("AIR".into()), Lit::Str("AIR REG".into())]),
+                ),
+            )
+            .hash_join(
+                scan("part"),
+                Inner,
+                vec![col("l_partkey")],
+                vec![col("p_partkey")],
+            )
+            .join_residual(residual)
+            .agg(vec![], vec![("revenue", Sum(revenue()))]),
+    )
+}
+
+/// Query 20: potential part promotion.
+pub fn q20() -> QueryProgram {
+    let qty_1994 = scan("lineitem")
+        .select(
+            col("l_shipdate")
+                .ge(date(1994, 1, 1))
+                .and(col("l_shipdate").lt(date(1995, 1, 1))),
+        )
+        .agg(
+            vec![
+                ("q_partkey", col("l_partkey")),
+                ("q_suppkey", col("l_suppkey")),
+            ],
+            vec![("qty", Sum(col("l_quantity")))],
+        );
+    let candidate_partsupp = scan("partsupp")
+        .hash_join(
+            scan("part").select(col("p_name").starts_with("forest")),
+            LeftSemi,
+            vec![col("ps_partkey")],
+            vec![col("p_partkey")],
+        )
+        .hash_join(
+            qty_1994,
+            Inner,
+            vec![col("ps_partkey"), col("ps_suppkey")],
+            vec![col("q_partkey"), col("q_suppkey")],
+        )
+        .join_residual(col("ps_availqty").gt(lit_d(0.5).mul(col("qty"))));
+    QueryProgram::new(
+        scan("supplier")
+            .hash_join(
+                scan("nation").select(col("n_name").eq(lit_s("CANADA"))),
+                Inner,
+                vec![col("s_nationkey")],
+                vec![col("n_nationkey")],
+            )
+            .hash_join(
+                candidate_partsupp,
+                LeftSemi,
+                vec![col("s_suppkey")],
+                vec![col("ps_suppkey")],
+            )
+            .project(vec![
+                ("s_name", col("s_name")),
+                ("s_address", col("s_address")),
+            ])
+            .sort(vec![(col("s_name"), Asc)]),
+    )
+}
+
+/// Query 21: suppliers who kept orders waiting (correlated EXISTS /
+/// NOT EXISTS with `<>` → semi/anti joins with residuals over aliased
+/// self-scans of lineitem).
+pub fn q21() -> QueryProgram {
+    QueryProgram::new(
+        scan("supplier")
+            .hash_join(
+                scan("lineitem").select(col("l_receiptdate").gt(col("l_commitdate"))),
+                Inner,
+                vec![col("s_suppkey")],
+                vec![col("l_suppkey")],
+            )
+            .hash_join(
+                scan("orders").select(col("o_orderstatus").eq(lit_c('F'))),
+                Inner,
+                vec![col("l_orderkey")],
+                vec![col("o_orderkey")],
+            )
+            .hash_join(
+                scan("nation").select(col("n_name").eq(lit_s("SAUDI ARABIA"))),
+                Inner,
+                vec![col("s_nationkey")],
+                vec![col("n_nationkey")],
+            )
+            .hash_join(
+                QPlan::scan_as("lineitem", "l2"),
+                LeftSemi,
+                vec![col("l_orderkey")],
+                vec![col("l2_l_orderkey")],
+            )
+            .join_residual(col("l2_l_suppkey").ne(col("l_suppkey")))
+            .hash_join(
+                QPlan::scan_as("lineitem", "l3")
+                    .select(col("l3_l_receiptdate").gt(col("l3_l_commitdate"))),
+                LeftAnti,
+                vec![col("l_orderkey")],
+                vec![col("l3_l_orderkey")],
+            )
+            .join_residual(col("l3_l_suppkey").ne(col("l_suppkey")))
+            .agg(vec![("s_name", col("s_name"))], vec![("numwait", Count)])
+            .sort(vec![(col("numwait"), Desc), (col("s_name"), Asc)])
+            .limit(100),
+    )
+}
+
+/// Query 22: global sales opportunity.
+pub fn q22() -> QueryProgram {
+    let codes: Vec<Lit> = ["13", "31", "23", "29", "30", "18", "17"]
+        .iter()
+        .map(|s| Lit::Str((*s).into()))
+        .collect();
+    let cntrycode = col("c_phone").substr(1, 2);
+    QueryProgram::new(
+        scan("customer")
+            .select(
+                cntrycode
+                    .clone()
+                    .in_list(codes.clone())
+                    .and(col("c_acctbal").gt(param("q22_avg"))),
+            )
+            .hash_join(
+                scan("orders"),
+                LeftAnti,
+                vec![col("c_custkey")],
+                vec![col("o_custkey")],
+            )
+            .project(vec![
+                ("cntrycode", cntrycode.clone()),
+                ("c_acctbal", col("c_acctbal")),
+            ])
+            .agg(
+                vec![("cntrycode", col("cntrycode"))],
+                vec![("numcust", Count), ("totacctbal", Sum(col("c_acctbal")))],
+            )
+            .sort(vec![(col("cntrycode"), Asc)]),
+    )
+    .with_let(
+        "q22_avg",
+        scan("customer")
+            .select(
+                col("c_acctbal")
+                    .gt(lit_d(0.0))
+                    .and(cntrycode.in_list(codes)),
+            )
+            .agg(vec![], vec![("a", Avg(col("c_acctbal")))]),
+    )
+}
+
+/// Query by number (1-22).
+pub fn query(n: usize) -> QueryProgram {
+    match n {
+        1 => q1(),
+        2 => q2(),
+        3 => q3(),
+        4 => q4(),
+        5 => q5(),
+        6 => q6(),
+        7 => q7(),
+        8 => q8(),
+        9 => q9(),
+        10 => q10(),
+        11 => q11(),
+        12 => q12(),
+        13 => q13(),
+        14 => q14(),
+        15 => q15(),
+        16 => q16(),
+        17 => q17(),
+        18 => q18(),
+        19 => q19(),
+        20 => q20(),
+        21 => q21(),
+        22 => q22(),
+        _ => panic!("TPC-H has queries 1..=22, got {n}"),
+    }
+}
+
+/// All 22 queries with their names.
+pub fn all() -> Vec<(String, QueryProgram)> {
+    (1..=22).map(|n| (format!("Q{n}"), query(n))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::tpch_schema;
+
+    #[test]
+    fn all_queries_build_and_resolve_schemas() {
+        let schema = tpch_schema();
+        for (name, prog) in all() {
+            for (_, plan) in &prog.lets {
+                let cols = plan.output_cols(&schema);
+                assert!(!cols.is_empty(), "{name} let produces no columns");
+            }
+            let cols = prog.main.output_cols(&schema);
+            assert!(!cols.is_empty(), "{name} produces no columns");
+        }
+    }
+
+    #[test]
+    fn output_arities_match_tpch() {
+        let schema = tpch_schema();
+        let arities = [
+            (1, 10),
+            (2, 8),
+            (3, 4),
+            (4, 2),
+            (5, 2),
+            (6, 1),
+            (7, 4),
+            (8, 2),
+            (9, 3),
+            (10, 8),
+            (11, 2),
+            (12, 3),
+            (13, 2),
+            (14, 1),
+            (15, 5),
+            (16, 4),
+            (17, 1),
+            (18, 6),
+            (19, 1),
+            (20, 2),
+            (21, 2),
+            (22, 3),
+        ];
+        for (n, want) in arities {
+            let got = query(n).main.output_cols(&schema).len();
+            assert_eq!(got, want, "Q{n} output arity");
+        }
+    }
+
+    #[test]
+    fn scalar_subquery_queries_have_lets() {
+        for n in [11, 15, 22] {
+            assert!(!query(n).lets.is_empty(), "Q{n} should have a let");
+        }
+        for n in [1, 6, 3] {
+            assert!(query(n).lets.is_empty(), "Q{n} should have no lets");
+        }
+    }
+
+    #[test]
+    fn self_join_queries_use_aliases() {
+        let schema = tpch_schema();
+        // Q21 touches lineitem three times.
+        let tables = query(21).main.tables();
+        let li = tables.iter().filter(|t| &***t == "lineitem").count();
+        assert_eq!(li, 3);
+        // and its output schema still resolves (no duplicate names).
+        let cols = query(21).main.output_cols(&schema);
+        assert_eq!(cols.len(), 2);
+    }
+}

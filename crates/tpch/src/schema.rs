@@ -1,0 +1,171 @@
+//! The TPC-H schema with key annotations.
+//!
+//! Primary/foreign keys are declared here because the paper's index
+//! inference and partitioning transformations require them to be annotated
+//! "at schema definition time" (Appendix B.1).
+
+use dblab_catalog::{ColType, Schema, TableDef};
+
+/// Build the 8-relation TPC-H schema.
+pub fn tpch_schema() -> Schema {
+    use ColType::*;
+    Schema::new(vec![
+        TableDef::new(
+            "region",
+            vec![
+                ("r_regionkey", Int),
+                ("r_name", String),
+                ("r_comment", String),
+            ],
+        )
+        .with_primary_key(&["r_regionkey"]),
+        TableDef::new(
+            "nation",
+            vec![
+                ("n_nationkey", Int),
+                ("n_name", String),
+                ("n_regionkey", Int),
+                ("n_comment", String),
+            ],
+        )
+        .with_primary_key(&["n_nationkey"])
+        .with_foreign_key("n_regionkey", "region"),
+        TableDef::new(
+            "supplier",
+            vec![
+                ("s_suppkey", Int),
+                ("s_name", String),
+                ("s_address", String),
+                ("s_nationkey", Int),
+                ("s_phone", String),
+                ("s_acctbal", Double),
+                ("s_comment", String),
+            ],
+        )
+        .with_primary_key(&["s_suppkey"])
+        .with_foreign_key("s_nationkey", "nation"),
+        TableDef::new(
+            "part",
+            vec![
+                ("p_partkey", Int),
+                ("p_name", String),
+                ("p_mfgr", String),
+                ("p_brand", String),
+                ("p_type", String),
+                ("p_size", Int),
+                ("p_container", String),
+                ("p_retailprice", Double),
+                ("p_comment", String),
+            ],
+        )
+        .with_primary_key(&["p_partkey"]),
+        TableDef::new(
+            "partsupp",
+            vec![
+                ("ps_partkey", Int),
+                ("ps_suppkey", Int),
+                ("ps_availqty", Int),
+                ("ps_supplycost", Double),
+                ("ps_comment", String),
+            ],
+        )
+        .with_primary_key(&["ps_partkey", "ps_suppkey"])
+        .with_foreign_key("ps_partkey", "part")
+        .with_foreign_key("ps_suppkey", "supplier"),
+        TableDef::new(
+            "customer",
+            vec![
+                ("c_custkey", Int),
+                ("c_name", String),
+                ("c_address", String),
+                ("c_nationkey", Int),
+                ("c_phone", String),
+                ("c_acctbal", Double),
+                ("c_mktsegment", String),
+                ("c_comment", String),
+            ],
+        )
+        .with_primary_key(&["c_custkey"])
+        .with_foreign_key("c_nationkey", "nation"),
+        TableDef::new(
+            "orders",
+            vec![
+                ("o_orderkey", Int),
+                ("o_custkey", Int),
+                ("o_orderstatus", Char),
+                ("o_totalprice", Double),
+                ("o_orderdate", Date),
+                ("o_orderpriority", String),
+                ("o_clerk", String),
+                ("o_shippriority", Int),
+                ("o_comment", String),
+            ],
+        )
+        .with_primary_key(&["o_orderkey"])
+        .with_foreign_key("o_custkey", "customer"),
+        TableDef::new(
+            "lineitem",
+            vec![
+                ("l_orderkey", Int),
+                ("l_partkey", Int),
+                ("l_suppkey", Int),
+                ("l_linenumber", Int),
+                ("l_quantity", Double),
+                ("l_extendedprice", Double),
+                ("l_discount", Double),
+                ("l_tax", Double),
+                ("l_returnflag", Char),
+                ("l_linestatus", Char),
+                ("l_shipdate", Date),
+                ("l_commitdate", Date),
+                ("l_receiptdate", Date),
+                ("l_shipinstruct", String),
+                ("l_shipmode", String),
+                ("l_comment", String),
+            ],
+        )
+        .with_primary_key(&["l_orderkey", "l_linenumber"])
+        .with_foreign_key("l_orderkey", "orders")
+        .with_foreign_key("l_partkey", "part")
+        .with_foreign_key("l_suppkey", "supplier"),
+    ])
+}
+
+/// Base cardinalities at scale factor 1, in schema order (region and nation
+/// are fixed-size; lineitem is approximate — on average four lines per
+/// order).
+pub const SF1_ROWS: [(&str, u64); 8] = [
+    ("region", 5),
+    ("nation", 25),
+    ("supplier", 10_000),
+    ("part", 200_000),
+    ("partsupp", 800_000),
+    ("customer", 150_000),
+    ("orders", 1_500_000),
+    ("lineitem", 6_000_000),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_eight_tables_with_keys() {
+        let s = tpch_schema();
+        assert_eq!(s.tables.len(), 8);
+        assert!(s.table("lineitem").primary_key.len() == 2);
+        assert!(s.table("orders").is_primary_key(0));
+        assert_eq!(
+            s.table("lineitem").foreign_key_target(0).map(|t| &**t),
+            Some("orders")
+        );
+        assert_eq!(s.table("lineitem").columns.len(), 16);
+    }
+
+    #[test]
+    fn partsupp_has_composite_primary_key() {
+        let s = tpch_schema();
+        assert_eq!(s.table("partsupp").primary_key, vec![0, 1]);
+        assert!(!s.table("partsupp").is_primary_key(0));
+    }
+}

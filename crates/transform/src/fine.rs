@@ -1,0 +1,81 @@
+//! Fine-grained optimizations (Appendix E).
+//!
+//! The flagship: rewriting `x && y` into `x & y` when both operands are
+//! already-computed booleans, trading a branch for a cheap bitwise
+//! operation ("improves branch prediction"). In ANF both operands are
+//! atoms, so the rewrite is safe whenever the right operand was produced by
+//! pure code — which the builder guarantees for everything bound without a
+//! `WRITE`/`IO` effect.
+
+use dblab_ir::expr::{Atom, BinOp, Expr, Program, Sym};
+use dblab_ir::rewrite::{run_rule, Rewriter, Rule};
+use dblab_ir::Type;
+
+struct Branchless;
+
+impl Rule for Branchless {
+    fn name(&self) -> &'static str {
+        "branch-optimization"
+    }
+
+    fn apply(&mut self, rw: &mut Rewriter<'_>, _: Sym, ty: &Type, e: &Expr) -> Option<Atom> {
+        if *ty != Type::Bool {
+            return None;
+        }
+        match e {
+            Expr::Bin(BinOp::And, a, b) => {
+                let (a, b) = (rw.atom(a), rw.atom(b));
+                Some(rw.b.bin(BinOp::BitAnd, a, b))
+            }
+            Expr::Bin(BinOp::Or, a, b) => {
+                let (a, b) = (rw.atom(a), rw.atom(b));
+                Some(rw.b.bin(BinOp::BitOr, a, b))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Apply the `&&` → `&` rewrite to a whole program.
+pub fn apply(p: &Program) -> Program {
+    run_rule(p, &mut Branchless, p.level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_ir::{IrBuilder, Level};
+
+    #[test]
+    fn and_becomes_bitand() {
+        let mut b = IrBuilder::new();
+        let v = b.decl_var(Atom::Int(1));
+        let x = b.read_var(v);
+        let c1 = b.lt(x.clone(), Atom::Int(5));
+        let c2 = b.gt(x, Atom::Int(0));
+        let c = b.and(c1, c2);
+        let p = b.finish(c, Level::CScala);
+        let q = apply(&p);
+        assert!(q
+            .body
+            .stmts
+            .iter()
+            .any(|st| matches!(st.expr, Expr::Bin(BinOp::BitAnd, ..))));
+        assert!(!q
+            .body
+            .stmts
+            .iter()
+            .any(|st| matches!(st.expr, Expr::Bin(BinOp::And, ..))));
+    }
+
+    #[test]
+    fn non_bool_and_untouched() {
+        let mut b = IrBuilder::new();
+        let v = b.decl_var(Atom::Int(6));
+        let x = b.read_var(v);
+        let y = b.bin(BinOp::BitAnd, x, Atom::Int(3));
+        let p = b.finish(y, Level::CScala);
+        let q = apply(&p);
+        assert_eq!(q.body.stmts.len(), p.body.stmts.len());
+    }
+}

@@ -1,0 +1,220 @@
+//! The compilation driver: runs the configured DSL stack top to bottom,
+//! optimizing to fixpoint at each level and recording a snapshot per stage
+//! (the paper's progressive-lowering methodology, §2; the per-level
+//! optimization sets are the Table 3 experiment axis).
+
+use std::time::{Duration, Instant};
+
+use dblab_catalog::Schema;
+use dblab_frontend::qmonad::QMonad;
+use dblab_frontend::qplan::QueryProgram;
+use dblab_ir::opt::optimize;
+use dblab_ir::{Level, Program};
+
+use crate::config::StackConfig;
+use crate::{field_removal, fine, fusion, hash_spec, horizontal, list_spec, mem_hoist, pipeline, string_dict};
+
+/// One stage of the compilation, for inspection and tests.
+#[derive(Debug, Clone)]
+pub struct StageSnapshot {
+    pub name: String,
+    pub level: Level,
+    /// Statement count (incl. nested blocks) after the stage.
+    pub size: usize,
+}
+
+/// A compiled query: the final IR program plus stage metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub program: Program,
+    pub stages: Vec<StageSnapshot>,
+    /// Pure compiler time (the DBLAB half of Figure 9).
+    pub gen_time: Duration,
+    pub config: StackConfig,
+}
+
+impl CompiledQuery {
+    /// The IR program as produced after the named stage (for level-by-level
+    /// differential testing, the snapshots store only metadata; use
+    /// [`compile_with_snapshots`] to retain full programs).
+    pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+/// Compile a QPlan program through the configured stack.
+pub fn compile(prog: &QueryProgram, schema: &Schema, cfg: &StackConfig) -> CompiledQuery {
+    let (cq, _) = compile_with_snapshots(prog, schema, cfg, false);
+    cq
+}
+
+/// Compile, optionally retaining the full IR program after every stage
+/// (used by the differential tests and the `--show-ir` example flag).
+pub fn compile_with_snapshots(
+    prog: &QueryProgram,
+    schema: &Schema,
+    cfg: &StackConfig,
+    keep_programs: bool,
+) -> (CompiledQuery, Vec<(String, Program)>) {
+    let start = Instant::now();
+    let p = pipeline::lower_program(prog, schema, cfg);
+    run_stack(p, schema, cfg, start, keep_programs)
+}
+
+/// Compile a QMonad query through the configured stack (the alternative
+/// front-end of §4.5; everything below pipelining is shared).
+pub fn compile_qmonad(q: &QMonad, schema: &Schema, cfg: &StackConfig) -> CompiledQuery {
+    let start = Instant::now();
+    let p = fusion::lower_qmonad(q, schema, cfg);
+    run_stack(p, schema, cfg, start, false).0
+}
+
+fn run_stack(
+    p: Program,
+    schema: &Schema,
+    cfg: &StackConfig,
+    start: Instant,
+    keep: bool,
+) -> (CompiledQuery, Vec<(String, Program)>) {
+    let mut stages = Vec::new();
+    let mut programs = Vec::new();
+    let mut record = |name: &str, p: &Program, programs: &mut Vec<(String, Program)>| {
+        stages.push(StageSnapshot {
+            name: name.to_string(),
+            level: p.level,
+            size: p.body.size(),
+        });
+        if keep {
+            programs.push((name.to_string(), p.clone()));
+        }
+    };
+
+    // ScaLite[Map, List]: pipelined program; optimize to fixpoint.
+    let mut p = optimize(&p, 8);
+    p = horizontal::apply(&p);
+    record("pipelining", &p, &mut programs);
+
+    if cfg.string_dict {
+        p = optimize(&string_dict::apply(&p, schema), 4);
+        record("string-dictionaries", &p, &mut programs);
+    }
+
+    // Lower to ScaLite[List]: hash-table specialization.
+    if cfg.hash_spec {
+        p = optimize(&hash_spec::apply(&p, cfg), 4);
+        record("hash-table-specialization", &p, &mut programs);
+    }
+
+    // Lower to ScaLite: list specialization.
+    if cfg.list_spec {
+        p = optimize(&list_spec::apply(&p), 4);
+        record("list-specialization", &p, &mut programs);
+    }
+
+    // ScaLite-level cleanups.
+    p = field_removal::apply(&p, cfg.table_field_removal);
+    p = optimize(&p, 4);
+    record("field-removal", &p, &mut programs);
+
+    // Lower to C.Scala: memory management.
+    if cfg.mem_pools {
+        p = optimize(&mem_hoist::apply(&p), 4);
+        record("memory-hoisting", &p, &mut programs);
+    }
+
+    if cfg.branchless {
+        p = fine::apply(&p);
+        record("branch-optimization", &p, &mut programs);
+    }
+
+    p = optimize(&p, 4);
+    record("final", &p, &mut programs);
+
+    (
+        CompiledQuery {
+            program: p,
+            stages,
+            gen_time: start.elapsed(),
+            config: cfg.clone(),
+        },
+        programs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_frontend::expr::*;
+    use dblab_frontend::qplan::{AggFunc, JoinKind, QPlan};
+
+    fn schema() -> Schema {
+        let mut s = dblab_tpch::tpch_schema();
+        for t in &mut s.tables {
+            t.stats.row_count = 100;
+            t.stats.int_max = vec![100; t.columns.len()];
+            t.stats.distinct = vec![10; t.columns.len()];
+        }
+        s
+    }
+
+    fn join_count_query() -> QueryProgram {
+        QueryProgram::new(
+            QPlan::scan("customer")
+                .select(col("c_mktsegment").eq(lit_s("BUILDING")))
+                .hash_join(
+                    QPlan::scan("orders"),
+                    JoinKind::Inner,
+                    vec![col("c_custkey")],
+                    vec![col("o_custkey")],
+                )
+                .agg(vec![], vec![("n", AggFunc::Count)]),
+        )
+    }
+
+    #[test]
+    fn level2_stays_at_maplist() {
+        let cq = compile(&join_count_query(), &schema(), &StackConfig::level2());
+        assert_eq!(cq.program.level, Level::MapList);
+        assert!(cq.stage("hash-table-specialization").is_none());
+    }
+
+    #[test]
+    fn level4_reaches_cscala_through_list_level() {
+        let cq = compile(&join_count_query(), &schema(), &StackConfig::level4());
+        assert_eq!(cq.program.level, Level::CScala);
+        assert!(cq.stage("hash-table-specialization").is_some());
+        assert!(cq.stage("list-specialization").is_none());
+    }
+
+    #[test]
+    fn level5_runs_every_stage_in_order() {
+        let cq = compile(&join_count_query(), &schema(), &StackConfig::level5());
+        let names: Vec<&str> = cq.stages.iter().map(|s| s.name.as_str()).collect();
+        // index inference replaces the join's hash table, but aggregation
+        // tables still flow through specialization.
+        assert!(names.contains(&"pipelining"));
+        assert!(names.contains(&"memory-hoisting"));
+        assert_eq!(cq.program.level, Level::CScala);
+        // Levels are monotonically non-increasing across stages.
+        let mut last = Level::MapList;
+        for s in &cq.stages {
+            assert!(s.level >= last, "level went back up at {}", s.name);
+            last = s.level;
+        }
+    }
+
+    #[test]
+    fn all_queries_compile_at_all_configs() {
+        let schema = schema();
+        for cfg in StackConfig::table3() {
+            for (name, prog) in dblab_tpch::queries::all() {
+                let cq = compile(&prog, &schema, &cfg);
+                assert!(
+                    cq.program.body.size() > 10,
+                    "{name}@{}: trivial program",
+                    cfg.name
+                );
+            }
+        }
+    }
+}

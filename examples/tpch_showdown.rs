@@ -1,0 +1,68 @@
+//! A miniature Table 3: pick a few TPC-H queries and race every stack
+//! configuration (plus the LegoBase baseline) on generated data, verifying
+//! each result against the Volcano oracle along the way.
+//!
+//! ```text
+//! cargo run --release --example tpch_showdown            # Q1 Q3 Q6 Q14 at SF 0.02
+//! cargo run --release --example tpch_showdown -- 0.05 1 6 19
+//! ```
+
+use dblab::transform::StackConfig;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let sf: f64 = argv.first().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let queries: Vec<usize> = if argv.len() > 1 {
+        argv[1..].iter().map(|s| s.parse().expect("query no")).collect()
+    } else {
+        vec![1, 3, 6, 14]
+    };
+
+    let dir = std::env::temp_dir().join(format!("dblab_showdown_{sf}"));
+    let db = dblab::tpch::generate(sf, &dir);
+    db.write_all().expect("write data");
+    let schema = db.schema.clone();
+    let gen = std::env::temp_dir().join("dblab_showdown_gen");
+
+    let mut configs = vec![StackConfig {
+        name: "LegoBase",
+        ..StackConfig::level4()
+    }];
+    configs.extend(StackConfig::table3());
+
+    print!("{:<18}", format!("SF {sf}"));
+    for q in &queries {
+        print!("{:>10}", format!("Q{q} (ms)"));
+    }
+    println!();
+    for cfg in &configs {
+        print!("{:<18}", cfg.name);
+        for &q in &queries {
+            let prog = dblab::tpch::queries::query(q);
+            let oracle = dblab::engine::execute_program(&prog, &db).to_text();
+            let name = format!("sd_q{q}_{}", cfg.name.replace([' ', '/'], "_"));
+            let ms = dblab::codegen::compile_query(&prog, &schema, cfg, &gen, &name)
+                .and_then(|(_, bin)| {
+                    let mut best = f64::INFINITY;
+                    let mut last = None;
+                    for _ in 0..3 {
+                        let r = dblab::codegen::run(&bin, &dir)?;
+                        best = best.min(r.query_ms);
+                        last = Some(r);
+                    }
+                    let r = last.expect("ran");
+                    assert_eq!(
+                        r.stdout.lines().count(),
+                        oracle.lines().count(),
+                        "Q{q} row count mismatch under {}",
+                        cfg.name
+                    );
+                    Ok(best)
+                })
+                .unwrap_or(f64::NAN);
+            print!("{ms:>10.2}");
+        }
+        println!();
+    }
+    println!("\n(lower is better; every run is row-count-checked against the oracle)");
+}

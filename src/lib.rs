@@ -1,0 +1,15 @@
+//! # dblab — a multi-level DSL-stack query compiler
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! quickstart and `DESIGN.md` for the architecture.
+
+pub use dblab_catalog as catalog;
+pub use dblab_codegen as codegen;
+pub use dblab_engine as engine;
+pub use dblab_frontend as frontend;
+pub use dblab_interp as interp;
+pub use dblab_ir as ir;
+pub use dblab_legobase as legobase;
+pub use dblab_runtime as runtime;
+pub use dblab_tpch as tpch;
+pub use dblab_transform as transform;

@@ -1,0 +1,110 @@
+//! Cross-crate invariants of the DSL stack itself: level discipline,
+//! monotone lowering, stage-by-stage interpretability, and the formal
+//! stack-construction principles.
+
+use dblab::ir::level::{validate, Level};
+use dblab::tpch;
+use dblab::transform::config::dblab_stack;
+use dblab::transform::stack::compile_with_snapshots;
+use dblab::transform::StackConfig;
+
+fn schema_with_stats() -> dblab::catalog::Schema {
+    let mut s = tpch::tpch_schema();
+    for t in &mut s.tables {
+        t.stats.row_count = 500;
+        t.stats.int_max = vec![500; t.columns.len()];
+        t.stats.distinct = vec![25; t.columns.len()];
+    }
+    s
+}
+
+#[test]
+fn declared_stack_satisfies_both_principles() {
+    let chain = dblab_stack().check().expect("principled stack");
+    // The unique lowering path runs MapList -> List -> ScaLite -> CScala.
+    let levels: Vec<(Level, Level)> = chain.iter().map(|e| (e.source, e.target)).collect();
+    assert_eq!(
+        levels,
+        vec![
+            (Level::MapList, Level::List),
+            (Level::List, Level::ScaLite),
+            (Level::ScaLite, Level::CScala),
+        ]
+    );
+}
+
+#[test]
+fn every_stage_of_the_full_stack_validates_at_its_level() {
+    let schema = schema_with_stats();
+    for n in [1, 3, 6, 13, 16] {
+        let prog = tpch::queries::query(n);
+        let (_, stages) = compile_with_snapshots(&prog, &schema, &StackConfig::level5(), true);
+        assert!(stages.len() >= 5, "Q{n}: expected full stage chain");
+        let mut last = Level::MapList;
+        for (name, p) in &stages {
+            // Levels never go back up (expressibility principle).
+            assert!(p.level >= last, "Q{n}: {name} raised the level");
+            last = p.level;
+            // Dialect validation (pools make the final stages C.Scala;
+            // mixed-down stages must be clean at their declared level).
+            let violations = validate(p);
+            assert!(
+                violations.is_empty(),
+                "Q{n} after {name}: {violations:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deeper_stacks_never_produce_slower_shapes() {
+    // Structural proxy for Table 3's "performance is never negatively
+    // affected": deeper stacks must eliminate the generic containers.
+    let schema = schema_with_stats();
+    for n in [3, 4, 10] {
+        let prog = tpch::queries::query(n);
+        let l2 = dblab::transform::compile(&prog, &schema, &StackConfig::level2());
+        let l5 = dblab::transform::compile(&prog, &schema, &StackConfig::level5());
+        let has = |p: &dblab::ir::Program, pat: &str| {
+            dblab::ir::printer::print_program(p).contains(pat)
+        };
+        assert!(
+            has(&l2.program, "MultiMap") || has(&l2.program, "HashMap"),
+            "Q{n}: L2 should use generic hash tables"
+        );
+        assert!(
+            !has(&l5.program, "MultiMap") && !has(&l5.program, "HashMap"),
+            "Q{n}: L5 must specialize every hash table away"
+        );
+        assert!(
+            !has(&l5.program, "new List["),
+            "Q{n}: L5 must specialize every list away"
+        );
+    }
+}
+
+#[test]
+fn compliant_config_avoids_noncompliant_artifacts() {
+    let schema = schema_with_stats();
+    let prog = tpch::queries::query(14); // uses startsWith => dictionary bait
+    let compliant = dblab::transform::compile(&prog, &schema, &StackConfig::compliant());
+    let text = dblab::ir::printer::print_program(&compliant.program);
+    assert!(!text.contains("dict["), "no dictionaries when compliant");
+    assert!(!text.contains("loadIndex"), "no index inference when compliant");
+    let l5 = dblab::transform::compile(&prog, &schema, &StackConfig::level5());
+    let text5 = dblab::ir::printer::print_program(&l5.program);
+    assert!(text5.contains("dict["), "level 5 dictionary-encodes p_type");
+}
+
+#[test]
+fn generated_c_is_self_contained_and_stable() {
+    let schema = schema_with_stats();
+    let prog = tpch::queries::query(6);
+    let cq = dblab::transform::compile(&prog, &schema, &StackConfig::level5());
+    let src1 = dblab::codegen::emit(&cq.program, &schema);
+    let src2 = dblab::codegen::emit(&cq.program, &schema);
+    assert_eq!(src1, src2, "emission is deterministic");
+    assert!(src1.contains("#include \"dblab_runtime.h\""));
+    assert!(src1.contains("load_lineitem"));
+    assert!(src1.contains("dblab_timer_start"));
+}
