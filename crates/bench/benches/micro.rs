@@ -1,51 +1,68 @@
-//! Criterion micro-benchmarks for the substrate pieces whose cost gaps the
-//! paper's optimizations exploit: generic chained vs. specialized
-//! open-addressing hash tables, string comparison vs. dictionary codes,
-//! ANF construction with hash-consing, and the compiler passes themselves.
+//! Micro-benchmarks for the substrate pieces whose cost gaps the paper's
+//! optimizations exploit: generic chained vs. specialized open-addressing
+//! hash tables, string comparison vs. dictionary codes, ANF construction
+//! with hash-consing, and the compiler passes themselves — now with the
+//! per-pass wall-time breakdown the instrumented pass manager records.
+//!
+//! Framework-free (`harness = false`): a warmup round, then the best of
+//! `RUNS` timed repetitions, printed as a plain table.
+//!
+//! ```text
+//! cargo bench -p dblab-bench
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use dblab_runtime::hash::{ChainedMap, ChainedMultiMap, OpenMap};
 use dblab_runtime::StringDict;
 
-fn hash_tables(c: &mut Criterion) {
-    let n = 10_000i64;
-    let mut g = c.benchmark_group("hash-tables");
-    g.bench_function("chained-build-10k", |b| {
-        b.iter(|| {
-            let mut m: ChainedMap<i64, i64> = ChainedMap::new();
-            for i in 0..n {
-                m.insert(i * 7 % n, i);
-            }
-            m.len()
-        })
-    });
-    g.bench_function("open-addressing-build-10k", |b| {
-        b.iter(|| {
-            let mut m: OpenMap<i64, i64> = OpenMap::with_capacity(n as usize);
-            for i in 0..n {
-                *m.get_or_insert_with(i * 7 % n, || 0) = i;
-            }
-            m.len()
-        })
-    });
-    g.bench_function("multimap-probe-10k", |b| {
-        let mut mm: ChainedMultiMap<i64, i64> = ChainedMultiMap::new();
-        for i in 0..n {
-            mm.add_binding(i % 100, i);
-        }
-        b.iter(|| {
-            let mut acc = 0i64;
-            for k in 0..100 {
-                acc += mm.get(&k).len() as i64;
-            }
-            acc
-        })
-    });
-    g.finish();
+const RUNS: usize = 7;
+
+/// Best-of-`RUNS` wall time of `f`, with one untimed warmup.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut best = Duration::MAX;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    println!("{:<36}{:>12.1} µs", name, best.as_secs_f64() * 1e6);
 }
 
-fn string_dictionary(c: &mut Criterion) {
+fn hash_tables() {
+    println!("\n## hash tables (generic chained vs specialized)");
+    let n = 10_000i64;
+    bench("chained-build-10k", || {
+        let mut m: ChainedMap<i64, i64> = ChainedMap::new();
+        for i in 0..n {
+            m.insert(i * 7 % n, i);
+        }
+        m.len()
+    });
+    bench("open-addressing-build-10k", || {
+        let mut m: OpenMap<i64, i64> = OpenMap::with_capacity(n as usize);
+        for i in 0..n {
+            *m.get_or_insert_with(i * 7 % n, || 0) = i;
+        }
+        m.len()
+    });
+    let mut mm: ChainedMultiMap<i64, i64> = ChainedMultiMap::new();
+    for i in 0..n {
+        mm.add_binding(i % 100, i);
+    }
+    bench("multimap-probe-10k", || {
+        let mut acc = 0i64;
+        for k in 0..100 {
+            acc += mm.get(&k).len() as i64;
+        }
+        acc
+    });
+}
+
+fn string_dictionary() {
+    println!("\n## string dictionaries (paper §5.3)");
     let values: Vec<String> = (0..1000)
         .map(|i| format!("VALUE NUMBER {:05}", i % 50))
         .collect();
@@ -55,38 +72,33 @@ fn string_dictionary(c: &mut Criterion) {
     let needle = "VALUE NUMBER 00025";
     let needle_code = dict.code(needle);
 
-    let mut g = c.benchmark_group("string-dictionary");
-    g.bench_function("strcmp-filter", |b| {
-        b.iter(|| refs.iter().filter(|s| **s == needle).count())
+    bench("strcmp-filter", || {
+        refs.iter().filter(|s| **s == needle).count()
     });
-    g.bench_function("dictionary-code-filter", |b| {
-        b.iter(|| codes.iter().filter(|c| **c == needle_code).count())
+    bench("dictionary-code-filter", || {
+        codes.iter().filter(|c| **c == needle_code).count()
     });
-    g.finish();
 }
 
-fn anf_builder(c: &mut Criterion) {
+fn anf_builder() {
+    println!("\n## ANF construction (hash-consing CSE)");
     use dblab_ir::{Atom, IrBuilder, Level};
-    c.bench_function("anf-build-cse-1k", |b| {
-        b.iter_batched(
-            IrBuilder::new,
-            |mut bld| {
-                let v = bld.decl_var(Atom::Int(1));
-                let x = bld.read_var(v);
-                for i in 0..1000 {
-                    // Half of these are duplicates that CSE collapses.
-                    let k = Atom::Int(i % 500);
-                    let s = bld.add(x.clone(), k);
-                    let _ = bld.mul(s, Atom::Int(2));
-                }
-                bld.finish(Atom::Unit, Level::ScaLite)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("anf-build-cse-1k", || {
+        let mut bld = IrBuilder::new();
+        let v = bld.decl_var(Atom::Int(1));
+        let x = bld.read_var(v);
+        for i in 0..1000 {
+            // Half of these are duplicates that CSE collapses.
+            let k = Atom::Int(i % 500);
+            let s = bld.add(x.clone(), k);
+            let _ = bld.mul(s, Atom::Int(2));
+        }
+        bld.finish(Atom::Unit, Level::ScaLite)
     });
 }
 
-fn compiler_passes(c: &mut Criterion) {
+fn compiler_passes() {
+    println!("\n## whole-stack compilation");
     let mut schema = dblab_tpch::tpch_schema();
     for t in &mut schema.tables {
         t.stats.row_count = 1000;
@@ -95,30 +107,43 @@ fn compiler_passes(c: &mut Criterion) {
     }
     let q6 = dblab_tpch::queries::q6();
     let q3 = dblab_tpch::queries::q3();
-    let mut g = c.benchmark_group("compiler");
     for (name, prog) in [("q6", &q6), ("q3", &q3)] {
         for cfg in [
             dblab_transform::StackConfig::level2(),
             dblab_transform::StackConfig::level5(),
         ] {
-            g.bench_function(format!("compile-{name}-L{}", cfg.levels), |b| {
-                b.iter(|| {
-                    dblab_transform::compile(prog, &schema, &cfg)
-                        .program
-                        .body
-                        .size()
-                })
+            bench(&format!("compile-{name}-L{}", cfg.levels), || {
+                dblab_transform::compile(prog, &schema, &cfg)
+                    .program
+                    .body
+                    .size()
             });
         }
     }
-    g.finish();
+
+    // Where the compile time goes: best-of-RUNS per pass, from the pass
+    // manager's stage instrumentation.
+    println!("\n## per-pass compile-time breakdown (Q3, five-level stack)");
+    let cfg = dblab_transform::StackConfig::level5();
+    let mut best: Vec<(String, Duration)> = Vec::new();
+    for _ in 0..RUNS {
+        let cq = dblab_transform::compile(&q3, &schema, &cfg);
+        for s in &cq.stages {
+            match best.iter_mut().find(|(n, _)| *n == s.name) {
+                Some((_, t)) => *t = (*t).min(s.time),
+                None => best.push((s.name.clone(), s.time)),
+            }
+        }
+    }
+    for (name, t) in &best {
+        println!("{:<36}{:>12.1} µs", name, t.as_secs_f64() * 1e6);
+    }
 }
 
-criterion_group!(
-    benches,
-    hash_tables,
-    string_dictionary,
-    anf_builder,
-    compiler_passes
-);
-criterion_main!(benches);
+fn main() {
+    println!("# dblab micro-benchmarks (best of {RUNS})");
+    hash_tables();
+    string_dictionary();
+    anf_builder();
+    compiler_passes();
+}

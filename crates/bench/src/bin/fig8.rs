@@ -14,7 +14,10 @@ fn main() {
     let out = gen_dir();
     let cfg = StackConfig::level5();
 
-    println!("# Figure 8 — peak memory (MB) of generated C, SF {}", args.sf);
+    println!(
+        "# Figure 8 — peak memory (MB) of generated C, SF {}",
+        args.sf
+    );
     let input_mb = total_input_mb(&data);
     println!("# total .tbl input: {input_mb:.1} MB");
     println!("{:<6}{:>12}{:>14}", "query", "peak MB", "peak/input");

@@ -1,7 +1,11 @@
 //! Regenerates the paper's **Figure 9**: compilation time per query,
 //! split into DBLAB program optimization / code generation vs C compiler
 //! time ("the compilation time is divided almost equally between DBLAB/LB
-//! and CLang" — here gcc).
+//! and CLang" — here gcc), plus the per-pass breakdown the instrumented
+//! pass manager records — which stage of the stack the generation half is
+//! actually spent in.
+
+use std::time::Duration;
 
 use dblab_bench::{data_dir, gen_dir, Args};
 use dblab_transform::StackConfig;
@@ -20,6 +24,9 @@ fn main() {
     );
     let mut sum_gen = 0.0;
     let mut sum_cc = 0.0;
+    // Per-pass totals across queries, in stage order of first appearance.
+    let mut stage_totals: Vec<(String, Duration, u32)> = Vec::new();
+    let mut compiled_queries = 0u32;
     for &q in &args.queries {
         let prog = dblab_tpch::queries::query(q);
         let name = format!("f9_q{q}");
@@ -29,17 +36,43 @@ fn main() {
                 let cc = compiled.cc_time.as_secs_f64();
                 sum_gen += gen;
                 sum_cc += cc;
+                compiled_queries += 1;
+                for s in &cq.stages {
+                    match stage_totals.iter_mut().find(|(n, _, _)| *n == s.name) {
+                        Some((_, t, k)) => {
+                            *t += s.time;
+                            *k += 1;
+                        }
+                        None => stage_totals.push((s.name.clone(), s.time, 1)),
+                    }
+                }
                 println!("Q{q:<5}{gen:>14.3}{cc:>12.3}{:>10.3}", gen + cc);
             }
             Err(e) => println!("Q{q:<5}  ERROR: {e}"),
         }
     }
-    let n = args.queries.len() as f64;
-    println!(
-        "# mean: generation {:.3}s, gcc {:.3}s (split {:.0}%/{:.0}%)",
-        sum_gen / n,
-        sum_cc / n,
-        100.0 * sum_gen / (sum_gen + sum_cc),
-        100.0 * sum_cc / (sum_gen + sum_cc)
-    );
+    if compiled_queries > 0 {
+        let n = f64::from(compiled_queries);
+        println!(
+            "# mean: generation {:.3}s, gcc {:.3}s (split {:.0}%/{:.0}%)",
+            sum_gen / n,
+            sum_cc / n,
+            100.0 * sum_gen / (sum_gen + sum_cc),
+            100.0 * sum_cc / (sum_gen + sum_cc)
+        );
+    }
+
+    if compiled_queries > 0 {
+        println!("\n# generation-time breakdown per pass (mean over {compiled_queries} queries)");
+        println!("{:<28}{:>12}{:>9}", "pass", "mean (ms)", "share");
+        let total: f64 = stage_totals.iter().map(|(_, t, _)| t.as_secs_f64()).sum();
+        for (name, t, runs) in &stage_totals {
+            println!(
+                "{:<28}{:>12.3}{:>8.1}%",
+                name,
+                t.as_secs_f64() * 1e3 / f64::from(*runs),
+                100.0 * t.as_secs_f64() / total
+            );
+        }
+    }
 }

@@ -18,7 +18,10 @@ const ROWS: &[(&str, &[&str])] = &[
     ("String Dictionaries", &["string_dict.rs"]),
     ("Unused Field Removal", &["field_removal.rs"]),
     ("Fine-Grained Optimizations", &["fine.rs"]),
-    ("Scala Constructs to C Transformer", &["../../codegen/src/emit.rs"]),
+    (
+        "Scala Constructs to C Transformer",
+        &["../../codegen/src/emit.rs"],
+    ),
 ];
 
 fn main() {

@@ -74,7 +74,10 @@ impl TableDef {
             name: name.into(),
             columns: columns
                 .into_iter()
-                .map(|(n, t)| Column { name: n.into(), ty: t })
+                .map(|(n, t)| Column {
+                    name: n.into(),
+                    ty: t,
+                })
                 .collect(),
             primary_key: Vec::new(),
             foreign_keys: Vec::new(),

@@ -213,8 +213,12 @@ impl<'p> Emitter<'p> {
             for &c in &info.index_keys {
                 let _ = writeln!(self.top, "static int32_t* g_{t}_key_{c};");
             }
-            for (&c, _) in &info.dicts {
-                let _ = writeln!(self.top, "static dblab_dict g_dict_{}__{c};", ident(&info.name));
+            for &c in info.dicts.keys() {
+                let _ = writeln!(
+                    self.top,
+                    "static dblab_dict g_dict_{}__{c};",
+                    ident(&info.name)
+                );
             }
         }
     }
@@ -234,7 +238,11 @@ impl<'p> Emitter<'p> {
         let rec_def = self.p.structs.get(info.sid).clone();
         let mut s = String::new();
         let _ = writeln!(s, "static void load_{t}(void) {{");
-        let _ = writeln!(s, "    int64_t size; char* buf = dblab_read_file(\"{}\", &size);", info.name);
+        let _ = writeln!(
+            s,
+            "    int64_t size; char* buf = dblab_read_file(\"{}\", &size);",
+            info.name
+        );
         let _ = writeln!(s, "    int64_t n = dblab_count_lines(buf, size);");
         let _ = writeln!(s, "    g_{t}_len = n;");
         // Allocation.
@@ -252,15 +260,24 @@ impl<'p> Emitter<'p> {
             }
             _ => {
                 let rec = ident(&rec_def.name);
-                let _ = writeln!(s, "    g_{t}_rows = ({rec}**)malloc((size_t)n * sizeof({rec}*));");
+                let _ = writeln!(
+                    s,
+                    "    g_{t}_rows = ({rec}**)malloc((size_t)n * sizeof({rec}*));"
+                );
             }
         }
         for &c in &info.index_keys {
-            let _ = writeln!(s, "    g_{t}_key_{c} = (int32_t*)malloc((size_t)n * sizeof(int32_t));");
+            let _ = writeln!(
+                s,
+                "    g_{t}_key_{c} = (int32_t*)malloc((size_t)n * sizeof(int32_t));"
+            );
         }
         // Temporary raw-string columns for dictionary-encoded fields.
-        for (&c, _) in &info.dicts {
-            let _ = writeln!(s, "    char** raw_{c} = (char**)malloc((size_t)n * sizeof(char*));");
+        for &c in info.dicts.keys() {
+            let _ = writeln!(
+                s,
+                "    char** raw_{c} = (char**)malloc((size_t)n * sizeof(char*));"
+            );
         }
         // Parse loop: tokenize in place.
         let _ = writeln!(s, "    char* p = buf;");
@@ -271,7 +288,10 @@ impl<'p> Emitter<'p> {
             let _ = writeln!(s, "        g_{t}_rows[row] = r;");
         }
         for (ci, col) in def.columns.iter().enumerate() {
-            let _ = writeln!(s, "        char* f{ci} = p; while (*p != '|') p++; *p = '\\0'; p++;");
+            let _ = writeln!(
+                s,
+                "        char* f{ci} = p; while (*p != '|') p++; *p = '\\0'; p++;"
+            );
             let field_pos = info.kept.iter().position(|&k| k == ci);
             // Standalone key array (for index builders).
             if info.index_keys.contains(&ci) {
@@ -300,7 +320,7 @@ impl<'p> Emitter<'p> {
         let _ = writeln!(s, "        while (*p == '\\n' || *p == '\\r') p++;");
         let _ = writeln!(s, "    }}");
         // Build dictionaries and re-encode their columns.
-        for (&c, _) in &info.dicts {
+        for &c in info.dicts.keys() {
             let dict = format!("g_dict_{t}__{c}");
             let _ = writeln!(s, "    {dict} = dblab_dict_build(raw_{c}, n);");
             let fp = info
@@ -345,8 +365,14 @@ impl<'p> Emitter<'p> {
                         let _ = writeln!(s, "    int32_t max = 0;");
                         let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) if (g_{t}_key_{field}[i] > max) max = g_{t}_key_{field}[i];");
                         let _ = writeln!(s, "    {arr} out; out.len = (int64_t)max + 2;");
-                        let _ = writeln!(s, "    out.data = (int32_t*)malloc((size_t)out.len * sizeof(int32_t));");
-                        let _ = writeln!(s, "    for (int64_t i = 0; i < out.len; i++) out.data[i] = -1;");
+                        let _ = writeln!(
+                            s,
+                            "    out.data = (int32_t*)malloc((size_t)out.len * sizeof(int32_t));"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "    for (int64_t i = 0; i < out.len; i++) out.data[i] = -1;"
+                        );
                         let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) out.data[g_{t}_key_{field}[i]] = (int32_t)i;");
                         let _ = writeln!(s, "    return out;");
                         let _ = writeln!(s, "}}");
@@ -360,7 +386,10 @@ impl<'p> Emitter<'p> {
                         let t = ident(table);
                         let arr = self.arr_type("int32_t");
                         let mut s = String::new();
-                        let _ = writeln!(s, "static {arr} g_csr_{t}_{field}_starts, g_csr_{t}_{field}_items;");
+                        let _ = writeln!(
+                            s,
+                            "static {arr} g_csr_{t}_{field}_starts, g_csr_{t}_{field}_items;"
+                        );
                         let _ = writeln!(s, "static int g_csr_{t}_{field}_built = 0;");
                         let _ = writeln!(s, "static void build_csr_{t}_{field}(void) {{");
                         let _ = writeln!(s, "    if (g_csr_{t}_{field}_built) return;");
@@ -369,13 +398,25 @@ impl<'p> Emitter<'p> {
                         let _ = writeln!(s, "    int32_t max = 0;");
                         let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) if (g_{t}_key_{field}[i] > max) max = g_{t}_key_{field}[i];");
                         let _ = writeln!(s, "    int64_t sn = (int64_t)max + 2;");
-                        let _ = writeln!(s, "    int32_t* counts = (int32_t*)calloc((size_t)sn, sizeof(int32_t));");
-                        let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) counts[g_{t}_key_{field}[i]]++;");
+                        let _ = writeln!(
+                            s,
+                            "    int32_t* counts = (int32_t*)calloc((size_t)sn, sizeof(int32_t));"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "    for (int64_t i = 0; i < n; i++) counts[g_{t}_key_{field}[i]]++;"
+                        );
                         let _ = writeln!(s, "    int32_t* starts = (int32_t*)malloc((size_t)(sn) * sizeof(int32_t));");
                         let _ = writeln!(s, "    int32_t acc = 0;");
                         let _ = writeln!(s, "    for (int64_t k = 0; k < sn; k++) {{ starts[k] = acc; acc += counts[k]; }}");
-                        let _ = writeln!(s, "    int32_t* items = (int32_t*)malloc((size_t)n * sizeof(int32_t));");
-                        let _ = writeln!(s, "    int32_t* cur = (int32_t*)calloc((size_t)sn, sizeof(int32_t));");
+                        let _ = writeln!(
+                            s,
+                            "    int32_t* items = (int32_t*)malloc((size_t)n * sizeof(int32_t));"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "    int32_t* cur = (int32_t*)calloc((size_t)sn, sizeof(int32_t));"
+                        );
                         let _ = writeln!(s, "    for (int64_t i = 0; i < n; i++) {{ int32_t k = g_{t}_key_{field}[i]; items[starts[k] + cur[k]] = (int32_t)i; cur[k]++; }}");
                         let _ = writeln!(s, "    free(counts); free(cur);");
                         let _ = writeln!(s, "    g_csr_{t}_{field}_starts.data = starts; g_csr_{t}_{field}_starts.len = sn;");
@@ -400,7 +441,13 @@ impl<'p> Emitter<'p> {
         match a {
             Atom::Sym(s) => format!("x{}", s.0),
             Atom::Unit => "0".into(),
-            Atom::Bool(b) => if *b { "1".into() } else { "0".into() },
+            Atom::Bool(b) => {
+                if *b {
+                    "1".into()
+                } else {
+                    "0".into()
+                }
+            }
             Atom::Int(v) => format!("{v}"),
             Atom::Long(v) => format!("{v}LL"),
             Atom::Double(_) => {
@@ -913,7 +960,11 @@ impl<'p> Emitter<'p> {
                     out,
                     &format!("dblab_vec* {lv} = (dblab_vec*)dblab_hash_get({m}, {kk});"),
                 );
-                self.line(depth, out, &format!("if ({lv}) for (int64_t {iv} = 0; {iv} < {lv}->len; {iv}++) {{"));
+                self.line(
+                    depth,
+                    out,
+                    &format!("if ({lv}) for (int64_t {iv} = 0; {iv} < {lv}->len; {iv}++) {{"),
+                );
                 let vt = self.c_type(&self.p.type_of(*var).clone());
                 self.line(
                     depth + 1,
@@ -1002,7 +1053,13 @@ enum KeyKind {
 /// Sanitize a name into a C identifier.
 fn ident(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -1027,4 +1084,3 @@ fn c_string(s: &str) -> String {
     out.push('"');
     out
 }
-

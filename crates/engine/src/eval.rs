@@ -214,7 +214,11 @@ mod tests {
     }
 
     fn row() -> Vec<Value> {
-        vec![Value::Int(3), Value::Double(1.5), Value::str("PROMO ANODIZED")]
+        vec![
+            Value::Int(3),
+            Value::Double(1.5),
+            Value::str("PROMO ANODIZED"),
+        ]
     }
 
     #[test]

@@ -119,7 +119,9 @@ fn run(plan: &QPlan, db: &Database, params: &HashMap<Rc<str>, Value>) -> ResultS
         } => {
             let l = run(left, db, params);
             let r = run(right, db, params);
-            join(plan, &l, &r, *kind, left_keys, right_keys, residual, schema, params)
+            join(
+                plan, &l, &r, *kind, left_keys, right_keys, residual, schema, params,
+            )
         }
         QPlan::Agg {
             child,
@@ -335,10 +337,7 @@ fn aggregate(
         }
     }
     let out_cols = plan.output_cols(schema);
-    let agg_types: Vec<ColType> = out_cols[group_by.len()..]
-        .iter()
-        .map(|(_, t)| *t)
-        .collect();
+    let agg_types: Vec<ColType> = out_cols[group_by.len()..].iter().map(|(_, t)| *t).collect();
     let rows = groups
         .into_iter()
         .map(|(key, accs)| {
@@ -385,18 +384,10 @@ mod tests {
                 ],
             )
             .with_primary_key(&["r_id"]),
-            TableDef::new(
-                "s",
-                vec![("s_rid", ColType::Int), ("s_w", ColType::Double)],
-            ),
+            TableDef::new("s", vec![("s_rid", ColType::Int), ("s_w", ColType::Double)]),
         ]);
         let mut r = Table::empty(schema.table("r"));
-        for (id, name, sid) in [
-            (1, "R1", 10),
-            (2, "R2", 10),
-            (3, "R1", 20),
-            (4, "R3", 30),
-        ] {
+        for (id, name, sid) in [(1, "R1", 10), (2, "R2", 10), (3, "R1", 20), (4, "R3", 30)] {
             r.push_row(vec![Value::Int(id), Value::str(name), Value::Int(sid)]);
         }
         let mut s = Table::empty(schema.table("s"));
@@ -524,10 +515,7 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let plan = QPlan::scan("s").agg(
-            vec![],
-            vec![("d", AggFunc::CountDistinct(col("s_rid")))],
-        );
+        let plan = QPlan::scan("s").agg(vec![], vec![("d", AggFunc::CountDistinct(col("s_rid")))]);
         let rs = execute_plan(&plan, &db());
         assert_eq!(rs.rows, vec![vec![Value::Long(3)]]);
     }

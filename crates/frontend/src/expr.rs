@@ -122,6 +122,9 @@ macro_rules! bin_method {
     };
 }
 
+// Builder methods consume `self` and return a new tree; they are the DSL's
+// surface syntax, deliberately named after the operators they build.
+#[allow(clippy::should_implement_trait)]
 impl ScalarExpr {
     bin_method!(add, Add);
     bin_method!(sub, Sub);

@@ -29,7 +29,9 @@ use crate::qplan::{AggFunc, JoinKind, QPlan, SortDir};
 #[derive(Debug, Clone, PartialEq)]
 pub enum QMonad {
     /// The rows of a base relation.
-    Source { table: Rc<str> },
+    Source {
+        table: Rc<str>,
+    },
     Filter {
         child: Box<QMonad>,
         pred: ScalarExpr,
@@ -182,11 +184,7 @@ mod tests {
         // R.filter(_.name == "R1").hashJoin(S)(_.sid)(_.rid).count
         let q = QMonad::source("r")
             .filter(col("r_name").eq(lit_s("R1")))
-            .hash_join(
-                QMonad::source("s"),
-                vec![col("r_sid")],
-                vec![col("s_rid")],
-            )
+            .hash_join(QMonad::source("s"), vec![col("r_sid")], vec![col("s_rid")])
             .count();
         let plan = q.to_qplan();
         // AggOp(HashJoinOp(SelectOp(R, ...), S, sid, rid), COUNT)

@@ -222,9 +222,9 @@ impl QPlan {
                     })
                     .collect()
             }
-            QPlan::Select { child, .. } | QPlan::Sort { child, .. } | QPlan::Limit { child, .. } => {
-                child.output_cols(schema)
-            }
+            QPlan::Select { child, .. }
+            | QPlan::Sort { child, .. }
+            | QPlan::Limit { child, .. } => child.output_cols(schema),
             QPlan::Project { child, cols } => {
                 let input = child.output_cols(schema);
                 cols.iter()
@@ -343,11 +343,8 @@ mod tests {
                 ],
             )
             .with_primary_key(&["r_id"]),
-            TableDef::new(
-                "s",
-                vec![("s_rid", ColType::Int), ("s_w", ColType::Double)],
-            )
-            .with_foreign_key("s_rid", "r"),
+            TableDef::new("s", vec![("s_rid", ColType::Int), ("s_w", ColType::Double)])
+                .with_foreign_key("s_rid", "r"),
         ])
     }
 

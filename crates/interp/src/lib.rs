@@ -118,7 +118,11 @@ impl Interp<'_> {
 
     fn atom(&self, a: &Atom) -> V {
         match a {
-            Atom::Sym(s) => self.env.get(s).cloned().unwrap_or_else(|| panic!("unbound {s}")),
+            Atom::Sym(s) => self
+                .env
+                .get(s)
+                .cloned()
+                .unwrap_or_else(|| panic!("unbound {s}")),
             Atom::Unit => V::Unit,
             Atom::Bool(b) => V::B(*b),
             Atom::Int(v) | Atom::Long(v) => V::I(*v),
@@ -334,8 +338,11 @@ impl Interp<'_> {
                     V::Map(m) => m,
                     other => panic!("foreach on {other:?}"),
                 };
-                let mut entries: Vec<(Key, V)> =
-                    m.borrow().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+                let mut entries: Vec<(Key, V)> = m
+                    .borrow()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
                 entries.sort_by_key(|(k, _)| format!("{k:?}"));
                 for (k, v) in entries {
                     self.set(*kvar, key_back(&k));
@@ -431,10 +438,7 @@ impl Interp<'_> {
             let xn = matches!(x, V::Null);
             let yn = matches!(y, V::Null);
             if xn || yn {
-                let eq = match (&x, &y) {
-                    (V::Null, V::Null) => true,
-                    _ => false,
-                };
+                let eq = matches!((&x, &y), (V::Null, V::Null));
                 return V::B(if op == Eq { eq } else { !eq });
             }
         }

@@ -15,7 +15,9 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::effects::effects_of;
-use crate::expr::{Annot, Annotations, Atom, BinOp, Block, DictOp, Expr, PrimOp, Program, Stmt, Sym, UnOp};
+use crate::expr::{
+    Annot, Annotations, Atom, BinOp, Block, DictOp, Expr, PrimOp, Program, Stmt, Sym, UnOp,
+};
 use crate::level::Level;
 use crate::types::{StructId, StructRegistry, Type};
 
@@ -424,10 +426,7 @@ impl IrBuilder {
     // ------------------------------------------------------------------
 
     pub fn array_new(&mut self, elem: Type, len: Atom) -> Atom {
-        self.emit(
-            Type::array(elem.clone()),
-            Expr::ArrayNew { elem, len },
-        )
+        self.emit(Type::array(elem.clone()), Expr::ArrayNew { elem, len })
     }
 
     pub fn array_get(&mut self, arr: Atom, idx: Atom) -> Atom {
@@ -574,10 +573,7 @@ impl IrBuilder {
     // ------------------------------------------------------------------
 
     pub fn malloc(&mut self, ty: Type, count: Atom) -> Atom {
-        self.emit(
-            Type::pointer(ty.clone()),
-            Expr::Malloc { ty, count },
-        )
+        self.emit(Type::pointer(ty.clone()), Expr::Malloc { ty, count })
     }
 
     pub fn free(&mut self, ptr: Atom) {
@@ -675,12 +671,8 @@ fn fold_bin(op: BinOp, a: &Atom, b: &Atom) -> Option<Atom> {
         (Or, Atom::Bool(false), x) | (Or, x, Atom::Bool(false)) => return Some(x.clone()),
         (Or, Atom::Bool(true), _) | (Or, _, Atom::Bool(true)) => return Some(Atom::Bool(true)),
         // Integer identities.
-        (Add, Atom::Int(0), x) | (Add, x, Atom::Int(0)) if !x.is_const() => {
-            return Some(x.clone())
-        }
-        (Mul, Atom::Int(1), x) | (Mul, x, Atom::Int(1)) if !x.is_const() => {
-            return Some(x.clone())
-        }
+        (Add, Atom::Int(0), x) | (Add, x, Atom::Int(0)) if !x.is_const() => return Some(x.clone()),
+        (Mul, Atom::Int(1), x) | (Mul, x, Atom::Int(1)) if !x.is_const() => return Some(x.clone()),
         _ => {}
     }
     let int2 = |x: &Atom, y: &Atom| -> Option<(i64, i64, bool)> {

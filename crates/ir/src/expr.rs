@@ -23,9 +23,10 @@ impl std::fmt::Display for Sym {
 }
 
 /// An ANF operand: a constant or a reference to a bound symbol.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Atom {
     Sym(Sym),
+    #[default]
     Unit,
     Bool(bool),
     /// 32-bit integer constant (stored widened; the IR type stays `Int`).
@@ -536,12 +537,6 @@ pub struct Stmt {
 pub struct Block {
     pub stmts: Vec<Stmt>,
     pub result: Atom,
-}
-
-impl Default for Atom {
-    fn default() -> Self {
-        Atom::Unit
-    }
 }
 
 impl Block {

@@ -94,15 +94,17 @@ fn level_range(e: &Expr) -> (Level, Level) {
     }
 }
 
-/// Does `ty` belong to `level`? (Type-level mirror of [`level_range`].)
-fn type_ok(ty: &Type, level: Level) -> bool {
+/// Does `ty` fit inside the dialect window `[hi, lo]`? (Type-level mirror
+/// of [`level_range`]: a type is admissible when the window still contains
+/// a level possessing it.)
+fn type_ok(ty: &Type, hi: Level, lo: Level) -> bool {
     match ty {
         Type::HashMap(k, v) | Type::MultiMap(k, v) => {
-            level == Level::MapList && type_ok(k, level) && type_ok(v, level)
+            hi == Level::MapList && type_ok(k, hi, lo) && type_ok(v, hi, lo)
         }
-        Type::List(e) => level <= Level::List && type_ok(e, level),
-        Type::Pointer(e) | Type::Pool(e) => level == Level::CScala && type_ok(e, level),
-        Type::Array(e) => type_ok(e, level),
+        Type::List(e) => hi <= Level::List && type_ok(e, hi, lo),
+        Type::Pointer(e) | Type::Pool(e) => lo == Level::CScala && type_ok(e, hi, lo),
+        Type::Array(e) => type_ok(e, hi, lo),
         _ => true,
     }
 }
@@ -112,36 +114,65 @@ fn type_ok(ty: &Type, level: Level) -> bool {
 /// (§4.3): records reached through a MultiMap iteration must not be
 /// field-mutated.
 pub fn validate(p: &Program) -> Vec<Violation> {
+    validate_window(p, p.level, p.level)
+}
+
+/// Validate `p.body` against a dialect *window* `[hi, lo]` (both
+/// inclusive, `hi` the more abstract end): every node must be legal at
+/// **some** level inside the window.
+///
+/// The pass manager uses this for partial stacks (the Table 3 experiment
+/// axis): when a lowering is disabled, vocabulary of the levels it would
+/// have discharged legitimately survives below its home level, so the
+/// post-pass contract is "nothing outside `[highest undischarged level,
+/// current level]`". With the full stack enabled the window collapses to a
+/// single level and this is exact dialect conformance, i.e. [`validate`].
+pub fn validate_window(p: &Program, hi: Level, lo: Level) -> Vec<Violation> {
+    assert!(hi <= lo, "window is ordered most-abstract first");
     let mut out = Vec::new();
     let mut mm_elems: Vec<Sym> = Vec::new();
-    validate_block(&p.body, p, &mut mm_elems, &mut out);
+    validate_block(&p.body, hi, lo, &mut mm_elems, &mut out);
     out
 }
 
-fn validate_block(b: &Block, p: &Program, mm_elems: &mut Vec<Sym>, out: &mut Vec<Violation>) {
+fn validate_block(
+    b: &Block,
+    hi: Level,
+    lo: Level,
+    mm_elems: &mut Vec<Sym>,
+    out: &mut Vec<Violation>,
+) {
     for st in &b.stmts {
-        let (hi, lo) = level_range(&st.expr);
-        if p.level < hi || p.level > lo {
+        let (nhi, nlo) = level_range(&st.expr);
+        if lo < nhi || hi > nlo {
             out.push(Violation {
                 sym: st.sym,
                 message: format!(
-                    "node {:?} is only legal between {} and {}, program is at {}",
+                    "node {:?} is only legal between {} and {}, program window is [{}, {}]",
                     discriminant_name(&st.expr),
+                    nhi,
+                    nlo,
                     hi,
-                    lo,
-                    p.level
+                    lo
                 ),
             });
         }
-        if !type_ok(&st.ty, p.level) {
+        if !type_ok(&st.ty, hi, lo) {
             out.push(Violation {
                 sym: st.sym,
-                message: format!("type {} is not expressible at {}", st.ty, p.level),
+                message: format!(
+                    "type {} is not expressible between {} and {}",
+                    st.ty, hi, lo
+                ),
             });
         }
-        // No-nested-mutability check, only meaningful at MapList.
-        if p.level == Level::MapList {
-            if let Expr::FieldSet { obj: Atom::Sym(s), .. } = &st.expr {
+        // No-nested-mutability check, only meaningful while MultiMaps may
+        // still be present.
+        if hi == Level::MapList {
+            if let Expr::FieldSet {
+                obj: Atom::Sym(s), ..
+            } = &st.expr
+            {
                 if mm_elems.contains(s) {
                     out.push(Violation {
                         sym: st.sym,
@@ -161,7 +192,7 @@ fn validate_block(b: &Block, p: &Program, mm_elems: &mut Vec<Sym>, out: &mut Vec
             false
         };
         for blk in st.expr.blocks() {
-            validate_block(blk, p, mm_elems, out);
+            validate_block(blk, hi, lo, mm_elems, out);
         }
         if pushed {
             mm_elems.pop();
@@ -294,6 +325,93 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.message.contains("nested mutability")));
+    }
+
+    /// Every level rejects the vocabulary it does not possess: hash tables
+    /// below ScaLite\[Map, List\], lists below ScaLite\[List\], memory
+    /// management anywhere above C.Scala.
+    #[test]
+    fn each_level_rejects_out_of_vocabulary_nodes() {
+        let hash_node = Stmt {
+            sym: Sym(0),
+            ty: Type::hash_map(Type::Int, Type::Int),
+            expr: Expr::HashMapNew {
+                key: Type::Int,
+                value: Type::Int,
+            },
+        };
+        let list_node = Stmt {
+            sym: Sym(0),
+            ty: Type::list(Type::Int),
+            expr: Expr::ListNew { elem: Type::Int },
+        };
+        let mem_node = Stmt {
+            sym: Sym(0),
+            ty: Type::pointer(Type::Int),
+            expr: Expr::Malloc {
+                ty: Type::Int,
+                count: Atom::Int(1),
+            },
+        };
+        for lvl in Level::ALL {
+            let hash_ok = lvl == Level::MapList;
+            let list_ok = lvl <= Level::List;
+            let mem_ok = lvl == Level::CScala;
+            assert_eq!(
+                validate(&prog(lvl, vec![hash_node.clone()], 1)).is_empty(),
+                hash_ok,
+                "hash vocabulary at {lvl}"
+            );
+            assert_eq!(
+                validate(&prog(lvl, vec![list_node.clone()], 1)).is_empty(),
+                list_ok,
+                "list vocabulary at {lvl}"
+            );
+            assert_eq!(
+                validate(&prog(lvl, vec![mem_node.clone()], 1)).is_empty(),
+                mem_ok,
+                "memory vocabulary at {lvl}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_admits_residual_higher_level_vocabulary() {
+        // A list surviving down to C.Scala (list specialization disabled)
+        // is legal in the window [List, CScala] but not at CScala alone.
+        let st = Stmt {
+            sym: Sym(0),
+            ty: Type::list(Type::Int),
+            expr: Expr::ListNew { elem: Type::Int },
+        };
+        let p = prog(Level::CScala, vec![st], 1);
+        assert!(!validate(&p).is_empty());
+        assert!(validate_window(&p, Level::List, Level::CScala).is_empty());
+        // But vocabulary already discharged stays illegal: a hash table is
+        // outside [List, CScala].
+        let st = Stmt {
+            sym: Sym(0),
+            ty: Type::hash_map(Type::Int, Type::Int),
+            expr: Expr::HashMapNew {
+                key: Type::Int,
+                value: Type::Int,
+            },
+        };
+        let p = prog(Level::CScala, vec![st], 1);
+        assert_eq!(validate_window(&p, Level::List, Level::CScala).len(), 2);
+    }
+
+    #[test]
+    fn point_window_equals_validate() {
+        let st = Stmt {
+            sym: Sym(0),
+            ty: Type::list(Type::Int),
+            expr: Expr::ListNew { elem: Type::Int },
+        };
+        for lvl in Level::ALL {
+            let p = prog(lvl, vec![st.clone()], 1);
+            assert_eq!(validate(&p), validate_window(&p, lvl, lvl));
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use crate::expr::{Atom, Block, Expr, Program, Sym};
 use crate::effects::effects_of;
+use crate::expr::{Atom, Block, Expr, Program, Sym};
 use crate::rewrite::{run_rule, Identity};
 
 /// Dead-code elimination. A statement is removed when its symbol is unused
@@ -236,7 +236,10 @@ mod tests {
         let x = b.read_var(v);
         // alias chain: a = x; c = a + 0 (folds to alias); dead = c * 0
         let a = b.emit(Type::Int, Expr::Atom(x.clone()));
-        let c = b.emit(Type::Int, Expr::Bin(crate::expr::BinOp::Add, a, Atom::Int(0)));
+        let c = b.emit(
+            Type::Int,
+            Expr::Bin(crate::expr::BinOp::Add, a, Atom::Int(0)),
+        );
         let _dead = b.emit(
             Type::Int,
             Expr::Bin(crate::expr::BinOp::Mul, c.clone(), Atom::Int(0)),

@@ -16,7 +16,13 @@ pub fn print_program(p: &Program) -> String {
             .iter()
             .map(|f| format!("{}: {}", f.name, f.ty))
             .collect();
-        let _ = writeln!(out, "// struct #{} {}({})", id.0, def.name, fields.join(", "));
+        let _ = writeln!(
+            out,
+            "// struct #{} {}({})",
+            id.0,
+            def.name,
+            fields.join(", ")
+        );
     }
     print_block_inner(&p.body, 0, &mut out);
     if !matches!(p.body.result, Atom::Unit) {
@@ -211,8 +217,21 @@ fn print_stmt(st: &Stmt, depth: usize, out: &mut String) {
             lhs(out, st);
             let _ = writeln!(out, "{}.length", atom(a));
         }
-        Expr::SortArray { arr, len, a, b, cmp } => {
-            let _ = write!(out, "sort({}, {}) (({}, {}) => ", atom(arr), atom(len), a, b);
+        Expr::SortArray {
+            arr,
+            len,
+            a,
+            b,
+            cmp,
+        } => {
+            let _ = write!(
+                out,
+                "sort({}, {}) (({}, {}) => ",
+                atom(arr),
+                atom(len),
+                a,
+                b
+            );
             block_arg(cmp, depth, out);
             out.push_str(")\n");
         }
@@ -261,7 +280,13 @@ fn print_stmt(st: &Stmt, depth: usize, out: &mut String) {
             let _ = writeln!(out, "new MultiMap[{}, {}]", key, value);
         }
         Expr::MultiMapAdd { map, key, value } => {
-            let _ = writeln!(out, "{}.addBinding({}, {})", atom(map), atom(key), atom(value));
+            let _ = writeln!(
+                out,
+                "{}.addBinding({}, {})",
+                atom(map),
+                atom(key),
+                atom(value)
+            );
         }
         Expr::MultiMapForeachAt {
             map,

@@ -371,11 +371,7 @@ pub fn run_rule(p: &Program, rule: &mut dyn Rule, new_level: Level) -> Program {
     };
     let result = rw.block_inline(rule, &p.body);
     // Carry annotations across the renaming.
-    let remap: Vec<(Sym, Atom)> = rw
-        .subst
-        .iter()
-        .map(|(k, v)| (*k, v.clone()))
-        .collect();
+    let remap: Vec<(Sym, Atom)> = rw.subst.iter().map(|(k, v)| (*k, v.clone())).collect();
     for (old_sym, new_atom) in remap {
         if let Atom::Sym(ns) = new_atom {
             for a in p.annots.get(old_sym).to_vec() {
@@ -433,14 +429,8 @@ mod tests {
         b.cse_enabled = false;
         let v = b.decl_var(Atom::Int(3));
         let x = b.read_var(v);
-        let a1 = b.emit(
-            Type::Int,
-            Expr::Bin(BinOp::Add, x.clone(), Atom::Int(1)),
-        );
-        let _a2 = b.emit(
-            Type::Int,
-            Expr::Bin(BinOp::Add, x.clone(), Atom::Int(1)),
-        );
+        let a1 = b.emit(Type::Int, Expr::Bin(BinOp::Add, x.clone(), Atom::Int(1)));
+        let _a2 = b.emit(Type::Int, Expr::Bin(BinOp::Add, x.clone(), Atom::Int(1)));
         let p = b.finish(a1, Level::ScaLite);
         assert_eq!(p.body.stmts.len(), 4);
 
@@ -456,13 +446,7 @@ mod tests {
             fn name(&self) -> &'static str {
                 "mul-to-add"
             }
-            fn apply(
-                &mut self,
-                rw: &mut Rewriter<'_>,
-                _: Sym,
-                _: &Type,
-                e: &Expr,
-            ) -> Option<Atom> {
+            fn apply(&mut self, rw: &mut Rewriter<'_>, _: Sym, _: &Type, e: &Expr) -> Option<Atom> {
                 // x * 2  =>  x + x
                 if let Expr::Bin(BinOp::Mul, a, Atom::Int(2)) = e {
                     let a = rw.atom(a);

@@ -177,10 +177,7 @@ impl<K: Hash + Eq, V> ChainedMap<K, V> {
             return;
         }
         let new_n = self.buckets.len() * 2;
-        let old = std::mem::replace(
-            &mut self.buckets,
-            (0..new_n).map(|_| None).collect(),
-        );
+        let old = std::mem::replace(&mut self.buckets, (0..new_n).map(|_| None).collect());
         for mut head in old.into_iter().flatten() {
             loop {
                 let next = head.next.take();

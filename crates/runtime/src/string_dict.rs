@@ -93,10 +93,7 @@ mod tests {
     use super::*;
 
     fn dict(ordered: bool) -> StringDict {
-        StringDict::build(
-            ["banana", "apple", "cherry", "apple", "apricot"],
-            ordered,
-        )
+        StringDict::build(["banana", "apple", "cherry", "apple", "apricot"], ordered)
     }
 
     #[test]

@@ -225,7 +225,10 @@ impl Database {
     pub fn read_all(schema: &Schema, dir: &Path) -> std::io::Result<Database> {
         let mut tables = Vec::new();
         for def in &schema.tables {
-            tables.push(Table::read_tbl(def, &dir.join(format!("{}.tbl", def.name)))?);
+            tables.push(Table::read_tbl(
+                def,
+                &dir.join(format!("{}.tbl", def.name)),
+            )?);
         }
         Ok(Database {
             schema: schema.clone(),
@@ -291,9 +294,12 @@ mod tests {
 
     #[test]
     fn date_field_roundtrip() {
-        assert_eq!(parse_field("1998-09-02", ColType::Date), Value::Int(19980902));
+        assert_eq!(
+            parse_field("1998-09-02", ColType::Date),
+            Value::Int(19980902)
+        );
         assert_eq!(parse_field("R", ColType::Char), Value::Int(82));
-        assert_eq!(parse_field("3.14", ColType::Double), Value::Double(3.14));
+        assert_eq!(parse_field("3.25", ColType::Double), Value::Double(3.25));
     }
 
     #[test]

@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("b"),
             Value::Int(3),
             Value::Double(2.5),

@@ -10,9 +10,7 @@
 
 use std::path::Path;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng64;
 use dblab_catalog::dates;
 use dblab_runtime::{ColData, Database, Table, Value};
 
@@ -72,26 +70,75 @@ pub const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
 
 /// Part-name colors (Q9 needs `green`, Q20 needs `forest`).
 pub const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornsilk", "cream",
-    "cyan", "firebrick", "forest", "frosted", "goldenrod", "green", "honeydew", "indian",
-    "ivory", "khaki", "lavender", "lemon", "linen", "magenta", "maroon",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "firebrick",
+    "forest",
+    "frosted",
+    "goldenrod",
+    "green",
+    "honeydew",
+    "indian",
+    "ivory",
+    "khaki",
+    "lavender",
+    "lemon",
+    "linen",
+    "magenta",
+    "maroon",
 ];
 
 const WORDS: [&str; 24] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
-    "regular", "express", "bold", "even", "silent", "daring", "fluffy", "ruthless", "idle",
-    "busy", "deposits", "accounts", "packages", "theodolites", "instructions", "foxes",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "express",
+    "bold",
+    "even",
+    "silent",
+    "daring",
+    "fluffy",
+    "ruthless",
+    "idle",
+    "busy",
+    "deposits",
+    "accounts",
+    "packages",
+    "theodolites",
+    "instructions",
+    "foxes",
 ];
 
 const START_DATE: i32 = 19920101;
 const ORDER_DATE_SPAN_DAYS: i32 = 2405; // 1992-01-01 .. 1998-08-02
 
-fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng64, items: &'a [&'a str]) -> &'a str {
     items[rng.gen_range(0..items.len())]
 }
 
-fn words(rng: &mut StdRng, n: usize) -> String {
+fn words(rng: &mut Rng64, n: usize) -> String {
     let mut out = String::new();
     for i in 0..n {
         if i > 0 {
@@ -102,11 +149,11 @@ fn words(rng: &mut StdRng, n: usize) -> String {
     out
 }
 
-fn v_string(rng: &mut StdRng, min: usize, max: usize) -> String {
+fn v_string(rng: &mut Rng64, min: usize, max: usize) -> String {
     let len = rng.gen_range(min..=max);
     (0..len)
         .map(|_| {
-            let c = rng.gen_range(0..36);
+            let c = rng.gen_range(0..36u8);
             if c < 10 {
                 (b'0' + c) as char
             } else {
@@ -116,7 +163,7 @@ fn v_string(rng: &mut StdRng, min: usize, max: usize) -> String {
         .collect()
 }
 
-fn phone(rng: &mut StdRng, nationkey: i32) -> String {
+fn phone(rng: &mut Rng64, nationkey: i32) -> String {
     format!(
         "{}-{:03}-{:03}-{:04}",
         10 + nationkey,
@@ -131,7 +178,7 @@ pub fn retail_price(partkey: i32) -> f64 {
     (90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000)) as f64 / 100.0
 }
 
-fn money(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+fn money(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
     cents(rng.gen_range(lo..hi))
 }
 
@@ -145,7 +192,7 @@ fn cents(x: f64) -> f64 {
 /// as the `.tbl` home (call [`Database::write_all`] to materialize).
 pub fn generate(sf: f64, dir: &Path) -> Database {
     let schema = tpch_schema();
-    let mut rng = StdRng::seed_from_u64(0x7c_db1a_b);
+    let mut rng = Rng64::seed_from_u64(0x7cdb1ab);
 
     let n_supp = ((10_000.0 * sf) as usize).max(10);
     let n_part = ((200_000.0 * sf) as usize).max(40);
@@ -176,7 +223,11 @@ pub fn generate(sf: f64, dir: &Path) -> Database {
         let nk = rng.gen_range(0..25);
         // ~5 per 10,000 suppliers complain (Q16's anti-join predicate).
         let comment = if rng.gen_bool(0.01) {
-            format!("{} Customer {} Complaints", words(&mut rng, 2), pick(&mut rng, &WORDS))
+            format!(
+                "{} Customer {} Complaints",
+                words(&mut rng, 2),
+                pick(&mut rng, &WORDS)
+            )
         } else {
             words(&mut rng, 5)
         };
@@ -328,7 +379,11 @@ pub fn generate(sf: f64, dir: &Path) -> Database {
         };
         // ~1.2% of order comments mention special … requests (Q13).
         let comment = if rng.gen_bool(0.012) {
-            format!("{} special {} requests", pick(&mut rng, &WORDS), pick(&mut rng, &WORDS))
+            format!(
+                "{} special {} requests",
+                pick(&mut rng, &WORDS),
+                pick(&mut rng, &WORDS)
+            )
         } else {
             words(&mut rng, 5)
         };
@@ -339,7 +394,10 @@ pub fn generate(sf: f64, dir: &Path) -> Database {
             Value::Double(cents(total)),
             Value::Int(odate),
             Value::str(pick(&mut rng, &PRIORITIES)),
-            Value::str(&format!("Clerk#{:09}", rng.gen_range(1..=(1000.0 * sf).max(10.0) as i32))),
+            Value::str(&format!(
+                "Clerk#{:09}",
+                rng.gen_range(1..=(1000.0 * sf).max(10.0) as i32)
+            )),
             Value::Int(0),
             Value::str(&comment),
         ]);
@@ -406,7 +464,7 @@ mod tests {
         let b = tiny();
         for (ta, tb) in a.tables.iter().zip(&b.tables) {
             assert_eq!(ta.len(), tb.len());
-            if ta.len() > 0 {
+            if !ta.is_empty() {
                 assert_eq!(ta.row(0), tb.row(0));
                 assert_eq!(ta.row(ta.len() - 1), tb.row(tb.len() - 1));
             }

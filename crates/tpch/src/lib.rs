@@ -16,6 +16,7 @@
 
 pub mod dbgen;
 pub mod queries;
+pub mod rng;
 pub mod schema;
 
 pub use dbgen::generate;

@@ -48,10 +48,7 @@ pub fn q1() -> QueryProgram {
                     ("count_order", Count),
                 ],
             )
-            .sort(vec![
-                (col("l_returnflag"), Asc),
-                (col("l_linestatus"), Asc),
-            ]),
+            .sort(vec![(col("l_returnflag"), Asc), (col("l_linestatus"), Asc)]),
     )
 }
 
@@ -252,7 +249,10 @@ pub fn q6() -> QueryProgram {
             )
             .agg(
                 vec![],
-                vec![("revenue", Sum(col("l_extendedprice").mul(col("l_discount"))))],
+                vec![(
+                    "revenue",
+                    Sum(col("l_extendedprice").mul(col("l_discount"))),
+                )],
             ),
     )
 }
@@ -602,10 +602,7 @@ pub fn q13() -> QueryProgram {
                     )),
                 )],
             )
-            .agg(
-                vec![("c_count", col("c_count"))],
-                vec![("custdist", Count)],
-            )
+            .agg(vec![("c_count", col("c_count"))], vec![("custdist", Count)])
             .sort(vec![(col("custdist"), Desc), (col("c_count"), Desc)]),
     )
 }
@@ -823,29 +820,32 @@ pub fn q19() -> QueryProgram {
             .and(col("l_quantity").le(lit_d(qhi)))
             .and(col("p_size").between(lit_i(1), lit_i(smax)))
     };
-    let residual = branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-        .or(branch(
-            "Brand#23",
-            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
-            10.0,
-            20.0,
-            10,
-        ))
-        .or(branch(
-            "Brand#34",
-            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
-            20.0,
-            30.0,
-            15,
-        ));
+    let residual = branch(
+        "Brand#12",
+        ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+        1.0,
+        11.0,
+        5,
+    )
+    .or(branch(
+        "Brand#23",
+        ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+        10.0,
+        20.0,
+        10,
+    ))
+    .or(branch(
+        "Brand#34",
+        ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+        20.0,
+        30.0,
+        15,
+    ));
     QueryProgram::new(
         scan("lineitem")
-            .select(
-                col("l_shipinstruct").eq(lit_s("DELIVER IN PERSON")).and(
-                    col("l_shipmode")
-                        .in_list(vec![Lit::Str("AIR".into()), Lit::Str("AIR REG".into())]),
-                ),
-            )
+            .select(col("l_shipinstruct").eq(lit_s("DELIVER IN PERSON")).and(
+                col("l_shipmode").in_list(vec![Lit::Str("AIR".into()), Lit::Str("AIR REG".into())]),
+            ))
             .hash_join(
                 scan("part"),
                 Inner,

@@ -187,10 +187,7 @@ impl StackBuilder {
                      cohesion — split the level (§2.3)",
                     level,
                     out.len(),
-                    out.iter()
-                        .map(|e| e.name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
+                    out.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
                 ));
             }
         }
@@ -201,18 +198,15 @@ impl StackBuilder {
 }
 
 /// The stack this crate implements, as declared edges (used by tests and
-/// the quickstart example to demonstrate the checker).
+/// the quickstart example to demonstrate the checker). Built directly from
+/// the pass registry's declarations, so the checked stack can never drift
+/// from the pipeline that actually runs.
 pub fn dblab_stack() -> StackBuilder {
-    use Level::*;
-    StackBuilder::new()
-        .add("string-dictionaries", MapList, MapList)
-        .add("index-inference", MapList, MapList)
-        .add("horizontal-fusion", MapList, MapList)
-        .add("hash-table-specialization", MapList, List)
-        .add("list-specialization", List, ScaLite)
-        .add("field-removal", ScaLite, ScaLite)
-        .add("memory-hoisting", ScaLite, CScala)
-        .add("branch-optimization", CScala, CScala)
+    crate::pass::declared_edges()
+        .into_iter()
+        .fold(StackBuilder::new(), |b, (name, source, target)| {
+            b.add(name, source, target)
+        })
 }
 
 #[cfg(test)]

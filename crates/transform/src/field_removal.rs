@@ -38,7 +38,7 @@ pub fn apply(p: &Program, prune_tables: bool) -> Program {
     // protect them from pruning. (After hash-table specialization the
     // comparisons are explicit FieldGets, so nothing is protected.)
     let mut protected: HashSet<StructId> = HashSet::new();
-    collect_protected(&p.body, p, &mut protected);
+    collect_protected(&p.body, &mut protected);
 
     let mut keep: HashMap<StructId, Vec<usize>> = HashMap::new();
     for (sid, def) in p.structs.iter() {
@@ -80,7 +80,10 @@ pub fn apply(p: &Program, prune_tables: bool) -> Program {
         .map(|(sid, kept)| {
             (
                 *sid,
-                kept.iter().enumerate().map(|(new, &old)| (old, new)).collect(),
+                kept.iter()
+                    .enumerate()
+                    .map(|(new, &old)| (old, new))
+                    .collect(),
             )
         })
         .collect();
@@ -88,7 +91,7 @@ pub fn apply(p: &Program, prune_tables: bool) -> Program {
     out
 }
 
-fn collect_protected(b: &Block, p: &Program, out: &mut HashSet<StructId>) {
+fn collect_protected(b: &Block, out: &mut HashSet<StructId>) {
     fn protect_key(t: &dblab_ir::Type, out: &mut HashSet<StructId>) {
         if let dblab_ir::Type::HashMap(k, _) | dblab_ir::Type::MultiMap(k, _) = t {
             if let dblab_ir::Type::Record(sid) = &**k {
@@ -99,7 +102,7 @@ fn collect_protected(b: &Block, p: &Program, out: &mut HashSet<StructId>) {
     for st in &b.stmts {
         protect_key(&st.ty, out);
         for blk in st.expr.blocks() {
-            collect_protected(blk, p, out);
+            collect_protected(blk, out);
         }
     }
 }
@@ -181,9 +184,18 @@ mod tests {
         let sid = b.structs.register(StructDef {
             name: "R".into(),
             fields: vec![
-                FieldDef { name: "a".into(), ty: Type::Int },
-                FieldDef { name: "b".into(), ty: Type::Double },
-                FieldDef { name: "c".into(), ty: Type::Int },
+                FieldDef {
+                    name: "a".into(),
+                    ty: Type::Int,
+                },
+                FieldDef {
+                    name: "b".into(),
+                    ty: Type::Double,
+                },
+                FieldDef {
+                    name: "c".into(),
+                    ty: Type::Int,
+                },
             ],
         });
         let r = b.struct_new(sid, vec![Atom::Int(1), Atom::double(2.0), Atom::Int(3)]);
@@ -230,8 +242,14 @@ mod tests {
         let sid = b.structs.register(StructDef {
             name: "t".into(),
             fields: vec![
-                FieldDef { name: "x".into(), ty: Type::Int },
-                FieldDef { name: "y".into(), ty: Type::Int },
+                FieldDef {
+                    name: "x".into(),
+                    ty: Type::Int,
+                },
+                FieldDef {
+                    name: "y".into(),
+                    ty: Type::Int,
+                },
             ],
         });
         let arr = b.load_table("t", sid);

@@ -55,47 +55,41 @@ pub fn lower_qmonad(q: &QMonad, schema: &Schema, cfg: &StackConfig) -> Program {
 
 /// The fused producer of a QMonad expression: `build { k => … }` with `k`
 /// already inlined (Figure 6's encoding, specialised at compile time).
-fn produce(
-    lw: &mut Lowering<'_>,
-    q: &QMonad,
-    k: &mut dyn FnMut(&mut Lowering<'_>, &RowEnv),
-) {
+fn produce(lw: &mut Lowering<'_>, q: &QMonad, k: &mut dyn FnMut(&mut Lowering<'_>, &RowEnv)) {
     match q {
         // Source, filter and map have direct build/foreach encodings; the
         // consumer is spliced straight into the loop body.
-        QMonad::Source { .. } | QMonad::Filter { .. } | QMonad::Map { .. } => {
-            match q {
-                QMonad::Source { table } => {
-                    let plan = dblab_frontend::qplan::QPlan::scan(table);
-                    lw.produce(&plan, k);
-                }
-                QMonad::Filter { child, pred } => {
-                    produce(lw, child, &mut |lw, env| {
-                        let p = lower_expr(&mut lw.b, env, &lw.params, pred);
-                        lw.if_then(p, |lw| k(lw, env));
-                    });
-                }
-                QMonad::Map { child, cols } => {
-                    produce(lw, child, &mut |lw, env| {
-                        let new_cols = cols
-                            .iter()
-                            .map(|(n, e)| ColRef {
-                                name: n.clone(),
-                                atom: lower_expr(&mut lw.b, env, &lw.params, e),
-                                prov: match e {
-                                    dblab_frontend::expr::ScalarExpr::Col(c) => {
-                                        env.lookup(c).prov.clone()
-                                    }
-                                    _ => None,
-                                },
-                            })
-                            .collect();
-                        k(lw, &RowEnv::new(new_cols));
-                    });
-                }
-                _ => unreachable!(),
+        QMonad::Source { .. } | QMonad::Filter { .. } | QMonad::Map { .. } => match q {
+            QMonad::Source { table } => {
+                let plan = dblab_frontend::qplan::QPlan::scan(table);
+                lw.produce(&plan, k);
             }
-        }
+            QMonad::Filter { child, pred } => {
+                produce(lw, child, &mut |lw, env| {
+                    let p = lower_expr(&mut lw.b, env, &lw.params, pred);
+                    lw.if_then(p, |lw| k(lw, env));
+                });
+            }
+            QMonad::Map { child, cols } => {
+                produce(lw, child, &mut |lw, env| {
+                    let new_cols = cols
+                        .iter()
+                        .map(|(n, e)| ColRef {
+                            name: n.clone(),
+                            atom: lower_expr(&mut lw.b, env, &lw.params, e),
+                            prov: match e {
+                                dblab_frontend::expr::ScalarExpr::Col(c) => {
+                                    env.lookup(c).prov.clone()
+                                }
+                                _ => None,
+                            },
+                        })
+                        .collect();
+                    k(lw, &RowEnv::new(new_cols));
+                });
+            }
+            _ => unreachable!(),
+        },
         // Joins, grouping, sorting and limits reuse the plan lowering —
         // by the expressibility principle their QPlan translation is
         // semantically identical, and the resulting IR is the same

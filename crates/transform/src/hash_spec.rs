@@ -347,8 +347,7 @@ impl Rule for HashSpec {
                             return Some(rw.b.array_get(arr, k));
                         }
                         let r = rw.b.array_get(arr.clone(), k.clone());
-                        let isnull =
-                            rw.b.eq(r, Atom::Null(Box::new(Type::Record(rec_sid))));
+                        let isnull = rw.b.eq(r, Atom::Null(Box::new(Type::Record(rec_sid))));
                         rw.b.scope_push();
                         let v = rw.block_inline(self, init);
                         rw.b.array_set(arr.clone(), k.clone(), v);
@@ -361,11 +360,8 @@ impl Rule for HashSpec {
                         Some(rw.b.array_get(arr, k))
                     }
                     MapRepr::Buckets(info) => {
-                        let (arr, mask, pair_sid) =
-                            (info.arr.clone(), info.mask, info.pair_sid);
-                        let vty = match rw.b.structs.get(pair_sid).fields[1].ty.clone() {
-                            t => t,
-                        };
+                        let (arr, mask, pair_sid) = (info.arr.clone(), info.mask, info.pair_sid);
+                        let vty = rw.b.structs.get(pair_sid).fields[1].ty.clone();
                         let k = rw.atom(key);
                         let idx = self.bucket_index(&mut rw.b, &k, mask);
                         let vrec = match &vty {
@@ -404,9 +400,7 @@ impl Rule for HashSpec {
                         {
                             let v = rw.block_inline(self, init);
                             let pair = rw.b.struct_new(pair_sid, vec![k.clone(), v.clone()]);
-                            if let (Atom::Sym(s), Some(h)) =
-                                (&pair, rw.old.annots.size_hint(ms))
-                            {
+                            if let (Atom::Sym(s), Some(h)) = (&pair, rw.old.annots.size_hint(ms)) {
                                 rw.b.annotate(*s, Annot::SizeHint(h));
                             }
                             let l = self.bucket_lazy(&mut rw.b, &arr, &idx, pair_sid);
@@ -469,8 +463,7 @@ impl Rule for HashSpec {
                         Some(Atom::Unit)
                     }
                     MapRepr::Buckets(info) => {
-                        let (arr, mask, pair_sid) =
-                            (info.arr.clone(), info.mask, info.pair_sid);
+                        let (arr, mask, pair_sid) = (info.arr.clone(), info.mask, info.pair_sid);
                         let var = rw.b.bind(Type::Int);
                         rw.b.scope_push();
                         {
@@ -567,9 +560,9 @@ mod tests {
 
     fn has_node(p: &Program, pred: fn(&Expr) -> bool) -> bool {
         fn walk(b: &Block, pred: fn(&Expr) -> bool) -> bool {
-            b.stmts.iter().any(|st| {
-                pred(&st.expr) || st.expr.blocks().iter().any(|blk| walk(blk, pred))
-            })
+            b.stmts
+                .iter()
+                .any(|st| pred(&st.expr) || st.expr.blocks().iter().any(|blk| walk(blk, pred)))
         }
         walk(&p.body, pred)
     }

@@ -175,10 +175,8 @@ fn substitute_sym(b: &mut Block, from: dblab_ir::Sym, to: dblab_ir::Sym) {
     fn subst_expr(e: &mut Expr, from: dblab_ir::Sym, to: dblab_ir::Sym) {
         for_each_atom_mut(e, &mut |a| subst_atom(a, from, to));
         match e {
-            Expr::ReadVar(v) | Expr::Assign { var: v, .. } => {
-                if *v == from {
-                    *v = to;
-                }
+            Expr::ReadVar(v) | Expr::Assign { var: v, .. } if *v == from => {
+                *v = to;
             }
             _ => {}
         }
@@ -205,9 +203,7 @@ fn for_each_atom_mut(e: &mut Expr, f: &mut dyn FnMut(&mut dblab_ir::expr::Atom))
             f(a);
             f(b);
         }
-        Prim(_, args) | StructNew { args, .. } | Printf { args, .. } => {
-            args.iter_mut().for_each(f)
-        }
+        Prim(_, args) | StructNew { args, .. } | Printf { args, .. } => args.iter_mut().for_each(f),
         Dict { arg, .. } => f(arg),
         If { cond, .. } => f(cond),
         ForRange { lo, hi, .. } => {
@@ -260,7 +256,9 @@ fn for_each_atom_mut(e: &mut Expr, f: &mut dyn FnMut(&mut dblab_ir::expr::Atom))
         Malloc { count, .. } => f(count),
         PoolNew { cap, .. } => f(cap),
         PoolAlloc { pool } => f(pool),
-        LoadTable { .. } | LoadIndexUnique { .. } | LoadIndexStarts { .. }
+        LoadTable { .. }
+        | LoadIndexUnique { .. }
+        | LoadIndexStarts { .. }
         | LoadIndexItems { .. } => {}
     }
 }

@@ -67,15 +67,10 @@ pub fn analyze<'p>(
                 let def = schema.table(table);
                 // Undo alias prefixing to find the base column.
                 let base_name: &str = match alias {
-                    Some(a) => key_name
-                        .strip_prefix(&format!("{a}_"))
-                        .unwrap_or(key_name),
+                    Some(a) => key_name.strip_prefix(&format!("{a}_")).unwrap_or(key_name),
                     None => key_name,
                 };
-                let col = def
-                    .columns
-                    .iter()
-                    .position(|c| &*c.name == base_name)?;
+                let col = def.columns.iter().position(|c| &*c.name == base_name)?;
                 if !matches!(def.columns[col].ty, ColType::Int) {
                     return None;
                 }

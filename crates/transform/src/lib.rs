@@ -23,6 +23,14 @@
 //! The scalar expression lowering shared by both front-ends lives in
 //! [`scalar`]; [`config`] defines the per-level optimization sets (the
 //! experiment axis of the paper's Table 3).
+//!
+//! Every transformation above is registered with the contract-checked
+//! **pass manager** in [`pass`]: a [`pass::Pass`] declares its name, its
+//! input/output [`dblab_ir::Level`] contract and an `applies(cfg)`
+//! predicate, and the [`stack`] driver assembles the pipeline from the
+//! registry — which passes run is decided by data ([`StackConfig`]), not
+//! call sites, and debug builds mechanically validate the dialect after
+//! every pass.
 
 pub mod config;
 pub mod field_removal;
@@ -34,10 +42,12 @@ pub mod index_inference;
 pub mod layout;
 pub mod list_spec;
 pub mod mem_hoist;
+pub mod pass;
 pub mod pipeline;
 pub mod scalar;
 pub mod stack;
 pub mod string_dict;
 
 pub use config::StackConfig;
-pub use stack::{compile, CompiledQuery};
+pub use pass::{Pass, PassCtx, PassKind};
+pub use stack::{compile, CompiledQuery, StageSnapshot};

@@ -62,12 +62,11 @@ fn classify(b: &Block, st: &mut ListSpec, p: &Program) {
                     }
                 }
             }
-            Expr::ArrayGet { arr, idx } => {
-                if let Atom::Sym(a) = arr {
-                    if st.bucket_arrays.contains(a) {
-                        st.bucket_gets.insert(s.sym, (*a, idx.clone()));
-                    }
-                }
+            Expr::ArrayGet {
+                arr: Atom::Sym(a),
+                idx,
+            } if st.bucket_arrays.contains(a) => {
+                st.bucket_gets.insert(s.sym, (*a, idx.clone()));
             }
             Expr::ListNew { .. } => {
                 if let Some(h) = p.annots.size_hint(s.sym) {
@@ -322,7 +321,10 @@ mod tests {
         let q = apply(&p);
         assert!(!has_node(&q, |e| matches!(e, Expr::ListNew { .. })));
         assert!(!has_node(&q, |e| matches!(e, Expr::ListAppend { .. })));
-        assert!(has_node(&q, |e| matches!(e, Expr::While { .. })), "intrusive traversal");
+        assert!(
+            has_node(&q, |e| matches!(e, Expr::While { .. })),
+            "intrusive traversal"
+        );
         // Pair gained a next field.
         let pair_def = q.structs.get(sid);
         assert_eq!(&*pair_def.fields.last().unwrap().name, "next");

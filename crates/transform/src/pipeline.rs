@@ -33,17 +33,23 @@ use crate::scalar::{ir_type, lower_expr, ColRef, RowEnv};
 /// Largest dense-key range for aggregation arrays.
 const MAX_DENSE_KEY: u64 = 1 << 26;
 
+/// Loaded index atoms per (table, key column, unique): a unique
+/// row-position array, or CSR starts+items.
+type IndexLoads = HashMap<(Rc<str>, usize, bool), (Atom, Option<Atom>)>;
+
+/// Column provenance per record type: which (table, column) each field
+/// carries, when statically known.
+type RecordProvenance = HashMap<StructId, Vec<Option<(Rc<str>, usize)>>>;
+
 /// The lowering context.
 pub struct Lowering<'a> {
     pub b: IrBuilder,
     pub schema: &'a Schema,
     pub cfg: &'a StackConfig,
     loads: HashMap<Rc<str>, (Atom, StructId)>,
-    /// (table, key column, unique) -> index atoms (unique array, or CSR
-    /// starts+items).
-    index_loads: HashMap<(Rc<str>, usize, bool), (Atom, Option<Atom>)>,
+    index_loads: IndexLoads,
     pub params: HashMap<Rc<str>, Atom>,
-    rec_prov: HashMap<StructId, Vec<Option<(Rc<str>, usize)>>>,
+    rec_prov: RecordProvenance,
     rec_ctr: usize,
 }
 
@@ -153,13 +159,15 @@ pub fn static_prov(plan: &QPlan, name: &str, schema: &Schema) -> Option<(Rc<str>
                 _ => None,
             }
         }
-        QPlan::HashJoin { left, right, kind, .. } => {
-            static_prov(left, name, schema).or_else(|| match kind {
-                JoinKind::Inner | JoinKind::LeftOuter => static_prov(right, name, schema),
-                _ => None,
-            })
-        }
-        QPlan::Agg { child, group_by, .. } => {
+        QPlan::HashJoin {
+            left, right, kind, ..
+        } => static_prov(left, name, schema).or_else(|| match kind {
+            JoinKind::Inner | JoinKind::LeftOuter => static_prov(right, name, schema),
+            _ => None,
+        }),
+        QPlan::Agg {
+            child, group_by, ..
+        } => {
             let (_, e) = group_by.iter().find(|(n, _)| &**n == name)?;
             match e {
                 ScalarExpr::Col(n2) => static_prov(child, n2, schema),
@@ -294,7 +302,8 @@ impl<'a> Lowering<'a> {
         );
         let arr = self.b.load_table(table, sid);
         if let Atom::Sym(s) = arr {
-            self.b.annotate(s, Annot::SizeHint(def.stats.row_count.max(1)));
+            self.b
+                .annotate(s, Annot::SizeHint(def.stats.row_count.max(1)));
             self.b
                 .annotate(s, Annot::TableLayout(crate::layout::table_layout(self.cfg)));
         }
@@ -322,9 +331,7 @@ impl<'a> Lowering<'a> {
             } => {
                 self.preload_indexes(left);
                 self.preload_indexes(right);
-                if !self.cfg.index_inference
-                    || left_keys.len() != 1
-                    || *kind == JoinKind::LeftOuter
+                if !self.cfg.index_inference || left_keys.len() != 1 || *kind == JoinKind::LeftOuter
                 {
                     return;
                 }
@@ -395,7 +402,13 @@ impl<'a> Lowering<'a> {
     }
 
     /// Environment for one base-table record (alias-aware).
-    fn scan_env(&mut self, table: &str, alias: &Option<Rc<str>>, rec: &Atom, sid: StructId) -> RowEnv {
+    fn scan_env(
+        &mut self,
+        table: &str,
+        alias: &Option<Rc<str>>,
+        rec: &Atom,
+        sid: StructId,
+    ) -> RowEnv {
         let def = self.schema.table(table);
         let cols = def
             .columns
@@ -460,9 +473,7 @@ impl<'a> Lowering<'a> {
                 for (n, e) in group_by {
                     let d = match e {
                         ScalarExpr::Col(_) => static_prov(child, n, self.schema)
-                            .and_then(|(t, f)| {
-                                self.schema.table(&t).stats.distinct.get(f).copied()
-                            })
+                            .and_then(|(t, f)| self.schema.table(&t).stats.distinct.get(f).copied())
                             .filter(|d| *d > 0),
                         _ => None,
                     };
@@ -657,15 +668,13 @@ impl<'a> Lowering<'a> {
                 }
                 JoinKind::LeftSemi | JoinKind::LeftAnti => {
                     let found = lw.b.decl_var(Atom::Bool(false));
-                    lw.multimap_foreach_at(mm.clone(), pk, |lw, brec| {
-                        match residual {
-                            None => lw.b.assign(found, Atom::Bool(true)),
-                            Some(pred) => {
-                                let benv = lw.env_from_record(&brec, rec_sid);
-                                let combined = penv.concat(&benv);
-                                let p = lower_expr(&mut lw.b, &combined, &lw.params, pred);
-                                lw.if_then(p, |lw| lw.b.assign(found, Atom::Bool(true)));
-                            }
+                    lw.multimap_foreach_at(mm.clone(), pk, |lw, brec| match residual {
+                        None => lw.b.assign(found, Atom::Bool(true)),
+                        Some(pred) => {
+                            let benv = lw.env_from_record(&brec, rec_sid);
+                            let combined = penv.concat(&benv);
+                            let p = lower_expr(&mut lw.b, &combined, &lw.params, pred);
+                            lw.if_then(p, |lw| lw.b.assign(found, Atom::Bool(true)));
                         }
                     });
                     let f = lw.b.read_var(found);
@@ -744,34 +753,33 @@ impl<'a> Lowering<'a> {
         self.produce(probe, &mut |lw, penv| {
             let pk = lower_expr(&mut lw.b, penv, &lw.params, &probe_keys[0]);
             // Per-match body shared by both index shapes.
-            let emit_match = |lw: &mut Self,
-                              row_idx: Atom,
-                              consumer: &mut dyn FnMut(&mut Self, &RowEnv)| {
-                let rec = lw.b.array_get(tbl.clone(), row_idx);
-                let benv = lw.scan_env(&table, &alias, &rec, sid);
-                // Re-apply the build-side filters (Figure 7c keeps the
-                // `if(r.name == "R1")` inside the probe loop).
-                let mut cond = Atom::Bool(true);
-                for f in &filters {
-                    let p = lower_expr(&mut lw.b, &benv, &lw.params, f);
-                    cond = lw.b.and(cond, p);
-                }
-                if let Some(pred) = residual {
-                    let combined = match kind {
-                        JoinKind::Inner => benv.concat(penv),
-                        _ => penv.concat(&benv),
-                    };
-                    let p = lower_expr(&mut lw.b, &combined, &lw.params, pred);
-                    cond = lw.b.and(cond, p);
-                }
-                match kind {
-                    JoinKind::Inner => {
-                        let combined = benv.concat(penv);
-                        lw.if_then(cond, |lw| consumer(lw, &combined));
+            let emit_match =
+                |lw: &mut Self, row_idx: Atom, consumer: &mut dyn FnMut(&mut Self, &RowEnv)| {
+                    let rec = lw.b.array_get(tbl.clone(), row_idx);
+                    let benv = lw.scan_env(&table, &alias, &rec, sid);
+                    // Re-apply the build-side filters (Figure 7c keeps the
+                    // `if(r.name == "R1")` inside the probe loop).
+                    let mut cond = Atom::Bool(true);
+                    for f in &filters {
+                        let p = lower_expr(&mut lw.b, &benv, &lw.params, f);
+                        cond = lw.b.and(cond, p);
                     }
-                    _ => lw.if_then(cond, |lw| consumer(lw, &RowEnv::default())),
-                }
-            };
+                    if let Some(pred) = residual {
+                        let combined = match kind {
+                            JoinKind::Inner => benv.concat(penv),
+                            _ => penv.concat(&benv),
+                        };
+                        let p = lower_expr(&mut lw.b, &combined, &lw.params, pred);
+                        cond = lw.b.and(cond, p);
+                    }
+                    match kind {
+                        JoinKind::Inner => {
+                            let combined = benv.concat(penv);
+                            lw.if_then(cond, |lw| consumer(lw, &combined));
+                        }
+                        _ => lw.if_then(cond, |lw| consumer(lw, &RowEnv::default())),
+                    }
+                };
 
             match kind {
                 JoinKind::Inner => {
@@ -916,17 +924,14 @@ impl<'a> Lowering<'a> {
             }
         }
         let rec_sid = self.fresh_struct("Agg", fields);
-        self.rec_prov.insert(
-            rec_sid,
-            {
-                let mut p: Vec<Option<(Rc<str>, usize)>> = group_by
-                    .iter()
-                    .map(|(n, _)| static_prov(plan, n, self.schema))
-                    .collect();
-                p.resize(acc_idx.last().map(|i| i + 1).unwrap_or(p.len() + 1), None);
-                p
-            },
-        );
+        self.rec_prov.insert(rec_sid, {
+            let mut p: Vec<Option<(Rc<str>, usize)>> = group_by
+                .iter()
+                .map(|(n, _)| static_prov(plan, n, self.schema))
+                .collect();
+            p.resize(acc_idx.last().map(|i| i + 1).unwrap_or(p.len() + 1), None);
+            p
+        });
 
         let key_types: Vec<Type> = group_by
             .iter()
@@ -1008,9 +1013,7 @@ impl<'a> Lowering<'a> {
                         }
                         AggFunc::Count => Atom::Long(0),
                         AggFunc::Avg(_) => Atom::double(0.0),
-                        AggFunc::Min(_) | AggFunc::Max(_) => {
-                            input.clone().expect("min/max input")
-                        }
+                        AggFunc::Min(_) | AggFunc::Max(_) => input.clone().expect("min/max input"),
                         AggFunc::CountDistinct(_) => unreachable!(),
                     });
                 }
@@ -1466,7 +1469,12 @@ impl<'a> Lowering<'a> {
         });
     }
 
-    fn cmp_chain(&mut self, env_a: &RowEnv, env_b: &RowEnv, keys: &[(ScalarExpr, SortDir)]) -> Atom {
+    fn cmp_chain(
+        &mut self,
+        env_a: &RowEnv,
+        env_b: &RowEnv,
+        keys: &[(ScalarExpr, SortDir)],
+    ) -> Atom {
         if keys.is_empty() {
             return Atom::Int(0);
         }
@@ -1578,7 +1586,10 @@ mod tests {
             .select(col("l_quantity").lt(lit_d(24.0)))
             .agg(
                 vec![],
-                vec![("revenue", Sum(col("l_extendedprice").mul(col("l_discount"))))],
+                vec![(
+                    "revenue",
+                    Sum(col("l_extendedprice").mul(col("l_discount"))),
+                )],
             );
         let p = lower(&QueryProgram::new(plan), &StackConfig::level2());
         let violations = dblab_ir::level::validate(&p);

@@ -40,7 +40,10 @@ impl RowEnv {
             .unwrap_or_else(|| {
                 panic!(
                     "pipeline: unknown column {name}; in scope: {:?}",
-                    self.cols.iter().map(|c| c.name.to_string()).collect::<Vec<_>>()
+                    self.cols
+                        .iter()
+                        .map(|c| c.name.to_string())
+                        .collect::<Vec<_>>()
                 )
             })
     }
@@ -276,12 +279,7 @@ mod tests {
         let mut b = IrBuilder::new();
         let env = env(&mut b);
         let params = HashMap::new();
-        let r = lower_expr(
-            &mut b,
-            &env,
-            &params,
-            &col("s").eq(lit_s("x")),
-        );
+        let r = lower_expr(&mut b, &env, &params, &col("s").eq(lit_s("x")));
         let p = b.finish(r, Level::MapList);
         assert!(p
             .body

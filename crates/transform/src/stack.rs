@@ -1,29 +1,57 @@
-//! The compilation driver: runs the configured DSL stack top to bottom,
-//! optimizing to fixpoint at each level and recording a snapshot per stage
+//! The compilation driver: assembles the configured DSL stack from the
+//! [`crate::pass`] registry and runs it top to bottom, optimizing to
+//! fixpoint at each level and recording an instrumented snapshot per stage
 //! (the paper's progressive-lowering methodology, §2; the per-level
 //! optimization sets are the Table 3 experiment axis).
+//!
+//! The pipeline is **data-driven**: which passes run is decided by each
+//! pass's `applies(cfg)` predicate, the order by the registry, and the
+//! level contracts by each pass's declaration — there is no per-pass
+//! control flow here. Debug/test builds additionally validate the program
+//! against its entitled dialect window after every pass (see
+//! [`crate::pass`] for the window semantics).
 
 use std::time::{Duration, Instant};
 
 use dblab_catalog::Schema;
 use dblab_frontend::qmonad::QMonad;
 use dblab_frontend::qplan::QueryProgram;
+use dblab_ir::level::validate_window;
 use dblab_ir::opt::optimize;
 use dblab_ir::{Level, Program};
 
 use crate::config::StackConfig;
-use crate::{field_removal, fine, fusion, hash_spec, horizontal, list_spec, mem_hoist, pipeline, string_dict};
+use crate::pass::{self, Frontend, MonadLowering, PassCtx, PassKind, PlanLowering};
 
-/// One stage of the compilation, for inspection and tests.
+/// One stage of the compilation, for inspection, benches and tests.
 #[derive(Debug, Clone)]
 pub struct StageSnapshot {
     pub name: String,
+    pub kind: PassKind,
+    /// Program level when the stage started / after it finished: equal for
+    /// optimizations, one (or more, on partial stacks) apart for lowerings.
+    pub level_before: Level,
     pub level: Level,
-    /// Statement count (incl. nested blocks) after the stage.
+    /// Statement count (incl. nested blocks) before / after the stage.
+    pub size_before: usize,
     pub size: usize,
+    /// Wall-clock time of the rewrite plus its fixpoint re-optimization.
+    pub time: Duration,
 }
 
-/// A compiled query: the final IR program plus stage metadata.
+impl StageSnapshot {
+    /// Net IR growth (positive) or shrinkage (negative) of the stage.
+    pub fn size_delta(&self) -> i64 {
+        self.size as i64 - self.size_before as i64
+    }
+
+    /// Did this stage move the program to a lower level?
+    pub fn lowered(&self) -> bool {
+        self.level != self.level_before
+    }
+}
+
+/// A compiled query: the final IR program plus instrumented stage metadata.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
     pub program: Program,
@@ -34,17 +62,55 @@ pub struct CompiledQuery {
 }
 
 impl CompiledQuery {
-    /// The IR program as produced after the named stage (for level-by-level
-    /// differential testing, the snapshots store only metadata; use
-    /// [`compile_with_snapshots`] to retain full programs).
+    /// The stage metadata recorded after the named pass (the snapshots
+    /// store only metadata; use [`compile_with_snapshots`] to retain full
+    /// programs for level-by-level differential testing).
     pub fn stage(&self, name: &str) -> Option<&StageSnapshot> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Total wall-clock across recorded stages (excludes driver overhead,
+    /// so slightly below [`CompiledQuery::gen_time`]).
+    pub fn stage_time_total(&self) -> Duration {
+        self.stages.iter().map(|s| s.time).sum()
+    }
+
+    /// A human-readable per-pass trace: wall time, IR-size delta and level
+    /// transition per stage. Consumed by `--show-ir`-style example output
+    /// and the compile-time benches.
+    pub fn stage_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<26}{:>10}{:>8}{:>7}  {}\n",
+            "stage", "time", "stmts", "Δ", "level"
+        ));
+        for s in &self.stages {
+            let transition = if s.lowered() {
+                format!("{} -> {}", s.level_before, s.level)
+            } else {
+                s.level.to_string()
+            };
+            out.push_str(&format!(
+                "{:<26}{:>8.2}ms{:>8}{:>+7}  {}\n",
+                s.name,
+                s.time.as_secs_f64() * 1e3,
+                s.size,
+                s.size_delta(),
+                transition
+            ));
+        }
+        out.push_str(&format!(
+            "{:<26}{:>8.2}ms\n",
+            "total (gen)",
+            self.gen_time.as_secs_f64() * 1e3
+        ));
+        out
     }
 }
 
 /// Compile a QPlan program through the configured stack.
 pub fn compile(prog: &QueryProgram, schema: &Schema, cfg: &StackConfig) -> CompiledQuery {
-    let (cq, _) = compile_with_snapshots(prog, schema, cfg, false);
+    let (cq, _) = compile_frontend(&PlanLowering(prog), schema, cfg, false);
     cq
 }
 
@@ -56,79 +122,76 @@ pub fn compile_with_snapshots(
     cfg: &StackConfig,
     keep_programs: bool,
 ) -> (CompiledQuery, Vec<(String, Program)>) {
-    let start = Instant::now();
-    let p = pipeline::lower_program(prog, schema, cfg);
-    run_stack(p, schema, cfg, start, keep_programs)
+    compile_frontend(&PlanLowering(prog), schema, cfg, keep_programs)
 }
 
 /// Compile a QMonad query through the configured stack (the alternative
 /// front-end of §4.5; everything below pipelining is shared).
 pub fn compile_qmonad(q: &QMonad, schema: &Schema, cfg: &StackConfig) -> CompiledQuery {
-    let start = Instant::now();
-    let p = fusion::lower_qmonad(q, schema, cfg);
-    run_stack(p, schema, cfg, start, false).0
+    compile_frontend(&MonadLowering(q), schema, cfg, false).0
 }
 
-fn run_stack(
-    p: Program,
+/// The generic driver: any front-end, then the registry-assembled stack.
+pub fn compile_frontend(
+    fe: &dyn Frontend,
     schema: &Schema,
     cfg: &StackConfig,
-    start: Instant,
     keep: bool,
 ) -> (CompiledQuery, Vec<(String, Program)>) {
+    let ctx = PassCtx { schema, cfg };
+    let registry = pass::registry();
+    let selected = pass::check_pipeline(&registry, cfg)
+        .unwrap_or_else(|e| panic!("config `{}` selects an ill-formed stack: {e}", cfg.name));
+    // Post-pass dialect validation is a debug/test-build safety net; the
+    // release compiler keeps the paper's generation-time profile.
+    let validate = cfg!(debug_assertions);
+
+    let start = Instant::now();
     let mut stages = Vec::new();
     let mut programs = Vec::new();
-    let mut record = |name: &str, p: &Program, programs: &mut Vec<(String, Program)>| {
-        stages.push(StageSnapshot {
-            name: name.to_string(),
-            level: p.level,
-            size: p.body.size(),
-        });
+
+    // Front-end lowering into the top IR level, optimized to fixpoint.
+    let t0 = Instant::now();
+    let raw = fe.lower(&ctx);
+    let mut p = optimize(&raw, 8);
+    debug_assert_eq!(p.level, fe.target());
+    if validate {
+        let violations = validate_window(&p, fe.target(), p.level);
+        assert!(
+            violations.is_empty(),
+            "front-end {} violated {}: {}",
+            fe.name(),
+            fe.target(),
+            violations[0]
+        );
+    }
+    stages.push(StageSnapshot {
+        name: fe.name().to_string(),
+        kind: PassKind::FrontendLowering,
+        level_before: fe.target(),
+        level: p.level,
+        size_before: raw.body.size(),
+        size: p.body.size(),
+        time: t0.elapsed(),
+    });
+    if keep {
+        programs.push((fe.name().to_string(), p.clone()));
+    }
+
+    // The registry-selected stack, with the dialect ceiling tracking which
+    // vocabulary each lowering discharges.
+    let mut ceiling = Level::MapList;
+    for ps in selected {
+        let ceiling_after = pass::advance_ceiling(ceiling, ps);
+        let (q, snap) = pass::apply_one(ps, &p, &ctx, ceiling_after, validate)
+            .unwrap_or_else(|e| panic!("stack contract broken: {e}"));
+        ceiling = ceiling_after;
         if keep {
-            programs.push((name.to_string(), p.clone()));
+            programs.push((snap.name.clone(), q.clone()));
         }
-    };
-
-    // ScaLite[Map, List]: pipelined program; optimize to fixpoint.
-    let mut p = optimize(&p, 8);
-    p = horizontal::apply(&p);
-    record("pipelining", &p, &mut programs);
-
-    if cfg.string_dict {
-        p = optimize(&string_dict::apply(&p, schema), 4);
-        record("string-dictionaries", &p, &mut programs);
+        stages.push(snap);
+        p = q;
     }
-
-    // Lower to ScaLite[List]: hash-table specialization.
-    if cfg.hash_spec {
-        p = optimize(&hash_spec::apply(&p, cfg), 4);
-        record("hash-table-specialization", &p, &mut programs);
-    }
-
-    // Lower to ScaLite: list specialization.
-    if cfg.list_spec {
-        p = optimize(&list_spec::apply(&p), 4);
-        record("list-specialization", &p, &mut programs);
-    }
-
-    // ScaLite-level cleanups.
-    p = field_removal::apply(&p, cfg.table_field_removal);
-    p = optimize(&p, 4);
-    record("field-removal", &p, &mut programs);
-
-    // Lower to C.Scala: memory management.
-    if cfg.mem_pools {
-        p = optimize(&mem_hoist::apply(&p), 4);
-        record("memory-hoisting", &p, &mut programs);
-    }
-
-    if cfg.branchless {
-        p = fine::apply(&p);
-        record("branch-optimization", &p, &mut programs);
-    }
-
-    p = optimize(&p, 4);
-    record("final", &p, &mut programs);
 
     (
         CompiledQuery {
@@ -216,5 +279,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn stages_are_instrumented() {
+        let cq = compile(&join_count_query(), &schema(), &StackConfig::level5());
+        // Every stage records a level transition consistent with its
+        // neighbours and a before/after size pair.
+        for w in cq.stages.windows(2) {
+            assert_eq!(w[1].level_before, w[0].level, "{} trace gap", w[1].name);
+        }
+        let spec = cq.stage("hash-table-specialization").expect("stage");
+        assert!(spec.lowered());
+        assert_eq!(spec.level_before, Level::MapList);
+        assert_eq!(spec.level, Level::List);
+        assert_ne!(spec.size, 0);
+        // The report renders one line per stage plus header and total.
+        let report = cq.stage_report();
+        assert_eq!(report.lines().count(), cq.stages.len() + 2);
+        assert!(report.contains("memory-hoisting"));
+        // Stage times are populated and bounded by the whole compilation.
+        assert!(cq.stage_time_total() <= cq.gen_time);
+    }
+
+    #[test]
+    fn qmonad_frontend_flows_through_the_same_registry() {
+        use dblab_frontend::qmonad::QMonad;
+        let q = QMonad::source("nation").count();
+        let cq = compile_qmonad(&q, &schema(), &StackConfig::level5());
+        assert_eq!(cq.program.level, Level::CScala);
+        assert_eq!(cq.stages[0].kind, PassKind::FrontendLowering);
+        assert!(cq.stage("memory-hoisting").is_some());
     }
 }

@@ -166,7 +166,12 @@ fn disqualify_all(p: &Program, rule: &mut StringDict<'_>, atoms: &[Atom]) {
 
 fn is_string_col(c: &ColId, schema: &Schema) -> bool {
     schema.has_table(&c.0)
-        && schema.table(&c.0).columns.get(c.1).map(|col| col.ty.is_string()) == Some(true)
+        && schema
+            .table(&c.0)
+            .columns
+            .get(c.1)
+            .map(|col| col.ty.is_string())
+            == Some(true)
 }
 
 fn dict_name(c: &ColId) -> Rc<str> {
@@ -217,14 +222,17 @@ impl Rule for StringDict<'_> {
     fn prepare(&mut self, p: &Program, b: &mut IrBuilder) {
         // Hash tables keyed by a dictionary-encoded value switch to
         // integer keys.
-        fn scan_keys(blk: &Block, p: &Program, chosen: &HashMap<ColId, bool>, out: &mut HashSet<Sym>) {
+        fn scan_keys(
+            blk: &Block,
+            p: &Program,
+            chosen: &HashMap<ColId, bool>,
+            out: &mut HashSet<Sym>,
+        ) {
             for st in &blk.stmts {
                 let key = match &st.expr {
                     Expr::HashMapGetOrInit { map, key, .. }
                     | Expr::MultiMapAdd { map, key, .. }
-                    | Expr::MultiMapForeachAt { map, key, .. } => {
-                        Some((map.as_sym(), key))
-                    }
+                    | Expr::MultiMapForeachAt { map, key, .. } => Some((map.as_sym(), key)),
                     _ => None,
                 };
                 if let Some((Some(ms), key)) = key {
@@ -308,7 +316,7 @@ impl Rule for StringDict<'_> {
                         work.push((col.clone(), k.clone(), DictOp::RangeEnd));
                     }
                 }
-                work.sort_by(|a, b| (a.0.clone(), a.1.clone()).cmp(&(b.0.clone(), b.1.clone())));
+                work.sort_by_key(|a| (a.0.clone(), a.1.clone()));
                 for (col, k, op) in work {
                     let a = rw.b.dict(dict_name(&col), op, Atom::Str(k.clone()));
                     self.consts.insert((col, k, op), a);
@@ -324,11 +332,14 @@ impl Rule for StringDict<'_> {
                 Some(rw.b.multimap_new(Type::Int, value.clone()))
             }
             Expr::LoadTable { table, .. } => {
-                let atom = rw.reconstruct(self, &dblab_ir::expr::Stmt {
-                    sym: _sym,
-                    ty: _ty.clone(),
-                    expr: e.clone(),
-                });
+                let atom = rw.reconstruct(
+                    self,
+                    &dblab_ir::expr::Stmt {
+                        sym: _sym,
+                        ty: _ty.clone(),
+                        expr: e.clone(),
+                    },
+                );
                 if let Atom::Sym(s) = atom {
                     for (col, ordered) in self.chosen.iter().filter(|((t, _), _)| t == table) {
                         rw.b.annotate(
@@ -413,11 +424,8 @@ mod tests {
     use dblab_ir::{FieldDef, Level, StructDef};
 
     fn schema() -> Schema {
-        let mut t = TableDef::new(
-            "t",
-            vec![("t_k", ColType::Int), ("t_s", ColType::String)],
-        )
-        .with_primary_key(&["t_k"]);
+        let mut t = TableDef::new("t", vec![("t_k", ColType::Int), ("t_s", ColType::String)])
+            .with_primary_key(&["t_k"]);
         t.stats.row_count = 100;
         t.stats.int_max = vec![100, 0];
         t.stats.distinct = vec![100, 20];
@@ -429,8 +437,14 @@ mod tests {
         let sid = b.structs.register(StructDef {
             name: "t".into(),
             fields: vec![
-                FieldDef { name: "t_k".into(), ty: Type::Int },
-                FieldDef { name: "t_s".into(), ty: Type::String },
+                FieldDef {
+                    name: "t_k".into(),
+                    ty: Type::Int,
+                },
+                FieldDef {
+                    name: "t_s".into(),
+                    ty: Type::String,
+                },
             ],
         });
         let arr = b.load_table("t", sid);
@@ -440,7 +454,13 @@ mod tests {
             let rec = bb.array_get(arr.clone(), i);
             let s = bb.field_get(rec, sid, 1);
             if let Atom::Sym(sy) = s {
-                bb.annotate(sy, Annot::Column { table: "t".into(), field: 1 });
+                bb.annotate(
+                    sy,
+                    Annot::Column {
+                        table: "t".into(),
+                        field: 1,
+                    },
+                );
             }
             let p = bb.prim(op, vec![s.clone(), Atom::Str(konst.into())]);
             bb.if_then(p, |bb| bb.printf("%s\n", vec![s]));

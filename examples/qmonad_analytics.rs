@@ -67,7 +67,18 @@ fn main() {
         let src = dblab::codegen::emit(&cq.program, &schema);
         let bin = dblab::codegen::compile_c(&src, &gen, name).expect("gcc");
         let out = dblab::codegen::run(&bin, &dir).expect("run");
-        println!("== {name} (query time {:.2} ms)", out.query_ms);
+        let lowerings: Vec<&str> = cq
+            .stages
+            .iter()
+            .filter(|s| s.lowered())
+            .map(|s| s.name.as_str())
+            .collect();
+        println!(
+            "== {name} (query time {:.2} ms; {} stack stages, lowered via {})",
+            out.query_ms,
+            cq.stages.len(),
+            lowerings.join(" -> ")
+        );
         for line in out.stdout.lines() {
             println!("   {line}");
         }

@@ -3,11 +3,13 @@
 //!
 //! Builds `SELECT COUNT(*) FROM R, S WHERE R.name = 'R1' AND R.sid = S.rid`
 //! over a small two-table schema, compiles it through every DSL level, and
-//! prints the intermediate program after each stage — the textual
-//! equivalents of Figures 4d–4g — plus the final C and its result.
+//! prints the pass manager's instrumented stage trace (per-pass wall time,
+//! IR-size delta and level transition). With `--show-ir` it also prints
+//! the intermediate program after each stage — the textual equivalents of
+//! Figures 4d–4g — plus the final C and its result.
 //!
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --example quickstart -- [--show-ir]
 //! ```
 
 use dblab::catalog::{ColType, Schema, TableDef};
@@ -31,11 +33,8 @@ fn main() {
             ],
         )
         .with_primary_key(&["r_id"]),
-        TableDef::new(
-            "s",
-            vec![("s_id", ColType::Int), ("s_rid", ColType::Int)],
-        )
-        .with_primary_key(&["s_id"]),
+        TableDef::new("s", vec![("s_id", ColType::Int), ("s_rid", ColType::Int)])
+            .with_primary_key(&["s_id"]),
     ]);
     let dir = std::env::temp_dir().join("dblab_quickstart");
     let mut r = Table::empty(schema.table("r"));
@@ -78,17 +77,24 @@ fn main() {
         println!("  {}  :  {} -> {}", e.name, e.source, e.target);
     }
 
-    // ---- progressive lowering, one printout per stage -------------------
+    // ---- progressive lowering, instrumented by the pass manager ---------
+    let show_ir = std::env::args().any(|a| a == "--show-ir");
     let cfg = StackConfig::level5();
     let (cq, stages) = compile_with_snapshots(&prog, &schema, &cfg, true);
-    for (name, p) in &stages {
-        println!("\n## after {name} — {} ({} stmts)", p.level, p.body.size());
-        let text = print_program(p);
-        for line in text.lines().take(28) {
-            println!("    {line}");
-        }
-        if text.lines().count() > 28 {
-            println!("    … ({} more lines)", text.lines().count() - 28);
+    println!("\n## stage trace (per-pass time, IR-size delta, level)");
+    for line in cq.stage_report().lines() {
+        println!("  {line}");
+    }
+    if show_ir {
+        for (name, p) in &stages {
+            println!("\n## after {name} — {} ({} stmts)", p.level, p.body.size());
+            let text = print_program(p);
+            for line in text.lines().take(28) {
+                println!("    {line}");
+            }
+            if text.lines().count() > 28 {
+                println!("    … ({} more lines)", text.lines().count() - 28);
+            }
         }
     }
 

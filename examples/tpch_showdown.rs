@@ -13,7 +13,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let sf: f64 = argv.first().and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let queries: Vec<usize> = if argv.len() > 1 {
-        argv[1..].iter().map(|s| s.parse().expect("query no")).collect()
+        argv[1..]
+            .iter()
+            .map(|s| s.parse().expect("query no"))
+            .collect()
     } else {
         vec![1, 3, 6, 14]
     };

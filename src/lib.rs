@@ -1,7 +1,8 @@
 //! # dblab — a multi-level DSL-stack query compiler
 //!
-//! Facade crate re-exporting the whole workspace. See the README for a
-//! quickstart and `DESIGN.md` for the architecture.
+//! Facade crate re-exporting the whole workspace. See `README.md` for a
+//! quickstart and `DESIGN.md` for the architecture — §4 documents the
+//! contract-checked pass manager that drives the stack.
 
 pub use dblab_catalog as catalog;
 pub use dblab_codegen as codegen;

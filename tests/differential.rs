@@ -123,8 +123,8 @@ fn qmonad_frontend_matches_qplan_semantics() {
     for cfg in [StackConfig::level2(), StackConfig::level5()] {
         let cq = dblab::transform::stack::compile_qmonad(&q, &schema, &cfg);
         let src = dblab::codegen::emit(&cq.program, &schema);
-        let compiled =
-            dblab::codegen::compile_c(&src, &out, &format!("it_monad_{}", cfg.levels)).expect("gcc");
+        let compiled = dblab::codegen::compile_c(&src, &out, &format!("it_monad_{}", cfg.levels))
+            .expect("gcc");
         let run = dblab::codegen::run(&compiled, &data).expect("run");
         assert!(same_results(&oracle, &run.stdout), "qmonad @ {}", cfg.name);
     }

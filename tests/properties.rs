@@ -1,4 +1,6 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants (no external
+//! framework: a seeded [`Rng64`] drives hand-rolled generators, so the
+//! suite is deterministic and dependency-free):
 //!
 //! * scalar-expression lowering + ANF construction (CSE, constant folding)
 //!   preserve evaluation semantics — random expression trees are evaluated
@@ -8,47 +10,55 @@
 //! * ordered string dictionaries preserve `<`, equality and `startsWith`;
 //! * the Volcano hash join equals a naïve nested-loop join.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use dblab::catalog::{ColType, Schema, TableDef};
-use dblab::frontend::expr::{BinOp, Lit, ScalarExpr};
-use dblab::ir::{Atom, IrBuilder, Level};
+use dblab::frontend::expr::{Lit, ScalarExpr};
 use dblab::runtime::hash::{ChainedMap, ChainedMultiMap, OpenMap};
 use dblab::runtime::{Database, StringDict, Table, Value};
+use dblab::tpch::rng::Rng64;
+
+const CASES: usize = 128;
 
 // ---------------------------------------------------------------------
 // Random scalar expressions
 // ---------------------------------------------------------------------
 
-fn arb_expr() -> impl Strategy<Value = ScalarExpr> {
-    let leaf = prop_oneof![
-        (-50i32..50).prop_map(|v| ScalarExpr::Lit(Lit::Int(v))),
-        (-50i32..50).prop_map(|v| ScalarExpr::Lit(Lit::Double(v as f64 / 4.0))),
-        Just(ScalarExpr::Col("a".into())),
-        Just(ScalarExpr::Col("b".into())),
-        Just(ScalarExpr::Col("d".into())),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.add(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.sub(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| x.mul(y)),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| {
+fn arb_expr(rng: &mut Rng64, depth: usize) -> ScalarExpr {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        match rng.gen_range(0..5u8) {
+            0 => ScalarExpr::Lit(Lit::Int(rng.gen_range(-50..50i32))),
+            1 => ScalarExpr::Lit(Lit::Double(rng.gen_range(-50..50i32) as f64 / 4.0)),
+            2 => ScalarExpr::Col("a".into()),
+            3 => ScalarExpr::Col("b".into()),
+            _ => ScalarExpr::Col("d".into()),
+        }
+    } else {
+        let x = arb_expr(rng, depth - 1);
+        match rng.gen_range(0..5u8) {
+            0 => x.add(arb_expr(rng, depth - 1)),
+            1 => x.sub(arb_expr(rng, depth - 1)),
+            2 => x.mul(arb_expr(rng, depth - 1)),
+            3 => ScalarExpr::case_when(
                 // comparisons wrapped back into arithmetic via CASE
-                ScalarExpr::case_when(x.lt(y), ScalarExpr::Lit(Lit::Int(1)),
-                                      ScalarExpr::Lit(Lit::Int(0)))
-            }),
-            inner.clone().prop_map(|x| x.neg()),
-        ]
-    })
+                x.lt(arb_expr(rng, depth - 1)),
+                ScalarExpr::Lit(Lit::Int(1)),
+                ScalarExpr::Lit(Lit::Int(0)),
+            ),
+            _ => x.neg(),
+        }
+    }
 }
 
 fn tiny_db(a: i32, b: i32, d: f64) -> Database {
     let schema = Schema::new(vec![TableDef::new(
         "t",
-        vec![("a", ColType::Int), ("b", ColType::Int), ("d", ColType::Double)],
+        vec![
+            ("a", ColType::Int),
+            ("b", ColType::Int),
+            ("d", ColType::Double),
+        ],
     )]);
     let mut t = Table::empty(schema.table("t"));
     t.push_row(vec![Value::Int(a), Value::Int(b), Value::Double(d)]);
@@ -59,20 +69,20 @@ fn tiny_db(a: i32, b: i32, d: f64) -> Database {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Lowered-and-interpreted == directly evaluated, for arbitrary
-    /// arithmetic over a one-row table. Exercises the builder's constant
-    /// folding and hash-consing on every tree.
-    #[test]
-    fn scalar_lowering_preserves_semantics(e in arb_expr(), a in -20i32..20, b in -20i32..20,
-                                           d in -8i32..8) {
-        let d = d as f64 / 2.0;
+/// Lowered-and-interpreted == directly evaluated, for arbitrary
+/// arithmetic over a one-row table. Exercises the builder's constant
+/// folding and hash-consing on every tree.
+#[test]
+fn scalar_lowering_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab001);
+    for _ in 0..CASES {
+        let e = arb_expr(&mut rng, 4);
+        let a = rng.gen_range(-20..20i32);
+        let b = rng.gen_range(-20..20i32);
+        let d = rng.gen_range(-8..8i32) as f64 / 2.0;
         let db = tiny_db(a, b, d);
         // Reference: Volcano expression evaluator.
-        let plan = dblab::frontend::qplan::QPlan::scan("t")
-            .project(vec![("out", e.clone())]);
+        let plan = dblab::frontend::qplan::QPlan::scan("t").project(vec![("out", e.clone())]);
         let oracle = dblab::engine::execute_plan(&plan, &db);
         let want = oracle.rows[0][0].as_f64();
 
@@ -81,118 +91,183 @@ proptest! {
         let mut schema = db.schema.clone();
         schema.table_mut("t").stats.row_count = 1;
         let p = dblab::transform::pipeline::lower_program(
-            &prog, &schema, &dblab::transform::StackConfig::level2());
+            &prog,
+            &schema,
+            &dblab::transform::StackConfig::level2(),
+        );
         let out = dblab::interp::run(&p, &db);
         let got: f64 = out.trim().parse().expect("one numeric cell");
-        prop_assert!((got - want).abs() <= 1e-4_f64.max(want.abs() * 1e-9),
-                     "got {got}, want {want}, expr {e:?}");
+        assert!(
+            (got - want).abs() <= 1e-4_f64.max(want.abs() * 1e-9),
+            "got {got}, want {want}, expr {e:?}"
+        );
     }
+}
 
-    /// The ANF builder never changes results when CSE/folding are toggled.
-    #[test]
-    fn cse_and_folding_are_semantics_preserving(e in arb_expr()) {
+/// The ANF builder never changes results when CSE/folding are toggled.
+#[test]
+fn cse_and_folding_are_semantics_preserving() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab002);
+    for _ in 0..CASES {
+        let e = arb_expr(&mut rng, 4);
         let db = tiny_db(3, -7, 1.5);
-        let plan = dblab::frontend::qplan::QPlan::scan("t")
-            .project(vec![("out", e)]);
+        let plan = dblab::frontend::qplan::QPlan::scan("t").project(vec![("out", e)]);
         let prog = dblab::frontend::qplan::QueryProgram::new(plan);
         let mut schema = db.schema.clone();
         schema.table_mut("t").stats.row_count = 1;
         let cfg = dblab::transform::StackConfig::level2();
         let p1 = dblab::transform::pipeline::lower_program(&prog, &schema, &cfg);
         let p2 = dblab::ir::opt::optimize(&p1, 8);
-        prop_assert_eq!(dblab::interp::run(&p1, &db), dblab::interp::run(&p2, &db));
-        prop_assert!(p2.body.size() <= p1.body.size(), "optimize must not grow programs");
+        assert_eq!(dblab::interp::run(&p1, &db), dblab::interp::run(&p2, &db));
+        assert!(
+            p2.body.size() <= p1.body.size(),
+            "optimize must not grow programs"
+        );
     }
+}
 
-    // -------------------------------------------------------------------
-    // Hash structures vs std
-    // -------------------------------------------------------------------
+// -------------------------------------------------------------------
+// Hash structures vs std
+// -------------------------------------------------------------------
 
-    #[test]
-    fn chained_map_behaves_like_std(ops in proptest::collection::vec((0i64..64, -100i64..100), 1..200)) {
+#[test]
+fn chained_map_behaves_like_std() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab003);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..200usize);
         let mut ours: ChainedMap<i64, i64> = ChainedMap::with_buckets(2);
         let mut std_map: HashMap<i64, i64> = HashMap::new();
-        for (k, v) in &ops {
-            prop_assert_eq!(ours.insert(*k, *v), std_map.insert(*k, *v));
+        for _ in 0..n {
+            let k = rng.gen_range(0..64i64);
+            let v = rng.gen_range(-100..100i64);
+            assert_eq!(ours.insert(k, v), std_map.insert(k, v));
         }
         for k in 0..64 {
-            prop_assert_eq!(ours.get(&k), std_map.get(&k));
+            assert_eq!(ours.get(&k), std_map.get(&k));
         }
-        prop_assert_eq!(ours.len(), std_map.len());
+        assert_eq!(ours.len(), std_map.len());
     }
+}
 
-    #[test]
-    fn open_map_behaves_like_std(keys in proptest::collection::vec(0i64..512, 1..200)) {
+#[test]
+fn open_map_behaves_like_std() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab004);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..200usize);
         let mut ours: OpenMap<i64, i64> = OpenMap::with_capacity(512);
         let mut std_map: HashMap<i64, i64> = HashMap::new();
-        for k in &keys {
-            *ours.get_or_insert_with(*k, || 0) += 1;
-            *std_map.entry(*k).or_insert(0) += 1;
+        for _ in 0..n {
+            let k = rng.gen_range(0..512i64);
+            *ours.get_or_insert_with(k, || 0) += 1;
+            *std_map.entry(k).or_insert(0) += 1;
         }
         for k in 0..512 {
-            prop_assert_eq!(ours.get(&k), std_map.get(&k));
+            assert_eq!(ours.get(&k), std_map.get(&k));
         }
     }
+}
 
-    #[test]
-    fn multimap_preserves_insertion_order_per_key(pairs in proptest::collection::vec((0i32..16, 0i32..1000), 0..100)) {
+#[test]
+fn multimap_preserves_insertion_order_per_key() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab005);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..100usize);
         let mut ours: ChainedMultiMap<i32, i32> = ChainedMultiMap::new();
         let mut reference: HashMap<i32, Vec<i32>> = HashMap::new();
-        for (k, v) in &pairs {
-            ours.add_binding(*k, *v);
-            reference.entry(*k).or_default().push(*v);
+        for _ in 0..n {
+            let k = rng.gen_range(0..16i32);
+            let v = rng.gen_range(0..1000i32);
+            ours.add_binding(k, v);
+            reference.entry(k).or_default().push(v);
         }
         for k in 0..16 {
             let want = reference.get(&k).cloned().unwrap_or_default();
-            prop_assert_eq!(ours.get(&k), &want[..]);
+            assert_eq!(ours.get(&k), &want[..]);
         }
     }
+}
 
-    // -------------------------------------------------------------------
-    // String dictionaries (paper Table 2 semantics)
-    // -------------------------------------------------------------------
+// -------------------------------------------------------------------
+// String dictionaries (paper Table 2 semantics)
+// -------------------------------------------------------------------
 
-    #[test]
-    fn ordered_dictionary_is_order_preserving(mut words in proptest::collection::vec("[a-c]{0,5}", 1..40),
-                                              probe in "[a-c]{0,3}") {
+fn abc_string(rng: &mut Rng64, max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..3u8)) as char)
+        .collect()
+}
+
+#[test]
+fn ordered_dictionary_is_order_preserving() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..40usize);
+        let mut words: Vec<String> = (0..n).map(|_| abc_string(&mut rng, 5)).collect();
+        let probe = abc_string(&mut rng, 3);
         let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
         let d = StringDict::build(refs.iter().copied(), true);
         // order preservation
         words.sort();
         words.dedup();
         for w in words.windows(2) {
-            prop_assert!(d.code(&w[0]) < d.code(&w[1]));
+            assert!(d.code(&w[0]) < d.code(&w[1]));
         }
         // startsWith == range membership, for every stored word
         let (s, e) = d.prefix_range(&probe);
         for w in &words {
             let c = d.code(w);
-            prop_assert_eq!(w.starts_with(&probe), c >= s && c <= e,
-                            "word {} probe {}", w, probe);
+            assert_eq!(
+                w.starts_with(&probe),
+                c >= s && c <= e,
+                "word {w} probe {probe}"
+            );
         }
     }
+}
 
-    // -------------------------------------------------------------------
-    // Join equivalence
-    // -------------------------------------------------------------------
+// -------------------------------------------------------------------
+// Join equivalence
+// -------------------------------------------------------------------
 
-    #[test]
-    fn hash_join_equals_nested_loop(left in proptest::collection::vec((0i32..8, -50i32..50), 0..30),
-                                    right in proptest::collection::vec((0i32..8, -50i32..50), 0..30)) {
+#[test]
+fn hash_join_equals_nested_loop() {
+    let mut rng = Rng64::seed_from_u64(0xdb1ab007);
+    for _ in 0..CASES {
+        let pairs = |rng: &mut Rng64| -> Vec<(i32, i32)> {
+            let n = rng.gen_range(0..30usize);
+            (0..n)
+                .map(|_| (rng.gen_range(0..8i32), rng.gen_range(-50..50i32)))
+                .collect()
+        };
+        let left = pairs(&mut rng);
+        let right = pairs(&mut rng);
         let schema = Schema::new(vec![
             TableDef::new("l", vec![("lk", ColType::Int), ("lv", ColType::Int)]),
             TableDef::new("r", vec![("rk", ColType::Int), ("rv", ColType::Int)]),
         ]);
         let mut lt = Table::empty(schema.table("l"));
-        for (k, v) in &left { lt.push_row(vec![Value::Int(*k), Value::Int(*v)]); }
+        for (k, v) in &left {
+            lt.push_row(vec![Value::Int(*k), Value::Int(*v)]);
+        }
         let mut rt = Table::empty(schema.table("r"));
-        for (k, v) in &right { rt.push_row(vec![Value::Int(*k), Value::Int(*v)]); }
-        let db = Database { schema, tables: vec![lt, rt], dir: std::env::temp_dir() };
+        for (k, v) in &right {
+            rt.push_row(vec![Value::Int(*k), Value::Int(*v)]);
+        }
+        let db = Database {
+            schema,
+            tables: vec![lt, rt],
+            dir: std::env::temp_dir(),
+        };
 
         use dblab::frontend::expr::col;
         use dblab::frontend::qplan::{JoinKind, QPlan};
         let plan = QPlan::scan("l").hash_join(
-            QPlan::scan("r"), JoinKind::Inner, vec![col("lk")], vec![col("rk")]);
+            QPlan::scan("r"),
+            JoinKind::Inner,
+            vec![col("lk")],
+            vec![col("rk")],
+        );
         let got = dblab::engine::execute_plan(&plan, &db);
 
         let mut want = 0usize;
@@ -205,10 +280,8 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got.rows.len(), want);
-        let got_sum: i64 = got.rows.iter()
-            .map(|r| r[1].as_i64() + r[3].as_i64())
-            .sum();
-        prop_assert_eq!(got_sum, want_sum);
+        assert_eq!(got.rows.len(), want);
+        let got_sum: i64 = got.rows.iter().map(|r| r[1].as_i64() + r[3].as_i64()).sum();
+        assert_eq!(got_sum, want_sum);
     }
 }

@@ -2,11 +2,11 @@
 //! monotone lowering, stage-by-stage interpretability, and the formal
 //! stack-construction principles.
 
-use dblab::ir::level::{validate, Level};
+use dblab::ir::level::{validate, validate_window, Level};
 use dblab::tpch;
 use dblab::transform::config::dblab_stack;
 use dblab::transform::stack::compile_with_snapshots;
-use dblab::transform::StackConfig;
+use dblab::transform::{pass, StackConfig};
 
 fn schema_with_stats() -> dblab::catalog::Schema {
     let mut s = tpch::tpch_schema();
@@ -48,12 +48,67 @@ fn every_stage_of_the_full_stack_validates_at_its_level() {
             // Dialect validation (pools make the final stages C.Scala;
             // mixed-down stages must be clean at their declared level).
             let violations = validate(p);
-            assert!(
-                violations.is_empty(),
-                "Q{n} after {name}: {violations:?}"
-            );
+            assert!(violations.is_empty(), "Q{n} after {name}: {violations:?}");
         }
     }
+}
+
+#[test]
+fn declared_stack_is_derived_from_the_pass_registry() {
+    // The checked stack and the executable pipeline cannot drift: the
+    // StackBuilder edges are the registry's own declarations.
+    let edges = pass::declared_edges();
+    assert!(edges
+        .iter()
+        .any(|(n, s, t)| *n == "hash-table-specialization"
+            && *s == Level::MapList
+            && *t == Level::List));
+    assert!(edges
+        .iter()
+        .any(|(n, s, t)| *n == "memory-hoisting" && *s == Level::ScaLite && *t == Level::CScala));
+    // And the derived stack still satisfies both §2 principles.
+    dblab_stack().check().expect("principled stack");
+}
+
+#[test]
+fn partial_stacks_validate_within_their_dialect_window() {
+    // Level 4 disables list specialization: lists legitimately survive to
+    // the C.Scala program, so the final stage validates in the window
+    // [ScaLite[List], C.Scala] but not at C.Scala alone. Level 3 disables
+    // both collection lowerings, widening the window to the whole stack.
+    let schema = schema_with_stats();
+    let prog = tpch::queries::query(3);
+    for (cfg, ceiling) in [
+        (StackConfig::level3(), Level::MapList),
+        (StackConfig::level4(), Level::List),
+    ] {
+        let (cq, _) = compile_with_snapshots(&prog, &schema, &cfg, false);
+        assert_eq!(cq.program.level, Level::CScala);
+        let v = validate_window(&cq.program, ceiling, cq.program.level);
+        assert!(v.is_empty(), "{}: {v:?}", cfg.name);
+    }
+    // The full stack collapses the window: exact dialect conformance.
+    let (cq, _) = compile_with_snapshots(&prog, &schema, &StackConfig::level5(), false);
+    assert!(validate(&cq.program).is_empty());
+}
+
+#[test]
+fn stage_trace_is_instrumented_end_to_end() {
+    let schema = schema_with_stats();
+    let prog = tpch::queries::query(6);
+    let (cq, programs) = compile_with_snapshots(&prog, &schema, &StackConfig::level5(), true);
+    assert_eq!(cq.stages.len(), programs.len());
+    for (snap, (name, p)) in cq.stages.iter().zip(&programs) {
+        assert_eq!(&snap.name, name);
+        assert_eq!(snap.level, p.level);
+        assert_eq!(snap.size, p.body.size());
+    }
+    // The trace is contiguous: each stage starts where the last ended.
+    for w in cq.stages.windows(2) {
+        assert_eq!(w[1].level_before, w[0].level);
+        assert_eq!(w[1].size_before, w[0].size);
+    }
+    assert!(cq.stage_time_total() <= cq.gen_time);
 }
 
 #[test]
@@ -65,9 +120,8 @@ fn deeper_stacks_never_produce_slower_shapes() {
         let prog = tpch::queries::query(n);
         let l2 = dblab::transform::compile(&prog, &schema, &StackConfig::level2());
         let l5 = dblab::transform::compile(&prog, &schema, &StackConfig::level5());
-        let has = |p: &dblab::ir::Program, pat: &str| {
-            dblab::ir::printer::print_program(p).contains(pat)
-        };
+        let has =
+            |p: &dblab::ir::Program, pat: &str| dblab::ir::printer::print_program(p).contains(pat);
         assert!(
             has(&l2.program, "MultiMap") || has(&l2.program, "HashMap"),
             "Q{n}: L2 should use generic hash tables"
@@ -90,7 +144,10 @@ fn compliant_config_avoids_noncompliant_artifacts() {
     let compliant = dblab::transform::compile(&prog, &schema, &StackConfig::compliant());
     let text = dblab::ir::printer::print_program(&compliant.program);
     assert!(!text.contains("dict["), "no dictionaries when compliant");
-    assert!(!text.contains("loadIndex"), "no index inference when compliant");
+    assert!(
+        !text.contains("loadIndex"),
+        "no index inference when compliant"
+    );
     let l5 = dblab::transform::compile(&prog, &schema, &StackConfig::level5());
     let text5 = dblab::ir::printer::print_program(&l5.program);
     assert!(text5.contains("dict["), "level 5 dictionary-encodes p_type");
