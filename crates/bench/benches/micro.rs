@@ -1,8 +1,9 @@
 //! Micro-benchmarks for the substrate pieces whose cost gaps the paper's
 //! optimizations exploit: generic chained vs. specialized open-addressing
 //! hash tables, string comparison vs. dictionary codes, ANF construction
-//! with hash-consing, and the compiler passes themselves — now with the
-//! per-pass wall-time breakdown the instrumented pass manager records.
+//! with hash-consing, the per-backend unparsers (C vs Rust), and the
+//! compiler passes themselves — with the per-pass wall-time breakdown the
+//! instrumented pass manager records.
 //!
 //! Framework-free (`harness = false`): a warmup round, then the best of
 //! `RUNS` timed repetitions, printed as a plain table.
@@ -119,6 +120,18 @@ fn compiler_passes() {
                     .size()
             });
         }
+    }
+
+    // The unparse half of the backend seam: the same lowered program
+    // stringified by each native emitter (pure Program -> String, no
+    // toolchain).
+    println!("\n## backend emit (Q3, five-level stack)");
+    let cfg5 = dblab_transform::StackConfig::level5();
+    let lowered = dblab_transform::compile(&q3, &schema, &cfg5).program;
+    for b in dblab_codegen::backends() {
+        bench(&format!("emit-{}", b.name()), || {
+            b.emit(&lowered, &schema).len()
+        });
     }
 
     // Where the compile time goes: best-of-RUNS per pass, from the pass

@@ -5,6 +5,7 @@
 //! the same loading-plus-execution footprint).
 
 use dblab_bench::{data_dir, gen_dir, Args};
+use dblab_codegen::Compiler;
 use dblab_transform::StackConfig;
 
 fn main() {
@@ -24,8 +25,11 @@ fn main() {
     for &q in &args.queries {
         let prog = dblab_tpch::queries::query(q);
         let name = format!("f8_q{q}");
-        let r = dblab_codegen::compile_query(&prog, &schema, &cfg, &out, &name)
-            .and_then(|(_, compiled)| dblab_codegen::run(&compiled, &data));
+        let r = Compiler::new(&schema)
+            .config(&cfg)
+            .out_dir(&out)
+            .compile_named(&prog, &name)
+            .and_then(|art| art.run(&data));
         match r {
             Ok(run) => {
                 let mb = run.peak_rss_kb as f64 / 1024.0;

@@ -1,13 +1,14 @@
 //! Regenerates the paper's **Figure 9**: compilation time per query,
-//! split into DBLAB program optimization / code generation vs C compiler
-//! time ("the compilation time is divided almost equally between DBLAB/LB
-//! and CLang" — here gcc), plus the per-pass breakdown the instrumented
-//! pass manager records — which stage of the stack the generation half is
-//! actually spent in.
+//! split into DBLAB program optimization / code generation vs backend
+//! build time ("the compilation time is divided almost equally between
+//! DBLAB/LB and CLang") — now with a per-backend axis: the same lowered
+//! program built by `gcc -O3`, `rustc -O` and the zero-build interpreter,
+//! plus the per-pass breakdown the instrumented pass manager records.
 
 use std::time::Duration;
 
 use dblab_bench::{data_dir, gen_dir, Args};
+use dblab_codegen::{available_backends, Compiler};
 use dblab_transform::StackConfig;
 
 fn main() {
@@ -16,50 +17,74 @@ fn main() {
     let schema = db.schema.clone();
     let out = gen_dir();
     let cfg = StackConfig::level5();
+    let backends = available_backends();
 
     println!("# Figure 9 — compilation time (s) per query, five-level stack");
-    println!(
-        "{:<6}{:>14}{:>12}{:>10}",
-        "query", "DBLAB gen", "gcc", "total"
-    );
+    print!("{:<6}{:>14}", "query", "DBLAB gen");
+    for b in &backends {
+        print!("{:>12}", b.name());
+    }
+    println!();
     let mut sum_gen = 0.0;
-    let mut sum_cc = 0.0;
+    let mut sums: Vec<f64> = vec![0.0; backends.len()];
     // Per-pass totals across queries, in stage order of first appearance.
     let mut stage_totals: Vec<(String, Duration, u32)> = Vec::new();
     let mut compiled_queries = 0u32;
     for &q in &args.queries {
         let prog = dblab_tpch::queries::query(q);
-        let name = format!("f9_q{q}");
-        match dblab_codegen::compile_query(&prog, &schema, &cfg, &out, &name) {
-            Ok((cq, compiled)) => {
-                let gen = cq.gen_time.as_secs_f64();
-                let cc = compiled.cc_time.as_secs_f64();
-                sum_gen += gen;
-                sum_cc += cc;
-                compiled_queries += 1;
-                for s in &cq.stages {
-                    match stage_totals.iter_mut().find(|(n, _, _)| *n == s.name) {
-                        Some((_, t, k)) => {
-                            *t += s.time;
-                            *k += 1;
-                        }
-                        None => stage_totals.push((s.name.clone(), s.time, 1)),
-                    }
+        // Lower through the DSL stack once; only the build step differs
+        // per backend (build_staged is the seam for exactly this).
+        let cq = dblab_transform::compile(&prog, &schema, &cfg);
+        let gen = cq.gen_time.as_secs_f64();
+        sum_gen += gen;
+        compiled_queries += 1;
+        for s in &cq.stages {
+            match stage_totals.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, t, k)) => {
+                    *t += s.time;
+                    *k += 1;
                 }
-                println!("Q{q:<5}{gen:>14.3}{cc:>12.3}{:>10.3}", gen + cc);
+                None => stage_totals.push((s.name.clone(), s.time, 1)),
             }
-            Err(e) => println!("Q{q:<5}  ERROR: {e}"),
         }
+        print!("Q{q:<5}{gen:>14.3}");
+        for (bi, b) in backends.iter().enumerate() {
+            let compiler = Compiler::new(&schema)
+                .config(&cfg)
+                .backend(dblab_codegen::backend(b.name()).expect("registered"))
+                .out_dir(&out);
+            let name = format!("f9_q{q}_{}", b.name());
+            match compiler.build_staged(cq.clone(), &name) {
+                Ok(art) => {
+                    let bt = art.exe.build_time().as_secs_f64();
+                    sums[bi] += bt;
+                    print!("{bt:>12.3}");
+                }
+                Err(e) => {
+                    eprintln!("Q{q} [{}]: {e}", b.name());
+                    print!("{:>12}", "ERR");
+                }
+            }
+        }
+        println!();
     }
     if compiled_queries > 0 {
         let n = f64::from(compiled_queries);
-        println!(
-            "# mean: generation {:.3}s, gcc {:.3}s (split {:.0}%/{:.0}%)",
-            sum_gen / n,
-            sum_cc / n,
-            100.0 * sum_gen / (sum_gen + sum_cc),
-            100.0 * sum_cc / (sum_gen + sum_cc)
-        );
+        print!("# mean: generation {:.3}s", sum_gen / n);
+        for (bi, b) in backends.iter().enumerate() {
+            print!(", {} {:.3}s", b.name(), sums[bi] / n);
+        }
+        if let Some(gi) = backends.iter().position(|b| b.name() == "gcc") {
+            let gcc = sums[gi];
+            if gcc > 0.0 {
+                print!(
+                    " (gen/gcc split {:.0}%/{:.0}%)",
+                    100.0 * sum_gen / (sum_gen + gcc),
+                    100.0 * gcc / (sum_gen + gcc)
+                );
+            }
+        }
+        println!();
     }
 
     if compiled_queries > 0 {

@@ -7,6 +7,7 @@
 //! ```
 
 use dblab_bench::{best_of, data_dir, gen_dir, table3_configs, Args};
+use dblab_codegen::Compiler;
 
 fn main() {
     let args = Args::parse();
@@ -35,8 +36,11 @@ fn main() {
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
                 .collect();
-            let ms = dblab_codegen::compile_query(&prog, &schema, cfg, &out, &name)
-                .and_then(|(_, compiled)| best_of(&compiled, &data, args.runs))
+            let ms = Compiler::new(&schema)
+                .config(cfg)
+                .out_dir(&out)
+                .compile_named(&prog, &name)
+                .and_then(|art| best_of(art.exe.as_ref(), &data, args.runs))
                 .map(|r| r.query_ms)
                 .unwrap_or(f64::NAN);
             times.push(ms);

@@ -43,10 +43,7 @@ pub fn gen_dir() -> PathBuf {
 /// The Table 3 row order: LegoBase baseline first, then the incremental
 /// stacks, then the compliant configuration.
 pub fn table3_configs() -> Vec<StackConfig> {
-    let mut v = vec![StackConfig {
-        name: "LegoBase",
-        ..StackConfig::level4()
-    }];
+    let mut v = vec![StackConfig::legobase()];
     v.extend(StackConfig::table3());
     v
 }
@@ -89,16 +86,16 @@ impl Args {
     }
 }
 
-/// Run one compiled query binary `runs` times; report the best in-query
-/// time (steady state, like the paper).
+/// Run one built query `runs` times (any backend); report the best
+/// in-query time (steady state, like the paper).
 pub fn best_of(
-    compiled: &dblab_codegen::Compiled,
+    exe: &dyn dblab_codegen::Executable,
     data: &Path,
     runs: usize,
 ) -> std::io::Result<dblab_codegen::RunOutput> {
     let mut best: Option<dblab_codegen::RunOutput> = None;
     for _ in 0..runs.max(1) {
-        let out = dblab_codegen::run(compiled, data)?;
+        let out = exe.run(data)?;
         if best
             .as_ref()
             .map(|b| out.query_ms < b.query_ms)

@@ -1,0 +1,572 @@
+//! The backend seam: one compile/execute API over gcc, rustc and the
+//! interpreter.
+//!
+//! The paper's argument is that a query compiler should be a stack of
+//! small, swappable stages — this module extends that principle below the
+//! C.Scala dialect. A [`Backend`] turns a fully-lowered IR program into an
+//! [`Executable`]; the [`Compiler`] facade runs the configured DSL stack
+//! and hands the result to whichever backend the caller selected. Three
+//! backends ship in the [`backends`] registry:
+//!
+//! * [`CBackend`] — the paper's path: unparse to C, build with `gcc -O3`;
+//! * [`RustBackend`] — a second native path: unparse the *same* C.Scala
+//!   dialect to Rust, build with `rustc -O` (skipped gracefully when the
+//!   toolchain is absent);
+//! * [`InterpBackend`] — `dblab-interp` wrapped as a zero-build in-process
+//!   executable ("each DSL is executable", §4).
+//!
+//! `emit` stays a pure `Program → String` function on every backend so
+//! sources can be inspected, diffed and cached without building anything;
+//! `build` receives the program alongside the source because in-process
+//! backends execute the IR directly rather than re-parsing text.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use dblab_catalog::Schema;
+use dblab_frontend::qmonad::QMonad;
+use dblab_frontend::qplan::QueryProgram;
+use dblab_ir::Program;
+use dblab_runtime::Database;
+use dblab_transform::stack::CompiledQuery;
+use dblab_transform::StackConfig;
+
+/// Result of one run of a compiled query (any backend).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Result rows (stdout).
+    pub stdout: String,
+    /// In-query time reported by the generated timer (whole-execution time
+    /// for the interpreter, which has no separate loading phase).
+    pub query_ms: f64,
+    /// Peak resident set size, KiB (the measuring process itself for the
+    /// in-process interpreter).
+    pub peak_rss_kb: u64,
+    /// Whole-process wall time (loading included).
+    pub wall: Duration,
+}
+
+/// A built query, ready to run against a `.tbl` data directory.
+pub trait Executable {
+    /// Execute against `data_dir` and capture result rows + metrics.
+    fn run(&self, data_dir: &Path) -> io::Result<RunOutput>;
+    /// Wall time the toolchain spent building (the gcc/rustc half of
+    /// Figure 9; zero for in-process backends).
+    fn build_time(&self) -> Duration;
+    /// The produced binary on disk, if any.
+    fn artifact(&self) -> Option<&Path>;
+}
+
+/// Everything a backend needs to build: the emitted source, where to put
+/// artifacts, and the program itself (for in-process backends).
+pub struct BuildInput<'a> {
+    pub program: &'a Program,
+    pub schema: &'a Schema,
+    pub source: &'a str,
+    pub dir: &'a Path,
+    pub name: &'a str,
+}
+
+/// A code-generation + execution strategy for fully-lowered programs.
+pub trait Backend {
+    /// Registry name (`"gcc"`, `"rustc"`, `"interp"`).
+    fn name(&self) -> &'static str;
+    /// Pure unparse: C.Scala program → source text. Never touches the
+    /// filesystem or a toolchain.
+    fn emit(&self, p: &Program, schema: &Schema) -> String;
+    /// Build an [`Executable`] from the emitted source.
+    fn build(&self, input: BuildInput<'_>) -> io::Result<Box<dyn Executable>>;
+    /// Whether the required toolchain is present on this machine.
+    fn available(&self) -> bool {
+        true
+    }
+    /// What `available()` probes for, for skip messages.
+    fn requirement(&self) -> &'static str {
+        "nothing"
+    }
+}
+
+fn toolchain_present(cache: &'static OnceLock<bool>, cmd: &str) -> bool {
+    *cache.get_or_init(|| {
+        Command::new(cmd)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+    })
+}
+
+/// Spawn a generated binary on `data_dir` and parse the instrumentation
+/// lines (`QUERY_TIME_MS`, `PEAK_RSS_KB`) from stderr. Shared by the gcc
+/// and rustc backends — the generated programs speak the same protocol.
+pub fn run_binary(binary: &Path, data_dir: &Path) -> io::Result<RunOutput> {
+    let t0 = Instant::now();
+    let out = Command::new(binary).arg(data_dir).output()?;
+    let wall = t0.elapsed();
+    if !out.status.success() {
+        return Err(io::Error::other(format!(
+            "query binary {} failed: {}",
+            binary.display(),
+            String::from_utf8_lossy(&out.stderr)
+        )));
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let mut query_ms = f64::NAN;
+    let mut peak_rss_kb = 0;
+    for line in stderr.lines() {
+        if let Some(v) = line.strip_prefix("QUERY_TIME_MS: ") {
+            query_ms = v.trim().parse().unwrap_or(f64::NAN);
+        } else if let Some(v) = line.strip_prefix("PEAK_RSS_KB: ") {
+            peak_rss_kb = v.trim().parse().unwrap_or(0);
+        }
+    }
+    Ok(RunOutput {
+        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        query_ms,
+        peak_rss_kb,
+        wall,
+    })
+}
+
+/// Normalized result comparison shared by the differential tests, the
+/// backend-conformance suite and `tpch_showdown`'s oracle check:
+/// field-wise with a small numeric tolerance (C prints through `%.4f`,
+/// Rust through `{:.4}`; rounding can differ in the last digit).
+pub fn same_normalized(a: &str, b: &str) -> bool {
+    let la: Vec<&str> = a.lines().collect();
+    let lb: Vec<&str> = b.lines().collect();
+    if la.len() != lb.len() {
+        return false;
+    }
+    for (x, y) in la.iter().zip(&lb) {
+        let fx: Vec<&str> = x.split('|').collect();
+        let fy: Vec<&str> = y.split('|').collect();
+        if fx.len() != fy.len() {
+            return false;
+        }
+        for (u, v) in fx.iter().zip(&fy) {
+            if u == v {
+                continue;
+            }
+            match (u.parse::<f64>(), v.parse::<f64>()) {
+                (Ok(a), Ok(b)) if (a - b).abs() <= 0.02_f64.max(a.abs() * 1e-6) => {}
+                _ => return false,
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// C / gcc
+// ---------------------------------------------------------------------
+
+/// The paper's backend: C source, `gcc -O3`.
+pub struct CBackend;
+
+struct NativeExecutable {
+    binary: PathBuf,
+    build_time: Duration,
+}
+
+impl Executable for NativeExecutable {
+    fn run(&self, data_dir: &Path) -> io::Result<RunOutput> {
+        run_binary(&self.binary, data_dir)
+    }
+    fn build_time(&self) -> Duration {
+        self.build_time
+    }
+    fn artifact(&self) -> Option<&Path> {
+        Some(&self.binary)
+    }
+}
+
+impl Backend for CBackend {
+    fn name(&self) -> &'static str {
+        "gcc"
+    }
+    fn emit(&self, p: &Program, schema: &Schema) -> String {
+        crate::emit::emit(p, schema)
+    }
+    fn build(&self, input: BuildInput<'_>) -> io::Result<Box<dyn Executable>> {
+        let compiled = crate::cc::compile_c(input.source, input.dir, input.name)?;
+        Ok(Box::new(NativeExecutable {
+            binary: compiled.binary,
+            build_time: compiled.cc_time,
+        }))
+    }
+    fn available(&self) -> bool {
+        static PRESENT: OnceLock<bool> = OnceLock::new();
+        toolchain_present(&PRESENT, "gcc")
+    }
+    fn requirement(&self) -> &'static str {
+        "gcc on PATH"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rust / rustc
+// ---------------------------------------------------------------------
+
+/// The second native backend: Rust source from the same C.Scala dialect,
+/// built with `rustc -O`.
+pub struct RustBackend;
+
+impl Backend for RustBackend {
+    fn name(&self) -> &'static str {
+        "rustc"
+    }
+    fn emit(&self, p: &Program, schema: &Schema) -> String {
+        crate::rust_emit::emit_rust(p, schema)
+    }
+    fn build(&self, input: BuildInput<'_>) -> io::Result<Box<dyn Executable>> {
+        std::fs::create_dir_all(input.dir)?;
+        let rs_path = input.dir.join(format!("{}.rs", input.name));
+        std::fs::write(&rs_path, input.source)?;
+        let binary = input.dir.join(format!("{}_rs", input.name));
+        let t0 = Instant::now();
+        let out = Command::new("rustc")
+            .arg("--edition")
+            .arg("2021")
+            .arg("-O")
+            .arg("-C")
+            .arg("debug-assertions=no")
+            .arg("--crate-name")
+            .arg("dblab_query")
+            .arg("-o")
+            .arg(&binary)
+            .arg(&rs_path)
+            .output()?;
+        let build_time = t0.elapsed();
+        if !out.status.success() {
+            return Err(io::Error::other(format!(
+                "rustc failed on {}:\n{}",
+                rs_path.display(),
+                String::from_utf8_lossy(&out.stderr)
+            )));
+        }
+        Ok(Box::new(NativeExecutable { binary, build_time }))
+    }
+    fn available(&self) -> bool {
+        static PRESENT: OnceLock<bool> = OnceLock::new();
+        toolchain_present(&PRESENT, "rustc")
+    }
+    fn requirement(&self) -> &'static str {
+        "rustc on PATH"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interpreter (in-process, zero build)
+// ---------------------------------------------------------------------
+
+/// `dblab-interp` as a backend: no toolchain, no artifact — the final IR
+/// program itself is the executable.
+pub struct InterpBackend;
+
+struct InterpExecutable {
+    program: Program,
+    schema: Schema,
+}
+
+impl Executable for InterpExecutable {
+    fn run(&self, data_dir: &Path) -> io::Result<RunOutput> {
+        let t0 = Instant::now();
+        let db = Database::read_all(&self.schema, data_dir)?;
+        let tq = Instant::now();
+        let stdout = dblab_interp::run(&self.program, &db);
+        let query = tq.elapsed();
+        Ok(RunOutput {
+            stdout,
+            query_ms: query.as_secs_f64() * 1e3,
+            peak_rss_kb: self_peak_rss_kb(),
+            wall: t0.elapsed(),
+        })
+    }
+    fn build_time(&self) -> Duration {
+        Duration::ZERO
+    }
+    fn artifact(&self) -> Option<&Path> {
+        None
+    }
+}
+
+/// `VmHWM` of the current process (the interpreter runs in-process), 0
+/// where procfs is unavailable.
+fn self_peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+impl Backend for InterpBackend {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+    fn emit(&self, p: &Program, _schema: &Schema) -> String {
+        dblab_ir::printer::print_program(p)
+    }
+    fn build(&self, input: BuildInput<'_>) -> io::Result<Box<dyn Executable>> {
+        Ok(Box::new(InterpExecutable {
+            program: input.program.clone(),
+            schema: input.schema.clone(),
+        }))
+    }
+    fn requirement(&self) -> &'static str {
+        "nothing (in-process)"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+/// All registered backends, in presentation order. This is the seam later
+/// backends (cranelift, …) plug into.
+pub fn backends() -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(CBackend),
+        Box::new(RustBackend),
+        Box::new(InterpBackend),
+    ]
+}
+
+/// Backends whose toolchain is present on this machine.
+pub fn available_backends() -> Vec<Box<dyn Backend>> {
+    backends().into_iter().filter(|b| b.available()).collect()
+}
+
+/// Look a backend up by registry name (aliases: `c`/`gcc`, `rust`/`rustc`,
+/// `interpreter`/`interp`). Derived from [`backends`], so a backend added
+/// to the registry is automatically resolvable here.
+pub fn backend(name: &str) -> Option<Box<dyn Backend>> {
+    let canonical = match name {
+        "c" => "gcc",
+        "rust" => "rustc",
+        "interpreter" => "interp",
+        other => other,
+    };
+    backends().into_iter().find(|b| b.name() == canonical)
+}
+
+// ---------------------------------------------------------------------
+// The Compiler facade
+// ---------------------------------------------------------------------
+
+/// A fully compiled query: the instrumented stack output (stage trace,
+/// generation time), the emitted source, and the built executable.
+pub struct CompiledArtifact {
+    /// Which backend built this.
+    pub backend: &'static str,
+    /// The DSL-stack output: final program + per-pass stage trace.
+    pub stack: CompiledQuery,
+    /// The emitted source text (C, Rust, or pretty-printed IR).
+    pub source: String,
+    /// The runnable artifact.
+    pub exe: Box<dyn Executable>,
+}
+
+impl CompiledArtifact {
+    /// Convenience: run against a data directory.
+    pub fn run(&self, data_dir: &Path) -> io::Result<RunOutput> {
+        self.exe.run(data_dir)
+    }
+}
+
+/// The one compile/execute entry point: configure a stack, pick a backend,
+/// compile queries.
+///
+/// ```no_run
+/// # use dblab_codegen::{Compiler, RustBackend};
+/// # let schema = dblab_catalog::Schema::default();
+/// # let prog = dblab_frontend::qplan::QueryProgram::new(
+/// #     dblab_frontend::qplan::QPlan::scan("nation"));
+/// let artifact = Compiler::new(&schema)
+///     .config(&dblab_transform::StackConfig::level5())
+///     .backend(Box::new(RustBackend))
+///     .compile(&prog)
+///     .expect("build");
+/// let out = artifact.run(std::path::Path::new("/data")).expect("run");
+/// ```
+pub struct Compiler<'s> {
+    schema: &'s Schema,
+    cfg: StackConfig,
+    backend: Box<dyn Backend>,
+    dir: PathBuf,
+}
+
+impl<'s> Compiler<'s> {
+    /// Defaults: five-level stack, C/gcc backend, artifacts under the
+    /// system temp directory.
+    pub fn new(schema: &'s Schema) -> Compiler<'s> {
+        Compiler {
+            schema,
+            cfg: StackConfig::level5(),
+            backend: Box::new(CBackend),
+            dir: std::env::temp_dir().join("dblab_gen"),
+        }
+    }
+
+    /// Select the stack configuration (Table 3 axis).
+    pub fn config(mut self, cfg: &StackConfig) -> Self {
+        self.cfg = cfg.clone();
+        self
+    }
+
+    /// Select the backend (gcc / rustc / interp / yours).
+    pub fn backend(mut self, b: Box<dyn Backend>) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Where sources and binaries go.
+    pub fn out_dir(mut self, dir: &Path) -> Self {
+        self.dir = dir.to_path_buf();
+        self
+    }
+
+    /// Compile a QPlan program end to end, deriving a stable artifact name
+    /// from the program, configuration and backend.
+    pub fn compile(&self, prog: &QueryProgram) -> io::Result<CompiledArtifact> {
+        let cq = dblab_transform::compile(prog, self.schema, &self.cfg);
+        let name = self.auto_name(&cq);
+        self.build_staged(cq, &name)
+    }
+
+    /// Compile a QPlan program with an explicit artifact name (benches and
+    /// tests name artifacts after the query and configuration).
+    pub fn compile_named(&self, prog: &QueryProgram, name: &str) -> io::Result<CompiledArtifact> {
+        let cq = dblab_transform::compile(prog, self.schema, &self.cfg);
+        self.build_staged(cq, name)
+    }
+
+    /// Compile a QMonad query through the same stack (§4.5 front-end).
+    pub fn compile_qmonad(&self, q: &QMonad, name: &str) -> io::Result<CompiledArtifact> {
+        let cq = dblab_transform::stack::compile_qmonad(q, self.schema, &self.cfg);
+        self.build_staged(cq, name)
+    }
+
+    /// Emit + build an already-lowered stack output. The seam for callers
+    /// that ran the stack themselves (e.g. to retain per-stage snapshots).
+    pub fn build_staged(&self, cq: CompiledQuery, name: &str) -> io::Result<CompiledArtifact> {
+        if !self.backend.available() {
+            return Err(io::Error::other(format!(
+                "backend `{}` unavailable (requires {})",
+                self.backend.name(),
+                self.backend.requirement()
+            )));
+        }
+        let source = self.backend.emit(&cq.program, self.schema);
+        let exe = self.backend.build(BuildInput {
+            program: &cq.program,
+            schema: self.schema,
+            source: &source,
+            dir: &self.dir,
+            name,
+        })?;
+        Ok(CompiledArtifact {
+            backend: self.backend.name(),
+            stack: cq,
+            source,
+            exe,
+        })
+    }
+
+    /// The selected backend's registry name.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Is the selected backend's toolchain present?
+    pub fn backend_available(&self) -> bool {
+        self.backend.available()
+    }
+
+    /// Stable artifact name derived from the lowered program text plus the
+    /// configuration and backend — distinct programs get distinct
+    /// artifacts, identical compiles reuse the same name.
+    fn auto_name(&self, cq: &CompiledQuery) -> String {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.cfg.name.hash(&mut h);
+        self.backend.name().hash(&mut h);
+        dblab_ir::printer::print_program(&cq.program).hash(&mut h);
+        format!("q_{:016x}", h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_lists_three_backends_with_unique_names() {
+        let names: Vec<&str> = backends().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["gcc", "rustc", "interp"]);
+        for n in &names {
+            assert!(backend(n).is_some(), "{n} resolves");
+        }
+        assert!(backend("cranelift").is_none());
+    }
+
+    #[test]
+    fn interp_backend_is_always_available() {
+        assert!(InterpBackend.available());
+    }
+
+    /// The facade end to end on the zero-toolchain backend: compile with an
+    /// auto-derived artifact name, run against a written `.tbl` directory.
+    #[test]
+    fn facade_compiles_and_runs_through_the_interp_backend() {
+        use dblab_catalog::{ColType, TableDef};
+        use dblab_frontend::qplan::{AggFunc, QPlan, QueryProgram};
+        use dblab_runtime::{Table, Value};
+
+        let mut schema = dblab_catalog::Schema::new(vec![TableDef::new(
+            "t",
+            vec![("t_id", ColType::Int), ("t_v", ColType::Int)],
+        )]);
+        let def = schema.table_mut("t");
+        def.stats.row_count = 3;
+        def.stats.int_max = vec![10; 2];
+        def.stats.distinct = vec![3; 2];
+        let dir = std::env::temp_dir().join("dblab_facade_test");
+        let mut t = Table::empty(schema.table("t"));
+        for (id, v) in [(1, 5), (2, 6), (3, 7)] {
+            t.push_row(vec![Value::Int(id), Value::Int(v)]);
+        }
+        let db = Database {
+            schema: schema.clone(),
+            tables: vec![t],
+            dir: dir.clone(),
+        };
+        db.write_all().expect("write .tbl");
+
+        let prog = QueryProgram::new(QPlan::scan("t").agg(vec![], vec![("n", AggFunc::Count)]));
+        let art = Compiler::new(&schema)
+            .config(&StackConfig::level2())
+            .backend(Box::new(InterpBackend))
+            .compile(&prog)
+            .expect("interp build");
+        assert_eq!(art.backend, "interp");
+        assert!(!art.stack.stages.is_empty(), "stage trace present");
+        assert!(art.exe.artifact().is_none(), "in-process: no binary");
+        assert_eq!(art.exe.build_time(), Duration::ZERO);
+        let out = art.run(&dir).expect("run");
+        assert_eq!(out.stdout.trim(), "3");
+
+        // Same program + config + backend -> same derived artifact name.
+        let cq1 = dblab_transform::compile(&prog, &schema, &StackConfig::level2());
+        let compiler = Compiler::new(&schema).config(&StackConfig::level2());
+        assert_eq!(compiler.auto_name(&cq1), compiler.auto_name(&cq1));
+    }
+}

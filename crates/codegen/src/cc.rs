@@ -1,7 +1,7 @@
 //! The C-compiler driver: writes the generated translation unit next to
-//! `dblab_runtime.h`, invokes `gcc -O3` (our CLang 2.9 stand-in, §7), runs
-//! the produced binary against a data directory, and parses the
-//! instrumentation lines (`QUERY_TIME_MS`, `PEAK_RSS_KB`) from stderr.
+//! `dblab_runtime.h` and invokes `gcc -O3` (our CLang 2.9 stand-in, §7).
+//! Execution and instrumentation parsing live in [`crate::backend`], which
+//! is shared with the rustc backend.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -16,19 +16,6 @@ pub struct Compiled {
     pub c_path: PathBuf,
     /// gcc wall time (the "C compilation" half of Figure 9).
     pub cc_time: Duration,
-}
-
-/// Result of one run of a compiled query.
-#[derive(Debug, Clone)]
-pub struct RunOutput {
-    /// Result rows (stdout).
-    pub stdout: String,
-    /// In-query time reported by the generated timer.
-    pub query_ms: f64,
-    /// Peak resident set size, KiB.
-    pub peak_rss_kb: u64,
-    /// Whole-process wall time (loading included).
-    pub wall: Duration,
 }
 
 /// Write `source` as `<name>.c` under `dir` (with the runtime header) and
@@ -65,36 +52,6 @@ pub fn compile_c(source: &str, dir: &Path, name: &str) -> std::io::Result<Compil
     })
 }
 
-/// Run a compiled query against a `.tbl` data directory.
-pub fn run(compiled: &Compiled, data_dir: &Path) -> std::io::Result<RunOutput> {
-    let t0 = Instant::now();
-    let out = Command::new(&compiled.binary).arg(data_dir).output()?;
-    let wall = t0.elapsed();
-    if !out.status.success() {
-        return Err(std::io::Error::other(format!(
-            "query binary {} failed: {}",
-            compiled.binary.display(),
-            String::from_utf8_lossy(&out.stderr)
-        )));
-    }
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    let mut query_ms = f64::NAN;
-    let mut peak_rss_kb = 0;
-    for line in stderr.lines() {
-        if let Some(v) = line.strip_prefix("QUERY_TIME_MS: ") {
-            query_ms = v.trim().parse().unwrap_or(f64::NAN);
-        } else if let Some(v) = line.strip_prefix("PEAK_RSS_KB: ") {
-            peak_rss_kb = v.trim().parse().unwrap_or(0);
-        }
-    }
-    Ok(RunOutput {
-        stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
-        query_ms,
-        peak_rss_kb,
-        wall,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,7 +70,7 @@ int main(int argc, char** argv) {
 }
 "#;
         let compiled = compile_c(src, &dir, "trivial").expect("gcc available");
-        let out = run(&compiled, &dir).expect("runs");
+        let out = crate::backend::run_binary(&compiled.binary, &dir).expect("runs");
         assert_eq!(out.stdout, "42\n");
         assert!(out.query_ms >= 0.0);
         assert!(out.peak_rss_kb > 0);

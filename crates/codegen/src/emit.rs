@@ -17,10 +17,12 @@ use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, Layout, PrimOp, Stmt, Sym
 use dblab_ir::types::StructId;
 use dblab_ir::{Program, Type};
 
+use crate::tables::TableInfo;
+
 /// Generate the complete C source for a program.
 pub fn emit(p: &Program, schema: &Schema) -> String {
     let mut e = Emitter::new(p, schema);
-    e.collect_tables(&p.body);
+    (e.tables, e.table_by_name) = crate::tables::collect_tables(p, schema);
     e.emit_structs();
     e.emit_table_globals();
     e.emit_loaders();
@@ -37,19 +39,6 @@ pub fn emit(p: &Program, schema: &Schema) -> String {
     out.push_str(&body);
     out.push_str("    return 0;\n}\n");
     out
-}
-
-#[derive(Clone)]
-struct TableInfo {
-    name: Rc<str>,
-    sid: StructId,
-    layout: Layout,
-    /// Original column index per (pruned) struct field.
-    kept: Vec<usize>,
-    /// Original column index -> ordered? for dictionary-encoded fields.
-    dicts: HashMap<usize, bool>,
-    /// Original column indices needing standalone key arrays for indexes.
-    index_keys: Vec<usize>,
 }
 
 struct Emitter<'p> {
@@ -89,48 +78,8 @@ impl<'p> Emitter<'p> {
     }
 
     // ------------------------------------------------------------------
-    // Analysis & declarations
+    // Declarations
     // ------------------------------------------------------------------
-
-    fn collect_tables(&mut self, b: &Block) {
-        for st in &b.stmts {
-            match &st.expr {
-                Expr::LoadTable { table, sid } => {
-                    let layout = self.p.annots.layout(st.sym).unwrap_or(Layout::Boxed);
-                    let ncols = self.schema.table(table).columns.len();
-                    let kept = self
-                        .p
-                        .annots
-                        .kept_columns(st.sym)
-                        .unwrap_or_else(|| (0..ncols).collect());
-                    let dicts = self.p.annots.dict_fields(st.sym).into_iter().collect();
-                    let info = TableInfo {
-                        name: table.clone(),
-                        sid: *sid,
-                        layout,
-                        kept,
-                        dicts,
-                        index_keys: Vec::new(),
-                    };
-                    self.table_by_name.insert(table.clone(), st.sym);
-                    self.tables.insert(st.sym, info);
-                }
-                Expr::LoadIndexUnique { table, field }
-                | Expr::LoadIndexStarts { table, field }
-                | Expr::LoadIndexItems { table, field } => {
-                    let sym = self.table_by_name[table];
-                    let info = self.tables.get_mut(&sym).expect("table loaded first");
-                    if !info.index_keys.contains(field) {
-                        info.index_keys.push(*field);
-                    }
-                }
-                _ => {}
-            }
-            for blk in st.expr.blocks() {
-                self.collect_tables(blk);
-            }
-        }
-    }
 
     fn emit_structs(&mut self) {
         // Forward declarations first (intrusive `next` fields are

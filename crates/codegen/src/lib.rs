@@ -1,39 +1,43 @@
-//! # dblab-codegen — C code generation and compilation
+//! # dblab-codegen — backends and compilation below the DSL stack
 //!
-//! The bottom of the stack: unparse C.Scala-level IR into a C translation
-//! unit ([`emit`]), pair it with the generic runtime header ([`runtime`],
-//! our GLib stand-in), compile with `gcc -O3` and execute ([`cc`]).
+//! The bottom of the stack, redesigned around one seam: a [`Backend`]
+//! turns a fully-lowered C.Scala program into an [`Executable`], and the
+//! [`Compiler`] facade is the single compile/execute entry point used by
+//! the benches, examples and differential tests:
 //!
-//! [`compile_query`] is the one-call convenience used by the benchmark
-//! harness and the differential tests: QueryProgram → configured stack →
-//! C → binary.
+//! ```no_run
+//! # let schema = dblab_catalog::Schema::default();
+//! # let prog = dblab_frontend::qplan::QueryProgram::new(
+//! #     dblab_frontend::qplan::QPlan::scan("nation"));
+//! use dblab_codegen::{backend, Compiler};
+//! let art = Compiler::new(&schema)
+//!     .config(&dblab_transform::StackConfig::level5())
+//!     .backend(backend("rustc").unwrap())
+//!     .compile(&prog)
+//!     .expect("build");
+//! println!("{}", art.stack.stage_report()); // per-pass trace
+//! let out = art.run(std::path::Path::new("/data")).expect("run");
+//! ```
+//!
+//! Three backends ship in the registry: [`CBackend`] (unparse to C, build
+//! with `gcc -O3` — [`emit`] + [`cc`]), [`RustBackend`] (unparse the same
+//! dialect to Rust, build with `rustc -O` — [`rust_emit`]), and
+//! [`InterpBackend`] (`dblab-interp` as a zero-build in-process
+//! executable). See DESIGN.md §7 for the trait contracts and how to add a
+//! backend.
 
+pub mod backend;
 pub mod cc;
 pub mod emit;
 pub mod runtime;
+pub mod rust_emit;
+pub mod rust_rt;
+mod tables;
 
-use std::path::Path;
-
-use dblab_catalog::Schema;
-use dblab_frontend::qplan::QueryProgram;
-use dblab_transform::stack::CompiledQuery;
-use dblab_transform::StackConfig;
-
-pub use cc::{compile_c, run, Compiled, RunOutput};
+pub use backend::{
+    available_backends, backend, backends, run_binary, same_normalized, Backend, BuildInput,
+    CBackend, CompiledArtifact, Compiler, Executable, InterpBackend, RunOutput, RustBackend,
+};
+pub use cc::{compile_c, Compiled};
 pub use emit::emit;
-
-/// End-to-end: compile a query through the configured DSL stack down to a
-/// native binary in `dir`. Returns the stack output (for stage inspection
-/// and generation-time metrics) alongside the compiled artifact.
-pub fn compile_query(
-    prog: &QueryProgram,
-    schema: &Schema,
-    cfg: &StackConfig,
-    dir: &Path,
-    name: &str,
-) -> std::io::Result<(CompiledQuery, Compiled)> {
-    let cq = dblab_transform::compile(prog, schema, cfg);
-    let source = emit(&cq.program, schema);
-    let compiled = cc::compile_c(&source, dir, name)?;
-    Ok((cq, compiled))
-}
+pub use rust_emit::emit_rust;

@@ -1,0 +1,1326 @@
+//! The C.Scala → Rust unparser: the second native backend.
+//!
+//! Emits one self-contained Rust translation unit per query from the
+//! *same* fully-lowered dialect the C emitter consumes — record structs,
+//! generated `.tbl` loaders (honouring layout, dictionary and kept-column
+//! annotations), index/partition builders, per-key-type hash/equality
+//! functions, and a `main` that loads, runs and prints. Built with
+//! `rustc -O` by [`crate::backend::RustBackend`].
+//!
+//! The translation mirrors [`crate::emit`] statement for statement: the
+//! same symbols (`x{n}`), the same globals (`g_{table}_{field}`), the same
+//! runtime contracts (see [`crate::rust_rt`] — hash functions and bucket
+//! policies match the C runtime, so the generic containers iterate in the
+//! same order). Where C leans on implicit conversions and
+//! `void*`, the Rust side makes every numeric coercion explicit (`as`) and
+//! packs container payloads through a `Word` trait; records keep C
+//! semantics via raw pointers inside one `unsafe fn`.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use dblab_catalog::{ColType, Schema};
+use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, Layout, PrimOp, Stmt, Sym, UnOp};
+use dblab_ir::types::StructId;
+use dblab_ir::{Program, Type};
+
+use crate::rust_rt::DBLAB_RUNTIME_RS;
+use crate::tables::TableInfo;
+
+/// Generate the complete Rust source for a program.
+pub fn emit_rust(p: &Program, schema: &Schema) -> String {
+    let mut e = REmitter::new(p, schema);
+    (e.tables, e.table_by_name) = crate::tables::collect_tables(p, schema);
+    e.emit_structs();
+    e.emit_table_globals();
+    e.emit_loaders();
+    e.emit_index_builders(&p.body);
+    let mut body = String::new();
+    e.block(&p.body, 1, &mut body);
+    let mut out = String::new();
+    out.push_str("#![allow(warnings)]\n");
+    // deny-by-default lint, not covered by allow(warnings): the generated
+    // container loops index Vecs behind raw pointers deliberately.
+    out.push_str("#![allow(dangerous_implicit_autorefs)]\n");
+    out.push_str(DBLAB_RUNTIME_RS);
+    out.push('\n');
+    out.push_str(&e.typedefs);
+    out.push('\n');
+    out.push_str(&e.top);
+    out.push_str("\nunsafe fn query() {\n");
+    out.push_str(&body);
+    out.push_str("}\n\n");
+    out.push_str("fn main() {\n");
+    out.push_str("    let args: Vec<String> = std::env::args().collect();\n");
+    out.push_str(
+        "    set_data_dir(if args.len() > 1 { args[1].clone() } else { \".\".to_string() });\n",
+    );
+    out.push_str("    unsafe { query(); }\n");
+    out.push_str("}\n");
+    out
+}
+
+struct REmitter<'p> {
+    p: &'p Program,
+    schema: &'p Schema,
+    typedefs: String,
+    top: String,
+    tables: HashMap<Sym, TableInfo>,
+    table_by_name: HashMap<Rc<str>, Sym>,
+    /// Columnar row handles: sym -> (table sym, row-index Rust expr).
+    handles: HashMap<Sym, (Sym, String)>,
+    /// sids with generated key hash/eq functions.
+    key_fns: HashSet<StructId>,
+    /// CSR builders already emitted: (table, col).
+    csr_built: HashSet<(Rc<str>, usize)>,
+    fn_ctr: usize,
+}
+
+impl<'p> REmitter<'p> {
+    fn new(p: &'p Program, schema: &'p Schema) -> REmitter<'p> {
+        REmitter {
+            p,
+            schema,
+            typedefs: String::new(),
+            top: String::new(),
+            tables: HashMap::new(),
+            table_by_name: HashMap::new(),
+            handles: HashMap::new(),
+            key_fns: HashSet::new(),
+            csr_built: HashSet::new(),
+            fn_ctr: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    fn sname(&self, sid: StructId) -> String {
+        ident(&self.p.structs.get(sid).name)
+    }
+
+    fn rty(&self, t: &Type) -> String {
+        match t {
+            Type::Unit => "()".into(),
+            Type::Bool => "bool".into(),
+            Type::Int => "i32".into(),
+            Type::Long => "i64".into(),
+            Type::Double => "f64".into(),
+            Type::String => "Str".into(),
+            Type::Record(sid) => format!("*mut {}", self.sname(*sid)),
+            Type::Pointer(inner) => match &**inner {
+                Type::Record(sid) => format!("*mut {}", self.sname(*sid)),
+                other => format!("*mut {}", self.rty(other)),
+            },
+            Type::Array(elem) => format!("Arr<{}>", self.rty(elem)),
+            Type::List(_) => "*mut DVec".into(),
+            Type::HashMap(k, _) | Type::MultiMap(k, _) => {
+                format!("*mut DHash<{}>", self.key_rty(k))
+            }
+            Type::Pool(_) => "*mut DPool".into(),
+        }
+    }
+
+    /// The stored key type of a generic container (ints are widened to
+    /// `i64`, like the C side's `intptr_t` boxing).
+    fn key_rty(&self, k: &Type) -> String {
+        match k {
+            Type::Int | Type::Long | Type::Bool => "i64".into(),
+            Type::String => "Str".into(),
+            Type::Record(sid) => format!("*mut {}", self.sname(*sid)),
+            Type::Pointer(inner) => match &**inner {
+                Type::Record(sid) => format!("*mut {}", self.sname(*sid)),
+                other => panic!("unsupported generic hash key type {other}*"),
+            },
+            other => panic!("unsupported generic hash key type {other}"),
+        }
+    }
+
+    /// Pointee Rust type of a `Pointer(_)`-typed statement (for `calloc`).
+    fn pointee_rty(&self, t: &Type) -> String {
+        match t {
+            Type::Pointer(inner) => match &**inner {
+                Type::Record(sid) => self.sname(*sid),
+                other => self.rty(other),
+            },
+            Type::Record(sid) => self.sname(*sid),
+            other => panic!("malloc target is not a pointer: {other}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    fn emit_structs(&mut self) {
+        let defs: Vec<dblab_ir::StructDef> =
+            self.p.structs.iter().map(|(_, d)| d.clone()).collect();
+        for def in defs {
+            let mut s = String::new();
+            let _ = writeln!(s, "#[repr(C)]\n#[derive(Clone, Copy)]");
+            let _ = writeln!(s, "pub struct {} {{", ident(&def.name));
+            for f in &def.fields {
+                let _ = writeln!(s, "    pub {}: {},", ident(&f.name), self.rty(&f.ty));
+            }
+            s.push_str("}\n");
+            self.typedefs.push_str(&s);
+        }
+    }
+
+    fn emit_table_globals(&mut self) {
+        let mut infos: Vec<TableInfo> = self.tables.values().cloned().collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        for info in &infos {
+            let t = ident(&info.name);
+            let _ = writeln!(self.top, "static mut g_{t}_len: i64 = 0;");
+            match info.layout {
+                Layout::Columnar => {
+                    let def = self.p.structs.get(info.sid).clone();
+                    for f in &def.fields {
+                        let ft = self.rty(&f.ty);
+                        let _ = writeln!(
+                            self.top,
+                            "static mut g_{t}_{}: *mut {ft} = std::ptr::null_mut();",
+                            ident(&f.name)
+                        );
+                    }
+                }
+                _ => {
+                    let rec = self.sname(info.sid);
+                    let _ = writeln!(
+                        self.top,
+                        "static mut g_{t}_rows: *mut *mut {rec} = std::ptr::null_mut();"
+                    );
+                }
+            }
+            for &c in &info.index_keys {
+                let _ = writeln!(
+                    self.top,
+                    "static mut g_{t}_key_{c}: *mut i32 = std::ptr::null_mut();"
+                );
+            }
+            for &c in info.dicts.keys() {
+                let _ = writeln!(
+                    self.top,
+                    "static mut g_dict_{t}__{c}: Dict = Dict {{ values: std::ptr::null_mut(), n: 0 }};"
+                );
+            }
+        }
+    }
+
+    fn emit_loaders(&mut self) {
+        let mut infos: Vec<TableInfo> = self.tables.values().cloned().collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        for info in infos {
+            self.emit_loader(&info);
+        }
+    }
+
+    fn emit_loader(&mut self, info: &TableInfo) {
+        let t = ident(&info.name);
+        let def = self.schema.table(&info.name);
+        let rec_def = self.p.structs.get(info.sid).clone();
+        let mut s = String::new();
+        let _ = writeln!(s, "unsafe fn load_{t}() {{");
+        let _ = writeln!(
+            s,
+            "    let buf: &'static [u8] = read_file(\"{}\");",
+            info.name
+        );
+        let _ = writeln!(s, "    let n: i64 = count_lines(buf);");
+        let _ = writeln!(s, "    g_{t}_len = n;");
+        match info.layout {
+            Layout::Columnar => {
+                for f in &rec_def.fields {
+                    let ft = self.rty(&f.ty);
+                    let _ = writeln!(s, "    g_{t}_{} = calloc::<{ft}>(n);", ident(&f.name));
+                }
+            }
+            _ => {
+                let rec = self.sname(info.sid);
+                let _ = writeln!(s, "    g_{t}_rows = calloc::<*mut {rec}>(n);");
+            }
+        }
+        for &c in &info.index_keys {
+            let _ = writeln!(s, "    g_{t}_key_{c} = calloc::<i32>(n);");
+        }
+        for &c in info.dicts.keys() {
+            let _ = writeln!(s, "    let raw_{c}: *mut Str = calloc::<Str>(n);");
+        }
+        let _ = writeln!(s, "    let mut p: usize = 0;");
+        let _ = writeln!(s, "    let mut row: i64 = 0;");
+        let _ = writeln!(s, "    while row < n {{");
+        if !matches!(info.layout, Layout::Columnar) {
+            let rec = self.sname(info.sid);
+            let _ = writeln!(s, "        let r: *mut {rec} = calloc::<{rec}>(1);");
+            let _ = writeln!(s, "        *g_{t}_rows.add(row as usize) = r;");
+        }
+        for (ci, col) in def.columns.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "        let s{ci} = p; while buf[p] != b'|' {{ p += 1; }} \
+                 let f{ci} = &buf[s{ci}..p]; p += 1;"
+            );
+            let field_pos = info.kept.iter().position(|&k| k == ci);
+            if info.index_keys.contains(&ci) {
+                let _ = writeln!(
+                    s,
+                    "        *g_{t}_key_{ci}.add(row as usize) = parse_i32(f{ci});"
+                );
+            }
+            if info.dicts.contains_key(&ci) {
+                let _ = writeln!(
+                    s,
+                    "        *raw_{ci}.add(row as usize) = Str::from_bytes(f{ci});"
+                );
+                continue;
+            }
+            let Some(fp) = field_pos else { continue };
+            let fname = ident(&rec_def.fields[fp].name);
+            let target = match info.layout {
+                Layout::Columnar => format!("*g_{t}_{fname}.add(row as usize)"),
+                _ => format!("(*r).{fname}"),
+            };
+            let parse = match col.ty {
+                ColType::Int | ColType::Bool => format!("parse_i32(f{ci})"),
+                ColType::Long => format!("parse_i64(f{ci})"),
+                ColType::Double => format!("parse_f64(f{ci})"),
+                ColType::Date => format!("parse_date(f{ci})"),
+                ColType::Char => format!("(f{ci}.first().copied().unwrap_or(0) as i32)"),
+                ColType::String => format!("Str::from_bytes(f{ci})"),
+            };
+            let _ = writeln!(s, "        {target} = {parse};");
+        }
+        let _ = writeln!(
+            s,
+            "        while p < buf.len() && (buf[p] == b'\\n' || buf[p] == b'\\r') {{ p += 1; }}"
+        );
+        let _ = writeln!(s, "        row += 1;");
+        let _ = writeln!(s, "    }}");
+        for &c in info.dicts.keys() {
+            let dict = format!("g_dict_{t}__{c}");
+            let _ = writeln!(s, "    {dict} = dict_build(raw_{c}, n);");
+            let fp = info
+                .kept
+                .iter()
+                .position(|&k| k == c)
+                .expect("dictionary column kept");
+            let fname = ident(&rec_def.fields[fp].name);
+            assert!(
+                matches!(info.layout, Layout::Columnar),
+                "dictionaries require the columnar loader"
+            );
+            let _ = writeln!(
+                s,
+                "    let mut i_{c}: i64 = 0;\n    while i_{c} < n {{ \
+                 *g_{t}_{fname}.add(i_{c} as usize) = \
+                 dict_lookup({dict}, *raw_{c}.add(i_{c} as usize)); i_{c} += 1; }}"
+            );
+        }
+        let _ = writeln!(s, "}}");
+        self.top.push_str(&s);
+        self.top.push('\n');
+    }
+
+    fn emit_index_builders(&mut self, b: &Block) {
+        let mut emitted: HashSet<String> = HashSet::new();
+        self.walk_for_indexes(b, &mut emitted);
+    }
+
+    fn walk_for_indexes(&mut self, b: &Block, emitted: &mut HashSet<String>) {
+        for st in &b.stmts {
+            match &st.expr {
+                Expr::LoadIndexUnique { table, field } => {
+                    let name = format!("build_uidx_{}_{field}", ident(table));
+                    if emitted.insert(name.clone()) {
+                        let t = ident(table);
+                        let f = field;
+                        let mut s = String::new();
+                        let _ = writeln!(s, "unsafe fn {name}() -> Arr<i32> {{");
+                        let _ = writeln!(s, "    let n = g_{t}_len;");
+                        let _ = writeln!(s, "    let mut max: i32 = 0;");
+                        let _ = writeln!(
+                            s,
+                            "    let mut i: i64 = 0;\n    while i < n {{ \
+                             let k = *g_{t}_key_{f}.add(i as usize); \
+                             if k > max {{ max = k; }} i += 1; }}"
+                        );
+                        let _ =
+                            writeln!(s, "    let out: Arr<i32> = arr_new::<i32>(max as i64 + 2);");
+                        let _ = writeln!(
+                            s,
+                            "    let mut j: i64 = 0;\n    while j < out.len {{ \
+                             *out.data.add(j as usize) = -1; j += 1; }}"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "    let mut r: i64 = 0;\n    while r < n {{ \
+                             *out.data.add(*g_{t}_key_{f}.add(r as usize) as usize) = r as i32; \
+                             r += 1; }}"
+                        );
+                        let _ = writeln!(s, "    out\n}}");
+                        self.top.push_str(&s);
+                    }
+                }
+                Expr::LoadIndexStarts { table, field } | Expr::LoadIndexItems { table, field } => {
+                    let key = (table.clone(), *field);
+                    if !self.csr_built.contains(&key) {
+                        self.csr_built.insert(key);
+                        let t = ident(table);
+                        let f = field;
+                        let mut s = String::new();
+                        let _ = writeln!(
+                            s,
+                            "static mut g_csr_{t}_{f}_starts: Arr<i32> = \
+                             Arr {{ data: std::ptr::null_mut(), len: 0 }};"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "static mut g_csr_{t}_{f}_items: Arr<i32> = \
+                             Arr {{ data: std::ptr::null_mut(), len: 0 }};"
+                        );
+                        let _ = writeln!(s, "static mut g_csr_{t}_{f}_built: bool = false;");
+                        let _ = writeln!(s, "unsafe fn build_csr_{t}_{f}() {{");
+                        let _ = writeln!(s, "    if g_csr_{t}_{f}_built {{ return; }}");
+                        let _ = writeln!(s, "    g_csr_{t}_{f}_built = true;");
+                        let _ = writeln!(s, "    let n = g_{t}_len;");
+                        let _ = writeln!(
+                            s,
+                            "    let mut max: i32 = 0;\n    let mut i: i64 = 0;\n    \
+                             while i < n {{ let k = *g_{t}_key_{f}.add(i as usize); \
+                             if k > max {{ max = k; }} i += 1; }}"
+                        );
+                        let _ = writeln!(s, "    let sn: i64 = max as i64 + 2;");
+                        let _ = writeln!(s, "    let counts: *mut i32 = calloc::<i32>(sn);");
+                        let _ = writeln!(
+                            s,
+                            "    let mut r: i64 = 0;\n    while r < n {{ \
+                             *counts.add(*g_{t}_key_{f}.add(r as usize) as usize) += 1; \
+                             r += 1; }}"
+                        );
+                        let _ = writeln!(s, "    let starts: *mut i32 = calloc::<i32>(sn);");
+                        let _ = writeln!(
+                            s,
+                            "    let mut acc: i32 = 0;\n    let mut k: i64 = 0;\n    \
+                             while k < sn {{ *starts.add(k as usize) = acc; \
+                             acc += *counts.add(k as usize); k += 1; }}"
+                        );
+                        let _ = writeln!(s, "    let items: *mut i32 = calloc::<i32>(n);");
+                        let _ = writeln!(s, "    let cur: *mut i32 = calloc::<i32>(sn);");
+                        let _ = writeln!(
+                            s,
+                            "    let mut q: i64 = 0;\n    while q < n {{ \
+                             let kk = *g_{t}_key_{f}.add(q as usize) as usize; \
+                             *items.add((*starts.add(kk) + *cur.add(kk)) as usize) = q as i32; \
+                             *cur.add(kk) += 1; q += 1; }}"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "    g_csr_{t}_{f}_starts = Arr {{ data: starts, len: sn }};"
+                        );
+                        let _ = writeln!(
+                            s,
+                            "    g_csr_{t}_{f}_items = Arr {{ data: items, len: n }};"
+                        );
+                        let _ = writeln!(s, "}}");
+                        self.top.push_str(&s);
+                    }
+                }
+                _ => {}
+            }
+            for blk in st.expr.blocks() {
+                self.walk_for_indexes(blk, emitted);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Atoms and coercions
+    // ------------------------------------------------------------------
+
+    /// Natural form of an atom: literals carry their IR type's suffix so
+    /// generic functions infer correctly.
+    fn atom(&self, a: &Atom) -> String {
+        match a {
+            Atom::Sym(s) => format!("x{}", s.0),
+            Atom::Unit => "()".into(),
+            Atom::Bool(b) => format!("{b}"),
+            Atom::Int(v) => format!("{v}i32"),
+            Atom::Long(v) => format!("{v}i64"),
+            Atom::Double(_) => double_lit(a.as_double().unwrap()),
+            Atom::Str(s) => format!("Str::lit({s:?})"),
+            Atom::Null(t) => match &**t {
+                Type::String => "Str::lit(\"\")".into(),
+                _ => "std::ptr::null_mut()".into(),
+            },
+        }
+    }
+
+    /// Atom coerced to a target type (the explicit form of C's implicit
+    /// conversions).
+    fn atom_as(&self, a: &Atom, t: &Type) -> String {
+        let at = self.p.atom_type(a);
+        if &at == t {
+            return self.atom(a);
+        }
+        match (a, t) {
+            // Numeric literals re-render directly in the target type.
+            (Atom::Int(v) | Atom::Long(v), Type::Int) => format!("{v}i32"),
+            (Atom::Int(v) | Atom::Long(v), Type::Long) => format!("{v}i64"),
+            (Atom::Int(v) | Atom::Long(v), Type::Double) => format!("{v}f64"),
+            (Atom::Bool(b), Type::Int) => format!("{}i32", *b as i32),
+            (Atom::Bool(b), Type::Long) => format!("{}i64", *b as i32),
+            (Atom::Null(_), _) => self.atom(a),
+            _ => {
+                let e = self.atom(a);
+                if at.is_numeric() && t.is_numeric() {
+                    format!("({e} as {})", self.rty(t))
+                } else if at == Type::Bool && t.is_numeric() {
+                    // `bool as f64` is not a valid Rust cast; go through i32.
+                    match t {
+                        Type::Double => format!("((({e}) as i32) as f64)"),
+                        _ => format!("(({e}) as {})", self.rty(t)),
+                    }
+                } else {
+                    // Same-representation types (pointers vs typed null);
+                    // trust the IR's typing.
+                    e
+                }
+            }
+        }
+    }
+
+    fn field_name(&self, sid: StructId, field: usize) -> String {
+        ident(&self.p.structs.get(sid).fields[field].name)
+    }
+
+    /// Rust place expression for a field access, resolving columnar row
+    /// handles (usable as both lvalue and rvalue).
+    fn field_access(&self, obj: &Atom, sid: StructId, field: usize) -> String {
+        if let Atom::Sym(s) = obj {
+            if let Some((tsym, idx)) = self.handles.get(s) {
+                let info = &self.tables[tsym];
+                return format!(
+                    "(*g_{}_{}.add(({idx}) as usize))",
+                    ident(&info.name),
+                    self.field_name(sid, field)
+                );
+            }
+        }
+        format!("(*{}).{}", self.atom(obj), self.field_name(sid, field))
+    }
+
+    /// Key expression for a generic container, widened like the C side's
+    /// `void*` boxing.
+    fn key_expr(&self, map: &Atom, key: &Atom) -> String {
+        match self.map_key_type(map) {
+            Type::Int | Type::Long | Type::Bool => format!("(({}) as i64)", self.atom(key)),
+            _ => self.atom(key),
+        }
+    }
+
+    fn map_key_type(&self, map: &Atom) -> Type {
+        match self.p.atom_type(map) {
+            Type::HashMap(k, _) | Type::MultiMap(k, _) => (*k).clone(),
+            other => panic!("container op over non-map type {other}"),
+        }
+    }
+
+    /// hash/eq function names for a key type; generates record key
+    /// functions on demand (same field-wise contract as the C emitter).
+    fn key_fn_names(&mut self, key_ty: &Type) -> (String, String) {
+        let sid = match key_ty {
+            Type::Int | Type::Long | Type::Bool => {
+                return ("keyhash_int".into(), "keyeq_int".into())
+            }
+            Type::String => return ("keyhash_str".into(), "keyeq_str".into()),
+            Type::Record(sid) => *sid,
+            Type::Pointer(inner) => match &**inner {
+                Type::Record(sid) => *sid,
+                other => panic!("unsupported generic hash key type {other}*"),
+            },
+            other => panic!("unsupported generic hash key type {other}"),
+        };
+        {
+            {
+                let rec = self.sname(sid);
+                if !self.key_fns.contains(&sid) {
+                    self.key_fns.insert(sid);
+                    let def = self.p.structs.get(sid).clone();
+                    let mut s = String::new();
+                    let _ = writeln!(s, "fn keyhash_{rec}(k: &*mut {rec}) -> u64 {{");
+                    let _ = writeln!(s, "    let k = *k;");
+                    let _ = writeln!(s, "    unsafe {{");
+                    let _ = writeln!(s, "        let mut h: u64 = 7;");
+                    for f in &def.fields {
+                        let fname = ident(&f.name);
+                        let hx = match f.ty {
+                            Type::Double => format!("hash_dbl_u((*k).{fname})"),
+                            Type::String => format!("hash_str_u((*k).{fname})"),
+                            _ => format!("hash_i64_u((*k).{fname} as i64)"),
+                        };
+                        let _ = writeln!(s, "        h = h.wrapping_mul(31).wrapping_add({hx});");
+                    }
+                    let _ = writeln!(s, "        h\n    }}\n}}");
+                    let _ = writeln!(
+                        s,
+                        "fn keyeq_{rec}(a: &*mut {rec}, b: &*mut {rec}) -> bool {{"
+                    );
+                    let _ = writeln!(s, "    let (a, b) = (*a, *b);");
+                    let mut conds = Vec::new();
+                    for f in &def.fields {
+                        let fname = ident(&f.name);
+                        conds.push(match f.ty {
+                            Type::String => format!("str_eq((*a).{fname}, (*b).{fname})"),
+                            _ => format!("(*a).{fname} == (*b).{fname}"),
+                        });
+                    }
+                    let _ = writeln!(s, "    unsafe {{ {} }}\n}}", conds.join(" && "));
+                    self.typedefs.push_str(&s);
+                }
+                (format!("keyhash_{rec}"), format!("keyeq_{rec}"))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self, b: &Block, depth: usize, out: &mut String) {
+        for st in &b.stmts {
+            self.stmt(st, depth, out);
+        }
+    }
+
+    fn line(&self, depth: usize, out: &mut String, text: &str) {
+        for _ in 0..depth {
+            out.push_str("    ");
+        }
+        out.push_str(text);
+        out.push('\n');
+    }
+
+    /// Declare-and-assign helper; `rhs_ty` (when known) drives an explicit
+    /// cast where C would convert implicitly.
+    fn def(&mut self, st: &Stmt, depth: usize, out: &mut String, rhs: &str, rhs_ty: Option<&Type>) {
+        if st.ty == Type::Unit {
+            self.line(depth, out, &format!("{rhs};"));
+        } else {
+            let mut r = rhs.to_string();
+            if let Some(t) = rhs_ty {
+                if *t != st.ty && t.is_numeric() && st.ty.is_numeric() {
+                    r = format!("({r} as {})", self.rty(&st.ty));
+                }
+            }
+            let ty = self.rty(&st.ty);
+            self.line(depth, out, &format!("let x{}: {ty} = {r};", st.sym.0));
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.fn_ctr += 1;
+        format!("{prefix}_{}", self.fn_ctr)
+    }
+
+    fn stmt(&mut self, st: &Stmt, depth: usize, out: &mut String) {
+        match &st.expr {
+            Expr::Atom(a) => {
+                let rhs = self.atom_as(a, &st.ty);
+                self.def(st, depth, out, &rhs, None);
+            }
+            Expr::Bin(op, a, b) => self.bin(st, *op, a, b, depth, out),
+            Expr::Un(op, a) => {
+                let x = self.atom(a);
+                let (rhs, rt) = match op {
+                    UnOp::Neg => (format!("(-{x})"), self.p.atom_type(a)),
+                    UnOp::Not => (format!("(!{x})"), Type::Bool),
+                    UnOp::I2D | UnOp::L2D => (format!("({x} as f64)"), Type::Double),
+                    UnOp::I2L => (format!("({x} as i64)"), Type::Long),
+                    UnOp::L2I => (format!("({x} as i32)"), Type::Int),
+                    UnOp::Year => (format!("({x} / 10000)"), self.p.atom_type(a)),
+                    UnOp::HashInt => (format!("hash_i64({x} as i64)"), Type::Long),
+                    UnOp::HashDouble => (format!("hash_dbl({x})"), Type::Long),
+                };
+                self.def(st, depth, out, &rhs, Some(&rt));
+            }
+            Expr::Prim(op, args) => {
+                let s = |i: usize| self.atom_as(&args[i], &Type::String);
+                let (rhs, rt) = match op {
+                    PrimOp::StrEq => (format!("str_eq({}, {})", s(0), s(1)), Type::Bool),
+                    PrimOp::StrNe => (format!("(!str_eq({}, {}))", s(0), s(1)), Type::Bool),
+                    PrimOp::StrCmp => (format!("str_cmp({}, {})", s(0), s(1)), Type::Int),
+                    PrimOp::StrStartsWith => {
+                        (format!("str_starts({}, {})", s(0), s(1)), Type::Bool)
+                    }
+                    PrimOp::StrEndsWith => (format!("str_ends({}, {})", s(0), s(1)), Type::Bool),
+                    PrimOp::StrContains => {
+                        (format!("str_contains({}, {})", s(0), s(1)), Type::Bool)
+                    }
+                    PrimOp::StrLike => (format!("str_like({}, {})", s(0), s(1)), Type::Bool),
+                    PrimOp::StrSubstr => (
+                        format!(
+                            "str_substr({}, {}, {})",
+                            s(0),
+                            self.atom_as(&args[1], &Type::Int),
+                            self.atom_as(&args[2], &Type::Int)
+                        ),
+                        Type::String,
+                    ),
+                    PrimOp::StrLen => (format!("str_len({})", s(0)), Type::Int),
+                    PrimOp::HashStr => (format!("hash_str({})", s(0)), Type::Long),
+                    PrimOp::TimerStart => ("timer_start()".into(), Type::Unit),
+                    PrimOp::TimerStop => ("timer_stop()".into(), Type::Unit),
+                    PrimOp::PrintRusage => ("print_rusage()".into(), Type::Unit),
+                };
+                self.def(st, depth, out, &rhs, Some(&rt));
+            }
+            Expr::Dict { dict, op, arg } => {
+                let d = format!("g_dict_{}", ident(dict));
+                let x = self.atom(arg);
+                let (rhs, rt) = match op {
+                    DictOp::Lookup => (format!("dict_lookup({d}, {x})"), Type::Int),
+                    DictOp::RangeStart => (format!("dict_range_start({d}, {x})"), Type::Int),
+                    DictOp::RangeEnd => (format!("dict_range_end({d}, {x})"), Type::Int),
+                    DictOp::Decode => (format!("(*{d}.values.add(({x}) as usize))"), Type::String),
+                };
+                self.def(st, depth, out, &rhs, Some(&rt));
+            }
+            Expr::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = self.atom(cond);
+                if st.ty == Type::Unit {
+                    self.line(depth, out, &format!("if {c} {{"));
+                    self.block(then_b, depth + 1, out);
+                    if !else_b.stmts.is_empty() {
+                        self.line(depth, out, "} else {");
+                        self.block(else_b, depth + 1, out);
+                    }
+                    self.line(depth, out, "}");
+                } else {
+                    let ty = self.rty(&st.ty);
+                    self.line(depth, out, &format!("let x{}: {ty};", st.sym.0));
+                    self.line(depth, out, &format!("if {c} {{"));
+                    self.block(then_b, depth + 1, out);
+                    let tr = self.atom_as(&then_b.result, &st.ty);
+                    self.line(depth + 1, out, &format!("x{} = {tr};", st.sym.0));
+                    self.line(depth, out, "} else {");
+                    self.block(else_b, depth + 1, out);
+                    let er = self.atom_as(&else_b.result, &st.ty);
+                    self.line(depth + 1, out, &format!("x{} = {er};", st.sym.0));
+                    self.line(depth, out, "}");
+                }
+            }
+            Expr::ForRange { lo, hi, var, body } => {
+                let vt = self.p.type_of(*var).clone();
+                let (l, h) = (self.atom_as(lo, &vt), self.atom_as(hi, &vt));
+                self.line(depth, out, &format!("for x{} in ({l})..({h}) {{", var.0));
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::While { cond, body } => {
+                self.line(depth, out, "loop {");
+                self.block(cond, depth + 1, out);
+                let c = self.atom(&cond.result);
+                self.line(depth + 1, out, &format!("if !({c}) {{ break; }}"));
+                self.block(body, depth + 1, out);
+                self.line(depth, out, "}");
+            }
+            Expr::DeclVar { init } => {
+                let ty = self.rty(&st.ty);
+                let rhs = self.atom_as(init, &st.ty);
+                self.line(depth, out, &format!("let mut x{}: {ty} = {rhs};", st.sym.0));
+            }
+            Expr::ReadVar(v) => {
+                let ty = self.rty(&st.ty);
+                self.line(depth, out, &format!("let x{}: {ty} = x{};", st.sym.0, v.0));
+            }
+            Expr::Assign { var, value } => {
+                let vt = self.p.type_of(*var).clone();
+                let rhs = self.atom_as(value, &vt);
+                self.line(depth, out, &format!("x{} = {rhs};", var.0));
+            }
+            Expr::StructNew { sid, args } => {
+                let rec = self.sname(*sid);
+                let def = self.p.structs.get(*sid).clone();
+                let fields: Vec<String> = args
+                    .iter()
+                    .zip(&def.fields)
+                    .map(|(a, f)| format!("{}: {}", ident(&f.name), self.atom_as(a, &f.ty)))
+                    .collect();
+                self.line(
+                    depth,
+                    out,
+                    &format!(
+                        "let x{}: *mut {rec} = dbox({rec} {{ {} }});",
+                        st.sym.0,
+                        fields.join(", ")
+                    ),
+                );
+            }
+            Expr::FieldGet { obj, sid, field } => {
+                let rhs = self.field_access(obj, *sid, *field);
+                let ft = self.p.structs.field_type(*sid, *field).clone();
+                self.def(st, depth, out, &rhs, Some(&ft));
+            }
+            Expr::FieldSet {
+                obj,
+                sid,
+                field,
+                value,
+            } => {
+                let lv = self.field_access(obj, *sid, *field);
+                let ft = self.p.structs.field_type(*sid, *field).clone();
+                let v = self.atom_as(value, &ft);
+                self.line(depth, out, &format!("{lv} = {v};"));
+            }
+            Expr::ArrayNew { elem, len } => {
+                let et = self.rty(elem);
+                let l = self.atom(len);
+                self.line(
+                    depth,
+                    out,
+                    &format!(
+                        "let x{}: Arr<{et}> = arr_new::<{et}>(({l}) as i64);",
+                        st.sym.0
+                    ),
+                );
+            }
+            Expr::ArrayGet { arr, idx } => {
+                let i = self.atom(idx);
+                if let Atom::Sym(asym) = arr {
+                    if let Some(info) = self.tables.get(asym) {
+                        match info.layout {
+                            Layout::Columnar => {
+                                // Row handle: later FieldGets index the
+                                // column arrays directly.
+                                self.handles.insert(st.sym, (*asym, i));
+                                return;
+                            }
+                            _ => {
+                                let rec = self.sname(info.sid);
+                                let t = ident(&info.name);
+                                self.line(
+                                    depth,
+                                    out,
+                                    &format!(
+                                        "let x{}: *mut {rec} = *g_{t}_rows.add(({i}) as usize);",
+                                        st.sym.0
+                                    ),
+                                );
+                                return;
+                            }
+                        }
+                    }
+                }
+                let a = self.atom(arr);
+                let et = self
+                    .p
+                    .atom_type(arr)
+                    .elem()
+                    .cloned()
+                    .expect("array get over array");
+                self.def(
+                    st,
+                    depth,
+                    out,
+                    &format!("(*{a}.data.add(({i}) as usize))"),
+                    Some(&et),
+                );
+            }
+            Expr::ArraySet { arr, idx, value } => {
+                let et = self
+                    .p
+                    .atom_type(arr)
+                    .elem()
+                    .cloned()
+                    .expect("array set over array");
+                let (a, i, v) = (self.atom(arr), self.atom(idx), self.atom_as(value, &et));
+                self.line(depth, out, &format!("*{a}.data.add(({i}) as usize) = {v};"));
+            }
+            Expr::ArrayLen(arr) => {
+                if let Atom::Sym(asym) = arr {
+                    if let Some(info) = self.tables.get(asym) {
+                        let t = ident(&info.name);
+                        self.def(st, depth, out, &format!("(g_{t}_len as i32)"), None);
+                        return;
+                    }
+                }
+                let a = self.atom(arr);
+                self.def(st, depth, out, &format!("({a}.len as i32)"), None);
+            }
+            Expr::SortArray {
+                arr,
+                len,
+                a,
+                b,
+                cmp,
+            } => {
+                let elem_ty = self
+                    .p
+                    .atom_type(arr)
+                    .elem()
+                    .cloned()
+                    .expect("sort over array");
+                let et = self.rty(&elem_ty);
+                let (av, lv) = (self.atom(arr), self.atom(len));
+                self.line(depth, out, "{");
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!(
+                        "let __sl = std::slice::from_raw_parts_mut({av}.data, ({lv}) as usize);"
+                    ),
+                );
+                self.line(depth + 1, out, "__sl.sort_by(|__pa, __pb| unsafe {");
+                self.line(depth + 2, out, &format!("let x{}: {et} = *__pa;", a.0));
+                self.line(depth + 2, out, &format!("let x{}: {et} = *__pb;", b.0));
+                let mut body = String::new();
+                self.block(cmp, depth + 2, &mut body);
+                out.push_str(&body);
+                let c = self.atom_as(&cmp.result, &Type::Int);
+                self.line(depth + 2, out, &format!("ord3({c})"));
+                self.line(depth + 1, out, "});");
+                self.line(depth, out, "}");
+            }
+            Expr::ListNew { .. } => {
+                self.def(st, depth, out, "vec_new()", None);
+            }
+            Expr::ListAppend { list, value } => {
+                let l = self.atom(list);
+                let vt = self.p.atom_type(value);
+                let v = self.atom_as(value, &vt);
+                self.line(depth, out, &format!("(*{l}).items.push(w({v}));"));
+            }
+            Expr::ListSize(l) => {
+                let lv = self.atom(l);
+                self.def(
+                    st,
+                    depth,
+                    out,
+                    &format!("((*{lv}).items.len() as i32)"),
+                    None,
+                );
+            }
+            Expr::ListForeach { list, var, body } => {
+                let l = self.atom(list);
+                let vt = self.rty(&self.p.type_of(*var).clone());
+                let iv = self.fresh("li");
+                self.line(depth, out, &format!("let mut {iv}: usize = 0;"));
+                self.line(depth, out, &format!("while {iv} < (*{l}).items.len() {{"));
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("let x{}: {vt} = uw((*{l}).items[{iv}]);", var.0),
+                );
+                self.block(body, depth + 1, out);
+                self.line(depth + 1, out, &format!("{iv} += 1;"));
+                self.line(depth, out, "}");
+            }
+            Expr::HashMapNew { .. } | Expr::MultiMapNew { .. } => {
+                let key_ty = match self.p.type_of(st.sym) {
+                    Type::HashMap(k, _) | Type::MultiMap(k, _) => (**k).clone(),
+                    other => panic!("map stmt with type {other}"),
+                };
+                let (h, e) = self.key_fn_names(&key_ty);
+                self.def(st, depth, out, &format!("hash_new({h}, {e})"), None);
+            }
+            Expr::HashMapGetOrInit { map, key, init } => {
+                let m = self.atom(map);
+                let kk = self.key_expr(map, key);
+                let kt = self.key_rty(&self.map_key_type(map));
+                let vt = self.rty(&st.ty);
+                let got = self.fresh("got");
+                self.line(depth, out, &format!("let x{}: {vt};", st.sym.0));
+                self.line(depth, out, "{");
+                self.line(depth + 1, out, &format!("let __k: {kt} = {kk};"));
+                self.line(depth + 1, out, &format!("let {got} = (*{m}).get(__k);"));
+                self.line(depth + 1, out, &format!("if let Some(__v) = {got} {{"));
+                self.line(depth + 2, out, &format!("x{} = uw(__v);", st.sym.0));
+                self.line(depth + 1, out, "} else {");
+                self.block(init, depth + 2, out);
+                let ir = self.atom_as(&init.result, &st.ty);
+                self.line(depth + 2, out, &format!("x{} = {ir};", st.sym.0));
+                self.line(
+                    depth + 2,
+                    out,
+                    &format!("(*{m}).put(__k, w(x{}));", st.sym.0),
+                );
+                self.line(depth + 1, out, "}");
+                self.line(depth, out, "}");
+            }
+            Expr::HashMapForeach {
+                map,
+                kvar,
+                vvar,
+                body,
+            } => {
+                let m = self.atom(map);
+                let bi = self.fresh("hb");
+                let nd = self.fresh("hn");
+                self.line(depth, out, &format!("let mut {bi}: usize = 0;"));
+                self.line(depth, out, &format!("while {bi} < (*{m}).buckets.len() {{"));
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("let mut {nd} = (*{m}).buckets[{bi}];"),
+                );
+                self.line(depth + 1, out, &format!("while !{nd}.is_null() {{"));
+                let kt = self.p.type_of(*kvar).clone();
+                let unbox = match kt {
+                    Type::Int => format!("((*{nd}).key as i32)"),
+                    Type::Bool => format!("((*{nd}).key != 0)"),
+                    _ => format!("(*{nd}).key"),
+                };
+                self.line(
+                    depth + 2,
+                    out,
+                    &format!("let x{}: {} = {unbox};", kvar.0, self.rty(&kt)),
+                );
+                let vt = self.rty(&self.p.type_of(*vvar).clone());
+                self.line(
+                    depth + 2,
+                    out,
+                    &format!("let x{}: {vt} = uw((*{nd}).val);", vvar.0),
+                );
+                self.block(body, depth + 2, out);
+                self.line(depth + 2, out, &format!("{nd} = (*{nd}).next;"));
+                self.line(depth + 1, out, "}");
+                self.line(depth + 1, out, &format!("{bi} += 1;"));
+                self.line(depth, out, "}");
+            }
+            Expr::HashMapSize(m) => {
+                let mv = self.atom(m);
+                self.def(st, depth, out, &format!("((*{mv}).len as i32)"), None);
+            }
+            Expr::MultiMapAdd { map, key, value } => {
+                let m = self.atom(map);
+                let kk = self.key_expr(map, key);
+                let vt = self.p.atom_type(value);
+                let v = self.atom_as(value, &vt);
+                self.line(depth, out, &format!("multimap_add({m}, {kk}, w({v}));"));
+            }
+            Expr::MultiMapForeachAt {
+                map,
+                key,
+                var,
+                body,
+            } => {
+                let m = self.atom(map);
+                let kk = self.key_expr(map, key);
+                let lv = self.fresh("ml");
+                let iv = self.fresh("mi");
+                self.line(
+                    depth,
+                    out,
+                    &format!(
+                        "let {lv}: *mut DVec = match (*{m}).get({kk}) \
+                         {{ Some(__v) => __v as *mut DVec, None => std::ptr::null_mut() }};"
+                    ),
+                );
+                self.line(depth, out, &format!("if !{lv}.is_null() {{"));
+                self.line(depth + 1, out, &format!("let mut {iv}: usize = 0;"));
+                self.line(
+                    depth + 1,
+                    out,
+                    &format!("while {iv} < (*{lv}).items.len() {{"),
+                );
+                let vt = self.rty(&self.p.type_of(*var).clone());
+                self.line(
+                    depth + 2,
+                    out,
+                    &format!("let x{}: {vt} = uw((*{lv}).items[{iv}]);", var.0),
+                );
+                self.block(body, depth + 2, out);
+                self.line(depth + 2, out, &format!("{iv} += 1;"));
+                self.line(depth + 1, out, "}");
+                self.line(depth, out, "}");
+            }
+            Expr::Malloc { count, .. } => {
+                let elem = self.pointee_rty(&st.ty);
+                let c = self.atom(count);
+                self.def(
+                    st,
+                    depth,
+                    out,
+                    &format!("calloc::<{elem}>(({c}) as i64)"),
+                    None,
+                );
+            }
+            Expr::Free(ptr) => {
+                let pv = self.atom(ptr);
+                self.line(depth, out, &format!("dblab_free({pv});"));
+            }
+            Expr::PoolNew { ty, cap } => {
+                let rec = match ty {
+                    Type::Record(sid) => self.sname(*sid),
+                    other => panic!("pool of {other}"),
+                };
+                let c = self.atom(cap);
+                self.def(
+                    st,
+                    depth,
+                    out,
+                    &format!("pool_new(std::mem::size_of::<{rec}>(), ({c}) as i64)"),
+                    None,
+                );
+            }
+            Expr::PoolAlloc { pool } => {
+                let pv = self.atom(pool);
+                let ty = self.rty(&st.ty);
+                self.def(st, depth, out, &format!("(pool_alloc({pv}) as {ty})"), None);
+            }
+            Expr::LoadTable { table, .. } => {
+                self.line(depth, out, &format!("load_{}();", ident(table)));
+            }
+            Expr::LoadIndexUnique { table, field } => {
+                let rhs = format!("build_uidx_{}_{field}()", ident(table));
+                self.def(st, depth, out, &rhs, None);
+            }
+            Expr::LoadIndexStarts { table, field } => {
+                let t = ident(table);
+                self.line(depth, out, &format!("build_csr_{t}_{field}();"));
+                self.def(st, depth, out, &format!("g_csr_{t}_{field}_starts"), None);
+            }
+            Expr::LoadIndexItems { table, field } => {
+                let t = ident(table);
+                self.line(depth, out, &format!("build_csr_{t}_{field}();"));
+                self.def(st, depth, out, &format!("g_csr_{t}_{field}_items"), None);
+            }
+            Expr::Printf { fmt, args } => {
+                let call = self.printf(fmt, args);
+                self.line(depth, out, &call);
+            }
+        }
+    }
+
+    fn bin(&mut self, st: &Stmt, op: BinOp, a: &Atom, b: &Atom, depth: usize, out: &mut String) {
+        use BinOp::*;
+        let ta = self.p.atom_type(a);
+        let tb = self.p.atom_type(b);
+        let (rhs, rt) = match op {
+            Add | Sub | Mul | Div | Mod | Max | Min => {
+                let ct = common_numeric(&ta, &tb);
+                let (x, y) = (self.atom_as(a, &ct), self.atom_as(b, &ct));
+                let e = match op {
+                    Add => format!("({x} + {y})"),
+                    Sub => format!("({x} - {y})"),
+                    Mul => format!("({x} * {y})"),
+                    Div => format!("({x} / {y})"),
+                    Mod => format!("({x} % {y})"),
+                    Max => format!("(if {x} > {y} {{ {x} }} else {{ {y} }})"),
+                    Min => format!("(if {x} < {y} {{ {x} }} else {{ {y} }})"),
+                    _ => unreachable!(),
+                };
+                (e, ct)
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let sym = cmp_sym(op);
+                if ta == Type::String || tb == Type::String {
+                    let (x, y) = (
+                        self.atom_as(a, &Type::String),
+                        self.atom_as(b, &Type::String),
+                    );
+                    let e = match op {
+                        Eq => format!("str_eq({x}, {y})"),
+                        Ne => format!("(!str_eq({x}, {y}))"),
+                        _ => format!("(str_cmp({x}, {y}) {sym} 0)"),
+                    };
+                    (e, Type::Bool)
+                } else if pointerish(&ta) || pointerish(&tb) {
+                    let pt = if pointerish(&ta) {
+                        ta.clone()
+                    } else {
+                        tb.clone()
+                    };
+                    let (x, y) = (self.atom_as(a, &pt), self.atom_as(b, &pt));
+                    (format!("({x} {sym} {y})"), Type::Bool)
+                } else if ta == Type::Bool && tb == Type::Bool {
+                    let (x, y) = (self.atom(a), self.atom(b));
+                    (format!("({x} {sym} {y})"), Type::Bool)
+                } else {
+                    let ct = common_numeric(&ta, &tb);
+                    let (x, y) = (self.atom_as(a, &ct), self.atom_as(b, &ct));
+                    (format!("({x} {sym} {y})"), Type::Bool)
+                }
+            }
+            And => {
+                let (x, y) = (self.atom(a), self.atom(b));
+                (format!("({x} && {y})"), Type::Bool)
+            }
+            Or => {
+                let (x, y) = (self.atom(a), self.atom(b));
+                (format!("({x} || {y})"), Type::Bool)
+            }
+            BitAnd | BitOr => {
+                let sym = if op == BitAnd { "&" } else { "|" };
+                if ta == Type::Bool && tb == Type::Bool {
+                    let (x, y) = (self.atom(a), self.atom(b));
+                    (format!("({x} {sym} {y})"), Type::Bool)
+                } else {
+                    let ct = common_numeric(&ta, &tb);
+                    let (x, y) = (self.atom_as(a, &ct), self.atom_as(b, &ct));
+                    (format!("({x} {sym} {y})"), ct)
+                }
+            }
+        };
+        self.def(st, depth, out, &rhs, Some(&rt));
+    }
+
+    /// Translate a C-style printf into a `print!` call.
+    fn printf(&self, fmt: &str, args: &[Atom]) -> String {
+        let mut rfmt = String::new();
+        let mut rargs: Vec<String> = Vec::new();
+        let mut ai = 0;
+        let mut chars = fmt.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '%' {
+                push_fmt_char(&mut rfmt, c);
+                continue;
+            }
+            let mut spec = String::new();
+            for c2 in chars.by_ref() {
+                spec.push(c2);
+                if matches!(c2, 'd' | 'c' | 's' | 'f' | '%') {
+                    break;
+                }
+            }
+            match spec.as_str() {
+                "%" => rfmt.push('%'),
+                "d" | "ld" => {
+                    rfmt.push_str("{}");
+                    let a = &args[ai];
+                    let e = if self.p.atom_type(a) == Type::Bool {
+                        format!("(({}) as i32)", self.atom(a))
+                    } else {
+                        self.atom(a)
+                    };
+                    rargs.push(e);
+                    ai += 1;
+                }
+                "c" => {
+                    rfmt.push_str("{}");
+                    rargs.push(format!("(({}) as u8 as char)", self.atom(&args[ai])));
+                    ai += 1;
+                }
+                "s" => {
+                    rfmt.push_str("{}");
+                    rargs.push(self.atom_as(&args[ai], &Type::String));
+                    ai += 1;
+                }
+                ".4f" => {
+                    rfmt.push_str("{:.4}");
+                    rargs.push(self.atom_as(&args[ai], &Type::Double));
+                    ai += 1;
+                }
+                other => panic!("unsupported printf spec %{other}"),
+            }
+        }
+        if rargs.is_empty() {
+            format!("print!(\"{rfmt}\");")
+        } else {
+            format!("print!(\"{rfmt}\", {});", rargs.join(", "))
+        }
+    }
+}
+
+/// The explicit common type of C's usual arithmetic conversions.
+fn common_numeric(a: &Type, b: &Type) -> Type {
+    if *a == Type::Double || *b == Type::Double {
+        Type::Double
+    } else if *a == Type::Long || *b == Type::Long {
+        Type::Long
+    } else {
+        Type::Int
+    }
+}
+
+fn pointerish(t: &Type) -> bool {
+    matches!(
+        t,
+        Type::Record(_)
+            | Type::Pointer(_)
+            | Type::Pool(_)
+            | Type::List(_)
+            | Type::HashMap(..)
+            | Type::MultiMap(..)
+    )
+}
+
+fn cmp_sym(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        _ => unreachable!(),
+    }
+}
+
+fn double_lit(v: f64) -> String {
+    if v == f64::INFINITY {
+        "f64::INFINITY".into()
+    } else if v == f64::NEG_INFINITY {
+        "f64::NEG_INFINITY".into()
+    } else if v.is_nan() {
+        "f64::NAN".into()
+    } else {
+        let s = format!("{v:?}");
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            format!("{s}f64")
+        } else {
+            format!("{s}.0f64")
+        }
+    }
+}
+
+fn push_fmt_char(out: &mut String, c: char) {
+    match c {
+        '"' => out.push_str("\\\""),
+        '\\' => out.push_str("\\\\"),
+        '\n' => out.push_str("\\n"),
+        '\t' => out.push_str("\\t"),
+        '\r' => out.push_str("\\r"),
+        '{' => out.push_str("{{"),
+        '}' => out.push_str("}}"),
+        c if (c as u32) < 0x20 => {
+            let _ = write!(out, "\\u{{{:02x}}}", c as u32);
+        }
+        c => out.push(c),
+    }
+}
+
+/// Rust keywords and prelude names a sanitized identifier must not shadow.
+const RESERVED: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "async", "await", "box", "final", "macro", "override", "priv", "try",
+    "typeof", "unsized", "virtual", "yield", "Str", "Arr", "Dict", "DHash", "DVec", "DNode",
+    "DPool", "Word", "main", "query",
+];
+
+/// Sanitize a name into a Rust identifier.
+fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if RESERVED.contains(&s.as_str()) {
+        s.push('_');
+    }
+    s
+}

@@ -1,0 +1,394 @@
+//! The generic Rust runtime prelude embedded in every rustc-backend
+//! program (the Rust twin of [`crate::runtime::DBLAB_RUNTIME_H`]).
+//!
+//! Semantics mirror the C runtime *exactly* — same hash functions, same
+//! bucket growth policy, same head-insertion — so the generic containers
+//! iterate in the same order as the C ones. (One residual divergence:
+//! final sorts are stable here but `qsort`-unstable on the C side, so
+//! rows tying under an ORDER BY comparator may interleave differently —
+//! which is why backend agreement is checked with the normalized
+//! comparator, like every other differential test.) Strings are a `Copy`,
+//! zeroable `(ptr, len)` pair (`Str`) so records can live in
+//! `calloc`-style zeroed pools exactly like their C counterparts.
+
+/// Contents of the prelude, concatenated into every generated `.rs` file
+/// (the generated program is a single self-contained translation unit,
+/// like the C side's `.c` + header pair).
+pub const DBLAB_RUNTIME_RS: &str = r#"
+// ---------------- dblab runtime prelude (generated, do not edit) ----------------
+use std::sync::OnceLock;
+use std::time::Instant;
+
+// ---- strings: Copy, zeroable slices into leaked buffers ----
+
+#[derive(Clone, Copy)]
+pub struct Str { pub ptr: *const u8, pub len: usize }
+
+impl Str {
+    pub fn lit(s: &'static str) -> Str { Str { ptr: s.as_ptr(), len: s.len() } }
+    pub fn from_bytes(b: &[u8]) -> Str { Str { ptr: b.as_ptr(), len: b.len() } }
+    pub fn bytes<'a>(self) -> &'a [u8] {
+        if self.ptr.is_null() { return &[]; }
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+    pub fn as_str<'a>(self) -> &'a str {
+        unsafe { std::str::from_utf8_unchecked(self.bytes()) }
+    }
+}
+
+impl std::fmt::Display for Str {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+pub fn str_eq(a: Str, b: Str) -> bool { a.bytes() == b.bytes() }
+pub fn str_cmp(a: Str, b: Str) -> i32 {
+    match a.bytes().cmp(b.bytes()) {
+        std::cmp::Ordering::Less => -1,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    }
+}
+pub fn str_starts(a: Str, b: Str) -> bool { a.bytes().starts_with(b.bytes()) }
+pub fn str_ends(a: Str, b: Str) -> bool { a.bytes().ends_with(b.bytes()) }
+pub fn str_contains(a: Str, b: Str) -> bool {
+    let (h, n) = (a.bytes(), b.bytes());
+    n.is_empty() || h.windows(n.len().max(1)).any(|w| w == n)
+}
+pub fn str_len(s: Str) -> i32 { s.len as i32 }
+
+/// SQL LIKE with %-wildcards only — the same segment algorithm (and the
+/// same branch order) as the C runtime's `dblab_like`.
+pub fn str_like(s: Str, pattern: Str) -> bool {
+    let pat = pattern.as_str();
+    let segs: Vec<&str> = pat.split('%').filter(|x| !x.is_empty()).collect();
+    let anchored_start = !pat.starts_with('%');
+    let anchored_end = !pat.is_empty() && !pat.ends_with('%');
+    let mut pos = s.as_str();
+    for (i, seg) in segs.iter().enumerate() {
+        let first = i == 0;
+        let last = i == segs.len() - 1;
+        if first && anchored_start {
+            if !pos.starts_with(seg) { return false; }
+            pos = &pos[seg.len()..];
+        } else if last && anchored_end {
+            if pos.len() < seg.len() || !pos.ends_with(seg) { return false; }
+            pos = "";
+        } else {
+            match pos.find(seg) {
+                Some(at) => pos = &pos[at + seg.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+pub fn str_substr(s: Str, start1: i32, len: i32) -> Str {
+    let sl = s.len;
+    let from = if start1 > 0 { (start1 - 1) as usize } else { 0 }.min(sl);
+    let n = (len.max(0) as usize).min(sl - from);
+    Str { ptr: unsafe { s.ptr.add(from) }, len: n }
+}
+
+// ---- hash functions (bit-identical to the C runtime) ----
+
+pub fn hash_i64_u(x: i64) -> u64 {
+    let mut h = x as u64;
+    h ^= h >> 33; h = h.wrapping_mul(0xff51afd7ed558ccd);
+    h ^= h >> 33; h = h.wrapping_mul(0xc4ceb9fe1a85ec53);
+    h ^= h >> 33;
+    h
+}
+pub fn hash_dbl_u(x: f64) -> u64 {
+    let mut bits = x.to_bits();
+    if bits == 0x8000000000000000 { bits = 0; } /* -0.0 == 0.0 */
+    hash_i64_u(bits as i64)
+}
+pub fn hash_str_u(s: Str) -> u64 {
+    let mut h: u64 = 1469598103934665603;
+    for &b in s.bytes() { h ^= b as u64; h = h.wrapping_mul(1099511628211); }
+    h
+}
+pub fn hash_i64(x: i64) -> i64 { hash_i64_u(x) as i64 }
+pub fn hash_dbl(x: f64) -> i64 { hash_dbl_u(x) as i64 }
+pub fn hash_str(s: Str) -> i64 { hash_str_u(s) as i64 }
+
+pub fn keyhash_int(k: &i64) -> u64 { hash_i64_u(*k) }
+pub fn keyeq_int(a: &i64, b: &i64) -> bool { a == b }
+pub fn keyhash_str(k: &Str) -> u64 { hash_str_u(*k) }
+pub fn keyeq_str(a: &Str, b: &Str) -> bool { str_eq(*a, *b) }
+
+// ---- allocation ----
+
+pub unsafe fn calloc<T>(n: i64) -> *mut T {
+    let n = n.max(0) as usize;
+    let layout = std::alloc::Layout::array::<T>(n).expect("layout");
+    if layout.size() == 0 { return std::ptr::NonNull::dangling().as_ptr(); }
+    std::alloc::alloc_zeroed(layout) as *mut T
+}
+pub fn dblab_free<T>(_p: *mut T) { /* generated programs are one-shot */ }
+pub fn dbox<T>(v: T) -> *mut T { Box::into_raw(Box::new(v)) }
+
+// ---- arrays: (data, len) pairs, like the C wrapper structs ----
+
+#[derive(Clone, Copy)]
+pub struct Arr<T> { pub data: *mut T, pub len: i64 }
+
+pub unsafe fn arr_new<T>(len: i64) -> Arr<T> {
+    Arr { data: calloc::<T>(len), len }
+}
+
+// ---- word packing for the generic (void*-style) containers ----
+
+pub trait Word: Copy {
+    fn w(self) -> usize;
+    fn uw(x: usize) -> Self;
+}
+impl Word for i32 { fn w(self) -> usize { self as i64 as usize } fn uw(x: usize) -> Self { x as i64 as i32 } }
+impl Word for i64 { fn w(self) -> usize { self as usize } fn uw(x: usize) -> Self { x as i64 } }
+impl Word for bool { fn w(self) -> usize { self as usize } fn uw(x: usize) -> Self { x != 0 } }
+impl Word for f64 { fn w(self) -> usize { self.to_bits() as usize } fn uw(x: usize) -> Self { f64::from_bits(x as u64) } }
+impl<T> Word for *mut T { fn w(self) -> usize { self as usize } fn uw(x: usize) -> Self { x as *mut T } }
+impl Word for Str {
+    fn w(self) -> usize { Box::into_raw(Box::new(self)) as usize }
+    fn uw(x: usize) -> Self { unsafe { *(x as *mut Str) } }
+}
+pub fn w<T: Word>(v: T) -> usize { v.w() }
+pub fn uw<T: Word>(x: usize) -> T { T::uw(x) }
+
+// ---- growable boxed vector ----
+
+pub struct DVec { pub items: Vec<usize> }
+
+pub fn vec_new() -> *mut DVec {
+    Box::into_raw(Box::new(DVec { items: Vec::with_capacity(8) }))
+}
+
+// ---- generic chained hash table (C-identical iteration order) ----
+
+pub struct DNode<K> { pub key: K, pub val: usize, pub next: *mut DNode<K> }
+
+pub struct DHash<K> {
+    pub buckets: Vec<*mut DNode<K>>,
+    pub len: i64,
+    hashf: fn(&K) -> u64,
+    eqf: fn(&K, &K) -> bool,
+}
+
+pub fn hash_new<K>(hashf: fn(&K) -> u64, eqf: fn(&K, &K) -> bool) -> *mut DHash<K> {
+    Box::into_raw(Box::new(DHash {
+        buckets: vec![std::ptr::null_mut(); 16],
+        len: 0,
+        hashf,
+        eqf,
+    }))
+}
+
+impl<K: Copy> DHash<K> {
+    pub unsafe fn get(&self, key: K) -> Option<usize> {
+        let b = ((self.hashf)(&key) & (self.buckets.len() as u64 - 1)) as usize;
+        let mut n = self.buckets[b];
+        while !n.is_null() {
+            if (self.eqf)(&(*n).key, &key) { return Some((*n).val); }
+            n = (*n).next;
+        }
+        None
+    }
+    unsafe fn grow(&mut self) {
+        let nn = self.buckets.len() * 2;
+        let mut nb: Vec<*mut DNode<K>> = vec![std::ptr::null_mut(); nn];
+        for i in 0..self.buckets.len() {
+            let mut n = self.buckets[i];
+            while !n.is_null() {
+                let nx = (*n).next;
+                let b = ((self.hashf)(&(*n).key) & (nn as u64 - 1)) as usize;
+                (*n).next = nb[b];
+                nb[b] = n;
+                n = nx;
+            }
+        }
+        self.buckets = nb;
+    }
+    pub unsafe fn put(&mut self, key: K, val: usize) {
+        if self.len * 4 >= self.buckets.len() as i64 * 3 { self.grow(); }
+        let b = ((self.hashf)(&key) & (self.buckets.len() as u64 - 1)) as usize;
+        let node = Box::into_raw(Box::new(DNode { key, val, next: self.buckets[b] }));
+        self.buckets[b] = node;
+        self.len += 1;
+    }
+}
+
+/// multimap: values are `*mut DVec`.
+pub unsafe fn multimap_add<K: Copy>(m: *mut DHash<K>, key: K, val: usize) {
+    let got = (*m).get(key);
+    let v = match got {
+        Some(x) => x as *mut DVec,
+        None => {
+            let fresh = vec_new();
+            (*m).put(key, fresh as usize);
+            fresh
+        }
+    };
+    (*v).items.push(val);
+}
+
+// ---- memory pools ----
+
+pub struct DPool { pub data: *mut u8, pub elem: usize, pub cap: usize, pub used: usize }
+
+pub unsafe fn pool_new(elem: usize, cap: i64) -> *mut DPool {
+    let cap = if cap > 0 { cap as usize } else { 16 };
+    let bytes = (cap * elem.max(1)) as i64;
+    Box::into_raw(Box::new(DPool { data: calloc::<u8>(bytes), elem: elem.max(1), cap, used: 0 }))
+}
+
+pub unsafe fn pool_alloc(p: *mut DPool) -> *mut u8 {
+    let p = &mut *p;
+    if p.used == p.cap {
+        /* overflow fallback: chain a fresh arena (old pointers stay valid) */
+        p.cap *= 2;
+        p.data = calloc::<u8>((p.cap * p.elem) as i64);
+        p.used = 0;
+    }
+    let out = p.data.add(p.used * p.elem);
+    p.used += 1;
+    out
+}
+
+// ---- string dictionaries ----
+
+#[derive(Clone, Copy)]
+pub struct Dict { pub values: *mut Str, pub n: i32 }
+
+/// C `strncmp` with implicit NUL-terminator semantics (a shorter string
+/// sorts below any prefix continuation).
+fn strncmp_c(a: Str, b: Str, n: usize) -> i32 {
+    let (ab, bb) = (a.bytes(), b.bytes());
+    for i in 0..n {
+        let x = ab.get(i).copied().unwrap_or(0);
+        let y = bb.get(i).copied().unwrap_or(0);
+        if x != y { return x as i32 - y as i32; }
+        if x == 0 { return 0; }
+    }
+    0
+}
+
+pub unsafe fn dict_build(raw: *mut Str, n: i64) -> Dict {
+    let mut v: Vec<Str> = std::slice::from_raw_parts(raw, n.max(0) as usize).to_vec();
+    v.sort_by(|a, b| a.bytes().cmp(b.bytes()));
+    v.dedup_by(|a, b| str_eq(*a, *b));
+    let n = v.len() as i32;
+    let ptr = Box::leak(v.into_boxed_slice()).as_mut_ptr();
+    Dict { values: ptr, n }
+}
+
+pub unsafe fn dict_lookup(d: Dict, s: Str) -> i32 {
+    let (mut lo, mut hi) = (0i32, d.n - 1);
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        let c = str_cmp(*d.values.add(mid as usize), s);
+        if c == 0 { return mid; }
+        if c < 0 { lo = mid + 1; } else { hi = mid - 1; }
+    }
+    -1
+}
+
+pub unsafe fn dict_range_start(d: Dict, prefix: Str) -> i32 {
+    let (mut lo, mut hi) = (0i32, d.n);
+    let pl = prefix.len;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if strncmp_c(*d.values.add(mid as usize), prefix, pl) < 0 { lo = mid + 1; } else { hi = mid; }
+    }
+    if lo < d.n && strncmp_c(*d.values.add(lo as usize), prefix, pl) == 0 { return lo; }
+    0 /* empty range is (0, -1) */
+}
+
+pub unsafe fn dict_range_end(d: Dict, prefix: Str) -> i32 {
+    let pl = prefix.len;
+    let s = dict_range_start(d, prefix);
+    if d.n == 0 || strncmp_c(*d.values.add(s as usize), prefix, pl) != 0 { return -1; }
+    let mut e = s;
+    while e + 1 < d.n && strncmp_c(*d.values.add((e + 1) as usize), prefix, pl) == 0 { e += 1; }
+    e
+}
+
+// ---- instrumentation (same stderr protocol as the C runtime) ----
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static mut TIMER_START_MS: f64 = 0.0;
+
+fn now_ms() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+pub fn timer_start() { unsafe { TIMER_START_MS = now_ms(); } }
+pub fn timer_stop() {
+    eprintln!("QUERY_TIME_MS: {:.3}", now_ms() - unsafe { TIMER_START_MS });
+}
+pub fn print_rusage() {
+    let kb = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0);
+    eprintln!("PEAK_RSS_KB: {}", kb);
+}
+
+// ---- .tbl loading ----
+
+static DATA_DIR: OnceLock<String> = OnceLock::new();
+
+pub fn set_data_dir(d: String) { let _ = DATA_DIR.set(d); }
+
+pub fn read_file(table: &str) -> &'static [u8] {
+    let dir = DATA_DIR.get().map(|s| s.as_str()).unwrap_or(".");
+    let path = format!("{}/{}.tbl", dir, table);
+    match std::fs::read(&path) {
+        Ok(v) => Box::leak(v.into_boxed_slice()),
+        Err(_) => {
+            eprintln!("cannot open {}", path);
+            std::process::exit(1);
+        }
+    }
+}
+
+pub fn count_lines(buf: &[u8]) -> i64 {
+    buf.iter().filter(|&&b| b == b'\n').count() as i64
+}
+
+pub fn parse_i64(f: &[u8]) -> i64 {
+    let mut v: i64 = 0;
+    let mut neg = false;
+    let mut it = f.iter();
+    let mut first = it.next();
+    if first == Some(&b'-') { neg = true; first = it.next(); }
+    let mut cur = first;
+    while let Some(&b) = cur {
+        if !b.is_ascii_digit() { break; }
+        v = v * 10 + (b - b'0') as i64;
+        cur = it.next();
+    }
+    if neg { -v } else { v }
+}
+pub fn parse_i32(f: &[u8]) -> i32 { parse_i64(f) as i32 }
+pub fn parse_f64(f: &[u8]) -> f64 {
+    std::str::from_utf8(f).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(0.0)
+}
+pub fn parse_date(f: &[u8]) -> i32 {
+    /* yyyy-mm-dd */
+    let y = (f[0] - b'0') as i32 * 1000 + (f[1] - b'0') as i32 * 100
+        + (f[2] - b'0') as i32 * 10 + (f[3] - b'0') as i32;
+    let m = (f[5] - b'0') as i32 * 10 + (f[6] - b'0') as i32;
+    let d = (f[8] - b'0') as i32 * 10 + (f[9] - b'0') as i32;
+    y * 10000 + m * 100 + d
+}
+
+pub fn ord3(c: i32) -> std::cmp::Ordering { c.cmp(&0) }
+// ---------------- end prelude ----------------
+"#;

@@ -458,11 +458,14 @@ impl Interp<'_> {
                         _ => unreachable!(),
                     })
                 } else {
+                    // Wrapping semantics to match the generated C (hash
+                    // mixing below the specialization levels deliberately
+                    // overflows i64).
                     let (u, v) = (x.i(), y.i());
                     V::I(match op {
-                        Add => u + v,
-                        Sub => u - v,
-                        Mul => u * v,
+                        Add => u.wrapping_add(v),
+                        Sub => u.wrapping_sub(v),
+                        Mul => u.wrapping_mul(v),
                         Div => u / v,
                         Mod => u % v,
                         Max => u.max(v),
@@ -488,8 +491,19 @@ impl Interp<'_> {
                 };
                 V::B(r)
             }
-            And | BitAnd => V::B(x.b() && y.b()),
-            Or | BitOr => V::B(x.b() || y.b()),
+            // `Bit*` double as integer bitwise ops below the hash-table
+            // specialization level (bucket masking); on bools they are the
+            // branchless `&&`/`||` forms of Appendix E.
+            And => V::B(x.b() && y.b()),
+            Or => V::B(x.b() || y.b()),
+            BitAnd => match (&x, &y) {
+                (V::B(_), _) | (_, V::B(_)) => V::B(x.b() && y.b()),
+                _ => V::I(x.i() & y.i()),
+            },
+            BitOr => match (&x, &y) {
+                (V::B(_), _) | (_, V::B(_)) => V::B(x.b() || y.b()),
+                _ => V::I(x.i() | y.i()),
+            },
         }
     }
 

@@ -28,38 +28,41 @@
 use std::path::Path;
 
 use dblab_catalog::Schema;
+use dblab_codegen::{Backend, BuildInput, CBackend, Executable};
 use dblab_frontend::qplan::QueryProgram;
 use dblab_transform::StackConfig;
-
-/// The baseline's (fixed, fused) optimization set.
-fn legobase_opts() -> StackConfig {
-    StackConfig {
-        name: "LegoBase",
-        ..StackConfig::level4()
-    }
-}
 
 /// One-step template expansion: plan in, C source out. No intermediate
 /// programs exist from the caller's point of view.
 pub fn expand(prog: &QueryProgram, schema: &Schema) -> String {
-    let cfg = legobase_opts();
+    let cfg = StackConfig::legobase();
     let cq = dblab_transform::compile(prog, schema, &cfg);
-    dblab_codegen::emit(&cq.program, schema)
+    CBackend.emit(&cq.program, schema)
 }
 
-/// Expand, compile with gcc and return the binary (plus generation time,
-/// for Figure 9 parity).
+/// Expand, compile with gcc and return the executable (plus generation
+/// time, for Figure 9 parity). Deliberately *not* the [`dblab_codegen::Compiler`]
+/// facade: the baseline is a one-step expander with no inspectable stack —
+/// it talks to the backend seam directly.
 pub fn compile(
     prog: &QueryProgram,
     schema: &Schema,
     dir: &Path,
     name: &str,
-) -> std::io::Result<(std::time::Duration, dblab_codegen::Compiled)> {
+) -> std::io::Result<(std::time::Duration, Box<dyn Executable>)> {
     let t0 = std::time::Instant::now();
-    let source = expand(prog, schema);
+    let cfg = StackConfig::legobase();
+    let cq = dblab_transform::compile(prog, schema, &cfg);
+    let source = CBackend.emit(&cq.program, schema);
     let gen = t0.elapsed();
-    let compiled = dblab_codegen::compile_c(&source, dir, name)?;
-    Ok((gen, compiled))
+    let exe = CBackend.build(BuildInput {
+        program: &cq.program,
+        schema,
+        source: &source,
+        dir,
+        name,
+    })?;
+    Ok((gen, exe))
 }
 
 #[cfg(test)]
@@ -97,7 +100,7 @@ mod tests {
         }
         let prog =
             QueryProgram::new(QPlan::scan("nation").agg(vec![], vec![("n", AggFunc::Count)]));
-        let cq = dblab_transform::compile(&prog, &schema, &legobase_opts());
+        let cq = dblab_transform::compile(&prog, &schema, &StackConfig::legobase());
         assert!(
             cq.stages.len() >= 5,
             "stack records a stage per registered pass"

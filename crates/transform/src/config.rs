@@ -111,6 +111,17 @@ impl StackConfig {
         }
     }
 
+    /// The LegoBase baseline's optimization set (Table 3 row 1): the
+    /// four-level stack's fused optimizations under the baseline's name.
+    /// Shared by `dblab-legobase` and the benchmark harness so the two
+    /// sides of the comparison can never drift apart.
+    pub fn legobase() -> StackConfig {
+        StackConfig {
+            name: "LegoBase",
+            ..Self::level4()
+        }
+    }
+
     /// All Table 3 configurations in presentation order.
     pub fn table3() -> Vec<StackConfig> {
         vec![

@@ -6,10 +6,10 @@
 //! cargo run --example qmonad_analytics
 //! ```
 
+use dblab::codegen::Compiler;
 use dblab::frontend::expr::{col, date, lit_d, lit_s};
 use dblab::frontend::qmonad::QMonad;
 use dblab::frontend::qplan::AggFunc;
-use dblab::transform::stack::compile_qmonad;
 use dblab::transform::StackConfig;
 
 fn main() {
@@ -62,12 +62,15 @@ fn main() {
     ] {
         // Oracle through the QPlan translation (the expressibility witness).
         let oracle = dblab::engine::execute_plan(&q.to_qplan(), &db);
-        // Compiled through shortcut fusion + the full stack.
-        let cq = compile_qmonad(q, &schema, &StackConfig::level5());
-        let src = dblab::codegen::emit(&cq.program, &schema);
-        let bin = dblab::codegen::compile_c(&src, &gen, name).expect("gcc");
-        let out = dblab::codegen::run(&bin, &dir).expect("run");
-        let lowerings: Vec<&str> = cq
+        // Compiled through shortcut fusion + the full stack, via the facade.
+        let art = Compiler::new(&schema)
+            .config(&StackConfig::level5())
+            .out_dir(&gen)
+            .compile_qmonad(q, name)
+            .expect("gcc");
+        let out = art.run(&dir).expect("run");
+        let lowerings: Vec<&str> = art
+            .stack
             .stages
             .iter()
             .filter(|s| s.lowered())
@@ -76,7 +79,7 @@ fn main() {
         println!(
             "== {name} (query time {:.2} ms; {} stack stages, lowered via {})",
             out.query_ms,
-            cq.stages.len(),
+            art.stack.stages.len(),
             lowerings.join(" -> ")
         );
         for line in out.stdout.lines() {

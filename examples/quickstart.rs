@@ -98,12 +98,19 @@ fn main() {
         }
     }
 
-    // ---- unparse to C, compile, run -------------------------------------
-    let c_src = dblab::codegen::emit(&cq.program, &schema);
-    println!("\n## generated C: {} lines", c_src.lines().count());
+    // ---- hand the lowered program to a backend through the facade -------
     let gen = std::env::temp_dir().join("dblab_quickstart_gen");
-    let compiled = dblab::codegen::compile_c(&c_src, &gen, "quickstart").expect("gcc");
-    let out = dblab::codegen::run(&compiled, &dir).expect("run");
+    let art = dblab::codegen::Compiler::new(&schema)
+        .config(&cfg)
+        .out_dir(&gen)
+        .build_staged(cq, "quickstart")
+        .expect("gcc");
+    println!(
+        "\n## generated {} source: {} lines",
+        art.backend,
+        art.source.lines().count()
+    );
+    let out = art.run(&dir).expect("run");
     println!("## compiled result: {}", out.stdout.trim());
 
     // ---- cross-check against the Volcano oracle -------------------------

@@ -1,12 +1,16 @@
-//! A miniature Table 3: pick a few TPC-H queries and race every stack
-//! configuration (plus the LegoBase baseline) on generated data, verifying
-//! each result against the Volcano oracle along the way.
+//! A miniature Table 3 with a backend axis: pick a few TPC-H queries and
+//! race every stack configuration (plus the LegoBase baseline) through
+//! gcc, then race the full five-level stack across every available
+//! backend (gcc vs rustc vs interp) — verifying each run's *full result
+//! text* against the Volcano oracle along the way (normalized field-wise
+//! comparison, same as `tests/differential.rs`).
 //!
 //! ```text
 //! cargo run --release --example tpch_showdown            # Q1 Q3 Q6 Q14 at SF 0.02
 //! cargo run --release --example tpch_showdown -- 0.05 1 6 19
 //! ```
 
+use dblab::codegen::{backend, same_normalized, Compiler};
 use dblab::transform::StackConfig;
 
 fn main() {
@@ -27,38 +31,55 @@ fn main() {
     let schema = db.schema.clone();
     let gen = std::env::temp_dir().join("dblab_showdown_gen");
 
-    let mut configs = vec![StackConfig {
-        name: "LegoBase",
-        ..StackConfig::level4()
-    }];
-    configs.extend(StackConfig::table3());
+    // The two axes: Table 3's configurations (through gcc), then the
+    // five-level stack through every registered backend.
+    let mut rows: Vec<(String, StackConfig, &'static str)> = Vec::new();
+    if backend("gcc").expect("registered").available() {
+        let mut configs = vec![StackConfig::legobase()];
+        configs.extend(StackConfig::table3());
+        for cfg in &configs {
+            rows.push((cfg.name.to_string(), cfg.clone(), "gcc"));
+        }
+    } else {
+        eprintln!("(skipping the Table 3 axis: gcc not present)");
+    }
+    for b in ["rustc", "interp"] {
+        if backend(b).expect("registered").available() {
+            rows.push((format!("DBLAB/LB 5 x {b}"), StackConfig::level5(), b));
+        } else {
+            eprintln!("(skipping backend `{b}`: toolchain not present)");
+        }
+    }
 
-    print!("{:<18}", format!("SF {sf}"));
+    print!("{:<22}", format!("SF {sf}"));
     for q in &queries {
         print!("{:>10}", format!("Q{q} (ms)"));
     }
     println!();
-    for cfg in &configs {
-        print!("{:<18}", cfg.name);
+    for (label, cfg, bname) in &rows {
+        print!("{label:<22}");
         for &q in &queries {
             let prog = dblab::tpch::queries::query(q);
             let oracle = dblab::engine::execute_program(&prog, &db).to_text();
-            let name = format!("sd_q{q}_{}", cfg.name.replace([' ', '/'], "_"));
-            let ms = dblab::codegen::compile_query(&prog, &schema, cfg, &gen, &name)
-                .and_then(|(_, bin)| {
+            let name = format!("sd_q{q}_{}_{bname}", cfg.name.replace([' ', '/'], "_"));
+            let ms = Compiler::new(&schema)
+                .config(cfg)
+                .backend(backend(bname).expect("registered"))
+                .out_dir(&gen)
+                .compile_named(&prog, &name)
+                .and_then(|art| {
                     let mut best = f64::INFINITY;
                     let mut last = None;
                     for _ in 0..3 {
-                        let r = dblab::codegen::run(&bin, &dir)?;
+                        let r = art.run(&dir)?;
                         best = best.min(r.query_ms);
                         last = Some(r);
                     }
                     let r = last.expect("ran");
-                    assert_eq!(
-                        r.stdout.lines().count(),
-                        oracle.lines().count(),
-                        "Q{q} row count mismatch under {}",
-                        cfg.name
+                    assert!(
+                        same_normalized(&oracle, &r.stdout),
+                        "Q{q} result mismatch under {label}:\noracle:\n{oracle}\ngot:\n{}",
+                        r.stdout
                     );
                     Ok(best)
                 })
@@ -67,5 +88,5 @@ fn main() {
         }
         println!();
     }
-    println!("\n(lower is better; every run is row-count-checked against the oracle)");
+    println!("\n(lower is better; every run's result text is checked against the oracle)");
 }

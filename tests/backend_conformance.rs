@@ -1,0 +1,110 @@
+//! Backend conformance: every registered backend, run over the TPC-H
+//! differential query set through the [`Compiler`] facade, must produce
+//! output identical (normalized) to the Volcano oracle — and the native
+//! backends must agree with each other on the exact same lowered program.
+//!
+//! The interpreter backend always runs (it needs no toolchain); the gcc
+//! and rustc backends run whenever their toolchain is present and are
+//! skipped (loudly) otherwise.
+
+use std::path::PathBuf;
+
+use dblab::codegen::{backends, same_normalized, Compiler};
+use dblab::engine;
+use dblab::tpch;
+use dblab::transform::StackConfig;
+
+/// Per-test data directories: the tests in this binary run on parallel
+/// threads, so sharing one `.tbl` directory would let one test's
+/// `write_all` truncate files another test's query binary is reading.
+fn setup(tag: &str) -> (dblab::runtime::Database, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("dblab_conf_data_{tag}"));
+    let db = tpch::generate(0.002, &dir);
+    db.write_all().expect("write .tbl");
+    (db, dir)
+}
+
+/// Run every available backend over all 22 queries at `cfg`. Data and
+/// per-query oracle results are computed once and shared across backends.
+fn conformance_suite(cfg: &StackConfig, tag: &str) -> Vec<String> {
+    let (db, data) = setup(tag);
+    let schema = db.schema.clone();
+    let out = std::env::temp_dir().join("dblab_conf_gen");
+    let programs: Vec<_> = (1..=22).map(tpch::queries::query).collect();
+    let oracles: Vec<String> = programs
+        .iter()
+        .map(|p| engine::execute_program(p, &db).to_text())
+        .collect();
+    let mut failures = Vec::new();
+    for b in backends() {
+        if !b.available() {
+            eprintln!("SKIP backend `{}` (requires {})", b.name(), b.requirement());
+            continue;
+        }
+        for (i, (prog, oracle)) in programs.iter().zip(&oracles).enumerate() {
+            let n = i + 1;
+            let name = format!("bc_q{n}_l{}_{}", cfg.levels, b.name());
+            let verdict = Compiler::new(&schema)
+                .config(cfg)
+                .backend(dblab::codegen::backend(b.name()).expect("registered"))
+                .out_dir(&out)
+                .compile_named(prog, &name)
+                .and_then(|art| art.run(&data))
+                .map(|r| same_normalized(oracle, &r.stdout));
+            match verdict {
+                Ok(true) => {}
+                Ok(false) => failures.push(format!("Q{n} @ {} [{}]: mismatch", cfg.name, b.name())),
+                Err(e) => failures.push(format!("Q{n} @ {} [{}]: {e}", cfg.name, b.name())),
+            }
+        }
+    }
+    failures
+}
+
+/// Every backend × the full five-level stack × all 22 queries.
+#[test]
+fn every_backend_matches_the_oracle_on_the_full_stack() {
+    let failures = conformance_suite(&StackConfig::level5(), "l5");
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// The two-level stack exercises the generic (unspecialized) container
+/// path of each backend — the code the specialized levels bypass.
+#[test]
+fn every_backend_matches_the_oracle_on_the_generic_stack() {
+    let failures = conformance_suite(&StackConfig::level2(), "l2");
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// The native backends consume the *same* lowered program and must agree
+/// with each other line for line (normalized), not just with the oracle.
+#[test]
+fn native_backends_agree_on_identical_programs() {
+    let gcc = dblab::codegen::backend("gcc").unwrap();
+    let rustc = dblab::codegen::backend("rustc").unwrap();
+    if !gcc.available() || !rustc.available() {
+        eprintln!("SKIP native agreement (needs both gcc and rustc)");
+        return;
+    }
+    let (db, data) = setup("agree");
+    let schema = db.schema.clone();
+    let out = std::env::temp_dir().join("dblab_conf_gen");
+    for n in [1, 3, 6, 10, 14, 19] {
+        let prog = tpch::queries::query(n);
+        let mut results = Vec::new();
+        for bname in ["gcc", "rustc"] {
+            let art = Compiler::new(&schema)
+                .backend(dblab::codegen::backend(bname).unwrap())
+                .out_dir(&out)
+                .compile_named(&prog, &format!("bc_agree_q{n}_{bname}"))
+                .expect("build");
+            results.push(art.run(&data).expect("run").stdout);
+        }
+        assert!(
+            same_normalized(&results[0], &results[1]),
+            "Q{n}: gcc and rustc disagree:\ngcc:\n{}\nrustc:\n{}",
+            results[0],
+            results[1]
+        );
+    }
+}

@@ -1,10 +1,12 @@
 //! The backbone correctness suite (DESIGN.md §6): every TPC-H query,
-//! compiled at every stack configuration, must produce the same result as
-//! the Volcano oracle — compiled C via gcc, and the IR interpreter at the
-//! pipelining stage.
+//! compiled at every stack configuration through the [`Compiler`] facade,
+//! must produce the same result as the Volcano oracle — the C/gcc backend
+//! here, every registered backend in `tests/backend_conformance.rs`, and
+//! the interpreter backend at the pipelining stage.
 
 use std::path::PathBuf;
 
+use dblab::codegen::{backend, same_normalized, Compiler};
 use dblab::engine;
 use dblab::tpch;
 use dblab::transform::StackConfig;
@@ -14,33 +16,6 @@ fn setup() -> (dblab::runtime::Database, PathBuf) {
     let db = tpch::generate(0.002, &dir);
     db.write_all().expect("write .tbl");
     (db, dir)
-}
-
-/// Field-wise comparison with a small numeric tolerance (C prints through
-/// `%.4f`, Rust through `{:.4}`; rounding can differ in the last digit).
-fn same_results(a: &str, b: &str) -> bool {
-    let la: Vec<&str> = a.lines().collect();
-    let lb: Vec<&str> = b.lines().collect();
-    if la.len() != lb.len() {
-        return false;
-    }
-    for (x, y) in la.iter().zip(&lb) {
-        let fx: Vec<&str> = x.split('|').collect();
-        let fy: Vec<&str> = y.split('|').collect();
-        if fx.len() != fy.len() {
-            return false;
-        }
-        for (u, v) in fx.iter().zip(&fy) {
-            if u == v {
-                continue;
-            }
-            match (u.parse::<f64>(), v.parse::<f64>()) {
-                (Ok(a), Ok(b)) if (a - b).abs() <= 0.02_f64.max(a.abs() * 1e-6) => {}
-                _ => return false,
-            }
-        }
-    }
-    true
 }
 
 #[test]
@@ -54,9 +29,12 @@ fn all_queries_all_configs_match_the_oracle() {
         let oracle = engine::execute_program(&prog, &db).to_text();
         for cfg in StackConfig::table3() {
             let name = format!("it_q{n}_l{}_{}", cfg.levels, cfg.name.contains("Compliant"));
-            let verdict = dblab::codegen::compile_query(&prog, &schema, &cfg, &out, &name)
-                .and_then(|(_, compiled)| dblab::codegen::run(&compiled, &data))
-                .map(|r| same_results(&oracle, &r.stdout));
+            let verdict = Compiler::new(&schema)
+                .config(&cfg)
+                .out_dir(&out)
+                .compile_named(&prog, &name)
+                .and_then(|art| art.run(&data))
+                .map(|r| same_normalized(&oracle, &r.stdout));
             match verdict {
                 Ok(true) => {}
                 Ok(false) => failures.push(format!("Q{n} @ {}: result mismatch", cfg.name)),
@@ -75,29 +53,35 @@ fn legobase_baseline_matches_the_oracle() {
     for n in [1, 3, 6, 13, 19] {
         let prog = tpch::queries::query(n);
         let oracle = engine::execute_program(&prog, &db).to_text();
-        let (_, compiled) =
+        let (_, exe) =
             dblab::legobase::compile(&prog, &schema, &out, &format!("it_lb_q{n}")).expect("gcc");
-        let run = dblab::codegen::run(&compiled, &data).expect("run");
-        assert!(same_results(&oracle, &run.stdout), "LegoBase Q{n}");
+        let run = exe.run(&data).expect("run");
+        assert!(same_normalized(&oracle, &run.stdout), "LegoBase Q{n}");
     }
 }
 
 #[test]
 fn interpreter_agrees_with_oracle_at_the_pipelining_stage() {
-    let (db, _) = setup();
+    let (db, data) = setup();
     let schema = db.schema.clone();
-    // The interpreter executes the IR right after the front-end lowering —
+    // The interpreter backend executes the IR right after the front-end
+    // lowering (the two-level configuration keeps the program at MapList) —
     // the paper's "each DSL is executable" claim, used here to localise
     // bugs to either the lowering or the later stages.
-    let cfg = StackConfig::level2();
+    let compiler = Compiler::new(&schema)
+        .config(&StackConfig::level2())
+        .backend(backend("interp").expect("registered"));
     for n in [1, 3, 4, 6, 12, 13, 14, 19, 22] {
         let prog = tpch::queries::query(n);
         let oracle = engine::execute_program(&prog, &db).to_text();
-        let p = dblab::transform::pipeline::lower_program(&prog, &schema, &cfg);
-        let got = dblab::interp::run(&p, &db);
+        let got = compiler
+            .compile_named(&prog, &format!("it_interp_q{n}"))
+            .and_then(|art| art.run(&data))
+            .expect("interp");
         assert!(
-            same_results(&oracle, &got),
-            "Q{n} interpreter mismatch:\noracle:\n{oracle}\ninterp:\n{got}"
+            same_normalized(&oracle, &got.stdout),
+            "Q{n} interpreter mismatch:\noracle:\n{oracle}\ninterp:\n{}",
+            got.stdout
         );
     }
 }
@@ -121,11 +105,16 @@ fn qmonad_frontend_matches_qplan_semantics() {
         .count();
     let oracle = engine::execute_plan(&q.to_qplan(), &db).to_text();
     for cfg in [StackConfig::level2(), StackConfig::level5()] {
-        let cq = dblab::transform::stack::compile_qmonad(&q, &schema, &cfg);
-        let src = dblab::codegen::emit(&cq.program, &schema);
-        let compiled = dblab::codegen::compile_c(&src, &out, &format!("it_monad_{}", cfg.levels))
+        let art = Compiler::new(&schema)
+            .config(&cfg)
+            .out_dir(&out)
+            .compile_qmonad(&q, &format!("it_monad_{}", cfg.levels))
             .expect("gcc");
-        let run = dblab::codegen::run(&compiled, &data).expect("run");
-        assert!(same_results(&oracle, &run.stdout), "qmonad @ {}", cfg.name);
+        let run = art.run(&data).expect("run");
+        assert!(
+            same_normalized(&oracle, &run.stdout),
+            "qmonad @ {}",
+            cfg.name
+        );
     }
 }
