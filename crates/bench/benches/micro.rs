@@ -99,7 +99,7 @@ fn anf_builder() {
 }
 
 fn compiler_passes() {
-    println!("\n## whole-stack compilation");
+    println!("\n## whole-stack compilation (cold = memo cleared per run, warm = memoized)");
     let mut schema = dblab_tpch::tpch_schema();
     for t in &mut schema.tables {
         t.stats.row_count = 1000;
@@ -113,11 +113,19 @@ fn compiler_passes() {
             dblab_transform::StackConfig::level2(),
             dblab_transform::StackConfig::level5(),
         ] {
-            bench(&format!("compile-{name}-L{}", cfg.levels), || {
+            bench(&format!("compile-{name}-L{}-cold", cfg.levels), || {
+                dblab_transform::memo::clear();
                 dblab_transform::compile(prog, &schema, &cfg)
                     .program
                     .body
                     .size()
+            });
+            // Same compile against a warm per-pass IR cache — what repeat
+            // compiles in benches and multi-config sweeps actually pay.
+            bench(&format!("compile-{name}-L{}-warm", cfg.levels), || {
+                let cq = dblab_transform::compile(prog, &schema, &cfg);
+                assert!(cq.cache_hits() > 0, "warm compile must hit the memo");
+                cq.program.body.size()
             });
         }
     }
@@ -140,6 +148,8 @@ fn compiler_passes() {
     let cfg = dblab_transform::StackConfig::level5();
     let mut best: Vec<(String, Duration)> = Vec::new();
     for _ in 0..RUNS {
+        // Cold per run: a memo hit would report lookup time, not pass time.
+        dblab_transform::memo::clear();
         let cq = dblab_transform::compile(&q3, &schema, &cfg);
         for s in &cq.stages {
             match best.iter_mut().find(|(n, _)| *n == s.name) {

@@ -48,11 +48,17 @@ pub fn table3_configs() -> Vec<StackConfig> {
     v
 }
 
-/// `--sf`, `--runs`, `--queries 1,6,14` flags shared by the binaries.
+/// `--sf`, `--runs`, `--queries 1,6,14`, `--threads 4`, `--json out.json`
+/// flags shared by the binaries.
 pub struct Args {
     pub sf: f64,
     pub runs: usize,
     pub queries: Vec<usize>,
+    /// Worker threads for the per-query build fan-out (each
+    /// `CompiledQuery` is independent and `Backend::build` is `&self`).
+    pub threads: usize,
+    /// Where to write the machine-readable results blob, if anywhere.
+    pub json: Option<PathBuf>,
 }
 
 impl Args {
@@ -60,6 +66,10 @@ impl Args {
         let mut sf = DEFAULT_SF;
         let mut runs = 3;
         let mut queries: Vec<usize> = (1..=22).collect();
+        let mut threads = std::thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(1);
+        let mut json = None;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -79,10 +89,105 @@ impl Args {
                         .collect();
                     i += 2;
                 }
+                "--threads" => {
+                    threads = argv[i + 1].parse().expect("--threads <int>");
+                    i += 2;
+                }
+                "--json" => {
+                    json = Some(PathBuf::from(&argv[i + 1]));
+                    i += 2;
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
-        Args { sf, runs, queries }
+        Args {
+            sf,
+            runs,
+            queries,
+            threads: threads.max(1),
+            json,
+        }
+    }
+}
+
+/// Minimal hand-rolled JSON emission (the container has no serde; the
+/// blobs the benches write are flat enough that a string builder is the
+/// whole story).
+pub mod json {
+    /// Escape a string for inclusion in a JSON document.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// An object under construction. Values passed to `raw` must already
+    /// be valid JSON (numbers, nested objects, arrays).
+    #[derive(Default)]
+    pub struct Obj {
+        fields: Vec<String>,
+    }
+
+    impl Obj {
+        pub fn new() -> Obj {
+            Obj::default()
+        }
+        pub fn str(mut self, k: &str, v: &str) -> Obj {
+            self.fields
+                .push(format!("\"{}\": \"{}\"", escape(k), escape(v)));
+            self
+        }
+        pub fn num(mut self, k: &str, v: f64) -> Obj {
+            // JSON has no NaN/Infinity; benches use null for "not run".
+            if v.is_finite() {
+                self.fields.push(format!("\"{}\": {v}", escape(k)));
+            } else {
+                self.fields.push(format!("\"{}\": null", escape(k)));
+            }
+            self
+        }
+        pub fn int(mut self, k: &str, v: u64) -> Obj {
+            self.fields.push(format!("\"{}\": {v}", escape(k)));
+            self
+        }
+        pub fn bool(mut self, k: &str, v: bool) -> Obj {
+            self.fields.push(format!("\"{}\": {v}", escape(k)));
+            self
+        }
+        pub fn raw(mut self, k: &str, v: &str) -> Obj {
+            self.fields.push(format!("\"{}\": {}", escape(k), v));
+            self
+        }
+        pub fn build(self) -> String {
+            format!("{{{}}}", self.fields.join(", "))
+        }
+    }
+
+    /// A JSON array from already-rendered element strings.
+    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(", "))
+    }
+}
+
+/// Write (or print) a bench's JSON blob: to `--json PATH` when given,
+/// otherwise to stdout behind a greppable marker line.
+pub fn emit_json(args: &Args, blob: &str) {
+    match &args.json {
+        Some(path) => {
+            std::fs::write(path, blob).expect("write --json file");
+            eprintln!("(json results written to {})", path.display());
+        }
+        None => println!("JSON: {blob}"),
     }
 }
 

@@ -6,7 +6,7 @@
 //! This crate is that shared vocabulary; the front-ends, the engine, the
 //! transformations and the code generator all consume it.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// SQL-level column types. `Date` is stored as an `i32` `yyyymmdd`;
 /// `Decimal` is carried as `f64` (LegoBase does the same).
@@ -30,7 +30,7 @@ impl ColType {
 /// A table column.
 #[derive(Debug, Clone)]
 pub struct Column {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub ty: ColType,
 }
 
@@ -40,7 +40,7 @@ pub struct Column {
 #[derive(Debug, Clone)]
 pub struct ForeignKey {
     pub column: usize,
-    pub ref_table: Rc<str>,
+    pub ref_table: Arc<str>,
 }
 
 /// Statistics available at data-loading time (Appendix D.1 sizes memory
@@ -60,7 +60,7 @@ pub struct TableStats {
 /// A table definition.
 #[derive(Debug, Clone)]
 pub struct TableDef {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub columns: Vec<Column>,
     /// Column positions forming the primary key (possibly composite).
     pub primary_key: Vec<usize>,
@@ -118,7 +118,7 @@ impl TableDef {
     }
 
     /// The referenced table if `col` is a foreign key.
-    pub fn foreign_key_target(&self, col: usize) -> Option<&Rc<str>> {
+    pub fn foreign_key_target(&self, col: usize) -> Option<&Arc<str>> {
         self.foreign_keys
             .iter()
             .find(|fk| fk.column == col)

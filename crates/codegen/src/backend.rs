@@ -50,7 +50,12 @@ pub struct RunOutput {
 }
 
 /// A built query, ready to run against a `.tbl` data directory.
-pub trait Executable {
+///
+/// `Send + Sync` is part of the contract: the bench harness builds
+/// executables on worker threads and runs them wherever timing is least
+/// noisy (every shipped impl is a path + metadata, or an IR program —
+/// thread-portable by construction).
+pub trait Executable: Send + Sync {
     /// Execute against `data_dir` and capture result rows + metrics.
     fn run(&self, data_dir: &Path) -> io::Result<RunOutput>;
     /// Wall time the toolchain spent building (the gcc/rustc half of
@@ -71,7 +76,9 @@ pub struct BuildInput<'a> {
 }
 
 /// A code-generation + execution strategy for fully-lowered programs.
-pub trait Backend {
+/// `Send + Sync` so one backend instance can serve concurrent builds
+/// (`build` is `&self`; the shipped backends are stateless).
+pub trait Backend: Send + Sync {
     /// Registry name (`"gcc"`, `"rustc"`, `"interp"`).
     fn name(&self) -> &'static str;
     /// Pure unparse: C.Scala program → source text. Never touches the
@@ -86,6 +93,12 @@ pub trait Backend {
     /// What `available()` probes for, for skip messages.
     fn requirement(&self) -> &'static str {
         "nothing"
+    }
+    /// Whether `build` output may be reused for byte-identical source
+    /// (see [`crate::build_cache`]). In-process backends that never invoke
+    /// a toolchain opt out — there is nothing to skip.
+    fn cacheable(&self) -> bool {
+        true
     }
 }
 
@@ -324,6 +337,9 @@ impl Backend for InterpBackend {
     fn requirement(&self) -> &'static str {
         "nothing (in-process)"
     }
+    fn cacheable(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -373,6 +389,9 @@ pub struct CompiledArtifact {
     pub source: String,
     /// The runnable artifact.
     pub exe: Box<dyn Executable>,
+    /// Whether `exe` came from the source-level build cache (the backend's
+    /// toolchain did not run for this compile; `exe.build_time()` is zero).
+    pub build_cached: bool,
 }
 
 impl CompiledArtifact {
@@ -466,18 +485,22 @@ impl<'s> Compiler<'s> {
             )));
         }
         let source = self.backend.emit(&cq.program, self.schema);
-        let exe = self.backend.build(BuildInput {
-            program: &cq.program,
-            schema: self.schema,
-            source: &source,
-            dir: &self.dir,
-            name,
-        })?;
+        let (exe, build_cached) = crate::build_cache::build_with_cache(
+            self.backend.as_ref(),
+            BuildInput {
+                program: &cq.program,
+                schema: self.schema,
+                source: &source,
+                dir: &self.dir,
+                name,
+            },
+        )?;
         Ok(CompiledArtifact {
             backend: self.backend.name(),
             stack: cq,
             source,
             exe,
+            build_cached,
         })
     }
 

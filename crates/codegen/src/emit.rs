@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, Layout, PrimOp, Stmt, Sym, UnOp};
@@ -48,7 +48,7 @@ struct Emitter<'p> {
     top: String,
     /// table sym -> info; also name -> sym for the index builders.
     tables: HashMap<Sym, TableInfo>,
-    table_by_name: HashMap<Rc<str>, Sym>,
+    table_by_name: HashMap<Arc<str>, Sym>,
     /// Columnar row handles: sym -> (table sym, row-index C expr).
     handles: HashMap<Sym, (Sym, String)>,
     /// elem C type -> wrapper typedef name.
@@ -56,7 +56,7 @@ struct Emitter<'p> {
     /// sids with generated key hash/eq functions.
     key_fns: HashSet<StructId>,
     /// CSR builders already emitted: (table, col).
-    csr_built: HashSet<(Rc<str>, usize)>,
+    csr_built: HashSet<(Arc<str>, usize)>,
     fn_ctr: usize,
 }
 

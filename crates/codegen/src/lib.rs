@@ -23,10 +23,13 @@
 //! with `gcc -O3` — [`emit`] + [`cc`]), [`RustBackend`] (unparse the same
 //! dialect to Rust, build with `rustc -O` — [`rust_emit`]), and
 //! [`InterpBackend`] (`dblab-interp` as a zero-build in-process
-//! executable). See DESIGN.md §7 for the trait contracts and how to add a
-//! backend.
+//! executable). Builds are memoized at two seams: [`build_cache`] skips
+//! the toolchain for byte-identical emitted source, and the DSL stack
+//! above memoizes per-pass IR outputs (`dblab_transform::memo`). See
+//! DESIGN.md §5 for the trait contracts and §6 for the cache layers.
 
 pub mod backend;
+pub mod build_cache;
 pub mod cc;
 pub mod emit;
 pub mod runtime;
@@ -38,6 +41,7 @@ pub use backend::{
     available_backends, backend, backends, run_binary, same_normalized, Backend, BuildInput,
     CBackend, CompiledArtifact, Compiler, Executable, InterpBackend, RunOutput, RustBackend,
 };
+pub use build_cache::{build_with_cache, BuildCacheStats};
 pub use cc::{compile_c, Compiled};
 pub use emit::emit;
 pub use rust_emit::emit_rust;

@@ -18,7 +18,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, Layout, PrimOp, Stmt, Sym, UnOp};
@@ -67,13 +67,13 @@ struct REmitter<'p> {
     typedefs: String,
     top: String,
     tables: HashMap<Sym, TableInfo>,
-    table_by_name: HashMap<Rc<str>, Sym>,
+    table_by_name: HashMap<Arc<str>, Sym>,
     /// Columnar row handles: sym -> (table sym, row-index Rust expr).
     handles: HashMap<Sym, (Sym, String)>,
     /// sids with generated key hash/eq functions.
     key_fns: HashSet<StructId>,
     /// CSR builders already emitted: (table, col).
-    csr_built: HashSet<(Rc<str>, usize)>,
+    csr_built: HashSet<(Arc<str>, usize)>,
     fn_ctr: usize,
 }
 

@@ -8,7 +8,7 @@
 //! disagree about what a program loads.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::Schema;
 use dblab_ir::expr::{Block, Expr, Layout, Sym};
@@ -17,7 +17,7 @@ use dblab_ir::Program;
 
 #[derive(Clone)]
 pub(crate) struct TableInfo {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub sid: StructId,
     pub layout: Layout,
     /// Original column index per (pruned) struct field.
@@ -33,7 +33,7 @@ pub(crate) struct TableInfo {
 pub(crate) fn collect_tables(
     p: &Program,
     schema: &Schema,
-) -> (HashMap<Sym, TableInfo>, HashMap<Rc<str>, Sym>) {
+) -> (HashMap<Sym, TableInfo>, HashMap<Arc<str>, Sym>) {
     let mut tables = HashMap::new();
     let mut by_name = HashMap::new();
     walk(p, schema, &p.body, &mut tables, &mut by_name);
@@ -45,7 +45,7 @@ fn walk(
     schema: &Schema,
     b: &Block,
     tables: &mut HashMap<Sym, TableInfo>,
-    by_name: &mut HashMap<Rc<str>, Sym>,
+    by_name: &mut HashMap<Arc<str>, Sym>,
 ) {
     for st in &b.stmts {
         match &st.expr {

@@ -1,7 +1,7 @@
 //! Scalar expression evaluation over dynamic rows.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::ColType;
 use dblab_frontend::expr::{BinOp, Lit, ScalarExpr};
@@ -10,13 +10,13 @@ use dblab_runtime::Value;
 /// Evaluation environment: the input column list (for name resolution) and
 /// scalar-subquery parameter bindings.
 pub struct Env<'a> {
-    pub cols: &'a [(Rc<str>, ColType)],
-    index: HashMap<Rc<str>, usize>,
-    pub params: &'a HashMap<Rc<str>, Value>,
+    pub cols: &'a [(Arc<str>, ColType)],
+    index: HashMap<Arc<str>, usize>,
+    pub params: &'a HashMap<Arc<str>, Value>,
 }
 
 impl<'a> Env<'a> {
-    pub fn new(cols: &'a [(Rc<str>, ColType)], params: &'a HashMap<Rc<str>, Value>) -> Env<'a> {
+    pub fn new(cols: &'a [(Arc<str>, ColType)], params: &'a HashMap<Arc<str>, Value>) -> Env<'a> {
         let index = cols
             .iter()
             .enumerate()
@@ -198,7 +198,7 @@ mod tests {
     use super::*;
     use dblab_frontend::expr::*;
 
-    fn env_cols() -> Vec<(Rc<str>, ColType)> {
+    fn env_cols() -> Vec<(Arc<str>, ColType)> {
         vec![
             ("a".into(), ColType::Int),
             ("b".into(), ColType::Double),

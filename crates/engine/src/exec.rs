@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 use dblab_frontend::expr::ScalarExpr;
@@ -19,7 +19,7 @@ use crate::eval::{eval, Env};
 /// A fully materialized query result.
 #[derive(Debug, Clone)]
 pub struct ResultSet {
-    pub cols: Vec<(Rc<str>, ColType)>,
+    pub cols: Vec<(Arc<str>, ColType)>,
     pub rows: Vec<Vec<Value>>,
 }
 
@@ -71,7 +71,7 @@ pub fn execute_program(prog: &QueryProgram, db: &Database) -> ResultSet {
     run(&prog.main, db, &params)
 }
 
-fn run(plan: &QPlan, db: &Database, params: &HashMap<Rc<str>, Value>) -> ResultSet {
+fn run(plan: &QPlan, db: &Database, params: &HashMap<Arc<str>, Value>) -> ResultSet {
     let schema = &db.schema;
     match plan {
         QPlan::Scan { table, .. } => {
@@ -179,7 +179,7 @@ fn join(
     right_keys: &[ScalarExpr],
     residual: &Option<ScalarExpr>,
     schema: &Schema,
-    params: &HashMap<Rc<str>, Value>,
+    params: &HashMap<Arc<str>, Value>,
 ) -> ResultSet {
     let lenv = Env::new(&l.cols, params);
     let renv = Env::new(&r.cols, params);
@@ -191,7 +191,7 @@ fn join(
         built.entry(k).or_default().push(i);
     }
     // Residual predicates see the concatenated row.
-    let combined_cols: Vec<(Rc<str>, ColType)> = l
+    let combined_cols: Vec<(Arc<str>, ColType)> = l
         .cols
         .iter()
         .cloned()
@@ -282,14 +282,14 @@ enum Acc {
 fn aggregate(
     plan: &QPlan,
     input: &ResultSet,
-    group_by: &[(Rc<str>, ScalarExpr)],
-    aggs: &[(Rc<str>, AggFunc)],
+    group_by: &[(Arc<str>, ScalarExpr)],
+    aggs: &[(Arc<str>, AggFunc)],
     schema: &Schema,
-    params: &HashMap<Rc<str>, Value>,
+    params: &HashMap<Arc<str>, Value>,
 ) -> ResultSet {
     let env = Env::new(&input.cols, params);
     let mut groups: BTreeMap<Vec<Value>, Vec<Acc>> = BTreeMap::new();
-    let fresh = |aggs: &[(Rc<str>, AggFunc)]| -> Vec<Acc> {
+    let fresh = |aggs: &[(Arc<str>, AggFunc)]| -> Vec<Acc> {
         aggs.iter()
             .map(|(_, a)| match a {
                 AggFunc::Sum(_) => Acc::Sum(0.0),

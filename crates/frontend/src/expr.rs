@@ -4,7 +4,7 @@
 //! named), so plans compose without positional bookkeeping. A fluent
 //! builder API keeps the 22 TPC-H query definitions readable.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::ColType;
 
@@ -15,7 +15,7 @@ pub enum Lit {
     Int(i32),
     Long(i64),
     Double(f64),
-    Str(Rc<str>),
+    Str(Arc<str>),
 }
 
 impl Lit {
@@ -60,10 +60,10 @@ impl BinOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScalarExpr {
     /// Column reference.
-    Col(Rc<str>),
+    Col(Arc<str>),
     /// The result of a previously evaluated scalar subquery (always
     /// `Double` in our workload; see `QueryProgram`).
-    Param(Rc<str>),
+    Param(Arc<str>),
     Lit(Lit),
     Bin(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
     Not(Box<ScalarExpr>),
@@ -71,10 +71,10 @@ pub enum ScalarExpr {
     /// Extract the year of a `yyyymmdd` date.
     Year(Box<ScalarExpr>),
     /// SQL `LIKE` with `%` wildcards (constant pattern).
-    Like(Box<ScalarExpr>, Rc<str>),
-    StartsWith(Box<ScalarExpr>, Rc<str>),
-    EndsWith(Box<ScalarExpr>, Rc<str>),
-    Contains(Box<ScalarExpr>, Rc<str>),
+    Like(Box<ScalarExpr>, Arc<str>),
+    StartsWith(Box<ScalarExpr>, Arc<str>),
+    EndsWith(Box<ScalarExpr>, Arc<str>),
+    Contains(Box<ScalarExpr>, Arc<str>),
     /// `substring(s, start, len)`, 1-based start as in SQL.
     Substr(Box<ScalarExpr>, u32, u32),
     /// `expr IN (lits...)`.
@@ -177,7 +177,7 @@ impl ScalarExpr {
     }
 
     /// Infer this expression's type against an input column list.
-    pub fn ty(&self, cols: &[(Rc<str>, ColType)]) -> ColType {
+    pub fn ty(&self, cols: &[(Arc<str>, ColType)]) -> ColType {
         match self {
             ScalarExpr::Col(n) => {
                 cols.iter()
@@ -217,13 +217,13 @@ impl ScalarExpr {
     }
 
     /// All column names referenced by this expression.
-    pub fn columns(&self) -> Vec<Rc<str>> {
+    pub fn columns(&self) -> Vec<Arc<str>> {
         let mut out = Vec::new();
         self.collect_columns(&mut out);
         out
     }
 
-    fn collect_columns(&self, out: &mut Vec<Rc<str>>) {
+    fn collect_columns(&self, out: &mut Vec<Arc<str>>) {
         match self {
             ScalarExpr::Col(n) => {
                 if !out.contains(n) {
@@ -259,7 +259,7 @@ impl ScalarExpr {
 mod tests {
     use super::*;
 
-    fn cols() -> Vec<(Rc<str>, ColType)> {
+    fn cols() -> Vec<(Arc<str>, ColType)> {
         vec![
             ("a".into(), ColType::Int),
             ("b".into(), ColType::Double),
@@ -288,7 +288,7 @@ mod tests {
         let e = col("a").between(lit_i(1), lit_i(5));
         assert_eq!(e.ty(&cols()), ColType::Bool);
         // both bounds reference the column
-        assert_eq!(e.columns(), vec![Rc::<str>::from("a")]);
+        assert_eq!(e.columns(), vec![Arc::<str>::from("a")]);
     }
 
     #[test]

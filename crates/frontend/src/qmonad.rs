@@ -20,7 +20,7 @@
 //! witnesses the expressibility principle: everything QMonad says, the
 //! plan algebra can say too.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::expr::ScalarExpr;
 use crate::qplan::{AggFunc, JoinKind, QPlan, SortDir};
@@ -30,7 +30,7 @@ use crate::qplan::{AggFunc, JoinKind, QPlan, SortDir};
 pub enum QMonad {
     /// The rows of a base relation.
     Source {
-        table: Rc<str>,
+        table: Arc<str>,
     },
     Filter {
         child: Box<QMonad>,
@@ -39,7 +39,7 @@ pub enum QMonad {
     /// `map` to a named record of expressions.
     Map {
         child: Box<QMonad>,
-        cols: Vec<(Rc<str>, ScalarExpr)>,
+        cols: Vec<(Arc<str>, ScalarExpr)>,
     },
     /// Inner hash join on (composite) keys.
     HashJoin {
@@ -52,8 +52,8 @@ pub enum QMonad {
     /// collection to one row (count / sum / fold sugar below).
     GroupBy {
         child: Box<QMonad>,
-        keys: Vec<(Rc<str>, ScalarExpr)>,
-        aggs: Vec<(Rc<str>, AggFunc)>,
+        keys: Vec<(Arc<str>, ScalarExpr)>,
+        aggs: Vec<(Arc<str>, AggFunc)>,
     },
     SortBy {
         child: Box<QMonad>,
@@ -169,7 +169,7 @@ impl QMonad {
     }
 
     /// Base tables referenced (with multiplicity).
-    pub fn tables(&self) -> Vec<Rc<str>> {
+    pub fn tables(&self) -> Vec<Arc<str>> {
         self.to_qplan().tables()
     }
 }

@@ -13,7 +13,7 @@
 //! become `SUM(CASE WHEN __matched …)`, which keeps every lower DSL level —
 //! and the generated C — null-free.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 
@@ -51,7 +51,7 @@ pub enum AggFunc {
 }
 
 impl AggFunc {
-    pub fn ty(&self, cols: &[(Rc<str>, ColType)]) -> ColType {
+    pub fn ty(&self, cols: &[(Arc<str>, ColType)]) -> ColType {
         match self {
             AggFunc::Sum(e) => match e.ty(cols) {
                 ColType::Double => ColType::Double,
@@ -68,10 +68,10 @@ impl AggFunc {
 #[derive(Debug, Clone, PartialEq)]
 pub enum QPlan {
     Scan {
-        table: Rc<str>,
+        table: Arc<str>,
         /// Optional alias for self joins; column `c` is exposed as
         /// `<alias>_c`.
-        alias: Option<Rc<str>>,
+        alias: Option<Arc<str>>,
     },
     Select {
         child: Box<QPlan>,
@@ -79,7 +79,7 @@ pub enum QPlan {
     },
     Project {
         child: Box<QPlan>,
-        cols: Vec<(Rc<str>, ScalarExpr)>,
+        cols: Vec<(Arc<str>, ScalarExpr)>,
     },
     HashJoin {
         left: Box<QPlan>,
@@ -93,8 +93,8 @@ pub enum QPlan {
     },
     Agg {
         child: Box<QPlan>,
-        group_by: Vec<(Rc<str>, ScalarExpr)>,
-        aggs: Vec<(Rc<str>, AggFunc)>,
+        group_by: Vec<(Arc<str>, ScalarExpr)>,
+        aggs: Vec<(Arc<str>, AggFunc)>,
     },
     Sort {
         child: Box<QPlan>,
@@ -207,14 +207,14 @@ impl QPlan {
     pub const MATCHED: &'static str = "__matched";
 
     /// Names and types of this plan's output columns.
-    pub fn output_cols(&self, schema: &Schema) -> Vec<(Rc<str>, ColType)> {
+    pub fn output_cols(&self, schema: &Schema) -> Vec<(Arc<str>, ColType)> {
         match self {
             QPlan::Scan { table, alias } => {
                 let t = schema.table(table);
                 t.columns
                     .iter()
                     .map(|c| {
-                        let name: Rc<str> = match alias {
+                        let name: Arc<str> = match alias {
                             Some(a) => format!("{a}_{}", c.name).into(),
                             None => c.name.clone(),
                         };
@@ -251,7 +251,7 @@ impl QPlan {
                 aggs,
             } => {
                 let input = child.output_cols(schema);
-                let mut out: Vec<(Rc<str>, ColType)> = group_by
+                let mut out: Vec<(Arc<str>, ColType)> = group_by
                     .iter()
                     .map(|(n, e)| (n.clone(), e.ty(&input)))
                     .collect();
@@ -262,13 +262,13 @@ impl QPlan {
     }
 
     /// All base tables referenced (with multiplicity), for loader planning.
-    pub fn tables(&self) -> Vec<Rc<str>> {
+    pub fn tables(&self) -> Vec<Arc<str>> {
         let mut out = Vec::new();
         self.collect_tables(&mut out);
         out
     }
 
-    fn collect_tables(&self, out: &mut Vec<Rc<str>>) {
+    fn collect_tables(&self, out: &mut Vec<Arc<str>>) {
         match self {
             QPlan::Scan { table, .. } => out.push(table.clone()),
             QPlan::Select { child, .. }
@@ -289,7 +289,7 @@ impl QPlan {
 /// usable in later plans as [`ScalarExpr::Param`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryProgram {
-    pub lets: Vec<(Rc<str>, QPlan)>,
+    pub lets: Vec<(Arc<str>, QPlan)>,
     pub main: QPlan,
 }
 
@@ -308,8 +308,8 @@ impl QueryProgram {
     }
 
     /// All base tables used by any part of the program.
-    pub fn tables(&self) -> Vec<Rc<str>> {
-        let mut out: Vec<Rc<str>> = Vec::new();
+    pub fn tables(&self) -> Vec<Arc<str>> {
+        let mut out: Vec<Arc<str>> = Vec::new();
         for (_, p) in &self.lets {
             for t in p.tables() {
                 if !out.contains(&t) {

@@ -12,6 +12,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, PrimOp, Sym, UnOp};
 use dblab_ir::{Program, Type};
@@ -25,7 +26,7 @@ pub enum V {
     B(bool),
     I(i64),
     D(f64),
-    S(Rc<str>),
+    S(Arc<str>),
     /// Records, arrays and lists share reference semantics.
     Cells(Rc<RefCell<Vec<V>>>),
     Map(Rc<RefCell<HashMap<Key, V>>>),
@@ -53,7 +54,7 @@ impl V {
             other => panic!("expected bool, got {other:?}"),
         }
     }
-    fn s(&self) -> Rc<str> {
+    fn s(&self) -> Arc<str> {
         match self {
             V::S(v) => v.clone(),
             other => panic!("expected string, got {other:?}"),
@@ -73,7 +74,7 @@ pub enum Key {
     B(bool),
     I(i64),
     D(u64),
-    S(Rc<str>),
+    S(Arc<str>),
     Tuple(Vec<Key>),
 }
 
@@ -93,7 +94,7 @@ pub struct Interp<'d> {
     p: Program,
     db: &'d Database,
     env: HashMap<Sym, V>,
-    dicts: HashMap<Rc<str>, StringDict>,
+    dicts: HashMap<Arc<str>, StringDict>,
     pub output: String,
 }
 
@@ -140,7 +141,7 @@ impl Interp<'_> {
         self.atom(&b.result)
     }
 
-    fn dict(&mut self, name: &Rc<str>) -> &StringDict {
+    fn dict(&mut self, name: &Arc<str>) -> &StringDict {
         if !self.dicts.contains_key(name) {
             // name is "<table>__<column>".
             let (t, c) = name.rsplit_once("__").expect("dict name");
@@ -542,7 +543,7 @@ impl Interp<'_> {
 
     // ---- loading ---------------------------------------------------------
 
-    fn load_table(&mut self, table: &Rc<str>, sid: dblab_ir::StructId) -> V {
+    fn load_table(&mut self, table: &Arc<str>, sid: dblab_ir::StructId) -> V {
         // Columns actually stored follow the (possibly pruned) struct; the
         // original positions come from the KeptColumns annotation captured
         // on the LoadTable statement — recovered here via name matching.
@@ -562,7 +563,7 @@ impl Interp<'_> {
                     .map(|(&c, f)| match (&t.cols[c], &f.ty) {
                         (ColData::Str(col), Type::Int) => {
                             // dictionary-encoded
-                            let name: Rc<str> = format!("{table}__{c}").into();
+                            let name: Arc<str> = format!("{table}__{c}").into();
                             let d = self.dict(&name);
                             V::I(d.code(&col[r]) as i64)
                         }

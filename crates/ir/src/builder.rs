@@ -12,7 +12,7 @@
 //!   type-checking pass.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::effects::effects_of;
 use crate::expr::{
@@ -245,7 +245,7 @@ impl IrBuilder {
         self.emit(ty, Expr::Prim(op, args))
     }
 
-    pub fn dict(&mut self, dict: Rc<str>, op: DictOp, arg: Atom) -> Atom {
+    pub fn dict(&mut self, dict: Arc<str>, op: DictOp, arg: Atom) -> Atom {
         let ty = match op {
             DictOp::Decode => Type::String,
             _ => Type::Int,

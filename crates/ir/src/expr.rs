@@ -6,7 +6,7 @@
 //! modelled explicitly through [`Expr::DeclVar`] / [`Expr::Assign`] and the
 //! data-structure mutation nodes, which keeps data-flow analysis trivial.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::types::{StructId, Type};
 
@@ -36,7 +36,7 @@ pub enum Atom {
     /// `f64` constant stored as raw bits so that `Atom: Eq + Hash` (needed
     /// for hash-consing); use [`Atom::double`] / [`Atom::as_double`].
     Double(u64),
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A typed null pointer (C.Scala level).
     Null(Box<Type>),
 }
@@ -219,7 +219,7 @@ pub enum Expr {
     Un(UnOp, Atom),
     Prim(PrimOp, Vec<Atom>),
     Dict {
-        dict: Rc<str>,
+        dict: Arc<str>,
         op: DictOp,
         arg: Atom,
     },
@@ -370,29 +370,29 @@ pub enum Expr {
     /// Load an input relation; yields `Array[Record(sid)]`. Expanded by the
     /// code generator into a `.tbl` loader honouring the layout decisions.
     LoadTable {
-        table: Rc<str>,
+        table: Arc<str>,
         sid: StructId,
     },
     /// Precomputed unique index (Fig. 7d): `Array[Int]` mapping each key of
     /// the (dense, single-column primary key) `field` to its row position.
     LoadIndexUnique {
-        table: Rc<str>,
+        table: Arc<str>,
         field: usize,
     },
     /// CSR partition index (Fig. 7c): bucket start offsets per key value of
     /// `field` (length `max_key + 2`).
     LoadIndexStarts {
-        table: Rc<str>,
+        table: Arc<str>,
         field: usize,
     },
     /// CSR partition index: row positions grouped by key (pairs with
     /// [`Expr::LoadIndexStarts`]).
     LoadIndexItems {
-        table: Rc<str>,
+        table: Arc<str>,
         field: usize,
     },
     Printf {
-        fmt: Rc<str>,
+        fmt: Arc<str>,
         args: Vec<Atom>,
     },
 }
@@ -615,7 +615,7 @@ pub struct Annotations {
 }
 
 /// Storage layouts for arrays of records (paper Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Layout {
     /// Array of pointers to separately allocated records.
     Boxed,
@@ -626,10 +626,10 @@ pub enum Layout {
 }
 
 /// An individual annotation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Annot {
     /// The symbol holds (an array of) the named input relation.
-    Table(Rc<str>),
+    Table(Arc<str>),
     /// Worst-case cardinality estimate (drives memory-pool sizing, App. D.1).
     SizeHint(u64),
     /// Keys are dense integers in `[0, max)` — enables dense-array
@@ -639,10 +639,10 @@ pub enum Annot {
     /// record — enables index inference (§5.2) and intrusive lists.
     KeyField { sid: StructId, field: usize },
     /// Free-form note (kept in generated C as a comment).
-    Comment(Rc<str>),
+    Comment(Arc<str>),
     /// The symbol is a verbatim copy of `table`'s column `field`
     /// (provenance for string dictionaries and index inference).
-    Column { table: Rc<str>, field: usize },
+    Column { table: Arc<str>, field: usize },
     /// Storage layout decision for a loaded base-table array (App. C).
     TableLayout(Layout),
     /// The given field of this loaded table is dictionary-encoded (§5.3).
@@ -671,7 +671,7 @@ impl Annotations {
             _ => None,
         })
     }
-    pub fn table(&self, sym: Sym) -> Option<Rc<str>> {
+    pub fn table(&self, sym: Sym) -> Option<Arc<str>> {
         self.get(sym).iter().find_map(|a| match a {
             Annot::Table(t) => Some(t.clone()),
             _ => None,
@@ -683,7 +683,7 @@ impl Annotations {
             _ => None,
         })
     }
-    pub fn column(&self, sym: Sym) -> Option<(Rc<str>, usize)> {
+    pub fn column(&self, sym: Sym) -> Option<(Arc<str>, usize)> {
         self.get(sym).iter().find_map(|a| match a {
             Annot::Column { table, field } => Some((table.clone(), *field)),
             _ => None,

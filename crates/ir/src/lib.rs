@@ -24,10 +24,13 @@
 //!   (dead-code elimination, unnecessary-let-binding removal; paper §6 and
 //!   Appendix C).
 //! * [`printer`] — pretty printer used for debugging and the examples.
+//! * [`hash`] — stable structural fingerprints of programs (the cache key
+//!   of the memoized compilation pipeline).
 
 pub mod builder;
 pub mod effects;
 pub mod expr;
+pub mod hash;
 pub mod level;
 pub mod opt;
 pub mod printer;

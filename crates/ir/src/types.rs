@@ -6,7 +6,7 @@
 //! only C-expressible types remain (see [`Type::is_c_expressible`]).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a struct definition inside a [`StructRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -112,16 +112,16 @@ impl fmt::Display for Type {
 }
 
 /// A named, typed record field.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FieldDef {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub ty: Type,
 }
 
 /// A user-defined record ("struct") definition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StructDef {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub fields: Vec<FieldDef>,
 }
 

@@ -43,7 +43,9 @@ pub fn expand(prog: &QueryProgram, schema: &Schema) -> String {
 /// Expand, compile with gcc and return the executable (plus generation
 /// time, for Figure 9 parity). Deliberately *not* the [`dblab_codegen::Compiler`]
 /// facade: the baseline is a one-step expander with no inspectable stack —
-/// it talks to the backend seam directly.
+/// it talks to the backend seam directly. It still goes through the
+/// source-level build cache: that layer keys on emitted text alone, so
+/// even an unobservable expander gets its gcc invocations deduplicated.
 pub fn compile(
     prog: &QueryProgram,
     schema: &Schema,
@@ -55,13 +57,16 @@ pub fn compile(
     let cq = dblab_transform::compile(prog, schema, &cfg);
     let source = CBackend.emit(&cq.program, schema);
     let gen = t0.elapsed();
-    let exe = CBackend.build(BuildInput {
-        program: &cq.program,
-        schema,
-        source: &source,
-        dir,
-        name,
-    })?;
+    let (exe, _cached) = dblab_codegen::build_with_cache(
+        &CBackend,
+        BuildInput {
+            program: &cq.program,
+            schema,
+            source: &source,
+            dir,
+            name,
+        },
+    )?;
     Ok((gen, exe))
 }
 

@@ -7,13 +7,13 @@
 //! lower to a `[start, end]` integer range check (paper Table 2).
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An immutable string dictionary.
 #[derive(Debug, Clone)]
 pub struct StringDict {
-    values: Vec<Rc<str>>,
-    index: HashMap<Rc<str>, i32>,
+    values: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, i32>,
     ordered: bool,
 }
 
@@ -30,7 +30,7 @@ impl StringDict {
             // dedup we keep sorted order internally but that is still a
             // valid (if unadvertised) normal dictionary.
         }
-        let values: Vec<Rc<str>> = distinct.into_iter().map(Rc::from).collect();
+        let values: Vec<Arc<str>> = distinct.into_iter().map(Arc::from).collect();
         let index = values
             .iter()
             .enumerate()
@@ -83,7 +83,7 @@ impl StringDict {
         }
     }
 
-    pub fn iter(&self) -> impl Iterator<Item = &Rc<str>> {
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<str>> {
         self.values.iter()
     }
 }

@@ -7,7 +7,7 @@
 
 use std::io::{BufRead, BufWriter, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema, TableDef};
 
@@ -20,7 +20,7 @@ pub enum ColData {
     Int(Vec<i32>),
     Long(Vec<i64>),
     Double(Vec<f64>),
-    Str(Vec<Rc<str>>),
+    Str(Vec<Arc<str>>),
 }
 
 impl ColData {

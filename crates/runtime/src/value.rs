@@ -4,7 +4,7 @@
 
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A runtime value. Dates and single characters are carried as `Int`
 /// (`yyyymmdd` / ASCII code respectively), mirroring the generated C.
@@ -15,7 +15,7 @@ pub enum Value {
     Int(i32),
     Long(i64),
     Double(f64),
-    Str(Rc<str>),
+    Str(Arc<str>),
 }
 
 impl Value {

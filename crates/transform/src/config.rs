@@ -122,6 +122,27 @@ impl StackConfig {
         }
     }
 
+    /// Fingerprint of every *semantic* flag (name and level count are
+    /// presentation-only). The conservative default for
+    /// [`crate::pass::Pass::cfg_key`]: passes that know which bits they
+    /// read narrow it down so overlapping configurations share memoized
+    /// pipeline prefixes.
+    pub fn fingerprint(&self) -> u64 {
+        [
+            self.mem_pools,
+            self.columnar_layout,
+            self.table_field_removal,
+            self.hash_spec,
+            self.string_dict,
+            self.init_hoist,
+            self.index_inference,
+            self.list_spec,
+            self.branchless,
+        ]
+        .iter()
+        .fold(0u64, |acc, &b| (acc << 1) | b as u64)
+    }
+
     /// All Table 3 configurations in presentation order.
     pub fn table3() -> Vec<StackConfig> {
         vec![

@@ -10,7 +10,7 @@
 //! dictionary annotations keep referring to original column space.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_ir::expr::{Annot, Atom, Block, Expr, Sym};
 use dblab_ir::types::StructId;
@@ -21,8 +21,8 @@ use dblab_ir::Program;
 /// pruned.
 pub fn apply(p: &Program, prune_tables: bool) -> Program {
     let mut read: HashMap<StructId, HashSet<usize>> = HashMap::new();
-    let mut table_sids: HashMap<StructId, (Sym, Rc<str>)> = HashMap::new();
-    let mut index_cols: HashMap<Rc<str>, HashSet<usize>> = HashMap::new();
+    let mut table_sids: HashMap<StructId, (Sym, Arc<str>)> = HashMap::new();
+    let mut index_cols: HashMap<Arc<str>, HashSet<usize>> = HashMap::new();
     scan(&p.body, &mut read, &mut table_sids, &mut index_cols);
 
     // Keep index key columns of base tables (the loader reads them even if
@@ -110,8 +110,8 @@ fn collect_protected(b: &Block, out: &mut HashSet<StructId>) {
 fn scan(
     b: &Block,
     read: &mut HashMap<StructId, HashSet<usize>>,
-    table_sids: &mut HashMap<StructId, (Sym, Rc<str>)>,
-    index_cols: &mut HashMap<Rc<str>, HashSet<usize>>,
+    table_sids: &mut HashMap<StructId, (Sym, Arc<str>)>,
+    index_cols: &mut HashMap<Arc<str>, HashSet<usize>>,
 ) {
     for st in &b.stmts {
         match &st.expr {

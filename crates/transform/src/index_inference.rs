@@ -15,7 +15,7 @@
 //! materialization decision" (§4.3) and to push the index construction into
 //! the pre-processing phase.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 use dblab_frontend::expr::ScalarExpr;
@@ -25,9 +25,9 @@ use dblab_frontend::qplan::QPlan;
 #[derive(Debug, Clone)]
 pub struct IndexableBuild<'p> {
     /// The input relation being materialized.
-    pub table: Rc<str>,
+    pub table: Arc<str>,
     /// Scan alias (affects the column names the re-applied filter sees).
-    pub alias: Option<Rc<str>>,
+    pub alias: Option<Arc<str>>,
     /// Filters to re-apply inside the probe (innermost first).
     pub filters: Vec<&'p ScalarExpr>,
     /// The key column position in the base table.

@@ -42,6 +42,7 @@ pub mod index_inference;
 pub mod layout;
 pub mod list_spec;
 pub mod mem_hoist;
+pub mod memo;
 pub mod pass;
 pub mod pipeline;
 pub mod scalar;

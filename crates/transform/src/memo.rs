@@ -1,0 +1,221 @@
+//! Per-pass IR memoization — layer one of the memoized compilation
+//! pipeline.
+//!
+//! [`crate::pass::apply_one`] is a pure function of `(pass, program,
+//! relevant config bits, schema)`: PR 1 made that a checked contract
+//! (rogue passes are rejected), which is exactly what licenses caching
+//! its results. The key is
+//!
+//! ```text
+//! (pass name, structural program hash, pass-relevant cfg bits ⊕ schema)
+//! ```
+//!
+//! * the **program hash** is [`dblab_ir::hash::program_hash`] —
+//!   structural, pointer-free, stable across runs;
+//! * the **cfg fingerprint** is per-pass ([`crate::pass::Pass::cfg_key`]):
+//!   a pass keys only on the configuration bits its rewrite actually
+//!   reads, so a level-4 compile warms the shared pipeline prefix for a
+//!   level-5 compile instead of missing on irrelevant flag diffs
+//!   (over-keying), while a pass like field-removal still misses when
+//!   *its* bit flips (under-keying is caught by the transparency tests);
+//! * the **schema fingerprint** covers the other `PassCtx` input —
+//!   table/column definitions, keys and cardinality statistics all feed
+//!   specialization decisions, so two scale factors never share entries.
+//!
+//! The cache is process-wide and `Sync` (the bench harness compiles
+//! queries from scoped threads), bounded by [`CAPACITY`] entries with a
+//! wholesale clear on overflow — memoization is an optimization, and a
+//! dumb eviction keeps it transparently correct.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use dblab_catalog::Schema;
+use dblab_ir::hash::StableHasher;
+use dblab_ir::Program;
+
+/// Entries retained before the cache is cleared wholesale.
+pub const CAPACITY: usize = 8192;
+
+/// The memo key. `pass` is the registry name (pass identity is its name:
+/// the registry owns uniqueness), `program` the structural input hash,
+/// `inputs` the pass-relevant configuration and schema fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PassKey {
+    pub pass: &'static str,
+    pub program: u64,
+    pub inputs: u64,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<PassKey, Program>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<PassKey, Program>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Cumulative process-wide counters (monotone; tests assert on deltas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a share of all lookups, 0.0 on an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter movement since an earlier snapshot.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// Current pass-cache counters.
+pub fn stats() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Number of memoized stage outputs currently retained.
+pub fn entry_count() -> usize {
+    cache().lock().unwrap().len()
+}
+
+/// Drop every memoized stage output (counters are left alone — they are
+/// cumulative by contract). Benches use this to measure genuinely cold
+/// compiles from a warm process.
+pub fn clear() {
+    cache().lock().unwrap().clear();
+}
+
+/// Look a stage output up, counting the hit or miss.
+pub fn lookup(key: &PassKey) -> Option<Program> {
+    let got = cache().lock().unwrap().get(key).cloned();
+    match got {
+        Some(p) => {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            Some(p)
+        }
+        None => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Record a freshly computed stage output.
+pub fn insert(key: PassKey, program: Program) {
+    let mut map = cache().lock().unwrap();
+    if map.len() >= CAPACITY {
+        map.clear();
+    }
+    map.insert(key, program);
+}
+
+/// Fingerprint of everything a pass can read off the schema: names,
+/// column types, key annotations and the cardinality statistics that
+/// drive pool sizing, dense-key detection and dictionary decisions.
+pub fn schema_fingerprint(schema: &Schema) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(schema.tables.len());
+    for t in &schema.tables {
+        t.name.hash(&mut h);
+        h.write_usize(t.columns.len());
+        for c in &t.columns {
+            c.name.hash(&mut h);
+            c.ty.hash(&mut h);
+        }
+        t.primary_key.hash(&mut h);
+        h.write_usize(t.foreign_keys.len());
+        for fk in &t.foreign_keys {
+            fk.column.hash(&mut h);
+            fk.ref_table.hash(&mut h);
+        }
+        t.stats.row_count.hash(&mut h);
+        t.stats.int_max.hash(&mut h);
+        t.stats.distinct.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_catalog::{ColType, TableDef};
+
+    fn schema() -> Schema {
+        Schema::new(vec![TableDef::new(
+            "t",
+            vec![("a", ColType::Int), ("s", ColType::String)],
+        )
+        .with_primary_key(&["a"])])
+    }
+
+    #[test]
+    fn schema_fingerprint_sees_stats() {
+        let a = schema();
+        let mut b = schema();
+        assert_eq!(schema_fingerprint(&a), schema_fingerprint(&b));
+        b.table_mut("t").stats.row_count = 99;
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&b));
+    }
+
+    #[test]
+    fn schema_fingerprint_sees_keys_and_types() {
+        let a = schema();
+        let b = Schema::new(vec![TableDef::new(
+            "t",
+            vec![("a", ColType::Int), ("s", ColType::String)],
+        )]);
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&b), "pk");
+        let c = Schema::new(vec![TableDef::new(
+            "t",
+            vec![("a", ColType::Long), ("s", ColType::String)],
+        )
+        .with_primary_key(&["a"])]);
+        assert_ne!(schema_fingerprint(&a), schema_fingerprint(&c), "type");
+    }
+
+    #[test]
+    fn stats_move_on_lookup() {
+        let key = PassKey {
+            pass: "memo-unit-test",
+            program: 0xdead_beef,
+            inputs: 1,
+        };
+        let before = stats();
+        assert!(lookup(&key).is_none());
+        let mid = stats();
+        assert!(mid.misses > before.misses);
+        insert(
+            key.clone(),
+            Program {
+                structs: dblab_ir::types::StructRegistry::new(),
+                body: dblab_ir::Block::default(),
+                sym_types: vec![],
+                level: dblab_ir::Level::MapList,
+                annots: Default::default(),
+            },
+        );
+        assert!(lookup(&key).is_some());
+        let after = stats();
+        assert!(after.hits > mid.hits);
+        assert!(after.since(&before).hits >= 1);
+    }
+}

@@ -116,6 +116,18 @@ pub trait Pass {
         4
     }
 
+    /// The configuration bits this pass's *rewrite* reads, folded into the
+    /// memo key (see [`crate::memo`]). The default conservatively
+    /// fingerprints the whole configuration; a pass that reads nothing (or
+    /// a known subset) overrides this so warm compiles at overlapping
+    /// configurations share the pipeline prefix instead of missing on
+    /// irrelevant flag diffs. Membership (`applies`) is *not* part of the
+    /// key — the driver already decides that before the cache is
+    /// consulted.
+    fn cfg_key(&self, cfg: &StackConfig) -> u64 {
+        cfg.fingerprint()
+    }
+
     fn run(&self, p: &Program, ctx: &PassCtx) -> Program;
 }
 
@@ -183,6 +195,9 @@ impl Pass for IndexInference {
     fn fixpoint_iters(&self) -> usize {
         0
     }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // marker pass: the rewrite is the identity
+    }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         p.clone()
     }
@@ -203,6 +218,9 @@ impl Pass for HorizontalFusion {
     }
     fn target(&self) -> Level {
         Level::MapList
+    }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // reads no configuration
     }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         horizontal::apply(p)
@@ -227,6 +245,9 @@ impl Pass for StringDictionaries {
     }
     fn applies(&self, cfg: &StackConfig) -> bool {
         cfg.string_dict
+    }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // reads only the schema, which the memo keys separately
     }
     fn run(&self, p: &Program, ctx: &PassCtx) -> Program {
         string_dict::apply(p, ctx.schema)
@@ -253,6 +274,11 @@ impl Pass for HashTableSpecialization {
     fn applies(&self, cfg: &StackConfig) -> bool {
         cfg.hash_spec
     }
+    fn cfg_key(&self, cfg: &StackConfig) -> u64 {
+        // The rewrite consults init_hoist when deciding whether to hoist
+        // bucket-array initialization out of the hot loop.
+        cfg.init_hoist as u64
+    }
     fn run(&self, p: &Program, ctx: &PassCtx) -> Program {
         hash_spec::apply(p, ctx.cfg)
     }
@@ -276,6 +302,9 @@ impl Pass for ListSpecialization {
     }
     fn applies(&self, cfg: &StackConfig) -> bool {
         cfg.list_spec
+    }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // reads no configuration
     }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         list_spec::apply(p)
@@ -302,6 +331,12 @@ impl Pass for FieldRemoval {
     }
     fn floats(&self) -> bool {
         true
+    }
+    fn cfg_key(&self, cfg: &StackConfig) -> u64 {
+        // Whether base-table columns may be pruned changes the output
+        // program — the canonical cfg-sensitive pass of the transparency
+        // tests.
+        cfg.table_field_removal as u64
     }
     fn run(&self, p: &Program, ctx: &PassCtx) -> Program {
         field_removal::apply(p, ctx.cfg.table_field_removal)
@@ -332,6 +367,9 @@ impl Pass for MemoryHoisting {
     fn floats(&self) -> bool {
         true
     }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // pool sizing comes from annotations, not configuration
+    }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         mem_hoist::apply(p)
     }
@@ -361,6 +399,9 @@ impl Pass for BranchOptimization {
     }
     fn fixpoint_iters(&self) -> usize {
         0
+    }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // reads no configuration
     }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         fine::apply(p)
@@ -394,6 +435,9 @@ impl Pass for LayoutDecision {
     fn fixpoint_iters(&self) -> usize {
         0
     }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // decision marker: the rewrite is the identity
+    }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         p.clone()
     }
@@ -417,6 +461,9 @@ impl Pass for FinalCleanup {
     }
     fn floats(&self) -> bool {
         true
+    }
+    fn cfg_key(&self, _cfg: &StackConfig) -> u64 {
+        0 // only the generic optimizer runs, which reads no configuration
     }
     fn run(&self, p: &Program, _ctx: &PassCtx) -> Program {
         p.clone()
@@ -502,6 +549,13 @@ pub fn advance_ceiling(ceiling: Level, pass: &dyn Pass) -> Level {
 /// Run one pass: rewrite, re-optimize to fixpoint, check the level
 /// contract, and (when `validate` is set — debug/test builds) mechanically
 /// verify the output against the dialect window `[ceiling, level]`.
+///
+/// The rewrite + fixpoint step is memoized through [`crate::memo`], keyed
+/// on the pass name, the input program's structural hash and the
+/// pass-relevant configuration/schema fingerprint ([`Pass::cfg_key`]).
+/// Only the *rewrite* is skipped on a hit — the level contract and (in
+/// validating builds) the dialect-window check still run against the
+/// cached output, so memoization can never launder a contract violation.
 pub fn apply_one(
     pass: &dyn Pass,
     p: &Program,
@@ -512,10 +566,21 @@ pub fn apply_one(
     let t0 = Instant::now();
     let level_before = p.level;
     let size_before = p.body.size();
-    let mut q = pass.run(p, ctx);
-    if pass.fixpoint_iters() > 0 {
-        q = optimize(&q, pass.fixpoint_iters());
-    }
+    let key = crate::memo::PassKey {
+        pass: pass.name(),
+        program: dblab_ir::hash::program_hash(p),
+        inputs: pass.cfg_key(ctx.cfg) ^ crate::memo::schema_fingerprint(ctx.schema).rotate_left(1),
+    };
+    let (q, cached) = match crate::memo::lookup(&key) {
+        Some(q) => (q, true),
+        None => {
+            let mut q = pass.run(p, ctx);
+            if pass.fixpoint_iters() > 0 {
+                q = optimize(&q, pass.fixpoint_iters());
+            }
+            (q, false)
+        }
+    };
     // Only a lowering moves the level; everything else preserves the level
     // the (possibly partial) stack has reached.
     let expected = if pass.kind() == PassKind::Lowering {
@@ -546,6 +611,9 @@ pub fn apply_one(
             ));
         }
     }
+    if !cached {
+        crate::memo::insert(key, q.clone());
+    }
     let snap = StageSnapshot {
         name: pass.name().to_string(),
         kind: pass.kind(),
@@ -554,6 +622,7 @@ pub fn apply_one(
         size_before,
         size: q.body.size(),
         time: t0.elapsed(),
+        cached,
     };
     Ok((q, snap))
 }

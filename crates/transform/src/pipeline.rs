@@ -17,7 +17,7 @@
 //! for the pool and specialization passes below.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 use dblab_frontend::expr::ScalarExpr;
@@ -35,20 +35,20 @@ const MAX_DENSE_KEY: u64 = 1 << 26;
 
 /// Loaded index atoms per (table, key column, unique): a unique
 /// row-position array, or CSR starts+items.
-type IndexLoads = HashMap<(Rc<str>, usize, bool), (Atom, Option<Atom>)>;
+type IndexLoads = HashMap<(Arc<str>, usize, bool), (Atom, Option<Atom>)>;
 
 /// Column provenance per record type: which (table, column) each field
 /// carries, when statically known.
-type RecordProvenance = HashMap<StructId, Vec<Option<(Rc<str>, usize)>>>;
+type RecordProvenance = HashMap<StructId, Vec<Option<(Arc<str>, usize)>>>;
 
 /// The lowering context.
 pub struct Lowering<'a> {
     pub b: IrBuilder,
     pub schema: &'a Schema,
     pub cfg: &'a StackConfig,
-    loads: HashMap<Rc<str>, (Atom, StructId)>,
+    loads: HashMap<Arc<str>, (Atom, StructId)>,
     index_loads: IndexLoads,
-    pub params: HashMap<Rc<str>, Atom>,
+    pub params: HashMap<Arc<str>, Atom>,
     rec_prov: RecordProvenance,
     rec_ctr: usize,
 }
@@ -117,7 +117,7 @@ pub fn lower_program(prog: &QueryProgram, schema: &Schema, cfg: &StackConfig) ->
 
 /// The printf row format for a result schema (`%c` for chars, `%.4f` for
 /// doubles — must agree with `ResultSet::to_text`).
-pub fn row_format(cols: &[(Rc<str>, ColType)]) -> String {
+pub fn row_format(cols: &[(Arc<str>, ColType)]) -> String {
     let mut fmt = String::new();
     for (i, (_, t)) in cols.iter().enumerate() {
         if i > 0 {
@@ -136,7 +136,7 @@ pub fn row_format(cols: &[(Rc<str>, ColType)]) -> String {
 }
 
 /// Trace a column of `plan`'s output back to a verbatim base-table column.
-pub fn static_prov(plan: &QPlan, name: &str, schema: &Schema) -> Option<(Rc<str>, usize)> {
+pub fn static_prov(plan: &QPlan, name: &str, schema: &Schema) -> Option<(Arc<str>, usize)> {
     match plan {
         QPlan::Scan { table, alias } => {
             let base: &str = match alias {
@@ -405,7 +405,7 @@ impl<'a> Lowering<'a> {
     fn scan_env(
         &mut self,
         table: &str,
-        alias: &Option<Rc<str>>,
+        alias: &Option<Arc<str>>,
         rec: &Atom,
         sid: StructId,
     ) -> RowEnv {
@@ -425,7 +425,7 @@ impl<'a> Lowering<'a> {
                         },
                     );
                 }
-                let name: Rc<str> = match alias {
+                let name: Arc<str> = match alias {
                     Some(a) => format!("{a}_{}", c.name).into(),
                     None => c.name.clone(),
                 };
@@ -872,8 +872,8 @@ impl<'a> Lowering<'a> {
         &mut self,
         plan: &QPlan,
         child: &QPlan,
-        group_by: &[(Rc<str>, ScalarExpr)],
-        aggs: &[(Rc<str>, AggFunc)],
+        group_by: &[(Arc<str>, ScalarExpr)],
+        aggs: &[(Arc<str>, AggFunc)],
         consumer: &mut dyn FnMut(&mut Self, &RowEnv),
     ) {
         if group_by.is_empty() {
@@ -925,7 +925,7 @@ impl<'a> Lowering<'a> {
         }
         let rec_sid = self.fresh_struct("Agg", fields);
         self.rec_prov.insert(rec_sid, {
-            let mut p: Vec<Option<(Rc<str>, usize)>> = group_by
+            let mut p: Vec<Option<(Arc<str>, usize)>> = group_by
                 .iter()
                 .map(|(n, _)| static_prov(plan, n, self.schema))
                 .collect();
@@ -1115,7 +1115,7 @@ impl<'a> Lowering<'a> {
     fn aggregate_global(
         &mut self,
         child: &QPlan,
-        aggs: &[(Rc<str>, AggFunc)],
+        aggs: &[(Arc<str>, AggFunc)],
         consumer: &mut dyn FnMut(&mut Self, &RowEnv),
     ) {
         let child_cols = child.output_cols(self.schema);
@@ -1223,8 +1223,8 @@ impl<'a> Lowering<'a> {
         &mut self,
         plan: &QPlan,
         child: &QPlan,
-        group_by: &[(Rc<str>, ScalarExpr)],
-        aggs: &[(Rc<str>, AggFunc)],
+        group_by: &[(Arc<str>, ScalarExpr)],
+        aggs: &[(Arc<str>, AggFunc)],
         consumer: &mut dyn FnMut(&mut Self, &RowEnv),
     ) {
         assert!(
@@ -1250,7 +1250,7 @@ impl<'a> Lowering<'a> {
         });
         let dkey_sid = self.fresh_struct("Key", key_fields);
         self.rec_prov.insert(dkey_sid, {
-            let mut pv: Vec<Option<(Rc<str>, usize)>> = group_by
+            let mut pv: Vec<Option<(Arc<str>, usize)>> = group_by
                 .iter()
                 .map(|(n, _)| static_prov(plan, n, self.schema))
                 .collect();
@@ -1298,7 +1298,7 @@ impl<'a> Lowering<'a> {
         });
         let cnt_sid = self.fresh_struct("Agg", fields);
         self.rec_prov.insert(cnt_sid, {
-            let mut pv: Vec<Option<(Rc<str>, usize)>> = group_by
+            let mut pv: Vec<Option<(Arc<str>, usize)>> = group_by
                 .iter()
                 .map(|(n, _)| static_prov(plan, n, self.schema))
                 .collect();
@@ -1538,7 +1538,7 @@ fn default_atom(t: ColType) -> Atom {
     }
 }
 
-fn sum_ty(e: &ScalarExpr, cols: &[(Rc<str>, ColType)]) -> Type {
+fn sum_ty(e: &ScalarExpr, cols: &[(Arc<str>, ColType)]) -> Type {
     match e.ty(cols) {
         ColType::Double => Type::Double,
         _ => Type::Long,
@@ -1546,7 +1546,7 @@ fn sum_ty(e: &ScalarExpr, cols: &[(Rc<str>, ColType)]) -> Type {
 }
 
 /// Provenance of a single-column group key.
-fn group_col_prov(plan: &QPlan, schema: &Schema) -> Option<(Rc<str>, usize)> {
+fn group_col_prov(plan: &QPlan, schema: &Schema) -> Option<(Arc<str>, usize)> {
     if let QPlan::Agg {
         child, group_by, ..
     } = plan

@@ -6,7 +6,7 @@
 //! The string-dictionary and index-inference transformations consume it.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_frontend::expr::{BinOp as FBinOp, Lit, ScalarExpr};
 use dblab_ir::expr::{Annot, PrimOp};
@@ -15,11 +15,11 @@ use dblab_ir::{Atom, BinOp, IrBuilder, Type, UnOp};
 /// One named column flowing through the pipeline.
 #[derive(Debug, Clone)]
 pub struct ColRef {
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     pub atom: Atom,
     /// `Some((table, field))` when the atom is a verbatim copy of a base
     /// table column.
-    pub prov: Option<(Rc<str>, usize)>,
+    pub prov: Option<(Arc<str>, usize)>,
 }
 
 /// A row environment: the columns visible at the current pipeline point.
@@ -86,7 +86,7 @@ pub fn lower_lit(l: &Lit) -> Atom {
 pub fn lower_expr(
     b: &mut IrBuilder,
     env: &RowEnv,
-    params: &HashMap<Rc<str>, Atom>,
+    params: &HashMap<Arc<str>, Atom>,
     e: &ScalarExpr,
 ) -> Atom {
     match e {
@@ -173,7 +173,7 @@ pub fn lower_expr(
 fn lower_case(
     b: &mut IrBuilder,
     env: &RowEnv,
-    params: &HashMap<Rc<str>, Atom>,
+    params: &HashMap<Arc<str>, Atom>,
     whens: &[(ScalarExpr, ScalarExpr)],
     els: &ScalarExpr,
 ) -> Atom {

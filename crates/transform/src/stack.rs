@@ -35,8 +35,12 @@ pub struct StageSnapshot {
     /// Statement count (incl. nested blocks) before / after the stage.
     pub size_before: usize,
     pub size: usize,
-    /// Wall-clock time of the rewrite plus its fixpoint re-optimization.
+    /// Wall-clock time of the rewrite plus its fixpoint re-optimization
+    /// (on a memo hit: the hash + lookup time).
     pub time: Duration,
+    /// Whether the stage output came from the per-pass IR cache
+    /// ([`crate::memo`]) instead of re-running the rewrite.
+    pub cached: bool,
 }
 
 impl StageSnapshot {
@@ -75,6 +79,11 @@ impl CompiledQuery {
         self.stages.iter().map(|s| s.time).sum()
     }
 
+    /// How many stages were served from the per-pass IR cache.
+    pub fn cache_hits(&self) -> usize {
+        self.stages.iter().filter(|s| s.cached).count()
+    }
+
     /// A human-readable per-pass trace: wall time, IR-size delta and level
     /// transition per stage. Consumed by `--show-ir`-style example output
     /// and the compile-time benches.
@@ -91,18 +100,28 @@ impl CompiledQuery {
                 s.level.to_string()
             };
             out.push_str(&format!(
-                "{:<26}{:>8.2}ms{:>8}{:>+7}  {}\n",
+                "{:<26}{:>8.2}ms{:>8}{:>+7}  {}{}\n",
                 s.name,
                 s.time.as_secs_f64() * 1e3,
                 s.size,
                 s.size_delta(),
-                transition
+                transition,
+                if s.cached { "  [cached]" } else { "" }
             ));
         }
+        let hits = self.cache_hits();
         out.push_str(&format!(
-            "{:<26}{:>8.2}ms\n",
+            "{:<26}{:>8.2}ms{}\n",
             "total (gen)",
-            self.gen_time.as_secs_f64() * 1e3
+            self.gen_time.as_secs_f64() * 1e3,
+            if hits > 0 {
+                format!(
+                    "  ({hits} stage-cache hit{})",
+                    if hits == 1 { "" } else { "s" }
+                )
+            } else {
+                String::new()
+            }
         ));
         out
     }
@@ -173,6 +192,8 @@ pub fn compile_frontend(
         size_before: raw.body.size(),
         size: p.body.size(),
         time: t0.elapsed(),
+        // The front-end lowers an AST, not IR — outside the memo's domain.
+        cached: false,
     });
     if keep {
         programs.push((fe.name().to_string(), p.clone()));

@@ -21,7 +21,7 @@
 //! qualifying even after records cross hash tables.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dblab_catalog::Schema;
 use dblab_ir::expr::{Annot, Atom, Block, DictOp, Expr, PrimOp, Sym};
@@ -31,12 +31,12 @@ use dblab_ir::{IrBuilder, Program, Type};
 /// Attributes with more distinct values than this keep their strings.
 const MAX_DISTINCT: u64 = 50_000;
 
-type ColId = (Rc<str>, usize);
+type ColId = (Arc<str>, usize);
 
 #[derive(Default)]
 struct Usage {
-    eq_consts: HashSet<Rc<str>>,
-    prefix_consts: HashSet<Rc<str>>,
+    eq_consts: HashSet<Arc<str>>,
+    prefix_consts: HashSet<Arc<str>>,
     cmp_use: bool,
     disqualified: bool,
 }
@@ -47,7 +47,7 @@ struct StringDict<'s> {
     /// Eligible columns with their `ordered` flag.
     chosen: HashMap<ColId, bool>,
     /// Hoisted constant codes: (column, const, op) -> atom.
-    consts: HashMap<(ColId, Rc<str>, DictOp), Atom>,
+    consts: HashMap<(ColId, Arc<str>, DictOp), Atom>,
     /// Hash tables keyed directly by a dictionary-encoded column: their
     /// `String` key type must become `Int`.
     retype_maps: HashSet<Sym>,
@@ -174,7 +174,7 @@ fn is_string_col(c: &ColId, schema: &Schema) -> bool {
             == Some(true)
 }
 
-fn dict_name(c: &ColId) -> Rc<str> {
+fn dict_name(c: &ColId) -> Arc<str> {
     format!("{}__{}", c.0, c.1).into()
 }
 
@@ -206,7 +206,7 @@ impl StringDict<'_> {
     }
 
     /// The hoisted code of a query constant (emitted at TimerStart).
-    fn const_code(&mut self, _b: &mut IrBuilder, col: &ColId, k: &Rc<str>, op: DictOp) -> Atom {
+    fn const_code(&mut self, _b: &mut IrBuilder, col: &ColId, k: &Arc<str>, op: DictOp) -> Atom {
         self.consts
             .get(&(col.clone(), k.clone(), op))
             .unwrap_or_else(|| panic!("dictionary constant {k} of {col:?} was not hoisted"))
@@ -303,7 +303,7 @@ impl Rule for StringDict<'_> {
             // needed them).
             Expr::Prim(PrimOp::TimerStart, _) => {
                 rw.b.prim(PrimOp::TimerStart, vec![]);
-                let mut work: Vec<(ColId, Rc<str>, DictOp)> = Vec::new();
+                let mut work: Vec<(ColId, Arc<str>, DictOp)> = Vec::new();
                 for (col, u) in &self.usage {
                     if !self.chosen.contains_key(col) {
                         continue;

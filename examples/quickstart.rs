@@ -118,4 +118,27 @@ fn main() {
     println!("## volcano oracle : {}", oracle.to_text().trim());
     assert_eq!(out.stdout.trim(), oracle.to_text().trim());
     println!("\nresults agree — the stack preserved semantics at every level");
+
+    // ---- recompile warm: the memoized pipeline at work -------------------
+    // Same query, same configuration: every registry pass is served from
+    // the per-pass IR cache and the build cache skips gcc entirely.
+    let warm = dblab::codegen::Compiler::new(&schema)
+        .config(&cfg)
+        .out_dir(&gen)
+        .compile_named(&prog, "quickstart")
+        .expect("warm compile");
+    println!("\n## warm recompile (per-pass IR cache + source-level build cache)");
+    for line in warm.stack.stage_report().lines() {
+        println!("  {line}");
+    }
+    println!(
+        "  build: {} (was {:.1} ms cold)",
+        if warm.build_cached {
+            "artifact reused, 0.0 ms"
+        } else {
+            "rebuilt"
+        },
+        art.exe.build_time().as_secs_f64() * 1e3
+    );
+    assert!(warm.stack.cache_hits() > 0, "warm compile hits the memo");
 }

@@ -5,13 +5,25 @@
 //! text* against the Volcano oracle along the way (normalized field-wise
 //! comparison, same as `tests/differential.rs`).
 //!
+//! Since the memoized pipeline landed, the showdown separates *building*
+//! from *timing*: every (configuration, backend, query) artifact is built
+//! first, fanned out across worker threads — overlapping configurations
+//! share memoized pipeline prefixes and byte-identical emitted source
+//! skips gcc/rustc via the build cache — and only then are the queries
+//! run serially, so the timings stay noise-free. Cache hit rates land in
+//! a final `JSON:` line.
+//!
 //! ```text
 //! cargo run --release --example tpch_showdown            # Q1 Q3 Q6 Q14 at SF 0.02
 //! cargo run --release --example tpch_showdown -- 0.05 1 6 19
 //! ```
 
-use dblab::codegen::{backend, same_normalized, Compiler};
-use dblab::transform::StackConfig;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dblab::codegen::{backend, build_cache, same_normalized, CompiledArtifact, Compiler};
+use dblab::transform::{memo, StackConfig};
+use dblab_bench::json;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +36,9 @@ fn main() {
     } else {
         vec![1, 3, 6, 14]
     };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
 
     let dir = std::env::temp_dir().join(format!("dblab_showdown_{sf}"));
     let db = dblab::tpch::generate(sf, &dir);
@@ -51,37 +66,99 @@ fn main() {
         }
     }
 
+    // Build phase: every (row, query) artifact, fanned out across the
+    // thread pool. Jobs land in a fixed slot each, so the later timing
+    // loop sees them in presentation order.
+    let jobs: Vec<(usize, usize)> = (0..rows.len())
+        .flat_map(|r| (0..queries.len()).map(move |q| (r, q)))
+        .collect();
+    let built: Mutex<Vec<Option<CompiledArtifact>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let memo0 = memo::stats();
+    let bc0 = build_cache::stats();
+    let t_build = Instant::now();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(jobs.len()).max(1) {
+            s.spawn(|| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if j >= jobs.len() {
+                    break;
+                }
+                let (ri, qi) = jobs[j];
+                let (label, cfg, bname) = &rows[ri];
+                let q = queries[qi];
+                let prog = dblab::tpch::queries::query(q);
+                let name = format!("sd_q{q}_{}_{bname}", cfg.name.replace([' ', '/'], "_"));
+                match Compiler::new(&schema)
+                    .config(cfg)
+                    .backend(backend(bname).expect("registered"))
+                    .out_dir(&gen)
+                    .compile_named(&prog, &name)
+                {
+                    Ok(art) => built.lock().unwrap()[j] = Some(art),
+                    Err(e) => eprintln!("Q{q} under {label}: {e}"),
+                }
+            });
+        }
+    });
+    let build_wall = t_build.elapsed();
+    let memo_d = memo::stats().since(&memo0);
+    let bc_d = build_cache::stats().since(&bc0);
+    let built = built.into_inner().unwrap();
+    println!(
+        "(built {} artifacts in {:.2}s on {threads} threads; pass-cache {}/{} hits, \
+         build-cache {}/{} hits)\n",
+        built.iter().filter(|a| a.is_some()).count(),
+        build_wall.as_secs_f64(),
+        memo_d.hits,
+        memo_d.hits + memo_d.misses,
+        bc_d.hits,
+        bc_d.hits + bc_d.misses,
+    );
+
+    // Timing phase: serial, oracle-checked.
+    let oracles: Vec<String> = queries
+        .iter()
+        .map(|&q| dblab::engine::execute_program(&dblab::tpch::queries::query(q), &db).to_text())
+        .collect();
     print!("{:<22}", format!("SF {sf}"));
     for q in &queries {
         print!("{:>10}", format!("Q{q} (ms)"));
     }
     println!();
-    for (label, cfg, bname) in &rows {
+    for (ri, (label, _, _)) in rows.iter().enumerate() {
         print!("{label:<22}");
-        for &q in &queries {
-            let prog = dblab::tpch::queries::query(q);
-            let oracle = dblab::engine::execute_program(&prog, &db).to_text();
-            let name = format!("sd_q{q}_{}_{bname}", cfg.name.replace([' ', '/'], "_"));
-            let ms = Compiler::new(&schema)
-                .config(cfg)
-                .backend(backend(bname).expect("registered"))
-                .out_dir(&gen)
-                .compile_named(&prog, &name)
+        for (qi, &q) in queries.iter().enumerate() {
+            let slot = ri * queries.len() + qi;
+            // Run failures degrade the cell to NaN (like build failures)
+            // instead of aborting the remaining grid; result *mismatches*
+            // still assert — wrong answers are never just a bad cell.
+            let ms = built[slot]
+                .as_ref()
                 .and_then(|art| {
                     let mut best = f64::INFINITY;
                     let mut last = None;
                     for _ in 0..3 {
-                        let r = art.run(&dir)?;
-                        best = best.min(r.query_ms);
-                        last = Some(r);
+                        match art.run(&dir) {
+                            Ok(r) => {
+                                best = best.min(r.query_ms);
+                                last = Some(r);
+                            }
+                            Err(e) => {
+                                eprintln!("Q{q} under {label}: run failed: {e}");
+                                return None;
+                            }
+                        }
                     }
                     let r = last.expect("ran");
                     assert!(
-                        same_normalized(&oracle, &r.stdout),
-                        "Q{q} result mismatch under {label}:\noracle:\n{oracle}\ngot:\n{}",
+                        same_normalized(&oracles[qi], &r.stdout),
+                        "Q{q} result mismatch under {label}:\noracle:\n{}\ngot:\n{}",
+                        oracles[qi],
                         r.stdout
                     );
-                    Ok(best)
+                    Some(best)
                 })
                 .unwrap_or(f64::NAN);
             print!("{ms:>10.2}");
@@ -89,4 +166,28 @@ fn main() {
         println!();
     }
     println!("\n(lower is better; every run's result text is checked against the oracle)");
+
+    let blob = json::Obj::new()
+        .str("bench", "tpch_showdown")
+        .num("sf", sf)
+        .int("threads", threads as u64)
+        .num("build_wall_s", build_wall.as_secs_f64())
+        .raw(
+            "pass_cache",
+            &json::Obj::new()
+                .int("hits", memo_d.hits)
+                .int("misses", memo_d.misses)
+                .num("hit_rate", memo_d.hit_rate())
+                .build(),
+        )
+        .raw(
+            "build_cache",
+            &json::Obj::new()
+                .int("hits", bc_d.hits)
+                .int("misses", bc_d.misses)
+                .num("hit_rate", bc_d.hit_rate())
+                .build(),
+        )
+        .build();
+    println!("JSON: {blob}");
 }

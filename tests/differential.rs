@@ -1,4 +1,4 @@
-//! The backbone correctness suite (DESIGN.md §6): every TPC-H query,
+//! The backbone correctness suite (DESIGN.md §7): every TPC-H query,
 //! compiled at every stack configuration through the [`Compiler`] facade,
 //! must produce the same result as the Volcano oracle — the C/gcc backend
 //! here, every registered backend in `tests/backend_conformance.rs`, and

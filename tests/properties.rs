@@ -8,7 +8,11 @@
 //!   program, and must agree;
 //! * the generic hash structures behave like `std::collections::HashMap`;
 //! * ordered string dictionaries preserve `<`, equality and `startsWith`;
-//! * the Volcano hash join equals a naïve nested-loop join.
+//! * the Volcano hash join equals a naïve nested-loop join;
+//! * the structural IR hasher (the pass-cache key) is printer-faithful:
+//!   printer-equal programs hash equal, any single-node mutation changes
+//!   the hash, and two process-independent constructions of the same
+//!   query plan agree.
 
 use std::collections::HashMap;
 
@@ -224,6 +228,181 @@ fn ordered_dictionary_is_order_preserving() {
             );
         }
     }
+}
+
+// -------------------------------------------------------------------
+// Structural IR hashing (the pass-cache key)
+// -------------------------------------------------------------------
+
+/// Lower an arbitrary expression program through the level-2 stack —
+/// everything fresh per call, so two calls share no allocation.
+fn lower_fresh(e: &ScalarExpr, cfg: &dblab::transform::StackConfig) -> dblab::ir::Program {
+    let db = tiny_db(3, -7, 1.5);
+    let plan = dblab::frontend::qplan::QPlan::scan("t").project(vec![("out", e.clone())]);
+    let prog = dblab::frontend::qplan::QueryProgram::new(plan);
+    let mut schema = db.schema.clone();
+    schema.table_mut("t").stats.row_count = 1;
+    dblab::transform::compile(&prog, &schema, cfg).program
+}
+
+/// Printer-equal programs hash equal, and independent constructions of
+/// the same plan are printer-equal — over random expression trees.
+#[test]
+fn printer_equal_programs_hash_equal() {
+    use dblab::ir::hash::program_hash;
+    use dblab::ir::printer::print_program;
+    let mut rng = Rng64::seed_from_u64(0xdb1ab008);
+    let cfg = dblab::transform::StackConfig::level2();
+    for _ in 0..CASES {
+        let e = arb_expr(&mut rng, 4);
+        let p1 = lower_fresh(&e, &cfg);
+        let p2 = lower_fresh(&e, &cfg);
+        assert_eq!(
+            print_program(&p1),
+            print_program(&p2),
+            "lowering is deterministic"
+        );
+        assert_eq!(
+            program_hash(&p1),
+            program_hash(&p2),
+            "printer-equal programs must hash equal: {e:?}"
+        );
+    }
+}
+
+/// Any single-node mutation — operator, literal, struct field name —
+/// changes the hash.
+#[test]
+fn single_node_mutations_change_the_hash() {
+    use dblab::ir::expr::{Atom, BinOp, Expr};
+    use dblab::ir::hash::program_hash;
+
+    let schema = {
+        let mut s = dblab::tpch::tpch_schema();
+        for t in &mut s.tables {
+            t.stats.row_count = 100;
+            t.stats.int_max = vec![100; t.columns.len()];
+            t.stats.distinct = vec![10; t.columns.len()];
+        }
+        s
+    };
+    let prog = dblab::tpch::queries::q6();
+    let p =
+        dblab::transform::compile(&prog, &schema, &dblab::transform::StackConfig::level5()).program;
+    let base = program_hash(&p);
+
+    // (a) flip one binary operator
+    let mut op_flipped = p.clone();
+    let mut flipped = false;
+    fn flip_first_bin(b: &mut dblab::ir::Block, done: &mut bool) {
+        for st in &mut b.stmts {
+            if *done {
+                return;
+            }
+            if let Expr::Bin(op, _, _) = &mut st.expr {
+                *op = if *op == BinOp::Add {
+                    BinOp::Sub
+                } else {
+                    BinOp::Add
+                };
+                *done = true;
+                return;
+            }
+            match &mut st.expr {
+                Expr::If { then_b, else_b, .. } => {
+                    flip_first_bin(then_b, done);
+                    flip_first_bin(else_b, done);
+                }
+                Expr::ForRange { body, .. }
+                | Expr::While { body, .. }
+                | Expr::ListForeach { body, .. }
+                | Expr::HashMapForeach { body, .. }
+                | Expr::MultiMapForeachAt { body, .. } => flip_first_bin(body, done),
+                _ => {}
+            }
+        }
+    }
+    flip_first_bin(&mut op_flipped.body, &mut flipped);
+    assert!(flipped, "q6 contains a binary operator");
+    assert_ne!(base, program_hash(&op_flipped), "operator flip must rehash");
+
+    // (b) nudge one literal
+    let mut lit_nudged = p.clone();
+    let mut nudged = false;
+    fn nudge_first_int(b: &mut dblab::ir::Block, done: &mut bool) {
+        for st in &mut b.stmts {
+            if *done {
+                return;
+            }
+            if let Expr::Bin(_, a, b) = &mut st.expr {
+                for atom in [a, b] {
+                    if let Atom::Int(v) = atom {
+                        *v += 1;
+                        *done = true;
+                        return;
+                    }
+                }
+            }
+            if let Expr::ForRange { lo, hi, .. } = &mut st.expr {
+                for atom in [lo, hi] {
+                    if let Atom::Int(v) = atom {
+                        *v += 1;
+                        *done = true;
+                        return;
+                    }
+                }
+            }
+            for blk in match &mut st.expr {
+                Expr::If { then_b, else_b, .. } => vec![then_b, else_b],
+                Expr::While { cond, body } => vec![cond, body],
+                Expr::ForRange { body, .. }
+                | Expr::ListForeach { body, .. }
+                | Expr::HashMapForeach { body, .. }
+                | Expr::MultiMapForeachAt { body, .. } => vec![body],
+                _ => vec![],
+            } {
+                nudge_first_int(blk, done);
+            }
+        }
+    }
+    nudge_first_int(&mut lit_nudged.body, &mut nudged);
+    assert!(nudged, "q6 contains an integer literal operand");
+    assert_ne!(base, program_hash(&lit_nudged), "literal nudge must rehash");
+
+    // (c) rename one struct field
+    let mut field_renamed = p.clone();
+    let sid = field_renamed
+        .structs
+        .iter()
+        .map(|(id, _)| id)
+        .next()
+        .expect("q6 registers at least one struct");
+    field_renamed.structs.get_mut(sid).fields[0].name = "mutated_field_name".into();
+    assert_ne!(
+        base,
+        program_hash(&field_renamed),
+        "field rename must rehash"
+    );
+}
+
+/// The hash is stable across two process-independent constructions of
+/// the same query plan: nothing address- or iteration-order-dependent
+/// leaks into the fingerprint (annotations live in a HashMap, whose raw
+/// iteration order differs between the two compiles).
+#[test]
+fn hash_is_stable_across_independent_constructions() {
+    use dblab::ir::hash::program_hash;
+    let build = || {
+        let mut schema = dblab::tpch::tpch_schema();
+        for t in &mut schema.tables {
+            t.stats.row_count = 100;
+            t.stats.int_max = vec![100; t.columns.len()];
+            t.stats.distinct = vec![10; t.columns.len()];
+        }
+        let prog = dblab::tpch::queries::query(3);
+        dblab::transform::compile(&prog, &schema, &dblab::transform::StackConfig::level5()).program
+    };
+    assert_eq!(program_hash(&build()), program_hash(&build()));
 }
 
 // -------------------------------------------------------------------
