@@ -49,7 +49,8 @@ pub fn table3_configs() -> Vec<StackConfig> {
 }
 
 /// `--sf`, `--runs`, `--queries 1,6,14`, `--threads 4`, `--json out.json`
-/// flags shared by the binaries.
+/// flags shared by the binaries, plus the `schedules` sweep's
+/// `--orderings K`, `--seed N` and `--backend NAME`.
 pub struct Args {
     pub sf: f64,
     pub runs: usize,
@@ -59,6 +60,13 @@ pub struct Args {
     pub threads: usize,
     /// Where to write the machine-readable results blob, if anywhere.
     pub json: Option<PathBuf>,
+    /// How many schedules the `schedules` binary sweeps (baseline + K-1
+    /// sampled permutations).
+    pub orderings: usize,
+    /// Seed for the deterministic schedule sample.
+    pub seed: u64,
+    /// Backend for query-time measurements (`gcc`/`rustc`/`interp`).
+    pub backend: String,
 }
 
 impl Args {
@@ -70,6 +78,9 @@ impl Args {
             .map(|n| n.get().min(8))
             .unwrap_or(1);
         let mut json = None;
+        let mut orderings = 16;
+        let mut seed = 0xdb1a_b5ee_d001;
+        let mut backend = String::from("interp");
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -97,6 +108,18 @@ impl Args {
                     json = Some(PathBuf::from(&argv[i + 1]));
                     i += 2;
                 }
+                "--orderings" => {
+                    orderings = argv[i + 1].parse().expect("--orderings <int>");
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = argv[i + 1].parse().expect("--seed <u64>");
+                    i += 2;
+                }
+                "--backend" => {
+                    backend = argv[i + 1].clone();
+                    i += 2;
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -106,6 +129,9 @@ impl Args {
             queries,
             threads: threads.max(1),
             json,
+            orderings: orderings.max(1),
+            seed,
+            backend,
         }
     }
 }

@@ -135,6 +135,20 @@ pub fn validate_window(p: &Program, hi: Level, lo: Level) -> Vec<Violation> {
     out
 }
 
+/// The post-pass validation rule in its **schedule-order-stable** form:
+/// a program under a (possibly partial, possibly permuted) stack is
+/// entitled to the window `[ceiling, program level]`, where `ceiling` is
+/// the most abstract level whose exclusive vocabulary has not yet been
+/// discharged by a lowering. The window depends only on *which lowerings
+/// have run* — never on where floating optimizations sit in the schedule
+/// — so permuting commuting passes can neither widen nor narrow what a
+/// stage is allowed to emit. (A floating pass may run while the program
+/// is still *above* its home level, in which case the program level caps
+/// the window: `hi = min(ceiling, level)`.)
+pub fn validate_stage(p: &Program, ceiling: Level) -> Vec<Violation> {
+    validate_window(p, ceiling.min(p.level), p.level)
+}
+
 fn validate_block(
     b: &Block,
     hi: Level,

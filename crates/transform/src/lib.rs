@@ -46,9 +46,11 @@ pub mod memo;
 pub mod pass;
 pub mod pipeline;
 pub mod scalar;
+pub mod schedule;
 pub mod stack;
 pub mod string_dict;
 
 pub use config::StackConfig;
 pub use pass::{Pass, PassCtx, PassKind};
-pub use stack::{compile, CompiledQuery, StageSnapshot};
+pub use schedule::Scheduler;
+pub use stack::{compile, compile_ordered, CompiledQuery, StageSnapshot};

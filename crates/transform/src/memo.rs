@@ -27,10 +27,11 @@
 //! wholesale clear on overflow — memoization is an optimization, and a
 //! dumb eviction keeps it transparently correct.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use dblab_catalog::Schema;
 use dblab_ir::hash::StableHasher;
@@ -92,6 +93,89 @@ pub fn stats() -> CacheStats {
     }
 }
 
+// ---------------------------------------------------------------------
+// Scoped statistics: per-pipeline counters
+// ---------------------------------------------------------------------
+
+/// An independent hit/miss tally for one pipeline sweep.
+///
+/// The global [`stats`] counters are process-wide: two sweeps compiling
+/// concurrently (the schedule-permutation harness fans orderings across
+/// threads) would each see the *sum* of both sweeps' traffic and report
+/// dishonest per-sweep hit rates. A `StatsScope` fixes that: install it on
+/// a thread with [`StatsScope::enter`] and every [`lookup`] made while the
+/// guard lives is tallied into this scope *as well as* the global
+/// counters. One scope may be entered from several worker threads at once
+/// (the counters are atomics behind an `Arc`), and scopes nest — a lookup
+/// counts into every scope installed on its thread.
+#[derive(Debug, Default)]
+pub struct StatsScope {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<Arc<StatsScope>>> = const { RefCell::new(Vec::new()) };
+}
+
+impl StatsScope {
+    pub fn new() -> Arc<StatsScope> {
+        Arc::new(StatsScope::default())
+    }
+
+    /// Install this scope on the current thread until the guard drops.
+    pub fn enter(self: &Arc<Self>) -> ScopeGuard {
+        SCOPES.with(|s| s.borrow_mut().push(Arc::clone(self)));
+        ScopeGuard {
+            scope: self.clone(),
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// This scope's own tally (unaffected by other concurrent scopes).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Keeps a [`StatsScope`] installed on the entering thread; un-installs
+/// (the most recent matching scope) on drop. Deliberately `!Send`: the
+/// install lives in the entering thread's local state, so dropping the
+/// guard on another thread could never un-install it — share the
+/// `Arc<StatsScope>` across threads and `enter()` on each instead.
+pub struct ScopeGuard {
+    scope: Arc<StatsScope>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            let mut v = s.borrow_mut();
+            if let Some(pos) = v.iter().rposition(|x| Arc::ptr_eq(x, &self.scope)) {
+                v.remove(pos);
+            }
+        });
+    }
+}
+
+fn tally(hit: bool) {
+    let (global, pick): (&AtomicU64, fn(&StatsScope) -> &AtomicU64) = if hit {
+        (&HITS, |s| &s.hits)
+    } else {
+        (&MISSES, |s| &s.misses)
+    };
+    global.fetch_add(1, Ordering::Relaxed);
+    SCOPES.with(|s| {
+        for scope in s.borrow().iter() {
+            pick(scope).fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
 /// Number of memoized stage outputs currently retained.
 pub fn entry_count() -> usize {
     cache().lock().unwrap().len()
@@ -104,19 +188,12 @@ pub fn clear() {
     cache().lock().unwrap().clear();
 }
 
-/// Look a stage output up, counting the hit or miss.
+/// Look a stage output up, counting the hit or miss (globally and into
+/// every [`StatsScope`] installed on this thread).
 pub fn lookup(key: &PassKey) -> Option<Program> {
     let got = cache().lock().unwrap().get(key).cloned();
-    match got {
-        Some(p) => {
-            HITS.fetch_add(1, Ordering::Relaxed);
-            Some(p)
-        }
-        None => {
-            MISSES.fetch_add(1, Ordering::Relaxed);
-            None
-        }
-    }
+    tally(got.is_some());
+    got
 }
 
 /// Record a freshly computed stage output.
@@ -217,5 +294,103 @@ mod tests {
         let after = stats();
         assert!(after.hits > mid.hits);
         assert!(after.since(&before).hits >= 1);
+    }
+
+    fn empty_program() -> Program {
+        Program {
+            structs: dblab_ir::types::StructRegistry::new(),
+            body: dblab_ir::Block::default(),
+            sym_types: vec![],
+            level: dblab_ir::Level::MapList,
+            annots: Default::default(),
+        }
+    }
+
+    #[test]
+    fn scoped_stats_tally_only_their_own_lookups() {
+        let key = PassKey {
+            pass: "memo-scope-test",
+            program: 0xfeed_f00d,
+            inputs: 7,
+        };
+        insert(key.clone(), empty_program());
+        let a = StatsScope::new();
+        let b = StatsScope::new();
+        {
+            let _ga = a.enter();
+            assert!(lookup(&key).is_some());
+        }
+        {
+            let _gb = b.enter();
+            assert!(lookup(&key).is_some());
+            assert!(lookup(&key).is_some());
+        }
+        // Outside any scope: global only.
+        assert!(lookup(&key).is_some());
+        assert_eq!(a.stats(), CacheStats { hits: 1, misses: 0 });
+        assert_eq!(b.stats(), CacheStats { hits: 2, misses: 0 });
+    }
+
+    #[test]
+    fn concurrent_scopes_are_independent() {
+        // Two sweeps on two threads, each with its own scope: per-sweep
+        // tallies must not bleed into one another even though the cache
+        // and the global counters are shared.
+        let mk = |i: u64| PassKey {
+            pass: "memo-scope-conc",
+            program: i,
+            inputs: 0,
+        };
+        insert(mk(1), empty_program());
+        let a = StatsScope::new();
+        let b = StatsScope::new();
+        std::thread::scope(|s| {
+            let (a, b) = (&a, &b);
+            s.spawn(move || {
+                let _g = a.enter();
+                for _ in 0..50 {
+                    assert!(lookup(&mk(1)).is_some());
+                }
+            });
+            s.spawn(move || {
+                let _g = b.enter();
+                for i in 0..30 {
+                    assert!(lookup(&mk(1000 + i)).is_none());
+                }
+            });
+        });
+        assert_eq!(
+            a.stats(),
+            CacheStats {
+                hits: 50,
+                misses: 0
+            }
+        );
+        assert_eq!(
+            b.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 30
+            }
+        );
+    }
+
+    #[test]
+    fn scopes_nest_and_uninstall_on_drop() {
+        let key = PassKey {
+            pass: "memo-scope-nest",
+            program: 42,
+            inputs: 0,
+        };
+        let outer = StatsScope::new();
+        let inner = StatsScope::new();
+        let _go = outer.enter();
+        {
+            let _gi = inner.enter();
+            assert!(lookup(&key).is_none());
+        }
+        assert!(lookup(&key).is_none());
+        assert_eq!(inner.stats().misses, 1, "inner guard dropped");
+        assert_eq!(outer.stats().misses, 2, "outer sees both");
     }
 }

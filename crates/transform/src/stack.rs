@@ -21,7 +21,7 @@ use dblab_ir::opt::optimize;
 use dblab_ir::{Level, Program};
 
 use crate::config::StackConfig;
-use crate::pass::{self, Frontend, MonadLowering, PassCtx, PassKind, PlanLowering};
+use crate::pass::{self, Frontend, MonadLowering, Pass, PassCtx, PassKind, PlanLowering};
 
 /// One stage of the compilation, for inspection, benches and tests.
 #[derive(Debug, Clone)]
@@ -150,17 +150,94 @@ pub fn compile_qmonad(q: &QMonad, schema: &Schema, cfg: &StackConfig) -> Compile
     compile_frontend(&MonadLowering(q), schema, cfg, false).0
 }
 
-/// The generic driver: any front-end, then the registry-assembled stack.
+/// The generic driver: any front-end, then the registry-assembled stack
+/// in baseline (registry) order.
 pub fn compile_frontend(
     fe: &dyn Frontend,
     schema: &Schema,
     cfg: &StackConfig,
     keep: bool,
 ) -> (CompiledQuery, Vec<(String, Program)>) {
-    let ctx = PassCtx { schema, cfg };
     let registry = pass::registry();
     let selected = pass::check_pipeline(&registry, cfg)
         .unwrap_or_else(|e| panic!("config `{}` selects an ill-formed stack: {e}", cfg.name));
+    run_pipeline(fe, schema, cfg, &selected, keep)
+}
+
+/// Compile a QPlan program through an **explicit schedule**: a permutation
+/// of the selected passes, validated against the pass-commutation DAG
+/// ([`crate::schedule::Scheduler`]) before anything runs. Every per-stage
+/// contract check (level transitions, dialect-window validation in
+/// debug/test builds) applies exactly as in registry order.
+pub fn compile_ordered(
+    prog: &QueryProgram,
+    schema: &Schema,
+    cfg: &StackConfig,
+    order: &[&str],
+) -> Result<CompiledQuery, String> {
+    compile_ordered_with_snapshots(prog, schema, cfg, order, false).map(|(cq, _)| cq)
+}
+
+/// [`compile_ordered`], optionally retaining the full IR program after
+/// every stage (the schedule-differential suite walks these).
+pub fn compile_ordered_with_snapshots(
+    prog: &QueryProgram,
+    schema: &Schema,
+    cfg: &StackConfig,
+    order: &[&str],
+    keep_programs: bool,
+) -> Result<(CompiledQuery, Vec<(String, Program)>), String> {
+    let sched = crate::schedule::Scheduler::from_registry(cfg)?;
+    compile_scheduled(&sched, prog, schema, order, keep_programs)
+}
+
+/// The sweep-friendly entry point: compile through an already-built
+/// [`crate::schedule::Scheduler`] (its configuration decides the
+/// selection), so a K-ordering × N-query sweep builds the DAG once, not
+/// K × N times.
+pub fn compile_scheduled(
+    sched: &crate::schedule::Scheduler,
+    prog: &QueryProgram,
+    schema: &Schema,
+    order: &[&str],
+    keep_programs: bool,
+) -> Result<(CompiledQuery, Vec<(String, Program)>), String> {
+    sched.validate_order(order)?;
+    let ordered: Vec<&dyn Pass> = order
+        .iter()
+        .map(|n| sched.pass_by_name(n).expect("validated"))
+        .collect();
+    Ok(run_pipeline(
+        &PlanLowering(prog),
+        schema,
+        sched.config(),
+        &ordered,
+        keep_programs,
+    ))
+}
+
+/// Front-end lowering into the top IR level, optimized to fixpoint — the
+/// one definition of this step, shared by the driver and the scheduler's
+/// commutation checker (so they can never diverge on the lowering or its
+/// fixpoint budget). Returns the raw (pre-optimization) statement count
+/// alongside the program for the stage snapshot.
+pub(crate) fn lower_frontend(fe: &dyn Frontend, ctx: &PassCtx) -> (usize, Program) {
+    let raw = fe.lower(ctx);
+    (raw.body.size(), optimize(&raw, 8))
+}
+
+/// Shared driver body: front-end, then the given passes in the given
+/// order, with the dialect ceiling tracking which vocabulary each
+/// lowering discharges (ceiling advancement depends only on which
+/// lowerings have run — it is schedule-order-stable).
+fn run_pipeline(
+    fe: &dyn Frontend,
+    schema: &Schema,
+    cfg: &StackConfig,
+    passes: &[&dyn Pass],
+    keep: bool,
+) -> (CompiledQuery, Vec<(String, Program)>) {
+    let ctx = PassCtx { schema, cfg };
     // Post-pass dialect validation is a debug/test-build safety net; the
     // release compiler keeps the paper's generation-time profile.
     let validate = cfg!(debug_assertions);
@@ -169,10 +246,8 @@ pub fn compile_frontend(
     let mut stages = Vec::new();
     let mut programs = Vec::new();
 
-    // Front-end lowering into the top IR level, optimized to fixpoint.
     let t0 = Instant::now();
-    let raw = fe.lower(&ctx);
-    let mut p = optimize(&raw, 8);
+    let (raw_size, mut p) = lower_frontend(fe, &ctx);
     debug_assert_eq!(p.level, fe.target());
     if validate {
         let violations = validate_window(&p, fe.target(), p.level);
@@ -189,7 +264,7 @@ pub fn compile_frontend(
         kind: PassKind::FrontendLowering,
         level_before: fe.target(),
         level: p.level,
-        size_before: raw.body.size(),
+        size_before: raw_size,
         size: p.body.size(),
         time: t0.elapsed(),
         // The front-end lowers an AST, not IR — outside the memo's domain.
@@ -199,12 +274,10 @@ pub fn compile_frontend(
         programs.push((fe.name().to_string(), p.clone()));
     }
 
-    // The registry-selected stack, with the dialect ceiling tracking which
-    // vocabulary each lowering discharges.
     let mut ceiling = Level::MapList;
-    for ps in selected {
-        let ceiling_after = pass::advance_ceiling(ceiling, ps);
-        let (q, snap) = pass::apply_one(ps, &p, &ctx, ceiling_after, validate)
+    for ps in passes {
+        let ceiling_after = pass::advance_ceiling(ceiling, *ps);
+        let (q, snap) = pass::apply_one(*ps, &p, &ctx, ceiling_after, validate)
             .unwrap_or_else(|e| panic!("stack contract broken: {e}"));
         ceiling = ceiling_after;
         if keep {
@@ -321,6 +394,45 @@ mod tests {
         assert!(report.contains("memory-hoisting"));
         // Stage times are populated and bounded by the whole compilation.
         assert!(cq.stage_time_total() <= cq.gen_time);
+    }
+
+    #[test]
+    fn ordered_compile_matches_baseline_on_a_permuted_schedule() {
+        let schema = schema();
+        let cfg = StackConfig::level5();
+        let q = join_count_query();
+        let baseline = compile(&q, &schema, &cfg);
+        let sched = crate::schedule::Scheduler::from_registry(&cfg).expect("dag");
+        // A genuinely permuted schedule: the first sampled order that
+        // differs from the baseline.
+        let order = sched
+            .sample_orders(7, 8)
+            .into_iter()
+            .find(|o| *o != sched.baseline())
+            .expect("level-5 DAG admits non-baseline orders");
+        let cq = compile_ordered(&q, &schema, &cfg, &order).expect("valid schedule");
+        // Stage trace follows the requested order; final IR agrees with
+        // the baseline (all sampled orders are commuting permutations).
+        let stage_names: Vec<&str> = cq.stages[1..].iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(stage_names, order);
+        assert_eq!(
+            dblab_ir::hash::program_hash(&cq.program),
+            dblab_ir::hash::program_hash(&baseline.program),
+        );
+    }
+
+    #[test]
+    fn ordered_compile_rejects_invalid_schedules() {
+        let schema = schema();
+        let cfg = StackConfig::level5();
+        let q = join_count_query();
+        let err = compile_ordered(&q, &schema, &cfg, &["final"]).unwrap_err();
+        assert!(err.contains("passes"), "{err}");
+        let mut bad = crate::schedule::Scheduler::from_registry(&cfg)
+            .unwrap()
+            .baseline();
+        bad.reverse();
+        assert!(compile_ordered(&q, &schema, &cfg, &bad).is_err());
     }
 
     #[test]
