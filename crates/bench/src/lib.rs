@@ -50,7 +50,9 @@ pub fn table3_configs() -> Vec<StackConfig> {
 
 /// `--sf`, `--runs`, `--queries 1,6,14`, `--threads 4`, `--json out.json`
 /// flags shared by the binaries, plus the `schedules` sweep's
-/// `--orderings K`, `--seed N` and `--backend NAME`.
+/// `--orderings K`, `--seed N` and `--backend NAME`, and the
+/// `--persist-cache` switch that attaches the on-disk build-cache index
+/// (`fig9`, `tpch_showdown`, `serve`).
 pub struct Args {
     pub sf: f64,
     pub runs: usize,
@@ -67,6 +69,10 @@ pub struct Args {
     pub seed: u64,
     /// Backend for query-time measurements (`gcc`/`rustc`/`interp`).
     pub backend: String,
+    /// Attach the on-disk build-cache index next to the gen dir
+    /// ([`dblab_codegen::build_cache::enable_persistence`]) so artifacts
+    /// survive process restarts; benches report disk-hit rates.
+    pub persist_cache: bool,
 }
 
 impl Args {
@@ -81,6 +87,7 @@ impl Args {
         let mut orderings = 16;
         let mut seed = 0xdb1a_b5ee_d001;
         let mut backend = String::from("interp");
+        let mut persist_cache = false;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -120,6 +127,10 @@ impl Args {
                     backend = argv[i + 1].clone();
                     i += 2;
                 }
+                "--persist-cache" => {
+                    persist_cache = true;
+                    i += 1;
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -132,6 +143,7 @@ impl Args {
             orderings: orderings.max(1),
             seed,
             backend,
+            persist_cache,
         }
     }
 }

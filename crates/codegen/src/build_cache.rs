@@ -18,9 +18,25 @@
 //! The cache is process-wide and `Sync`: the bench harness fans
 //! independent builds out across scoped threads, and all of them consult
 //! one artifact table.
+//!
+//! ## The on-disk index
+//!
+//! The key — `(backend name, FNV-1a of emitted source)` — contains no
+//! pointers, no timestamps and no process state, so it is just as valid
+//! in the *next* process as in this one. [`enable_persistence`] attaches
+//! a hand-rolled index file (`build_cache.index`, one `v1` line per
+//! artifact, tab-separated — see [`INDEX_FILE`]) next to the gen dir:
+//! entries whose artifact still exists on disk are restored into the
+//! in-memory table at attach time, and every subsequent toolchain build
+//! appends its line. A warm start after a restart therefore skips
+//! gcc/rustc exactly like a warm compile within one process; hits served
+//! from restored entries are additionally counted in [`disk_stats`] so
+//! benches can report honest *disk*-hit rates, separate from same-process
+//! reuse.
 
 use std::collections::HashMap;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -34,11 +50,32 @@ use crate::backend::{run_binary, Backend, BuildInput, Executable, RunOutput};
 #[derive(Debug, Clone)]
 struct CachedBuild {
     binary: PathBuf,
+    /// Restored from the on-disk index (a previous process built it).
+    from_disk: bool,
 }
+
+/// Index file name, kept next to the artifacts it describes. Format, one
+/// entry per line:
+///
+/// ```text
+/// v1<TAB>backend<TAB>source-hash-hex<TAB>artifact-path
+/// ```
+///
+/// `artifact-path` is relative to the index's directory when the artifact
+/// lives under it (the normal case), absolute otherwise. Unknown versions
+/// or backends and entries whose artifact vanished are skipped on load —
+/// the index is a cache, never a source of truth.
+pub const INDEX_FILE: &str = "build_cache.index";
 
 static CACHE: OnceLock<Mutex<HashMap<(&'static str, u64), CachedBuild>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Hits served by entries restored from the on-disk index.
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+/// Entries restored across all [`enable_persistence`] calls.
+static DISK_LOADED: AtomicU64 = AtomicU64::new(0);
+/// Where the attached index lives, when persistence is on.
+static PERSIST: Mutex<Option<PathBuf>> = Mutex::new(None);
 
 fn cache() -> &'static Mutex<HashMap<(&'static str, u64), CachedBuild>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -83,10 +120,156 @@ pub fn entry_count() -> usize {
 }
 
 /// Forget every tracked artifact (the files themselves stay on disk;
-/// counters are cumulative and left alone). Benches use this to measure
-/// genuinely cold builds from a warm process.
+/// counters are cumulative and left alone; an attached on-disk index
+/// stays attached and can be re-loaded with [`enable_persistence`]).
+/// Benches use this to measure genuinely cold builds from a warm process
+/// — and, with a reload, to simulate a process restart.
 pub fn clear() {
     cache().lock().unwrap().clear();
+}
+
+// ---------------------------------------------------------------------
+// On-disk persistence
+// ---------------------------------------------------------------------
+
+/// Disk-side counters (monotone, like [`stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Entries restored from index files into the in-memory table.
+    pub loaded: u64,
+    /// Cache hits served by restored entries — the toolchain runs a
+    /// previous *process* saved this one.
+    pub hits: u64,
+}
+
+impl DiskCacheStats {
+    pub fn since(&self, earlier: &DiskCacheStats) -> DiskCacheStats {
+        DiskCacheStats {
+            loaded: self.loaded - earlier.loaded,
+            hits: self.hits - earlier.hits,
+        }
+    }
+}
+
+/// Current disk-persistence counters.
+pub fn disk_stats() -> DiskCacheStats {
+    DiskCacheStats {
+        loaded: DISK_LOADED.load(Ordering::Relaxed),
+        hits: DISK_HITS.load(Ordering::Relaxed),
+    }
+}
+
+/// Attach (or re-attach) the on-disk index under `dir`: restore every
+/// entry whose artifact still exists, and append future builds to
+/// `dir/build_cache.index`. Returns how many entries were actually
+/// restored into the in-memory table this call (duplicate lines and keys
+/// already live are not counted). Idempotent — re-attaching reloads
+/// entries dropped by [`clear`] without disturbing live ones — and
+/// self-maintaining: the index is compacted on attach, so dead and
+/// duplicate lines accumulated by append-only writes do not grow it
+/// without bound.
+pub fn enable_persistence(dir: &Path) -> io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let index = dir.join(INDEX_FILE);
+    // Hold the persistence lock for the whole attach: a concurrent
+    // `persist_entry` append between our read and the compacting write
+    // would otherwise be lost. (Lock order is PERSIST -> cache here;
+    // nothing takes them in the other order — `build_with_cache` drops
+    // its cache guard before appending.)
+    let mut persist = PERSIST.lock().unwrap();
+    let mut loaded = 0usize;
+    if index.exists() {
+        let text = std::fs::read_to_string(&index)?;
+        // Parse first (first line per key wins, matching the in-memory
+        // insert below), then restore, then compact.
+        let mut entries: Vec<((&'static str, u64), PathBuf)> = Vec::new();
+        for line in text.lines() {
+            let mut f = line.split('\t');
+            let (Some("v1"), Some(bname), Some(hex), Some(path)) =
+                (f.next(), f.next(), f.next(), f.next())
+            else {
+                continue; // unknown version / torn line: skip, never fail
+            };
+            let Ok(hash) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            // Resolve through the registry so the key's backend name is
+            // the canonical `&'static str`; an index entry for a backend
+            // this build doesn't know is skipped.
+            let Some(backend) = crate::backend::backend(bname) else {
+                continue;
+            };
+            let binary = {
+                let p = PathBuf::from(path);
+                if p.is_absolute() {
+                    p
+                } else {
+                    dir.join(p)
+                }
+            };
+            let key = (backend.name(), hash);
+            if binary.exists() && !entries.iter().any(|(k, _)| *k == key) {
+                entries.push((key, binary));
+            }
+        }
+        {
+            let mut map = cache().lock().unwrap();
+            for (key, binary) in &entries {
+                if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(*key) {
+                    slot.insert(CachedBuild {
+                        binary: binary.clone(),
+                        from_disk: true,
+                    });
+                    loaded += 1;
+                }
+            }
+        }
+        // Compaction: rewrite the file as exactly the deduplicated live
+        // entries. Best-effort — a read-only dir keeps the stale file
+        // and everything still works, it just stays append-only.
+        let compacted: String = entries
+            .iter()
+            .map(|((bname, hash), binary)| {
+                let rel = binary.strip_prefix(dir).unwrap_or(binary);
+                format!("v1\t{bname}\t{hash:016x}\t{}\n", rel.display())
+            })
+            .collect();
+        let _ = std::fs::write(&index, compacted);
+    }
+    DISK_LOADED.fetch_add(loaded as u64, Ordering::Relaxed);
+    *persist = Some(index);
+    Ok(loaded)
+}
+
+/// Detach the on-disk index: builds stop being appended and nothing is
+/// reloaded. The index file itself is left in place.
+pub fn disable_persistence() {
+    *PERSIST.lock().unwrap() = None;
+}
+
+/// Whether an index is currently attached.
+pub fn persistence_enabled() -> bool {
+    PERSIST.lock().unwrap().is_some()
+}
+
+/// Append one freshly built artifact to the attached index, if any. Write
+/// failures are swallowed deliberately: persistence is an optimization,
+/// and a read-only gen dir must not fail the compile that just succeeded.
+fn persist_entry(backend: &'static str, hash: u64, binary: &Path) {
+    let guard = PERSIST.lock().unwrap();
+    let Some(index) = guard.as_ref() else {
+        return;
+    };
+    let rel = index
+        .parent()
+        .and_then(|d| binary.strip_prefix(d).ok())
+        .unwrap_or(binary);
+    let line = format!("v1\t{backend}\t{hash:016x}\t{}\n", rel.display());
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(index)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
 }
 
 /// A build-cache hit: the artifact already exists on disk, so no
@@ -128,6 +311,9 @@ pub fn build_with_cache(
         // falling through to a rebuild instead of failing the compile.
         if entry.binary.exists() {
             HITS.fetch_add(1, Ordering::Relaxed);
+            if entry.from_disk {
+                DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            }
             return Ok((
                 Box::new(CachedExecutable {
                     binary: entry.binary,
@@ -144,8 +330,10 @@ pub fn build_with_cache(
             key,
             CachedBuild {
                 binary: binary.to_path_buf(),
+                from_disk: false,
             },
         );
+        persist_entry(key.0, key.1, binary);
     }
     Ok((exe, false))
 }
@@ -154,6 +342,41 @@ pub fn build_with_cache(
 mod tests {
     use super::*;
     use crate::backend::InterpBackend;
+
+    #[test]
+    fn index_load_skips_malformed_and_missing_entries() {
+        let dir = std::env::temp_dir().join("dblab_bc_index_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let art = dir.join("idx_unit_artifact");
+        std::fs::write(&art, b"binary bytes").unwrap();
+        std::fs::write(
+            dir.join(INDEX_FILE),
+            [
+                // Valid, relative path.
+                "v1\tgcc\t00000000deadbeef\tidx_unit_artifact".to_string(),
+                // Valid but the artifact is gone.
+                "v1\tgcc\t00000000deadbee0\tidx_unit_gone".to_string(),
+                // Unknown version, unknown backend, bad hex, torn line.
+                "v2\tgcc\t00000000deadbee1\tidx_unit_artifact".to_string(),
+                "v1\tcranelift\t00000000deadbee2\tidx_unit_artifact".to_string(),
+                "v1\tgcc\tnot-hex\tidx_unit_artifact".to_string(),
+                "v1\tgcc".to_string(),
+                // Valid, absolute path.
+                format!("v1\trustc\t00000000deadbee3\t{}", art.display()),
+            ]
+            .join("\n"),
+        )
+        .unwrap();
+        let before = disk_stats();
+        let loaded = enable_persistence(&dir).expect("load index");
+        assert_eq!(loaded, 2, "exactly the two well-formed live entries");
+        assert_eq!(disk_stats().since(&before).loaded, 2);
+        assert!(persistence_enabled());
+        disable_persistence();
+        assert!(!persistence_enabled());
+        // The index file itself is left alone by detaching.
+        assert!(dir.join(INDEX_FILE).exists());
+    }
     use dblab_catalog::Schema;
     use dblab_ir::expr::Annotations;
     use dblab_ir::types::StructRegistry;

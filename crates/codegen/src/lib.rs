@@ -41,7 +41,7 @@ pub use backend::{
     available_backends, backend, backends, run_binary, same_normalized, Backend, BuildInput,
     CBackend, CompiledArtifact, Compiler, Executable, InterpBackend, RunOutput, RustBackend,
 };
-pub use build_cache::{build_with_cache, BuildCacheStats};
+pub use build_cache::{build_with_cache, BuildCacheStats, DiskCacheStats};
 pub use cc::{compile_c, Compiled};
 pub use emit::emit;
 pub use rust_emit::emit_rust;

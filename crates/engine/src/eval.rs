@@ -164,34 +164,11 @@ fn arith(op: BinOp, a: &Value, b: &Value) -> Value {
     }
 }
 
-/// SQL LIKE with `%` wildcards only (what TPC-H uses): the pattern is split
-/// on `%`; segments must occur in order, anchored at the ends when the
-/// pattern does not start/end with `%`.
-pub fn like_match(s: &str, pattern: &str) -> bool {
-    let segments: Vec<&str> = pattern.split('%').collect();
-    let anchored_start = !pattern.starts_with('%');
-    let anchored_end = !pattern.ends_with('%');
-    let mut pos = 0usize;
-    for (i, seg) in segments.iter().enumerate() {
-        if seg.is_empty() {
-            continue;
-        }
-        if i == 0 && anchored_start {
-            if !s.starts_with(seg) {
-                return false;
-            }
-            pos = seg.len();
-        } else if i == segments.len() - 1 && anchored_end {
-            return s.len() >= pos + seg.len() && s.ends_with(seg);
-        } else {
-            match s[pos..].find(seg) {
-                Some(at) => pos += at + seg.len(),
-                None => return false,
-            }
-        }
-    }
-    true
-}
+// `like_match` moved to `dblab_runtime::like` so every execution tier
+// (this engine, the IR interpreter, generated runtimes) shares one
+// definition without depending on the reference engine; re-exported here
+// for existing callers.
+pub use dblab_runtime::like::like_match;
 
 #[cfg(test)]
 mod tests {
@@ -259,16 +236,10 @@ mod tests {
     }
 
     #[test]
-    fn like_semantics() {
-        assert!(like_match("special requests", "%special%requests%"));
-        assert!(!like_match("special demands", "%special%requests%"));
-        assert!(like_match("PROMO X", "PROMO%"));
-        assert!(!like_match("X PROMO", "PROMO%"));
-        assert!(like_match("a POLISHED STEEL", "%STEEL"));
-        assert!(!like_match("STEEL a", "%STEEL"));
-        assert!(like_match("anything", "%"));
-        assert!(like_match("abcbc", "a%bc"));
-        assert!(like_match("ab", "ab"));
-        assert!(!like_match("ab", "abc"));
+    fn like_predicate_goes_through_the_shared_matcher() {
+        let e = col("s").like("%ANOD%");
+        assert_eq!(run(&e, &row()), Value::Bool(true));
+        let miss = col("s").like("%POLISHED%");
+        assert_eq!(run(&miss, &row()), Value::Bool(false));
     }
 }

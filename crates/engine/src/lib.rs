@@ -7,7 +7,14 @@
 //! every compiled configuration is differentially tested against, and as
 //! the "interpretation" context point in the benchmarks.
 
+//! Since the serving layer landed, this crate also hosts the other end of
+//! the spectrum: [`service::QueryEngine`], a long-lived tiered engine
+//! that serves prepared queries on the interpreter immediately while the
+//! native backends compile in the background.
+
 pub mod eval;
 pub mod exec;
+pub mod service;
 
 pub use exec::{execute_plan, execute_program, ResultSet};
+pub use service::{EngineOptions, NativeChoice, PreparedQuery, QueryEngine, Tier};

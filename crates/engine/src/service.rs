@@ -1,0 +1,837 @@
+//! # The tiered query-serving engine
+//!
+//! Everything below this module compiles *one query, once*. A production
+//! engine serves the same prepared queries for hours, and its two latency
+//! numbers pull in opposite directions: **first-result latency** (how
+//! long until the first rows of a freshly prepared query) and
+//! **steady-state latency** (what every later execution pays). A native
+//! `gcc -O3` build wins the second and loses the first by two orders of
+//! magnitude; the in-process interpreter is the mirror image.
+//!
+//! [`QueryEngine`] refuses to choose. [`QueryEngine::prepare`] lowers the
+//! query through the memoized DSL stack and returns a [`PreparedQuery`]
+//! backed by the zero-build interpreter — executable immediately
+//! (**tier 0**). In the background, a worker pool compiles the same query
+//! through a native backend, picking the cheapest recorded pass schedule
+//! ([`dblab_transform::stack::compile_cost_scored`]) and reusing every
+//! cache layer — the per-pass IR memo, the source-level build cache and
+//! its on-disk index ([`dblab_codegen::build_cache`]) — then **atomically
+//! hot-swaps** the executable under the handle (**tier 1**). Executions
+//! racing the swap see either tier, never a torn state: the active
+//! executable lives behind an `RwLock` and every run clones an
+//! `Arc<dyn Executable>` out under the read lock, so a swap never
+//! invalidates an in-flight run.
+//!
+//! When no native toolchain is present the engine degrades gracefully:
+//! queries stay at tier 0 permanently, one warning is emitted per engine
+//! (and surfaced on every handle's [`PreparedQuery::report`]), and
+//! nothing errors.
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dblab_catalog::Schema;
+use dblab_codegen::{backend, Compiler, Executable, InterpBackend, RunOutput};
+use dblab_frontend::qplan::QueryProgram;
+use dblab_transform::{stack, Scheduler, StackConfig};
+
+/// Which executable currently backs a prepared query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The zero-build in-process interpreter (serves immediately).
+    Interp,
+    /// A natively compiled binary (hot-swapped in by the worker pool).
+    Native,
+}
+
+impl std::fmt::Display for Tier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Tier::Interp => "interp",
+            Tier::Native => "native",
+        })
+    }
+}
+
+/// How the engine picks the tier-1 backend.
+#[derive(Debug, Clone, Default)]
+pub enum NativeChoice {
+    /// First available of `gcc`, `rustc` (in that order).
+    #[default]
+    Auto,
+    /// A specific registry backend by name.
+    Backend(String),
+    /// Serve tier 0 only (also what `Auto` degrades to when no toolchain
+    /// is present — this variant just asks for it explicitly).
+    Disabled,
+}
+
+/// Engine construction knobs. `Default` is a sensible serving setup:
+/// five-level stack, auto-detected native backend, two tier-up workers,
+/// cost-scored schedules over four candidates, no disk persistence.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// The DSL-stack configuration every prepared query compiles under.
+    pub config: StackConfig,
+    /// Where emitted sources, binaries and the on-disk cache index live.
+    pub gen_dir: PathBuf,
+    /// Tier-up worker threads.
+    pub workers: usize,
+    /// Tier-1 backend selection.
+    pub native: NativeChoice,
+    /// Load/extend the on-disk build-cache index under
+    /// [`EngineOptions::gen_dir`], so warm starts survive restarts.
+    pub persist_cache: bool,
+    /// Candidate pool size for cost-scored schedule selection; `<= 1`
+    /// pins the baseline (registry) order.
+    pub schedule_candidates: usize,
+    /// Seed for the candidate sample (fixed per engine so the cost model
+    /// keeps scoring one pool and converges).
+    pub seed: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            config: StackConfig::level5(),
+            gen_dir: std::env::temp_dir().join("dblab_serve_gen"),
+            workers: 2,
+            native: NativeChoice::Auto,
+            persist_cache: false,
+            schedule_candidates: 4,
+            seed: 0xdb1a_b5e2_7e00,
+        }
+    }
+}
+
+/// Latency tally for one tier of one prepared query.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    pub runs: u64,
+    pub total_ms: f64,
+    pub best_ms: f64,
+}
+
+impl Default for LatencySummary {
+    fn default() -> LatencySummary {
+        LatencySummary {
+            runs: 0,
+            total_ms: 0.0,
+            best_ms: f64::INFINITY,
+        }
+    }
+}
+
+impl LatencySummary {
+    fn record(&mut self, ms: f64) {
+        self.runs += 1;
+        self.total_ms += ms;
+        if ms < self.best_ms {
+            self.best_ms = ms;
+        }
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        if self.runs == 0 {
+            f64::NAN
+        } else {
+            self.total_ms / self.runs as f64
+        }
+    }
+}
+
+/// Everything the background compile decided and measured, recorded at
+/// swap time.
+#[derive(Debug, Clone)]
+pub struct TierUpReport {
+    /// Which backend built tier 1.
+    pub backend: &'static str,
+    /// DSL-stack generation time of the tier-1 compile (ms) — mostly memo
+    /// hits, since tier 0 already lowered the query.
+    pub gen_ms: f64,
+    /// Toolchain time (ms); zero when the build cache (memory or disk)
+    /// already had the artifact.
+    pub build_ms: f64,
+    /// Whether the artifact came from the source-level build cache.
+    pub build_cached: bool,
+    /// The pass schedule the cost model picked.
+    pub order: Vec<&'static str>,
+    /// Whether that schedule differs from the baseline (registry) order.
+    pub non_baseline: bool,
+    /// `true` when the schedule pick was still exploring unmeasured
+    /// candidates rather than exploiting the cheapest recorded one.
+    pub explored: bool,
+    /// Wall time from `prepare` returning to the swap landing (ms) — how
+    /// long tier 0 actually served.
+    pub elapsed_ms: f64,
+}
+
+/// A point-in-time view of a prepared query's serving state.
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    pub tier: Tier,
+    pub swaps: u64,
+    /// Latency of the very first execution (whatever tier served it).
+    pub first_result_ms: Option<f64>,
+    pub interp: LatencySummary,
+    pub native: LatencySummary,
+    pub tier_up: Option<TierUpReport>,
+    /// Set when the native tier can never arrive (no toolchain) or its
+    /// compile failed; the query stays on the interpreter.
+    pub pinned_to_interp: Option<String>,
+}
+
+/// One execution's result, tagged with the tier that served it.
+#[derive(Debug)]
+pub struct ServedRun {
+    pub tier: Tier,
+    pub output: RunOutput,
+}
+
+struct Active {
+    exe: Arc<dyn Executable>,
+    tier: Tier,
+    backend: &'static str,
+}
+
+#[derive(Default)]
+struct Meta {
+    tier_up: Option<TierUpReport>,
+    /// Why the native tier will never arrive, when it won't.
+    pinned: Option<String>,
+}
+
+struct PreparedInner {
+    name: String,
+    prepared_at: Instant,
+    /// Tier-0 compile cost paid inside `prepare` (ms).
+    prepare_ms: f64,
+    /// The tier-0 stage trace, kept for `report`.
+    stage_report: String,
+    active: RwLock<Active>,
+    meta: Mutex<Meta>,
+    cvar: Condvar,
+    swaps: AtomicU64,
+    first_result_ms: Mutex<Option<f64>>,
+    lat_interp: Mutex<LatencySummary>,
+    lat_native: Mutex<LatencySummary>,
+}
+
+/// A handle to one prepared query. Cheap to clone; every clone shares the
+/// same hot-swapped executable, so N threads can execute concurrently
+/// while the tier-up swaps underneath them.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<PreparedInner>,
+}
+
+impl PreparedQuery {
+    /// Execute against a `.tbl` data directory on whatever tier is
+    /// currently active. Never blocks on the background compile.
+    pub fn execute(&self, data_dir: &Path) -> io::Result<ServedRun> {
+        let (exe, tier) = {
+            let act = self.inner.active.read().unwrap();
+            (Arc::clone(&act.exe), act.tier)
+        };
+        let t0 = Instant::now();
+        let output = exe.run(data_dir)?;
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut first = self.inner.first_result_ms.lock().unwrap();
+            if first.is_none() {
+                *first = Some(ms);
+            }
+        }
+        let lat = match tier {
+            Tier::Interp => &self.inner.lat_interp,
+            Tier::Native => &self.inner.lat_native,
+        };
+        lat.lock().unwrap().record(ms);
+        Ok(ServedRun { tier, output })
+    }
+
+    /// The artifact-name stem this query compiles under.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The currently active tier.
+    pub fn tier(&self) -> Tier {
+        self.inner.active.read().unwrap().tier
+    }
+
+    /// How many executable swaps have landed (0 or 1 today; re-tiering
+    /// keeps counting).
+    pub fn swap_count(&self) -> u64 {
+        self.inner.swaps.load(Ordering::Acquire)
+    }
+
+    /// Tier-0 compile cost paid inside `prepare` (ms).
+    pub fn prepare_ms(&self) -> f64 {
+        self.inner.prepare_ms
+    }
+
+    /// Block until the native tier is active, the query is pinned to the
+    /// interpreter (no toolchain / failed build), or the timeout elapses.
+    /// Returns `true` iff the native tier is active.
+    pub fn wait_for_native(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut meta = self.inner.meta.lock().unwrap();
+        loop {
+            if meta.tier_up.is_some() {
+                return true;
+            }
+            if meta.pinned.is_some() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.inner.cvar.wait_timeout(meta, deadline - now).unwrap();
+            meta = guard;
+        }
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        let meta = self.inner.meta.lock().unwrap();
+        ServeStats {
+            tier: self.tier(),
+            swaps: self.swap_count(),
+            first_result_ms: *self.inner.first_result_ms.lock().unwrap(),
+            interp: *self.inner.lat_interp.lock().unwrap(),
+            native: *self.inner.lat_native.lock().unwrap(),
+            tier_up: meta.tier_up.clone(),
+            pinned_to_interp: meta.pinned.clone(),
+        }
+    }
+
+    /// The tier-0 stage trace plus a serving line: which tier is active,
+    /// swap provenance, or — when the engine is degraded — the one
+    /// warning that replaces per-query errors.
+    pub fn report(&self) -> String {
+        let mut out = self.inner.stage_report.clone();
+        let stats = self.stats();
+        match (&stats.tier_up, &stats.pinned_to_interp) {
+            (Some(up), _) => out.push_str(&format!(
+                "serving: tier native via {} (swap #{} after {:.1}ms; \
+                 schedule {}{}; build {:.1}ms{})\n",
+                up.backend,
+                stats.swaps,
+                up.elapsed_ms,
+                if up.non_baseline {
+                    "non-baseline"
+                } else {
+                    "baseline"
+                },
+                if up.explored { ", exploring" } else { "" },
+                up.build_ms,
+                if up.build_cached { ", cached" } else { "" },
+            )),
+            (None, Some(reason)) => {
+                out.push_str(&format!("serving: tier interp permanently ({reason})\n"))
+            }
+            (None, None) => out.push_str("serving: tier interp (native compile pending)\n"),
+        }
+        out
+    }
+}
+
+struct Job {
+    prepared: Weak<PreparedInner>,
+    prog: QueryProgram,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct EngineShared {
+    schema: Schema,
+    cfg: StackConfig,
+    gen_dir: PathBuf,
+    /// Resolved tier-1 backend registry name; `None` = degraded/disabled.
+    native: Option<&'static str>,
+    /// Why `native` is `None`, when it is.
+    degraded: Option<String>,
+    warned: AtomicBool,
+    sched: Scheduler,
+    seed: u64,
+    candidates: usize,
+    /// Per-engine artifact sequence: keeps concurrent tier-up builds of
+    /// the *same* prepared program on distinct output paths.
+    build_seq: AtomicU64,
+    queue: Mutex<QueueState>,
+    cvar: Condvar,
+}
+
+impl EngineShared {
+    /// Emit the engine-level degradation/failure warning exactly once.
+    fn warn_once(&self, msg: &str) {
+        if !self.warned.swap(true, Ordering::AcqRel) {
+            eprintln!("QueryEngine: {msg}");
+        }
+    }
+}
+
+/// The long-lived serving engine. See the module docs for the lifecycle;
+/// the quickstart shape:
+///
+/// ```no_run
+/// # use dblab_engine::service::QueryEngine;
+/// # let schema = dblab_catalog::Schema::default();
+/// # let prog = dblab_frontend::qplan::QueryProgram::new(
+/// #     dblab_frontend::qplan::QPlan::scan("nation"));
+/// # let data = std::path::Path::new("/data");
+/// let engine = QueryEngine::new(&schema).expect("engine");
+/// let q = engine.prepare(&prog).expect("prepare");
+/// let first = q.execute(data).expect("tier 0 serves immediately");
+/// q.wait_for_native(std::time::Duration::from_secs(60));
+/// let fast = q.execute(data).expect("tier 1 after the hot swap");
+/// ```
+pub struct QueryEngine {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryEngine {
+    /// An engine with [`EngineOptions::default`].
+    pub fn new(schema: &Schema) -> io::Result<QueryEngine> {
+        QueryEngine::with_options(schema, EngineOptions::default())
+    }
+
+    /// Build an engine: resolve the native backend (degrading gracefully
+    /// when no toolchain is present), optionally attach the on-disk
+    /// build-cache index, and start the worker pool.
+    pub fn with_options(schema: &Schema, opts: EngineOptions) -> io::Result<QueryEngine> {
+        std::fs::create_dir_all(&opts.gen_dir)?;
+        if opts.persist_cache {
+            let loaded = dblab_codegen::build_cache::enable_persistence(&opts.gen_dir)?;
+            if loaded > 0 {
+                eprintln!(
+                    "QueryEngine: warm start — {loaded} artifact(s) restored from {}",
+                    opts.gen_dir.display()
+                );
+            }
+        }
+        let (native, degraded) = resolve_native(&opts.native);
+        let sched = Scheduler::from_registry(&opts.config).unwrap_or_else(|e| {
+            panic!(
+                "config `{}` has no valid schedule DAG: {e}",
+                opts.config.name
+            )
+        });
+        let shared = Arc::new(EngineShared {
+            schema: schema.clone(),
+            cfg: opts.config,
+            gen_dir: opts.gen_dir,
+            native,
+            degraded,
+            warned: AtomicBool::new(false),
+            sched,
+            seed: opts.seed,
+            candidates: opts.schedule_candidates.max(1),
+            build_seq: AtomicU64::new(0),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cvar: Condvar::new(),
+        });
+        let worker_count = if shared.native.is_some() {
+            opts.workers.max(1)
+        } else {
+            0
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dblab-tierup-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn tier-up worker")
+            })
+            .collect();
+        Ok(QueryEngine { shared, workers })
+    }
+
+    /// Prepare a query for serving: compile tier 0 synchronously (interp,
+    /// zero build — the handle executes immediately) and enqueue the
+    /// native tier-up for the worker pool. Never errors on a missing
+    /// toolchain; the handle just stays at tier 0.
+    pub fn prepare(&self, prog: &QueryProgram) -> io::Result<PreparedQuery> {
+        let name = self.auto_name(prog);
+        self.prepare_named(prog, &name)
+    }
+
+    /// [`QueryEngine::prepare`] with an explicit artifact-name stem
+    /// (benches and tests name handles after the query).
+    pub fn prepare_named(&self, prog: &QueryProgram, name: &str) -> io::Result<PreparedQuery> {
+        let s = &self.shared;
+        let t0 = Instant::now();
+        let cq = dblab_transform::compile(prog, &s.schema, &s.cfg);
+        let stage_report = cq.stage_report();
+        let art = Compiler::new(&s.schema)
+            .config(&s.cfg)
+            .backend(Box::new(InterpBackend))
+            .out_dir(&s.gen_dir)
+            .build_staged(cq, name)?;
+        let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let inner = Arc::new(PreparedInner {
+            name: name.to_string(),
+            prepared_at: Instant::now(),
+            prepare_ms,
+            stage_report,
+            active: RwLock::new(Active {
+                exe: Arc::from(art.exe),
+                tier: Tier::Interp,
+                backend: "interp",
+            }),
+            meta: Mutex::new(Meta::default()),
+            cvar: Condvar::new(),
+            swaps: AtomicU64::new(0),
+            first_result_ms: Mutex::new(None),
+            lat_interp: Mutex::new(LatencySummary::default()),
+            lat_native: Mutex::new(LatencySummary::default()),
+        });
+
+        match s.native {
+            Some(_) => {
+                let mut q = s.queue.lock().unwrap();
+                q.jobs.push_back(Job {
+                    prepared: Arc::downgrade(&inner),
+                    prog: prog.clone(),
+                });
+                drop(q);
+                s.cvar.notify_one();
+            }
+            None => {
+                let reason = s
+                    .degraded
+                    .clone()
+                    .unwrap_or_else(|| "native tier disabled".to_string());
+                s.warn_once(&format!(
+                    "{reason} — serving the interpreter tier permanently"
+                ));
+                inner.meta.lock().unwrap().pinned = Some(reason);
+            }
+        }
+        Ok(PreparedQuery { inner })
+    }
+
+    /// The resolved tier-1 backend, `None` when the engine is degraded or
+    /// native was disabled.
+    pub fn native_backend(&self) -> Option<&'static str> {
+        self.shared.native
+    }
+
+    /// Why the native tier is unavailable, when it is.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        self.shared.degraded.as_deref()
+    }
+
+    /// Tier-up jobs not yet picked up by a worker.
+    pub fn pending_jobs(&self) -> usize {
+        self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// The configuration queries compile under.
+    pub fn config(&self) -> &StackConfig {
+        &self.shared.cfg
+    }
+
+    /// Stable artifact stem from program text + configuration (the
+    /// backend name is appended per tier by the workers). Only names
+    /// files — artifact *reuse* is keyed on emitted-source hashes in the
+    /// build cache, not on this stem.
+    fn auto_name(&self, prog: &QueryProgram) -> String {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{prog:?}").hash(&mut h);
+        self.shared.cfg.name.hash(&mut h);
+        format!("serve_{:016x}", h.finish())
+    }
+}
+
+impl Drop for QueryEngine {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.cvar.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Resolve the tier-1 backend: the chosen (or first available) native
+/// toolchain, or `None` with a reason.
+fn resolve_native(choice: &NativeChoice) -> (Option<&'static str>, Option<String>) {
+    match choice {
+        NativeChoice::Disabled => (None, Some("native tier disabled by configuration".into())),
+        NativeChoice::Auto => {
+            for name in ["gcc", "rustc"] {
+                if let Some(b) = backend(name) {
+                    if b.available() {
+                        return (Some(b.name()), None);
+                    }
+                }
+            }
+            (
+                None,
+                Some("no native toolchain present (tried gcc, rustc)".into()),
+            )
+        }
+        NativeChoice::Backend(name) => match backend(name) {
+            Some(b) if b.available() => (Some(b.name()), None),
+            Some(b) => (
+                None,
+                Some(format!(
+                    "backend `{}` unavailable (requires {})",
+                    b.name(),
+                    b.requirement()
+                )),
+            ),
+            None => (None, Some(format!("unknown backend `{name}`"))),
+        },
+    }
+}
+
+fn worker_loop(shared: &Arc<EngineShared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cvar.wait(q).unwrap();
+            }
+        };
+        // The handle may have been dropped while the job sat in the
+        // queue; compiling for nobody helps nobody.
+        let Some(inner) = job.prepared.upgrade() else {
+            continue;
+        };
+        match tier_up(shared, &job.prog, &inner) {
+            Ok(()) => {}
+            Err(e) => {
+                let msg = format!("native tier-up for `{}` failed: {e}", inner.name);
+                shared.warn_once(&msg);
+                let mut meta = inner.meta.lock().unwrap();
+                meta.pinned = Some(msg);
+                inner.cvar.notify_all();
+            }
+        }
+    }
+}
+
+/// One background compile: cost-scored schedule through the memoized
+/// stack, native build through the (possibly disk-backed) build cache,
+/// then the atomic swap.
+fn tier_up(
+    shared: &EngineShared,
+    prog: &QueryProgram,
+    inner: &Arc<PreparedInner>,
+) -> Result<(), String> {
+    let bname = shared
+        .native
+        .expect("tier-up only enqueued with a native backend");
+    let cs = stack::compile_cost_scored(
+        &shared.sched,
+        prog,
+        &shared.schema,
+        shared.seed,
+        shared.candidates,
+    )?;
+    let gen_ms = cs.cq.gen_time.as_secs_f64() * 1e3;
+    // The artifact name carries a per-engine sequence number: two
+    // handles prepared for the same program share a deterministic stem,
+    // and two workers building them concurrently must never hand the
+    // toolchain the same `-o` path (a torn binary would be hot-swapped
+    // in). Reuse still happens where it is safe — the build cache keys
+    // on emitted source, not on this file name.
+    let seq = shared.build_seq.fetch_add(1, Ordering::Relaxed);
+    let art = Compiler::new(&shared.schema)
+        .config(&shared.cfg)
+        .backend(backend(bname).expect("resolved at construction"))
+        .out_dir(&shared.gen_dir)
+        .build_staged(cs.cq, &format!("{}_{seq}_{bname}", inner.name))
+        .map_err(|e| e.to_string())?;
+    let report = TierUpReport {
+        backend: art.backend,
+        gen_ms,
+        build_ms: art.exe.build_time().as_secs_f64() * 1e3,
+        build_cached: art.build_cached,
+        order: cs.order,
+        non_baseline: cs.non_baseline,
+        explored: cs.explored,
+        elapsed_ms: inner.prepared_at.elapsed().as_secs_f64() * 1e3,
+    };
+    // The swap: writers are rare (one per tier-up), readers clone the Arc
+    // out in O(1) — an in-flight tier-0 run keeps its executable alive
+    // through its own Arc and simply finishes on the old tier.
+    {
+        let mut act = inner.active.write().unwrap();
+        act.exe = Arc::from(art.exe);
+        act.tier = Tier::Native;
+        act.backend = report.backend;
+    }
+    inner.swaps.fetch_add(1, Ordering::AcqRel);
+    {
+        let mut meta = inner.meta.lock().unwrap();
+        meta.tier_up = Some(report);
+    }
+    inner.cvar.notify_all();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_catalog::{ColType, TableDef};
+    use dblab_frontend::expr::*;
+    use dblab_frontend::qplan::{AggFunc, QPlan};
+    use dblab_runtime::{Database, Table, Value};
+
+    fn schema(table: &str) -> Schema {
+        let mut s = Schema::new(vec![TableDef::new(
+            table,
+            vec![("k", ColType::Int), ("v", ColType::Int)],
+        )
+        .with_primary_key(&["k"])]);
+        let def = s.table_mut(table);
+        def.stats.row_count = 16;
+        def.stats.int_max = vec![16; 2];
+        def.stats.distinct = vec![16; 2];
+        s
+    }
+
+    fn data(schema: &Schema, table: &str, tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dblab_service_{tag}"));
+        let mut t = Table::empty(schema.table(table));
+        for i in 0..16 {
+            t.push_row(vec![Value::Int(i), Value::Int(i % 4)]);
+        }
+        let db = Database {
+            schema: schema.clone(),
+            tables: vec![t],
+            dir: dir.clone(),
+        };
+        db.write_all().expect("write .tbl");
+        dir
+    }
+
+    fn sum_query(table: &str) -> QueryProgram {
+        QueryProgram::new(QPlan::scan(table).select(col("v").gt(lit_i(0))).agg(
+            vec![],
+            vec![("n", AggFunc::Count), ("s", AggFunc::Sum(col("v")))],
+        ))
+    }
+
+    #[test]
+    fn disabled_native_serves_interp_permanently_without_errors() {
+        let schema = schema("svc_disabled");
+        let dir = data(&schema, "svc_disabled", "disabled");
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                native: NativeChoice::Disabled,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        assert_eq!(engine.native_backend(), None);
+        assert!(engine.degraded_reason().is_some());
+
+        let q = engine.prepare(&sum_query("svc_disabled")).expect("prepare");
+        assert_eq!(q.tier(), Tier::Interp);
+        // wait_for_native returns immediately: the handle is pinned.
+        assert!(!q.wait_for_native(Duration::from_secs(5)));
+        let run = q.execute(&dir).expect("tier 0 serves");
+        assert_eq!(run.tier, Tier::Interp);
+        assert_eq!(run.output.stdout.trim(), "12|24");
+        assert_eq!(q.swap_count(), 0);
+        let stats = q.stats();
+        assert!(stats.pinned_to_interp.is_some());
+        assert!(stats.first_result_ms.is_some());
+        assert!(q.report().contains("tier interp permanently"));
+    }
+
+    #[test]
+    fn unknown_backend_degrades_instead_of_erroring() {
+        let schema = schema("svc_unknown");
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                native: NativeChoice::Backend("cranelift".into()),
+                workers: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        assert_eq!(engine.native_backend(), None);
+        let q = engine.prepare(&sum_query("svc_unknown")).expect("prepare");
+        assert!(!q.wait_for_native(Duration::from_millis(10)));
+        assert!(q
+            .stats()
+            .pinned_to_interp
+            .expect("pinned")
+            .contains("cranelift"));
+    }
+
+    #[test]
+    fn prepare_serves_immediately_and_tiers_up_in_the_background() {
+        let gcc = backend("gcc").expect("registered");
+        if !gcc.available() {
+            eprintln!("(skipping: gcc not present)");
+            return;
+        }
+        let schema = schema("svc_tierup");
+        let dir = data(&schema, "svc_tierup", "tierup");
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                gen_dir: std::env::temp_dir().join("dblab_service_tierup_gen"),
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        let q = engine.prepare(&sum_query("svc_tierup")).expect("prepare");
+
+        // Tier 0 answers without waiting for gcc.
+        let first = q.execute(&dir).expect("immediate");
+        assert_eq!(first.tier, Tier::Interp);
+        assert_eq!(first.output.stdout.trim(), "12|24");
+
+        assert!(
+            q.wait_for_native(Duration::from_secs(120)),
+            "tier-up must land: {:?}",
+            q.stats().pinned_to_interp
+        );
+        assert_eq!(q.swap_count(), 1);
+        let after = q.execute(&dir).expect("post-swap");
+        assert_eq!(after.tier, Tier::Native);
+        assert_eq!(after.output.stdout.trim(), "12|24");
+
+        let stats = q.stats();
+        let up = stats.tier_up.expect("report recorded");
+        assert_eq!(up.backend, "gcc");
+        assert!(up.elapsed_ms >= 0.0);
+        assert!(stats.interp.runs >= 1 && stats.native.runs >= 1);
+        assert!(q.report().contains("tier native via gcc"));
+    }
+}

@@ -521,7 +521,7 @@ impl Interp<'_> {
             PrimOp::StrStartsWith => V::B(v[0].s().starts_with(&*v[1].s())),
             PrimOp::StrEndsWith => V::B(v[0].s().ends_with(&*v[1].s())),
             PrimOp::StrContains => V::B(v[0].s().contains(&*v[1].s())),
-            PrimOp::StrLike => V::B(dblab_engine::eval::like_match(&v[0].s(), &v[1].s())),
+            PrimOp::StrLike => V::B(dblab_runtime::like::like_match(&v[0].s(), &v[1].s())),
             PrimOp::StrSubstr => {
                 let s = v[0].s();
                 let from = (v[1].i() as usize).saturating_sub(1).min(s.len());

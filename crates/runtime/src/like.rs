@@ -1,0 +1,54 @@
+//! SQL `LIKE` matching over runtime strings.
+//!
+//! Lives here (rather than in the Volcano engine where it started) because
+//! every execution tier needs it: the reference engine's scalar evaluator,
+//! the IR interpreter's `StrLike` primitive, and — by way of the generated
+//! runtimes — the native backends all implement the same semantics.
+
+/// SQL LIKE with `%` wildcards only (what TPC-H uses): the pattern is split
+/// on `%`; segments must occur in order, anchored at the ends when the
+/// pattern does not start/end with `%`.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let segments: Vec<&str> = pattern.split('%').collect();
+    let anchored_start = !pattern.starts_with('%');
+    let anchored_end = !pattern.ends_with('%');
+    let mut pos = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.is_empty() {
+            continue;
+        }
+        if i == 0 && anchored_start {
+            if !s.starts_with(seg) {
+                return false;
+            }
+            pos = seg.len();
+        } else if i == segments.len() - 1 && anchored_end {
+            return s.len() >= pos + seg.len() && s.ends_with(seg);
+        } else {
+            match s[pos..].find(seg) {
+                Some(at) => pos += at + seg.len(),
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_semantics() {
+        assert!(like_match("special requests", "%special%requests%"));
+        assert!(!like_match("special demands", "%special%requests%"));
+        assert!(like_match("PROMO X", "PROMO%"));
+        assert!(!like_match("X PROMO", "PROMO%"));
+        assert!(like_match("a POLISHED STEEL", "%STEEL"));
+        assert!(!like_match("STEEL a", "%STEEL"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("abcbc", "a%bc"));
+        assert!(like_match("ab", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+}

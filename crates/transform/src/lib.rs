@@ -52,5 +52,7 @@ pub mod string_dict;
 
 pub use config::StackConfig;
 pub use pass::{Pass, PassCtx, PassKind};
-pub use schedule::Scheduler;
-pub use stack::{compile, compile_ordered, CompiledQuery, StageSnapshot};
+pub use schedule::{ScheduleChoice, Scheduler};
+pub use stack::{
+    compile, compile_cost_scored, compile_ordered, CompiledQuery, CostScored, StageSnapshot,
+};

@@ -59,7 +59,7 @@ fn cache() -> &'static Mutex<HashMap<PassKey, Program>> {
 }
 
 /// Cumulative process-wide counters (monotone; tests assert on deltas).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,

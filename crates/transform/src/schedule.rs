@@ -582,6 +582,175 @@ impl Scheduler {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cost-scored schedule selection
+// ---------------------------------------------------------------------
+
+/// Recorded compile latency per (configuration, schedule).
+///
+/// Every valid schedule runs the same passes, so a per-pass cost model
+/// cannot rank them — what differs between orders is how they interact
+/// with the memo (prefix sharing) and how large the IR is when each pass
+/// meets it. Both effects are only visible in *measured whole-schedule
+/// latency*, so that is what this model records: the [`cost`] table maps
+/// `(config name, order)` to an EWMA of observed generation time plus the
+/// per-compile memo traffic ([`crate::memo::StatsScope`] keeps those
+/// tallies honest under concurrent serving).
+pub mod cost {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    use crate::memo::CacheStats;
+
+    /// Observed compile cost of one (config, order) pair.
+    #[derive(Debug, Clone, Copy)]
+    pub struct OrderCost {
+        /// How many compiles have been recorded.
+        pub runs: u64,
+        /// Exponentially weighted moving average of generation time (ms) —
+        /// the score schedules are ranked by. Warm compiles dominate it
+        /// quickly, which is the point: steady-state latency is what a
+        /// serving engine keeps paying.
+        pub ewma_ms: f64,
+        /// The most recent observation (ms).
+        pub last_ms: f64,
+        /// Cumulative pass-memo traffic attributed to this pair.
+        pub memo_hits: u64,
+        pub memo_misses: u64,
+    }
+
+    /// Weight of the newest observation in the EWMA.
+    const ALPHA: f64 = 0.5;
+
+    type Model = HashMap<(String, Vec<String>), OrderCost>;
+
+    static MODEL: OnceLock<Mutex<Model>> = OnceLock::new();
+
+    fn model() -> &'static Mutex<Model> {
+        MODEL.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn key(cfg: &str, order: &[&str]) -> (String, Vec<String>) {
+        (
+            cfg.to_string(),
+            order.iter().map(|s| s.to_string()).collect(),
+        )
+    }
+
+    /// Record one measured compile of `order` under `cfg`.
+    pub fn record(cfg: &str, order: &[&str], gen_ms: f64, memo: CacheStats) {
+        let mut m = model().lock().unwrap();
+        match m.get_mut(&key(cfg, order)) {
+            Some(c) => {
+                c.runs += 1;
+                c.ewma_ms = (1.0 - ALPHA) * c.ewma_ms + ALPHA * gen_ms;
+                c.last_ms = gen_ms;
+                c.memo_hits += memo.hits;
+                c.memo_misses += memo.misses;
+            }
+            None => {
+                m.insert(
+                    key(cfg, order),
+                    OrderCost {
+                        runs: 1,
+                        ewma_ms: gen_ms,
+                        last_ms: gen_ms,
+                        memo_hits: memo.hits,
+                        memo_misses: memo.misses,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The recorded cost of `order` under `cfg`, if any compile of that
+    /// pair has been measured.
+    pub fn score(cfg: &str, order: &[&str]) -> Option<OrderCost> {
+        model().lock().unwrap().get(&key(cfg, order)).copied()
+    }
+
+    /// Number of distinct orders recorded for `cfg`.
+    pub fn recorded_orders(cfg: &str) -> usize {
+        model()
+            .lock()
+            .unwrap()
+            .keys()
+            .filter(|(c, _)| c == cfg)
+            .count()
+    }
+
+    /// Forget every recorded measurement (tests and cold-start benches).
+    pub fn clear() {
+        model().lock().unwrap().clear();
+    }
+}
+
+/// The schedule [`Scheduler::cost_scored_order`] settled on, and why.
+#[derive(Debug, Clone)]
+pub struct ScheduleChoice {
+    /// The schedule to compile with (always valid for this DAG).
+    pub order: Vec<&'static str>,
+    /// Whether the pick differs from the baseline (registry) order.
+    pub non_baseline: bool,
+    /// `true` while the model is still measuring unscored candidates (the
+    /// pick is an exploration, not a cost judgment).
+    pub explored: bool,
+    /// The recorded EWMA (ms) that justified an exploitation pick; `None`
+    /// during exploration.
+    pub expected_ms: Option<f64>,
+}
+
+impl Scheduler {
+    /// The candidate schedules cost scoring ranks: the baseline first,
+    /// then up to `candidates - 1` sampled distinct orders (seeded, so
+    /// one serving process keeps scoring the same pool and the [`cost`]
+    /// model converges instead of chasing fresh orders forever).
+    pub fn candidate_orders(&self, seed: u64, candidates: usize) -> Vec<Vec<&'static str>> {
+        let baseline = self.baseline();
+        let mut out = vec![baseline.clone()];
+        for o in self.sample_orders(seed, candidates.max(1)) {
+            if o != baseline && out.len() < candidates.max(1) {
+                out.push(o);
+            }
+        }
+        out
+    }
+
+    /// Pick a schedule by recorded warm-compile latency: measure every
+    /// candidate once (in candidate order, so a cold process starts at
+    /// the baseline), then keep picking the candidate with the lowest
+    /// recorded EWMA. Feed measurements back via [`cost::record`] — the
+    /// driver's [`crate::stack::compile_cost_scored`] does both halves.
+    pub fn cost_scored_order(&self, seed: u64, candidates: usize) -> ScheduleChoice {
+        let cfg = self.cfg.name;
+        let pool = self.candidate_orders(seed, candidates);
+        for order in &pool {
+            if cost::score(cfg, order).is_none() {
+                return ScheduleChoice {
+                    non_baseline: *order != self.baseline(),
+                    order: order.clone(),
+                    explored: true,
+                    expected_ms: None,
+                };
+            }
+        }
+        let (order, best) = pool
+            .into_iter()
+            .map(|o| {
+                let c = cost::score(cfg, &o).expect("all candidates scored");
+                (o, c.ewma_ms)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("candidate pool is never empty");
+        ScheduleChoice {
+            non_baseline: order != self.baseline(),
+            order,
+            explored: false,
+            expected_ms: Some(best),
+        }
+    }
+}
+
 /// Tiny deterministic generator for schedule sampling (splitmix64 —
 /// self-contained so the scheduler depends on nothing outside this
 /// crate).
@@ -748,6 +917,82 @@ mod tests {
         let s = Scheduler::from_registry(&StackConfig::level2()).expect("valid DAG");
         assert!(s.names().contains(&"field-removal"));
         assert!(!s.names().contains(&"memory-hoisting"));
+    }
+
+    #[test]
+    fn cost_model_records_and_averages() {
+        // A config name unique to this test: the model is process-wide.
+        let cfg = "cost-model-unit";
+        let order = ["a", "b", "c"];
+        assert!(cost::score(cfg, &order).is_none());
+        cost::record(
+            cfg,
+            &order,
+            10.0,
+            crate::memo::CacheStats { hits: 3, misses: 1 },
+        );
+        let c = cost::score(cfg, &order).expect("recorded");
+        assert_eq!(c.runs, 1);
+        assert_eq!(c.ewma_ms, 10.0);
+        assert_eq!((c.memo_hits, c.memo_misses), (3, 1));
+        cost::record(
+            cfg,
+            &order,
+            2.0,
+            crate::memo::CacheStats { hits: 4, misses: 0 },
+        );
+        let c = cost::score(cfg, &order).expect("recorded");
+        assert_eq!(c.runs, 2);
+        assert!(c.ewma_ms < 10.0 && c.ewma_ms > 2.0, "EWMA moved: {c:?}");
+        assert_eq!(c.last_ms, 2.0);
+        assert_eq!(cost::recorded_orders(cfg), 1);
+        // A different order under the same config is a separate entry.
+        cost::record(cfg, &["c", "b", "a"], 5.0, Default::default());
+        assert_eq!(cost::recorded_orders(cfg), 2);
+    }
+
+    #[test]
+    fn cost_scoring_explores_then_picks_the_cheapest() {
+        // Unique config name: the cost model is keyed by it, and other
+        // tests in this binary share the process-wide table.
+        let cfg = StackConfig {
+            name: "cost-scored-unit",
+            ..StackConfig::level5()
+        };
+        let s = Scheduler::from_registry(&cfg).expect("valid DAG");
+        let pool = s.candidate_orders(42, 4);
+        assert_eq!(pool.len(), 4, "level-5 DAG fills the candidate pool");
+        assert_eq!(pool[0], s.baseline(), "baseline is always a candidate");
+
+        // Exploration: candidates are measured in pool order, baseline
+        // first; every exploration pick is unscored at pick time.
+        for (i, expect) in pool.iter().enumerate() {
+            let choice = s.cost_scored_order(42, 4);
+            assert!(choice.explored, "candidate {i} is an exploration");
+            assert_eq!(&choice.order, expect);
+            assert_eq!(choice.non_baseline, i != 0);
+            assert_eq!(choice.expected_ms, None);
+            // Pretend candidate i took (i == 2 ? 1ms : 10+i ms): the third
+            // candidate is the cheapest.
+            let ms = if i == 2 { 1.0 } else { 10.0 + i as f64 };
+            cost::record(cfg.name, &choice.order, ms, Default::default());
+        }
+
+        // Exploitation: every candidate is scored; the cheapest wins, and
+        // it is a non-baseline order.
+        let choice = s.cost_scored_order(42, 4);
+        assert!(!choice.explored);
+        assert_eq!(choice.order, pool[2]);
+        assert!(choice.non_baseline);
+        assert_eq!(choice.expected_ms, Some(1.0));
+        // New measurements keep steering the pick: make the baseline far
+        // cheaper and it takes over.
+        for _ in 0..8 {
+            cost::record(cfg.name, &pool[0], 0.1, Default::default());
+        }
+        let choice = s.cost_scored_order(42, 4);
+        assert_eq!(choice.order, pool[0]);
+        assert!(!choice.non_baseline);
     }
 
     #[test]

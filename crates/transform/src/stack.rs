@@ -216,6 +216,59 @@ pub fn compile_scheduled(
     ))
 }
 
+/// A compile whose schedule was picked by recorded cost (see
+/// [`crate::schedule::cost`]): the stack output plus the provenance of
+/// the scheduling decision, for serving-layer telemetry.
+#[derive(Debug, Clone)]
+pub struct CostScored {
+    pub cq: CompiledQuery,
+    /// The schedule the compile actually ran.
+    pub order: Vec<&'static str>,
+    /// Whether that schedule differs from the baseline (registry) order.
+    pub non_baseline: bool,
+    /// `true` when the pick was an exploration (candidate not yet
+    /// measured), `false` when the model judged it cheapest.
+    pub explored: bool,
+    /// This compile's own pass-memo traffic (scoped, so concurrent
+    /// compiles on other threads do not pollute it).
+    pub memo: crate::memo::CacheStats,
+}
+
+/// Compile through the **cheapest recorded schedule**: ask the scheduler
+/// for a cost-scored order (explore unmeasured candidates first, then
+/// exploit the lowest recorded warm-compile latency), run it through the
+/// contract-checked driver, and feed the measured generation time and
+/// scoped memo traffic back into the cost model — each compile both uses
+/// and trains the model.
+pub fn compile_cost_scored(
+    sched: &crate::schedule::Scheduler,
+    prog: &QueryProgram,
+    schema: &Schema,
+    seed: u64,
+    candidates: usize,
+) -> Result<CostScored, String> {
+    let choice = sched.cost_scored_order(seed, candidates);
+    let scope = crate::memo::StatsScope::new();
+    let (cq, _) = {
+        let _guard = scope.enter();
+        compile_scheduled(sched, prog, schema, &choice.order, false)?
+    };
+    let memo = scope.stats();
+    crate::schedule::cost::record(
+        sched.config().name,
+        &choice.order,
+        cq.gen_time.as_secs_f64() * 1e3,
+        memo,
+    );
+    Ok(CostScored {
+        cq,
+        order: choice.order,
+        non_baseline: choice.non_baseline,
+        explored: choice.explored,
+        memo,
+    })
+}
+
 /// Front-end lowering into the top IR level, optimized to fixpoint — the
 /// one definition of this step, shared by the driver and the scheduler's
 /// commutation checker (so they can never diverge on the lowering or its
@@ -418,6 +471,51 @@ mod tests {
         assert_eq!(
             dblab_ir::hash::program_hash(&cq.program),
             dblab_ir::hash::program_hash(&baseline.program),
+        );
+    }
+
+    #[test]
+    fn cost_scored_compile_trains_the_model_and_converges() {
+        let schema = schema();
+        // Unique config name: the cost model is process-wide and keyed by
+        // it, and other tests in this binary compile at level-5.
+        let cfg = StackConfig {
+            name: "cost-scored-stack-unit",
+            ..StackConfig::level5()
+        };
+        let q = join_count_query();
+        let sched = crate::schedule::Scheduler::from_registry(&cfg).expect("dag");
+        let baseline = compile(&q, &schema, &cfg);
+        let pool = sched.candidate_orders(11, 3);
+
+        // One compile per candidate (exploration), then one more
+        // (exploitation): every compile's result matches the baseline IR
+        // — scheduling is a performance decision, never a semantic one.
+        let mut picked_non_baseline = false;
+        for i in 0..=pool.len() {
+            let cs = compile_cost_scored(&sched, &q, &schema, 11, 3).expect("valid");
+            assert_eq!(
+                dblab_ir::hash::program_hash(&cs.cq.program),
+                dblab_ir::hash::program_hash(&baseline.program),
+                "cost-scored compile {i} diverged"
+            );
+            assert_eq!(cs.explored, i < pool.len(), "compile {i}");
+            picked_non_baseline |= cs.non_baseline;
+            // The compile recorded itself: the model has i+1 or pool.len()
+            // orders for this config.
+            assert_eq!(
+                crate::schedule::cost::recorded_orders(cfg.name),
+                (i + 1).min(pool.len())
+            );
+            assert_eq!(
+                cs.memo.hits + cs.memo.misses,
+                (cs.cq.stages.len() - 1) as u64,
+                "scoped stats cover exactly this compile's passes"
+            );
+        }
+        assert!(
+            picked_non_baseline,
+            "exploration must have tried a non-baseline order"
         );
     }
 
