@@ -211,7 +211,7 @@ fn main() {
     let rows: Mutex<Vec<Option<Row>>> = Mutex::new((0..orders.len()).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for _ in 0..args.threads.min(orders.len()).max(1) {
+        for _ in 0..args.build_jobs.min(orders.len()).max(1) {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= orders.len() {
@@ -244,12 +244,12 @@ fn main() {
     // Human-readable table: per-ordering deltas vs the baseline row.
     let base = &rows[0];
     println!(
-        "# {} orderings x {} queries (sf {}, backend {}, {} threads, seed {})",
+        "# {} orderings x {} queries (sf {}, backend {}, {} workers, seed {})",
         rows.len(),
         args.queries.len(),
         args.sf,
         effective_backend,
-        args.threads,
+        args.build_jobs,
         args.seed,
     );
     println!(

@@ -20,9 +20,13 @@
 //!     --sf 0.01 --queries 1,3,6 --threads 4 --persist-cache --json serve.json
 //! ```
 //!
-//! `--backend NAME` pins the native tier (`auto`/`interp` = first
-//! available of gcc, rustc); `--orderings K` sizes the cost-scored
-//! schedule candidate pool; `--seed` makes the pool reproducible.
+//! `--threads N` is the intra-query execution-thread knob (the engine
+//! serves morsel-parallel plans); `--build-jobs` sizes the engine's
+//! background tier-up pool; `--iterations` is the steady-state repeat
+//! count. `--backend NAME` pins the native tier (`auto`/`interp` =
+//! first available of gcc, rustc); `--orderings K` sizes the
+//! cost-scored schedule candidate pool; `--seed` makes the pool
+//! reproducible.
 
 use std::time::Duration;
 
@@ -69,12 +73,16 @@ fn serve_phase(
     data: &std::path::Path,
     oracles: &[String],
 ) -> (Vec<Row>, Option<&'static str>) {
+    // `--threads N` flows into the stack config: the engine's prepared
+    // plans (interpreted tier 0 included) are the morsel-parallel ones.
+    let mut config = StackConfig::level5();
+    config.threads = args.threads;
     let engine = QueryEngine::with_options(
         schema,
         EngineOptions {
-            config: StackConfig::level5(),
+            config,
             gen_dir: gen_dir.to_path_buf(),
-            workers: args.threads,
+            workers: args.build_jobs,
             native: native_choice(args),
             persist_cache: args.persist_cache,
             schedule_candidates: args.orderings,
@@ -103,11 +111,12 @@ fn serve_phase(
                 eprintln!("({label}: Q{q} stays on the interpreter — {reason})");
             }
         }
-        // Steady state: best of `--runs` on whatever tier is now active.
+        // Steady state: best of `--iterations` on whatever tier is now
+        // active.
         let steady = {
             let mut best = f64::INFINITY;
             let mut agree = true;
-            for _ in 0..args.runs.max(1) {
+            for _ in 0..args.iterations.max(1) {
                 let r = handle.execute(data).expect("steady execution");
                 best = best.min(r.output.query_ms);
                 agree &= same_normalized(&oracles[qi], &r.output.stdout);
@@ -228,9 +237,10 @@ fn main() {
 
     // Phase one: a fresh engine serving the suite.
     println!(
-        "# serve — tiered execution over {} queries (SF {}, {} workers)",
+        "# serve — tiered execution over {} queries (SF {}, {} build workers, {} exec threads)",
         args.queries.len(),
         args.sf,
+        args.build_jobs,
         args.threads
     );
     let disk0 = build_cache::disk_stats();
@@ -282,8 +292,11 @@ fn main() {
 
     let mut blob = json::Obj::new()
         .str("bench", "serve")
+        .int("schema_version", 2)
         .num("sf", args.sf)
         .int("threads", args.threads as u64)
+        .int("build_jobs", args.build_jobs as u64)
+        .int("iterations", args.iterations as u64)
         .str("native_backend", native.unwrap_or("none"))
         .bool("degraded", native.is_none())
         .int("swaps_total", swaps_total)

@@ -56,10 +56,19 @@ pub fn table3_configs() -> Vec<StackConfig> {
 pub struct Args {
     pub sf: f64,
     pub runs: usize,
+    /// Timed repetitions per measured query execution (`--iterations`,
+    /// default 3). Benches that use it report the median and the min.
+    pub iterations: usize,
     pub queries: Vec<usize>,
-    /// Worker threads for the per-query build fan-out (each
-    /// `CompiledQuery` is independent and `Backend::build` is `&self`).
+    /// Intra-query execution threads (`--threads`, default 1 = today's
+    /// serial plans). Flows into [`StackConfig::threads`], where the
+    /// `parallelize-scans` pass turns morsel-friendly scans into
+    /// `ParallelFor` loops.
     pub threads: usize,
+    /// Worker threads for the per-query *build* fan-out (each
+    /// `CompiledQuery` is independent and `Backend::build` is `&self`).
+    /// `--build-jobs`, default `min(cores, 8)`.
+    pub build_jobs: usize,
     /// Where to write the machine-readable results blob, if anywhere.
     pub json: Option<PathBuf>,
     /// How many schedules the `schedules` binary sweeps (baseline + K-1
@@ -79,8 +88,10 @@ impl Args {
     pub fn parse() -> Args {
         let mut sf = DEFAULT_SF;
         let mut runs = 3;
+        let mut iterations = 3;
         let mut queries: Vec<usize> = (1..=22).collect();
-        let mut threads = std::thread::available_parallelism()
+        let mut threads = 1;
+        let mut build_jobs = std::thread::available_parallelism()
             .map(|n| n.get().min(8))
             .unwrap_or(1);
         let mut json = None;
@@ -111,6 +122,14 @@ impl Args {
                     threads = argv[i + 1].parse().expect("--threads <int>");
                     i += 2;
                 }
+                "--build-jobs" => {
+                    build_jobs = argv[i + 1].parse().expect("--build-jobs <int>");
+                    i += 2;
+                }
+                "--iterations" => {
+                    iterations = argv[i + 1].parse().expect("--iterations <int>");
+                    i += 2;
+                }
                 "--json" => {
                     json = Some(PathBuf::from(&argv[i + 1]));
                     i += 2;
@@ -137,8 +156,10 @@ impl Args {
         Args {
             sf,
             runs,
+            iterations: iterations.max(1),
             queries,
             threads: threads.max(1),
+            build_jobs: build_jobs.max(1),
             json,
             orderings: orderings.max(1),
             seed,
@@ -250,9 +271,64 @@ pub fn best_of(
     Ok(best.expect("at least one run"))
 }
 
+/// Median + min over a set of timed repetitions (`--iterations`). The
+/// median is robust to a one-off hiccup; the min is the paper-style
+/// steady-state number.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Timings {
+    pub median_ms: f64,
+    pub min_ms: f64,
+}
+
+/// Run one built query `iterations` times and fold the in-query timer
+/// into [`Timings`]; also returns the last run's stdout (all repetitions
+/// of a deterministic query print the same rows, so one copy suffices
+/// for oracle checks).
+pub fn time_query(
+    exe: &dyn dblab_codegen::Executable,
+    data: &Path,
+    iterations: usize,
+) -> std::io::Result<(Timings, dblab_codegen::RunOutput)> {
+    let mut samples = Vec::with_capacity(iterations.max(1));
+    let mut last = None;
+    for _ in 0..iterations.max(1) {
+        let out = exe.run(data)?;
+        samples.push(out.query_ms);
+        last = Some(out);
+    }
+    Ok((timings(&mut samples), last.expect("at least one run")))
+}
+
+/// Fold raw millisecond samples into [`Timings`] (sorts in place; the
+/// even-count median averages the middle pair).
+pub fn timings(samples: &mut [f64]) -> Timings {
+    assert!(!samples.is_empty(), "timings over zero samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let n = samples.len();
+    let median_ms = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    };
+    Timings {
+        median_ms,
+        min_ms: samples[0],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_and_min_fold() {
+        let t = timings(&mut [5.0, 1.0, 3.0]);
+        assert_eq!(t.median_ms, 3.0);
+        assert_eq!(t.min_ms, 1.0);
+        let t = timings(&mut [4.0, 2.0, 8.0, 6.0]);
+        assert_eq!(t.median_ms, 5.0);
+        assert_eq!(t.min_ms, 2.0);
+    }
 
     #[test]
     fn config_rows_match_table3() {

@@ -144,23 +144,53 @@ pub fn run_binary(binary: &Path, data_dir: &Path) -> io::Result<RunOutput> {
     })
 }
 
+/// Split one result text into `|`-separated rows and sort them into a
+/// canonical order: field-wise, numerics by value, everything else
+/// lexicographic. Both sides of a comparison go through the same
+/// normalization, so *row order* never decides conformance — morsel
+/// partition merges relink hash chains in a thread-dependent order, and
+/// an unordered aggregate legitimately prints its groups differently at
+/// `threads = 1` and `threads = 4`.
+fn normalized_rows(s: &str) -> Vec<Vec<&str>> {
+    let mut rows: Vec<Vec<&str>> = s.lines().map(|l| l.split('|').collect()).collect();
+    rows.sort_by(|x, y| {
+        for (u, v) in x.iter().zip(y.iter()) {
+            let ord = match (u.parse::<f64>(), v.parse::<f64>()) {
+                // Value order, not text order: "9.5" sorts before "10.2",
+                // and it is monotone — rows further apart than the print
+                // rounding can never swap sides between two outputs.
+                (Ok(a), Ok(b)) => a.total_cmp(&b),
+                _ => u.cmp(v),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        x.len().cmp(&y.len())
+    });
+    rows
+}
+
 /// Normalized result comparison shared by the differential tests, the
-/// backend-conformance suite and `tpch_showdown`'s oracle check:
+/// backend-conformance suite and `tpch_showdown`'s oracle check: rows
+/// sorted into a canonical order (see [`normalized_rows`]), then
 /// field-wise with a small numeric tolerance (C prints through `%.4f`,
 /// Rust through `{:.4}`; rounding can differ in the last digit).
+///
+/// Two rows whose sort keys differ only *within* the tolerance may pair
+/// up either way after sorting — both pairings pass, so the sort's
+/// instability on near-ties is harmless.
 pub fn same_normalized(a: &str, b: &str) -> bool {
-    let la: Vec<&str> = a.lines().collect();
-    let lb: Vec<&str> = b.lines().collect();
-    if la.len() != lb.len() {
+    let ra = normalized_rows(a);
+    let rb = normalized_rows(b);
+    if ra.len() != rb.len() {
         return false;
     }
-    for (x, y) in la.iter().zip(&lb) {
-        let fx: Vec<&str> = x.split('|').collect();
-        let fy: Vec<&str> = y.split('|').collect();
+    for (fx, fy) in ra.iter().zip(&rb) {
         if fx.len() != fy.len() {
             return false;
         }
-        for (u, v) in fx.iter().zip(&fy) {
+        for (u, v) in fx.iter().zip(fy) {
             if u == v {
                 continue;
             }
@@ -171,6 +201,42 @@ pub fn same_normalized(a: &str, b: &str) -> bool {
         }
     }
     true
+}
+
+#[cfg(test)]
+mod normalize_tests {
+    use super::same_normalized;
+
+    #[test]
+    fn row_order_is_irrelevant() {
+        // A partition merge may emit groups in any order; the shuffled
+        // text must still conform.
+        let oracle = "A|1|10.5000\nB|2|20.2500\nC|3|30.1250\n";
+        let shuffled = "C|3|30.1250\nA|1|10.5000\nB|2|20.2500\n";
+        assert!(same_normalized(oracle, shuffled));
+        assert!(same_normalized(shuffled, oracle));
+    }
+
+    #[test]
+    fn last_digit_rounding_is_tolerated_but_values_are_not() {
+        assert!(same_normalized("x|10.5001\n", "x|10.4999\n"));
+        assert!(!same_normalized("x|10.5\n", "x|11.5\n"));
+    }
+
+    #[test]
+    fn row_multiplicity_and_content_still_count() {
+        // Sorting must not turn the comparison into a set comparison.
+        assert!(!same_normalized("A|1\nA|1\n", "A|1\n"));
+        assert!(!same_normalized("A|1\nB|2\n", "A|1\nB|3\n"));
+        assert!(!same_normalized("A|1\n", "A|1|2\n"));
+    }
+
+    #[test]
+    fn numeric_fields_sort_by_value_not_text() {
+        // "9.5" < "10.2" numerically but not lexicographically; both
+        // orders must normalize to the same row sequence.
+        assert!(same_normalized("9.5|a\n10.2|b\n", "10.2|b\n9.5|a\n"));
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1096,6 +1096,145 @@ impl<'p> REmitter<'p> {
                 let call = self.printf(fmt, args);
                 self.line(depth, out, &call);
             }
+            Expr::ParallelFor {
+                lo,
+                hi,
+                var,
+                threads,
+                accs,
+                body,
+                merge,
+            } => {
+                self.fn_ctr += 1;
+                let id = self.fn_ctr;
+                let nt = *threads;
+                // Worker-visible state is copied by value into a context
+                // struct; table globals and columnar row handles are reached
+                // directly and Unit-typed syms have no value to copy.
+                let mut captured: Vec<Sym> = Vec::new();
+                for acc in accs {
+                    captured.extend(acc.init.free_syms());
+                }
+                captured.extend(body.free_syms());
+                captured.sort();
+                captured.dedup();
+                captured.retain(|s| {
+                    *s != *var
+                        && !accs.iter().any(|a| a.sym == *s)
+                        && !self.tables.contains_key(s)
+                        && !self.handles.contains_key(s)
+                        && *self.p.type_of(*s) != Type::Unit
+                });
+                let ctx = format!("DblabParCtx{id}");
+                let mut s = String::new();
+                let _ = writeln!(s, "struct {ctx} {{");
+                let _ = writeln!(s, "    lo: i64,");
+                let _ = writeln!(s, "    hi: i64,");
+                let _ = writeln!(s, "    next: std::sync::atomic::AtomicI64,");
+                for c in &captured {
+                    let ty = self.rty(&self.p.type_of(*c).clone());
+                    let _ = writeln!(s, "    x{}: {ty},", c.0);
+                }
+                for acc in accs {
+                    let ty = self.rty(&acc.ty);
+                    let _ = writeln!(s, "    a{}: [{ty}; {nt}],", acc.sym.0);
+                }
+                let _ = writeln!(s, "}}");
+                self.typedefs.push_str(&s);
+                // Worker: claim morsels off the shared counter, accumulate
+                // into worker-local state, publish into the per-worker slot.
+                let mut f = String::new();
+                let _ = writeln!(
+                    f,
+                    "unsafe fn dblab_par_worker_{id}(c: *mut {ctx}, dblab_w: i64) {{"
+                );
+                for c in &captured {
+                    let ty = self.rty(&self.p.type_of(*c).clone());
+                    let _ = writeln!(f, "    let x{n}: {ty} = (*c).x{n};", n = c.0);
+                }
+                for acc in accs {
+                    let mut ib = String::new();
+                    self.block(&acc.init, 1, &mut ib);
+                    f.push_str(&ib);
+                    let ty = self.rty(&acc.ty);
+                    let iv = self.atom_as(&acc.init.result, &acc.ty);
+                    let m = if acc.var { "mut " } else { "" };
+                    let _ = writeln!(f, "    let {m}x{}: {ty} = {iv};", acc.sym.0);
+                }
+                let _ = writeln!(f, "    loop {{");
+                let _ = writeln!(
+                    f,
+                    "        let mo_s = (*c).next.fetch_add(16384, \
+                     std::sync::atomic::Ordering::Relaxed);"
+                );
+                let _ = writeln!(f, "        if mo_s >= (*c).hi {{ break; }}");
+                let _ = writeln!(
+                    f,
+                    "        let mo_e = if mo_s + 16384 > (*c).hi {{ (*c).hi }} \
+                     else {{ mo_s + 16384 }};"
+                );
+                let vt = self.p.type_of(*var).clone();
+                let vty = self.rty(&vt);
+                let _ = writeln!(
+                    f,
+                    "        for x{v} in (mo_s as {vty})..(mo_e as {vty}) {{",
+                    v = var.0
+                );
+                let mut bd = String::new();
+                self.block(body, 3, &mut bd);
+                f.push_str(&bd);
+                let _ = writeln!(f, "        }}");
+                let _ = writeln!(f, "    }}");
+                for acc in accs {
+                    let _ = writeln!(f, "    (*c).a{n}[dblab_w as usize] = x{n};", n = acc.sym.0);
+                }
+                let _ = writeln!(f, "}}");
+                self.top.push_str(&f);
+                // Call site: fill the context, run a thread scope, then fold
+                // each worker's accumulators through the merge block.
+                let (l, h) = (self.atom_as(lo, &Type::Long), self.atom_as(hi, &Type::Long));
+                self.line(depth, out, "{");
+                let d = depth + 1;
+                self.line(d, out, &format!("let mut pc: {ctx} = std::mem::zeroed();"));
+                self.line(d, out, &format!("pc.lo = {l}; pc.hi = {h};"));
+                self.line(
+                    d,
+                    out,
+                    "pc.next = std::sync::atomic::AtomicI64::new(pc.lo);",
+                );
+                for c in &captured {
+                    self.line(d, out, &format!("pc.x{n} = x{n};", n = c.0));
+                }
+                self.line(
+                    d,
+                    out,
+                    &format!("let pcp = &mut pc as *mut {ctx} as usize;"),
+                );
+                self.line(d, out, "std::thread::scope(|sc| {");
+                self.line(d + 1, out, &format!("for dblab_w in 0..{nt}i64 {{"));
+                self.line(
+                    d + 2,
+                    out,
+                    &format!(
+                        "sc.spawn(move || unsafe {{ \
+                         dblab_par_worker_{id}(pcp as *mut {ctx}, dblab_w) }});"
+                    ),
+                );
+                self.line(d + 1, out, "}");
+                self.line(d, out, "});");
+                self.line(d, out, &format!("for dblab_w in 0..{nt}usize {{"));
+                for acc in accs {
+                    let ty = self.rty(&acc.ty);
+                    self.line(
+                        d + 1,
+                        out,
+                        &format!("let x{n}: {ty} = pc.a{n}[dblab_w];", n = acc.sym.0),
+                    );
+                }
+                self.block(merge, d + 1, out);
+                self.line(d, out, "}");
+                self.line(depth, out, "}");
+            }
         }
     }
 

@@ -427,6 +427,31 @@ impl Interp<'_> {
                 self.output.push_str(&line);
                 V::Unit
             }
+            // Tier 0 executes the morsel form with a single logical worker:
+            // init each accumulator, run the whole range, merge once. That
+            // is exactly the parallel semantics at worker count one, so the
+            // differential suites can compare any backend against it.
+            Expr::ParallelFor {
+                lo,
+                hi,
+                var,
+                accs,
+                body,
+                merge,
+                ..
+            } => {
+                for acc in accs {
+                    let v = self.block(&acc.init);
+                    self.set(acc.sym, v);
+                }
+                let (l, h) = (self.atom(lo).i(), self.atom(hi).i());
+                for i in l..h {
+                    self.set(*var, V::I(i));
+                    self.block(body);
+                }
+                self.block(merge);
+                V::Unit
+            }
         }
     }
 

@@ -100,6 +100,10 @@ pub fn effects_of(e: &Expr) -> Effects {
         | Expr::LoadIndexStarts { .. }
         | Expr::LoadIndexItems { .. } => Effects::IO | Effects::ALLOC,
         Expr::Printf { .. } => Effects::IO,
+        // Like ForRange: the node itself only drives control flow; its
+        // observable effects are whatever its blocks do (the merge writes
+        // shared state, so a live ParallelFor is never removable).
+        Expr::ParallelFor { .. } => Effects::PURE,
     };
     e.blocks()
         .into_iter()

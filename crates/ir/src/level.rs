@@ -255,6 +255,7 @@ fn discriminant_name(e: &Expr) -> &'static str {
         Expr::LoadIndexStarts { .. } => "LoadIndexStarts",
         Expr::LoadIndexItems { .. } => "LoadIndexItems",
         Expr::Printf { .. } => "Printf",
+        Expr::ParallelFor { .. } => "ParallelFor",
     }
 }
 

@@ -132,6 +132,15 @@ pub fn map_blocks<F: FnMut(&Block) -> Block>(e: &Expr, mut f: F) -> Expr {
         }
         Expr::SortArray { cmp, .. } => *cmp = f(cmp),
         Expr::HashMapGetOrInit { init, .. } => *init = f(init),
+        Expr::ParallelFor {
+            accs, body, merge, ..
+        } => {
+            for acc in accs {
+                acc.init = f(&acc.init);
+            }
+            *body = f(body);
+            *merge = f(merge);
+        }
         _ => {}
     }
     e

@@ -38,6 +38,13 @@ pub struct StackConfig {
     // ---- fine-grained (App. E) ---------------------------------------------
     /// `&&` → `&` branch optimization.
     pub branchless: bool,
+
+    // ---- execution ---------------------------------------------------------
+    /// Worker threads for morsel-driven intra-query parallelism. `1` means
+    /// fully serial: the parallelize-scans pass does not run and the
+    /// pipeline (and its memoized artifacts) are identical to a build that
+    /// predates the knob.
+    pub threads: usize,
 }
 
 impl StackConfig {
@@ -57,6 +64,7 @@ impl StackConfig {
             index_inference: false,
             list_spec: false,
             branchless: false,
+            threads: 1,
         }
     }
 
@@ -141,6 +149,14 @@ impl StackConfig {
         ]
         .iter()
         .fold(0u64, |acc, &b| (acc << 1) | b as u64)
+            // `threads == 1` must leave the fingerprint exactly what it was
+            // before the knob existed, so every pre-parallelism memo and
+            // build-cache entry stays valid.
+            | if self.threads > 1 {
+                (self.threads as u64) << 32
+            } else {
+                0
+            }
     }
 
     /// All Table 3 configurations in presentation order.

@@ -162,8 +162,9 @@ fn bodies_commute(a: &Block, b: &Block) -> bool {
     !conflict(&fa.writes, &fb) && !conflict(&fb.writes, &fa)
 }
 
-/// Replace every use of `from` with `to` inside a block.
-fn substitute_sym(b: &mut Block, from: dblab_ir::Sym, to: dblab_ir::Sym) {
+/// Replace every use of `from` with `to` inside a block (also used by the
+/// parallelize-scans pass to redirect loop bodies onto privatized state).
+pub(crate) fn substitute_sym(b: &mut Block, from: dblab_ir::Sym, to: dblab_ir::Sym) {
     use dblab_ir::expr::Atom;
     fn subst_atom(a: &mut Atom, from: dblab_ir::Sym, to: dblab_ir::Sym) {
         if let Atom::Sym(s) = a {
@@ -260,6 +261,10 @@ fn for_each_atom_mut(e: &mut Expr, f: &mut dyn FnMut(&mut dblab_ir::expr::Atom))
         | LoadIndexUnique { .. }
         | LoadIndexStarts { .. }
         | LoadIndexItems { .. } => {}
+        ParallelFor { lo, hi, .. } => {
+            f(lo);
+            f(hi);
+        }
     }
 }
 
@@ -274,6 +279,14 @@ fn blocks_mut(e: &mut Expr) -> Vec<&mut Block> {
         Expr::While { cond, body } => vec![cond, body],
         Expr::SortArray { cmp, .. } => vec![cmp],
         Expr::HashMapGetOrInit { init, .. } => vec![init],
+        Expr::ParallelFor {
+            accs, body, merge, ..
+        } => {
+            let mut bs: Vec<&mut Block> = accs.iter_mut().map(|a| &mut a.init).collect();
+            bs.push(body);
+            bs.push(merge);
+            bs
+        }
         _ => vec![],
     }
 }

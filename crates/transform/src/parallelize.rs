@@ -1,0 +1,1435 @@
+//! Morsel-driven scan parallelization (DBLAB-style intra-query
+//! parallelism; cf. the "morsel" scheme of Leis et al., SIGMOD'14).
+//!
+//! The pass rewrites top-level data-sized scan loops — `for (i <- 0 until
+//! arr.length)` — into [`Expr::ParallelFor`] nodes, provided every side
+//! effect of the loop body falls into one of two shapes it knows how to
+//! privatize:
+//!
+//! * **Shape A — scalar self-reductions.** An outer mutable variable only
+//!   ever updated as `v = v OP delta` with one associative/commutative
+//!   `OP ∈ {+, min, max}`. Each worker accumulates into a private copy
+//!   (initialised to the identity for `+`, to the loop-invariant initial
+//!   value for `min`/`max`, which are idempotent); the merge folds the
+//!   worker copies back into `v` with the same `OP`. This covers the
+//!   filter-aggregate queries (Q6-style).
+//!
+//! * **Shape B — privatized hash-table builds.** A bucket-array + memory-
+//!   pool cluster (the residue of hash-table specialization + memory
+//!   hoisting) that the body only mutates through fresh pool allocations,
+//!   chain relinks on the bucket array, and associative self-reductions on
+//!   fields of records *reached through* the bucket. Each worker builds a
+//!   complete private table (same bucket count, so slot indices transfer
+//!   without re-hashing); the merge walks every private chain and either
+//!   relinks unseen keys into the shared table or folds the reduce fields
+//!   of matching groups. This covers the group-by build loops (Q1-style).
+//!
+//! Anything else — I/O, sorts, list/map operations that mutate shared
+//! state, writes the analysis cannot prove private — vetoes the loop, and
+//! it stays serial. A vetoed loop is never wrong, only not faster.
+//!
+//! With `threads <= 1` the pass is the identity (it is not even selected
+//! by the registry), so serial pipelines — and their memoized artifacts —
+//! are bit-for-bit what they were before this pass existed.
+
+use std::collections::{HashMap, HashSet};
+
+use dblab_ir::expr::{Atom, Block, Expr, ParAcc, Stmt, Sym};
+use dblab_ir::types::{StructId, Type};
+use dblab_ir::{BinOp, PrimOp, Program};
+
+use crate::horizontal::substitute_sym;
+
+/// Rewrite every eligible top-level scan loop of `p` into a morsel-driven
+/// [`Expr::ParallelFor`] over `threads` workers.
+pub fn apply(p: &Program, threads: usize) -> Program {
+    if threads <= 1 {
+        return p.clone();
+    }
+    let mut q = p.clone();
+    // Defs over the whole body: candidate detection needs the defining
+    // expression of loop bounds and of the outer arrays/pools the body
+    // touches.
+    let global_defs = collect_defs(&q.body);
+    // Fresh symbols for the merge blocks are appended here and committed
+    // back once the rewrites are in place.
+    let mut types = q.sym_types.clone();
+    let mut rewrites: Vec<(usize, Expr)> = Vec::new();
+    for (i, st) in q.body.stmts.iter().enumerate() {
+        let Expr::ForRange { lo, hi, var, body } = &st.expr else {
+            continue;
+        };
+        // Only data-sized scans: the bound must be an `ArrayLen`. This is
+        // what separates the hot per-tuple loops from small fixed-trip
+        // loops (bucket collects, result copies) that are not worth — and
+        // often not safe — to parallelize.
+        let Some(h) = hi.as_sym() else { continue };
+        if !matches!(global_defs.get(&h), Some(Expr::ArrayLen(_))) {
+            continue;
+        }
+        if let Some(par) = try_parallelize(p, &global_defs, lo, hi, *var, body, threads, &mut types)
+        {
+            rewrites.push((i, par));
+        }
+    }
+    for (i, expr) in rewrites {
+        q.body.stmts[i].expr = expr;
+    }
+    q.sym_types = types;
+    q
+}
+
+// ---------------------------------------------------------------------
+// analysis scaffolding
+// ---------------------------------------------------------------------
+
+/// Defining expression of every statement symbol, recursively.
+fn collect_defs(b: &Block) -> HashMap<Sym, Expr> {
+    let mut out = HashMap::new();
+    fn walk(b: &Block, out: &mut HashMap<Sym, Expr>) {
+        for st in &b.stmts {
+            out.insert(st.sym, st.expr.clone());
+            for sub in st.expr.blocks() {
+                walk(sub, out);
+            }
+        }
+    }
+    walk(b, &mut out);
+    out
+}
+
+/// All statements of a block, flattened across nested control flow.
+fn flatten<'a>(b: &'a Block, out: &mut Vec<&'a Stmt>) {
+    for st in &b.stmts {
+        out.push(st);
+        for sub in st.expr.blocks() {
+            flatten(sub, out);
+        }
+    }
+}
+
+/// Symbols *declared* inside the block: statement symbols plus binders
+/// (loop variables, foreach cursors).
+fn declared_syms(b: &Block) -> HashSet<Sym> {
+    let mut out = HashSet::new();
+    fn walk(b: &Block, out: &mut HashSet<Sym>) {
+        for st in &b.stmts {
+            out.insert(st.sym);
+            out.extend(st.expr.bound_syms());
+            for sub in st.expr.blocks() {
+                walk(sub, out);
+            }
+        }
+    }
+    walk(b, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------
+// the per-loop analysis
+// ---------------------------------------------------------------------
+
+/// Where a record pointer can originate, for the privacy analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Root {
+    /// A pool allocation made *this iteration* — definitely fresh memory.
+    Fresh,
+    /// Private memory that may predate this iteration (reached through the
+    /// privatized bucket array or through fields of private records).
+    Priv,
+    /// Anything the analysis cannot prove private (shared rows, outer
+    /// state). Writing through this vetoes the loop.
+    Other,
+}
+
+impl Root {
+    fn join(self, other: Root) -> Root {
+        use Root::*;
+        match (self, other) {
+            (Other, _) | (_, Other) => Other,
+            (Priv, _) | (_, Priv) => Priv,
+            (Fresh, Fresh) => Fresh,
+        }
+    }
+}
+
+struct LoopAnalysis<'a> {
+    p: &'a Program,
+    global_defs: &'a HashMap<Sym, Expr>,
+    /// Defs inside the loop body only.
+    defs: HashMap<Sym, Expr>,
+    declared: HashSet<Sym>,
+    uses: HashMap<Sym, usize>,
+    stmts: Vec<&'a Stmt>,
+    /// The one privatized bucket array (Shape B), if any.
+    bucket: Option<Sym>,
+    /// Outer pools the body allocates from (Shape B cluster).
+    pools: Vec<Sym>,
+    /// Memoized pointer-provenance results.
+    roots: std::cell::RefCell<HashMap<Sym, Root>>,
+}
+
+impl<'a> LoopAnalysis<'a> {
+    fn root_of_atom(&self, a: &Atom) -> Option<Root> {
+        match a {
+            Atom::Sym(s) => Some(self.root_of(*s)),
+            Atom::Null(_) => None, // contributes nothing to provenance
+            _ => Some(Root::Other),
+        }
+    }
+
+    fn root_of(&self, s: Sym) -> Root {
+        if let Some(r) = self.roots.borrow().get(&s) {
+            return *r;
+        }
+        // Optimistic cycle handling: provenance through a cycle (a chain-
+        // walk variable) contributes nothing on its own — any shared base
+        // case still drives the join to `Other`.
+        self.roots.borrow_mut().insert(s, Root::Priv);
+        let r = self.root_of_uncached(s);
+        self.roots.borrow_mut().insert(s, r);
+        r
+    }
+
+    fn root_of_uncached(&self, s: Sym) -> Root {
+        if !self.declared.contains(&s) {
+            return Root::Other; // outer symbol: shared
+        }
+        let Some(def) = self.defs.get(&s) else {
+            return Root::Other; // a binder (loop var / cursor): not a private pointer
+        };
+        match def {
+            Expr::PoolAlloc { pool } => match pool.as_sym() {
+                Some(pl) if self.pools.contains(&pl) => Root::Fresh,
+                _ => Root::Other,
+            },
+            Expr::ArrayGet { arr, .. } => match (arr.as_sym(), self.bucket) {
+                (Some(a), Some(b)) if a == b => Root::Priv,
+                _ => Root::Other,
+            },
+            Expr::FieldGet { obj, sid, field } => {
+                let obj_root = self
+                    .root_of_atom(obj)
+                    .unwrap_or(Root::Other /* fieldget on null would trap */);
+                if obj_root == Root::Other {
+                    return Root::Other;
+                }
+                if !matches!(self.p.structs.field_type(*sid, *field), Type::Record(_)) {
+                    return Root::Other; // scalar loads have no provenance
+                }
+                // The field's contents are whatever the body ever stores
+                // there: join the provenance of every such store. Reaching
+                // through a field of a private record may yield a record
+                // from an earlier iteration, hence at best `Priv`.
+                let mut r: Option<Root> = None;
+                for st in &self.stmts {
+                    if let Expr::FieldSet {
+                        sid: s2,
+                        field: f2,
+                        value,
+                        ..
+                    } = &st.expr
+                    {
+                        if s2 == sid && f2 == field {
+                            if let Some(vr) = self.root_of_atom(value) {
+                                r = Some(r.map_or(vr, |x| x.join(vr)));
+                            }
+                        }
+                    }
+                }
+                match r {
+                    Some(Root::Other) | None => Root::Other,
+                    Some(_) => Root::Priv,
+                }
+            }
+            Expr::ReadVar(v) => self.var_sources(*v),
+            Expr::Atom(a) => self.root_of_atom(a).unwrap_or(Root::Fresh),
+            Expr::If { then_b, else_b, .. } => {
+                let t = self.root_of_atom(&then_b.result);
+                let e = self.root_of_atom(&else_b.result);
+                match (t, e) {
+                    (None, None) => Root::Fresh,
+                    (Some(r), None) | (None, Some(r)) => r,
+                    (Some(a), Some(b)) => a.join(b),
+                }
+            }
+            _ => Root::Other,
+        }
+    }
+
+    /// Join the provenance of everything ever assigned to body-declared
+    /// variable `v` (including its declaration).
+    fn var_sources(&self, v: Sym) -> Root {
+        let mut r: Option<Root> = None;
+        let mut fold = |a: &Atom, slf: &Self| {
+            if let Some(ar) = slf.root_of_atom(a) {
+                r = Some(r.map_or(ar, |x| x.join(ar)));
+            }
+        };
+        match self.defs.get(&v) {
+            Some(Expr::DeclVar { init }) => fold(init, self),
+            _ => return Root::Other,
+        }
+        for st in &self.stmts {
+            if let Expr::Assign { var, value } = &st.expr {
+                if *var == v {
+                    fold(value, self);
+                }
+            }
+        }
+        r.unwrap_or(Root::Fresh) // only ever null: any deref would trap
+    }
+}
+
+/// One Shape A reduction over an outer variable.
+struct ScalarRed {
+    var: Sym,
+    op: BinOp,
+    ty: Type,
+    /// Worker-local initial value (the identity for `+`, the declared
+    /// initial value for `min`/`max`).
+    init: Atom,
+}
+
+/// The Shape B cluster, fully resolved.
+struct TableRed {
+    bucket: Sym,
+    /// `ArrayNew` that created the bucket (cloned for each worker).
+    bucket_def: Expr,
+    bucket_len: Atom,
+    /// Chain record type stored in the bucket.
+    psid: StructId,
+    /// Index of the intrusive `next` field on `psid`.
+    next_field: usize,
+    pools: Vec<(Sym, Expr)>,
+    /// `(sid, field) -> op` for every associative self-reduction the body
+    /// performs on records reached through the bucket.
+    reduce: HashMap<(StructId, usize), BinOp>,
+    /// `true` for aggregation tables (the body probes for the key before
+    /// inserting, so keys are unique per worker and the merge folds
+    /// matches); `false` for multimap join builds (duplicate keys are
+    /// data, the merge concatenates chains wholesale).
+    keyed: bool,
+}
+
+fn reduce_ops() -> [BinOp; 3] {
+    [BinOp::Add, BinOp::Min, BinOp::Max]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_parallelize(
+    p: &Program,
+    global_defs: &HashMap<Sym, Expr>,
+    lo: &Atom,
+    hi: &Atom,
+    var: Sym,
+    body: &Block,
+    threads: usize,
+    types: &mut Vec<Type>,
+) -> Option<Expr> {
+    let mut stmts = Vec::new();
+    flatten(body, &mut stmts);
+
+    // ---- hard vetoes ---------------------------------------------------
+    for st in &stmts {
+        match &st.expr {
+            Expr::Printf { .. }
+            | Expr::Prim(PrimOp::TimerStart | PrimOp::TimerStop | PrimOp::PrintRusage, _)
+            | Expr::LoadTable { .. }
+            | Expr::LoadIndexUnique { .. }
+            | Expr::LoadIndexStarts { .. }
+            | Expr::LoadIndexItems { .. }
+            | Expr::SortArray { .. }
+            | Expr::Free(_)
+            | Expr::Malloc { .. }
+            | Expr::StructNew { .. }
+            | Expr::ListNew { .. }
+            | Expr::ListAppend { .. }
+            | Expr::HashMapNew { .. }
+            | Expr::HashMapGetOrInit { .. }
+            | Expr::MultiMapNew { .. }
+            | Expr::MultiMapAdd { .. }
+            | Expr::ParallelFor { .. } => return None,
+            _ => {}
+        }
+    }
+
+    let declared = declared_syms(body);
+    let defs = collect_defs(body);
+    // `use_counts` also counts `Assign` targets, but those are only ever
+    // queried for outer variables, which the Shape A check never asks
+    // about — the counts it does read (reduction intermediates) are exact.
+    let uses = body.use_counts();
+
+    // ---- collect the side-effect surface --------------------------------
+    let mut outer_arrays: Vec<Sym> = Vec::new();
+    let mut outer_pools: Vec<Sym> = Vec::new();
+    let mut outer_vars: Vec<Sym> = Vec::new();
+    for st in &stmts {
+        match &st.expr {
+            Expr::ArraySet { arr, .. } => {
+                let a = arr.as_sym()?;
+                if !declared.contains(&a) && !outer_arrays.contains(&a) {
+                    outer_arrays.push(a);
+                }
+            }
+            Expr::PoolAlloc { pool } => {
+                let pl = pool.as_sym()?;
+                if !declared.contains(&pl) && !outer_pools.contains(&pl) {
+                    outer_pools.push(pl);
+                }
+            }
+            Expr::Assign { var: v, .. } if !declared.contains(v) && !outer_vars.contains(v) => {
+                outer_vars.push(*v);
+            }
+            _ => {}
+        }
+    }
+    if outer_arrays.len() > 1 {
+        return None;
+    }
+    let bucket = outer_arrays.first().copied();
+    if bucket.is_none() && !outer_pools.is_empty() {
+        // Pool allocations escaping without a bucket to relink through:
+        // nothing to merge against.
+        return None;
+    }
+
+    let analysis = LoopAnalysis {
+        p,
+        global_defs,
+        defs,
+        declared,
+        uses,
+        stmts,
+        bucket,
+        pools: outer_pools.clone(),
+        roots: std::cell::RefCell::new(HashMap::new()),
+    };
+
+    // ---- Shape A: every written outer variable is a self-reduction ------
+    let mut scalars = Vec::new();
+    for v in outer_vars {
+        scalars.push(scalar_reduction(&analysis, v)?);
+    }
+
+    // ---- Shape B: the bucket cluster, if present -------------------------
+    let table = match bucket {
+        Some(b) => Some(table_reduction(&analysis, b, &outer_pools)?),
+        None => None,
+    };
+
+    // ---- build the node --------------------------------------------------
+    Some(build_parallel_for(
+        p,
+        lo,
+        hi,
+        var,
+        body,
+        threads,
+        &scalars,
+        table.as_ref(),
+        types,
+    ))
+}
+
+/// Check Shape A for outer variable `v` and describe its reduction.
+fn scalar_reduction(a: &LoopAnalysis, v: Sym) -> Option<ScalarRed> {
+    let ty = a.p.type_of(v).clone();
+    // Every assignment must be `v = g OP d` where `g = readVar(v)` feeds
+    // only this reduction, with one op across all sites.
+    let mut op: Option<BinOp> = None;
+    let mut consumed_reads: HashSet<Sym> = HashSet::new();
+    for st in &a.stmts {
+        let Expr::Assign { var, value } = &st.expr else {
+            continue;
+        };
+        if *var != v {
+            continue;
+        }
+        let s = value.as_sym()?;
+        let Some(Expr::Bin(o, x, y)) = a.defs.get(&s) else {
+            return None;
+        };
+        if !reduce_ops().contains(o) {
+            return None;
+        }
+        if let Some(prev) = op {
+            if prev != *o {
+                return None;
+            }
+        }
+        op = Some(*o);
+        // Exactly one operand is the read-back of `v`.
+        let is_read = |at: &Atom| -> Option<Sym> {
+            let g = at.as_sym()?;
+            match a.defs.get(&g) {
+                Some(Expr::ReadVar(rv)) if *rv == v => Some(g),
+                _ => None,
+            }
+        };
+        let g = match (is_read(x), is_read(y)) {
+            (Some(g), None) | (None, Some(g)) => g,
+            _ => return None,
+        };
+        if a.uses.get(&g).copied().unwrap_or(0) != 1 || a.uses.get(&s).copied().unwrap_or(0) != 1 {
+            return None;
+        }
+        consumed_reads.insert(g);
+    }
+    let op = op?;
+    // No other reads of `v` may exist in the body: a read outside the
+    // reduction would observe a partial, worker-local value.
+    for st in &a.stmts {
+        if let Expr::ReadVar(rv) = &st.expr {
+            if *rv == v && !consumed_reads.contains(&st.sym) {
+                return None;
+            }
+        }
+    }
+    let init = match op {
+        BinOp::Add => match ty {
+            Type::Int => Atom::Int(0),
+            Type::Long => Atom::Long(0),
+            Type::Double => Atom::double(0.0),
+            _ => return None,
+        },
+        // min/max are idempotent, so seeding every worker with the loop-
+        // invariant declared initial value keeps the fold exact.
+        BinOp::Min | BinOp::Max => match a.global_defs.get(&v) {
+            Some(Expr::DeclVar { init }) if init.is_const() => init.clone(),
+            _ => return None,
+        },
+        _ => unreachable!("filtered by reduce_ops"),
+    };
+    Some(ScalarRed {
+        var: v,
+        op,
+        ty,
+        init,
+    })
+}
+
+/// Check Shape B for the bucket array and describe the cluster.
+fn table_reduction(a: &LoopAnalysis, bucket: Sym, pools: &[Sym]) -> Option<TableRed> {
+    // The bucket must be a bucket array of chain records.
+    let bucket_def = a.global_defs.get(&bucket)?.clone();
+    let (elem, bucket_len) = match &bucket_def {
+        Expr::ArrayNew { elem, len } => (elem.clone(), len.clone()),
+        _ => return None,
+    };
+    let Type::Record(psid) = elem else {
+        return None;
+    };
+    // Exactly one intrusive next field (what makes the chain walkable).
+    let pdef = a.p.structs.get(psid);
+    let next_fields: Vec<usize> = pdef
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.ty == Type::Record(psid))
+        .map(|(i, _)| i)
+        .collect();
+    let [next_field] = next_fields[..] else {
+        return None;
+    };
+    // Each pool must be an outer PoolNew (cloned per worker).
+    let mut pool_defs = Vec::new();
+    for pl in pools {
+        let d = a.global_defs.get(pl)?.clone();
+        if !matches!(d, Expr::PoolNew { .. }) {
+            return None;
+        }
+        pool_defs.push((*pl, d));
+    }
+
+    // Classify every write.
+    let mut reduce: HashMap<(StructId, usize), BinOp> = HashMap::new();
+    for st in &a.stmts {
+        match &st.expr {
+            Expr::ArraySet { arr, value, .. } => {
+                // Only the bucket may be stored through, and only private
+                // pointers may be linked into it. (A body-local scratch
+                // array would be private too, but none of the generated
+                // plans produce one — veto rather than reason about it.)
+                if arr.as_sym() != Some(bucket) {
+                    return None;
+                }
+                match a.root_of_atom(value) {
+                    Some(Root::Fresh | Root::Priv) | None => {}
+                    Some(Root::Other) => return None,
+                }
+            }
+            Expr::FieldSet {
+                obj,
+                sid,
+                field,
+                value,
+            } => {
+                let o = obj.as_sym()?;
+                match a.root_of(o) {
+                    Root::Fresh => {
+                        // Initialisation write on memory allocated this
+                        // iteration: always private, any value shape.
+                    }
+                    Root::Priv => {
+                        // May target a record from an earlier iteration:
+                        // must be an associative self-reduction
+                        // `o.f = o.f OP d`.
+                        let s = value.as_sym()?;
+                        let Some(Expr::Bin(op, x, y)) = a.defs.get(&s) else {
+                            return None;
+                        };
+                        if !reduce_ops().contains(op) {
+                            return None;
+                        }
+                        let is_self_get = |at: &Atom| -> bool {
+                            at.as_sym().is_some_and(|g| {
+                                matches!(a.defs.get(&g),
+                                    Some(Expr::FieldGet { obj: o2, sid: s2, field: f2 })
+                                        if o2.as_sym() == Some(o) && s2 == sid && f2 == field)
+                            })
+                        };
+                        match (is_self_get(x), is_self_get(y)) {
+                            (true, false) | (false, true) => {}
+                            _ => return None,
+                        }
+                        match reduce.insert((*sid, *field), *op) {
+                            Some(prev) if prev != *op => return None,
+                            _ => {}
+                        }
+                    }
+                    Root::Other => return None,
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Reduce fields must start at the op's identity on freshly allocated
+    // records, or the merge double-counts the seed. Verify every
+    // fresh-init write to a reduce field stores that identity.
+    for st in &a.stmts {
+        if let Expr::FieldSet {
+            obj,
+            sid,
+            field,
+            value,
+        } = &st.expr
+        {
+            let Some(op) = reduce.get(&(*sid, *field)) else {
+                continue;
+            };
+            let o = obj.as_sym()?;
+            if a.root_of(o) != Root::Fresh {
+                continue;
+            }
+            let identity = *op == BinOp::Add
+                && (matches!(value, Atom::Int(0) | Atom::Long(0))
+                    || value.as_double() == Some(0.0));
+            if !identity {
+                return None;
+            }
+        }
+    }
+
+    // An empty reduce map means the cluster is a multimap join build:
+    // duplicate keys are data and the merge concatenates chains. That is
+    // only sound when the body never *probes* the bucket — the only reads
+    // allowed are the ones feeding the relink's next-pointer store on a
+    // fresh record (dedup-by-probe with no accumulator would be broken by
+    // concatenation, so it vetoes).
+    let keyed = !reduce.is_empty();
+    if !keyed {
+        for st in &a.stmts {
+            if let Expr::ArrayGet { arr, .. } = &st.expr {
+                if arr.as_sym() != Some(bucket) {
+                    continue;
+                }
+                let feeds_relink_only = a.uses.get(&st.sym).copied().unwrap_or(0) == 1
+                    && a.stmts.iter().any(|s2| {
+                        matches!(&s2.expr,
+                            Expr::FieldSet { sid, field, value, .. }
+                                if *sid == psid
+                                    && *field == next_field
+                                    && value.as_sym() == Some(st.sym))
+                    });
+                if !feeds_relink_only {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // Every reduce target must be a type the merge can reach: the chain
+    // record itself, or a record stored in one of its fields.
+    let reachable: HashSet<StructId> = std::iter::once(psid)
+        .chain(pdef.fields.iter().filter_map(|f| match &f.ty {
+            Type::Record(s) if *s != psid => Some(*s),
+            _ => None,
+        }))
+        .collect();
+    if reduce.keys().any(|(sid, _)| !reachable.contains(sid)) {
+        return None;
+    }
+    // Key fields (compared in the keyed merge) must be scalar-comparable.
+    if keyed {
+        for (i, f) in pdef.fields.iter().enumerate() {
+            if i == next_field || reduce.contains_key(&(psid, i)) {
+                continue;
+            }
+            match &f.ty {
+                Type::Record(ksid) => {
+                    let inner = a.p.structs.get(*ksid);
+                    let is_value_rec = inner
+                        .fields
+                        .iter()
+                        .enumerate()
+                        .any(|(j, _)| reduce.contains_key(&(*ksid, j)));
+                    if is_value_rec {
+                        continue; // folded, not compared
+                    }
+                    if !inner.fields.iter().all(|kf| kf.ty.is_scalar()) {
+                        return None;
+                    }
+                }
+                t if t.is_scalar() => {}
+                _ => return None,
+            }
+        }
+    }
+
+    Some(TableRed {
+        bucket,
+        bucket_def,
+        bucket_len,
+        psid,
+        next_field,
+        pools: pool_defs,
+        reduce,
+        keyed,
+    })
+}
+
+// ---------------------------------------------------------------------
+// node construction
+// ---------------------------------------------------------------------
+
+/// Fresh-symbol factory over the (pending) symbol table.
+struct Fresh<'a> {
+    types: &'a mut Vec<Type>,
+}
+
+impl Fresh<'_> {
+    fn sym(&mut self, ty: Type) -> Sym {
+        let s = Sym(self.types.len() as u32);
+        self.types.push(ty);
+        s
+    }
+    fn stmt(&mut self, ty: Type, expr: Expr) -> (Sym, Stmt) {
+        let s = self.sym(ty.clone());
+        (s, Stmt { sym: s, ty, expr })
+    }
+    fn unit_stmt(&mut self, expr: Expr) -> Stmt {
+        self.stmt(Type::Unit, expr).1
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_parallel_for(
+    p: &Program,
+    lo: &Atom,
+    hi: &Atom,
+    var: Sym,
+    body: &Block,
+    threads: usize,
+    scalars: &[ScalarRed],
+    table: Option<&TableRed>,
+    types: &mut Vec<Type>,
+) -> Expr {
+    let mut fresh = Fresh { types };
+    let mut body = body.clone();
+    let mut accs: Vec<ParAcc> = Vec::new();
+    let mut merge_stmts: Vec<Stmt> = Vec::new();
+
+    // ---- Shape A accumulators -------------------------------------------
+    for red in scalars {
+        let acc = fresh.sym(red.ty.clone());
+        accs.push(ParAcc {
+            sym: acc,
+            ty: red.ty.clone(),
+            var: true,
+            init: Block {
+                stmts: vec![],
+                result: red.init.clone(),
+            },
+        });
+        substitute_sym(&mut body, red.var, acc);
+        // merge: v = v OP acc
+        let (cur, s1) = fresh.stmt(red.ty.clone(), Expr::ReadVar(red.var));
+        let (next, s2) = fresh.stmt(
+            red.ty.clone(),
+            Expr::Bin(red.op, Atom::Sym(cur), Atom::Sym(acc)),
+        );
+        let s3 = fresh.unit_stmt(Expr::Assign {
+            var: red.var,
+            value: Atom::Sym(next),
+        });
+        merge_stmts.extend([s1, s2, s3]);
+    }
+
+    // ---- Shape B cluster -------------------------------------------------
+    if let Some(t) = table {
+        // Private bucket array.
+        let bucket_ty = Type::array(Type::Record(t.psid));
+        let (init_sym, init_stmt) = fresh.stmt(bucket_ty.clone(), t.bucket_def.clone());
+        let bucket_acc = fresh.sym(bucket_ty.clone());
+        accs.push(ParAcc {
+            sym: bucket_acc,
+            ty: bucket_ty,
+            var: false,
+            init: Block {
+                stmts: vec![init_stmt],
+                result: Atom::Sym(init_sym),
+            },
+        });
+        substitute_sym(&mut body, t.bucket, bucket_acc);
+        // Private pools.
+        for (pool, pool_def) in &t.pools {
+            let pool_ty = p.type_of(*pool).clone();
+            let (pi, ps) = fresh.stmt(pool_ty.clone(), pool_def.clone());
+            let pool_acc = fresh.sym(pool_ty.clone());
+            accs.push(ParAcc {
+                sym: pool_acc,
+                ty: pool_ty,
+                var: false,
+                init: Block {
+                    stmts: vec![ps],
+                    result: Atom::Sym(pi),
+                },
+            });
+            substitute_sym(&mut body, *pool, pool_acc);
+        }
+        merge_stmts.push(table_merge(p, &mut fresh, t, bucket_acc));
+    }
+
+    let merge = Block::unit(merge_stmts);
+    Expr::ParallelFor {
+        lo: lo.clone(),
+        hi: hi.clone(),
+        var,
+        threads,
+        accs,
+        body,
+        merge,
+    }
+}
+
+/// The Shape B merge: for every slot, walk the worker's private chain and
+/// fold each record into the shared table — relink unseen keys, reduce
+/// matched groups.
+fn table_merge(p: &Program, fresh: &mut Fresh, t: &TableRed, bucket_acc: Sym) -> Stmt {
+    let psid = t.psid;
+    let prec = Type::Record(psid);
+    let null = || Atom::Null(Box::new(prec.clone()));
+    let pdef = p.structs.get(psid).clone();
+    let nf = t.next_field;
+
+    let slot = fresh.sym(Type::Int);
+    let mut slot_body: Vec<Stmt> = Vec::new();
+
+    if !t.keyed {
+        // Multimap concatenation: splice each non-empty private chain in
+        // front of the shared one (walk to its tail, point the tail at the
+        // shared head, install the private head).
+        let (h, s_h) = fresh.stmt(
+            prec.clone(),
+            Expr::ArrayGet {
+                arr: Atom::Sym(bucket_acc),
+                idx: Atom::Sym(slot),
+            },
+        );
+        slot_body.push(s_h);
+        let (hnn, s_hnn) = fresh.stmt(Type::Bool, Expr::Bin(BinOp::Ne, Atom::Sym(h), null()));
+        slot_body.push(s_hnn);
+        let mut then_b: Vec<Stmt> = Vec::new();
+        let (tl, s_tl) = fresh.stmt(prec.clone(), Expr::DeclVar { init: Atom::Sym(h) });
+        then_b.push(s_tl);
+        let mut cond = Vec::new();
+        let (tv, s_tv) = fresh.stmt(prec.clone(), Expr::ReadVar(tl));
+        cond.push(s_tv);
+        let (nx, s_nx) = fresh.stmt(
+            prec.clone(),
+            Expr::FieldGet {
+                obj: Atom::Sym(tv),
+                sid: psid,
+                field: nf,
+            },
+        );
+        cond.push(s_nx);
+        let (nxnn, s_nxnn) = fresh.stmt(Type::Bool, Expr::Bin(BinOp::Ne, Atom::Sym(nx), null()));
+        cond.push(s_nxnn);
+        let mut wbody = Vec::new();
+        let (tv2, s_tv2) = fresh.stmt(prec.clone(), Expr::ReadVar(tl));
+        wbody.push(s_tv2);
+        let (nx2, s_nx2) = fresh.stmt(
+            prec.clone(),
+            Expr::FieldGet {
+                obj: Atom::Sym(tv2),
+                sid: psid,
+                field: nf,
+            },
+        );
+        wbody.push(s_nx2);
+        wbody.push(fresh.unit_stmt(Expr::Assign {
+            var: tl,
+            value: Atom::Sym(nx2),
+        }));
+        then_b.push(fresh.unit_stmt(Expr::While {
+            cond: Block {
+                stmts: cond,
+                result: Atom::Sym(nxnn),
+            },
+            body: Block::unit(wbody),
+        }));
+        let (tv3, s_tv3) = fresh.stmt(prec.clone(), Expr::ReadVar(tl));
+        then_b.push(s_tv3);
+        let (sh, s_sh) = fresh.stmt(
+            prec.clone(),
+            Expr::ArrayGet {
+                arr: Atom::Sym(t.bucket),
+                idx: Atom::Sym(slot),
+            },
+        );
+        then_b.push(s_sh);
+        then_b.push(fresh.unit_stmt(Expr::FieldSet {
+            obj: Atom::Sym(tv3),
+            sid: psid,
+            field: nf,
+            value: Atom::Sym(sh),
+        }));
+        then_b.push(fresh.unit_stmt(Expr::ArraySet {
+            arr: Atom::Sym(t.bucket),
+            idx: Atom::Sym(slot),
+            value: Atom::Sym(h),
+        }));
+        slot_body.push(fresh.unit_stmt(Expr::If {
+            cond: Atom::Sym(hnn),
+            then_b: Block::unit(then_b),
+            else_b: Block::default(),
+        }));
+        return fresh.unit_stmt(Expr::ForRange {
+            lo: Atom::Int(0),
+            hi: t.bucket_len.clone(),
+            var: slot,
+            body: Block::unit(slot_body),
+        });
+    }
+
+    // cur = private chain head; walk it.
+    let (head, s_head) = fresh.stmt(
+        prec.clone(),
+        Expr::ArrayGet {
+            arr: Atom::Sym(bucket_acc),
+            idx: Atom::Sym(slot),
+        },
+    );
+    slot_body.push(s_head);
+    let (cur, s_cur) = fresh.stmt(
+        prec.clone(),
+        Expr::DeclVar {
+            init: Atom::Sym(head),
+        },
+    );
+    slot_body.push(s_cur);
+
+    // while (cur != null) { ... }
+    let mut cond = Vec::new();
+    let (cv, s_cv) = fresh.stmt(prec.clone(), Expr::ReadVar(cur));
+    cond.push(s_cv);
+    let (cnn, s_cnn) = fresh.stmt(Type::Bool, Expr::Bin(BinOp::Ne, Atom::Sym(cv), null()));
+    cond.push(s_cnn);
+    let cond = Block {
+        stmts: cond,
+        result: Atom::Sym(cnn),
+    };
+
+    let mut w: Vec<Stmt> = Vec::new();
+    let (pr, s_pr) = fresh.stmt(prec.clone(), Expr::ReadVar(cur));
+    w.push(s_pr);
+    // Save the private next pointer *before* any relink clobbers it.
+    let (nx, s_nx) = fresh.stmt(
+        prec.clone(),
+        Expr::FieldGet {
+            obj: Atom::Sym(pr),
+            sid: psid,
+            field: nf,
+        },
+    );
+    w.push(s_nx);
+
+    // m = first shared-chain record with equal keys, else null.
+    let (m, s_m) = fresh.stmt(prec.clone(), Expr::DeclVar { init: null() });
+    w.push(s_m);
+    let (sh, s_sh) = fresh.stmt(
+        prec.clone(),
+        Expr::ArrayGet {
+            arr: Atom::Sym(t.bucket),
+            idx: Atom::Sym(slot),
+        },
+    );
+    w.push(s_sh);
+    let (walk, s_walk) = fresh.stmt(
+        prec.clone(),
+        Expr::DeclVar {
+            init: Atom::Sym(sh),
+        },
+    );
+    w.push(s_walk);
+
+    // Preload the private record's key atoms (loop-invariant across the
+    // shared-chain walk).
+    enum KeyCmp {
+        Scalar {
+            field: usize,
+            ty: Type,
+            pv: Sym,
+        },
+        Rec {
+            field: usize,
+            ksid: StructId,
+            pv: Sym,
+        },
+    }
+    let mut keys: Vec<KeyCmp> = Vec::new();
+    for (i, f) in pdef.fields.iter().enumerate() {
+        if i == nf || t.reduce.contains_key(&(psid, i)) {
+            continue;
+        }
+        match &f.ty {
+            Type::Record(ksid) => {
+                let inner = p.structs.get(*ksid);
+                let is_value_rec =
+                    (0..inner.fields.len()).any(|j| t.reduce.contains_key(&(*ksid, j)));
+                if is_value_rec {
+                    continue;
+                }
+                let (pv, s) = fresh.stmt(
+                    f.ty.clone(),
+                    Expr::FieldGet {
+                        obj: Atom::Sym(pr),
+                        sid: psid,
+                        field: i,
+                    },
+                );
+                w.push(s);
+                keys.push(KeyCmp::Rec {
+                    field: i,
+                    ksid: *ksid,
+                    pv,
+                });
+            }
+            ty => {
+                let (pv, s) = fresh.stmt(
+                    ty.clone(),
+                    Expr::FieldGet {
+                        obj: Atom::Sym(pr),
+                        sid: psid,
+                        field: i,
+                    },
+                );
+                w.push(s);
+                keys.push(KeyCmp::Scalar {
+                    field: i,
+                    ty: ty.clone(),
+                    pv,
+                });
+            }
+        }
+    }
+
+    // inner while (walk != null) { if (keys equal) m = walk; walk = walk.next }
+    let mut icond = Vec::new();
+    let (wv, s_wv) = fresh.stmt(prec.clone(), Expr::ReadVar(walk));
+    icond.push(s_wv);
+    let (wnn, s_wnn) = fresh.stmt(Type::Bool, Expr::Bin(BinOp::Ne, Atom::Sym(wv), null()));
+    icond.push(s_wnn);
+    let icond = Block {
+        stmts: icond,
+        result: Atom::Sym(wnn),
+    };
+
+    let mut iw: Vec<Stmt> = Vec::new();
+    let (wp, s_wp) = fresh.stmt(prec.clone(), Expr::ReadVar(walk));
+    iw.push(s_wp);
+    // Key equality, AND-folded.
+    let mut eq_so_far: Option<Sym> = None;
+    let mut push_eq = |fresh: &mut Fresh, iw: &mut Vec<Stmt>, ty: &Type, a: Sym, b: Sym| {
+        let e = if *ty == Type::String {
+            let (e, s) = fresh.stmt(
+                Type::Bool,
+                Expr::Prim(PrimOp::StrEq, vec![Atom::Sym(a), Atom::Sym(b)]),
+            );
+            iw.push(s);
+            e
+        } else {
+            let (e, s) = fresh.stmt(Type::Bool, Expr::Bin(BinOp::Eq, Atom::Sym(a), Atom::Sym(b)));
+            iw.push(s);
+            e
+        };
+        eq_so_far = Some(match eq_so_far {
+            None => e,
+            Some(prev) => {
+                let (c, s) = fresh.stmt(
+                    Type::Bool,
+                    Expr::Bin(BinOp::BitAnd, Atom::Sym(prev), Atom::Sym(e)),
+                );
+                iw.push(s);
+                c
+            }
+        });
+    };
+    for k in &keys {
+        match k {
+            KeyCmp::Scalar { field, ty, pv } => {
+                let (sv, s) = fresh.stmt(
+                    ty.clone(),
+                    Expr::FieldGet {
+                        obj: Atom::Sym(wp),
+                        sid: psid,
+                        field: *field,
+                    },
+                );
+                iw.push(s);
+                push_eq(fresh, &mut iw, ty, *pv, sv);
+            }
+            KeyCmp::Rec { field, ksid, pv } => {
+                let (sv, s) = fresh.stmt(
+                    Type::Record(*ksid),
+                    Expr::FieldGet {
+                        obj: Atom::Sym(wp),
+                        sid: psid,
+                        field: *field,
+                    },
+                );
+                iw.push(s);
+                let inner = p.structs.get(*ksid).clone();
+                for (j, kf) in inner.fields.iter().enumerate() {
+                    let (pa, s1) = fresh.stmt(
+                        kf.ty.clone(),
+                        Expr::FieldGet {
+                            obj: Atom::Sym(*pv),
+                            sid: *ksid,
+                            field: j,
+                        },
+                    );
+                    iw.push(s1);
+                    let (sa, s2) = fresh.stmt(
+                        kf.ty.clone(),
+                        Expr::FieldGet {
+                            obj: Atom::Sym(sv),
+                            sid: *ksid,
+                            field: j,
+                        },
+                    );
+                    iw.push(s2);
+                    push_eq(fresh, &mut iw, &kf.ty, pa, sa);
+                }
+            }
+        }
+    }
+    if let Some(eq) = eq_so_far {
+        let then_b = Block::unit(vec![fresh.unit_stmt(Expr::Assign {
+            var: m,
+            value: Atom::Sym(wp),
+        })]);
+        iw.push(fresh.unit_stmt(Expr::If {
+            cond: Atom::Sym(eq),
+            then_b,
+            else_b: Block::default(),
+        }));
+    } else {
+        // No key fields at all: every record "matches" the chain head —
+        // degenerate but well-defined (single-group tables).
+        iw.push(fresh.unit_stmt(Expr::Assign {
+            var: m,
+            value: Atom::Sym(wp),
+        }));
+    }
+    let (wn, s_wn) = fresh.stmt(
+        prec.clone(),
+        Expr::FieldGet {
+            obj: Atom::Sym(wp),
+            sid: psid,
+            field: nf,
+        },
+    );
+    iw.push(s_wn);
+    iw.push(fresh.unit_stmt(Expr::Assign {
+        var: walk,
+        value: Atom::Sym(wn),
+    }));
+    w.push(fresh.unit_stmt(Expr::While {
+        cond: icond,
+        body: Block::unit(iw),
+    }));
+
+    // if (m == null) relink else fold.
+    let (mv, s_mv) = fresh.stmt(prec.clone(), Expr::ReadVar(m));
+    w.push(s_mv);
+    let (miss, s_miss) = fresh.stmt(Type::Bool, Expr::Bin(BinOp::Eq, Atom::Sym(mv), null()));
+    w.push(s_miss);
+
+    // then: pr.next = shared head; shared[slot] = pr
+    let mut then_b: Vec<Stmt> = Vec::new();
+    let (h2, s_h2) = fresh.stmt(
+        prec.clone(),
+        Expr::ArrayGet {
+            arr: Atom::Sym(t.bucket),
+            idx: Atom::Sym(slot),
+        },
+    );
+    then_b.push(s_h2);
+    then_b.push(fresh.unit_stmt(Expr::FieldSet {
+        obj: Atom::Sym(pr),
+        sid: psid,
+        field: nf,
+        value: Atom::Sym(h2),
+    }));
+    then_b.push(fresh.unit_stmt(Expr::ArraySet {
+        arr: Atom::Sym(t.bucket),
+        idx: Atom::Sym(slot),
+        value: Atom::Sym(pr),
+    }));
+
+    // else: fold every reduce field of pr into m.
+    let mut else_b: Vec<Stmt> = Vec::new();
+    // Inline reduce fields on the chain record itself.
+    for (i, f) in pdef.fields.iter().enumerate() {
+        if let Some(op) = t.reduce.get(&(psid, i)) {
+            fold_field(fresh, &mut else_b, mv, pr, psid, i, &f.ty, *op);
+        }
+    }
+    // Reduce fields inside value records.
+    for (i, f) in pdef.fields.iter().enumerate() {
+        let Type::Record(vsid) = &f.ty else { continue };
+        let inner = p.structs.get(*vsid).clone();
+        let folds: Vec<(usize, Type, BinOp)> = inner
+            .fields
+            .iter()
+            .enumerate()
+            .filter_map(|(j, vf)| t.reduce.get(&(*vsid, j)).map(|op| (j, vf.ty.clone(), *op)))
+            .collect();
+        if folds.is_empty() {
+            continue;
+        }
+        let (sv, s1) = fresh.stmt(
+            f.ty.clone(),
+            Expr::FieldGet {
+                obj: Atom::Sym(mv),
+                sid: psid,
+                field: i,
+            },
+        );
+        else_b.push(s1);
+        let (pv, s2) = fresh.stmt(
+            f.ty.clone(),
+            Expr::FieldGet {
+                obj: Atom::Sym(pr),
+                sid: psid,
+                field: i,
+            },
+        );
+        else_b.push(s2);
+        for (j, vt, op) in folds {
+            fold_field(fresh, &mut else_b, sv, pv, *vsid, j, &vt, op);
+        }
+    }
+
+    w.push(fresh.unit_stmt(Expr::If {
+        cond: Atom::Sym(miss),
+        then_b: Block::unit(then_b),
+        else_b: Block::unit(else_b),
+    }));
+    w.push(fresh.unit_stmt(Expr::Assign {
+        var: cur,
+        value: Atom::Sym(nx),
+    }));
+
+    slot_body.push(fresh.unit_stmt(Expr::While {
+        cond,
+        body: Block::unit(w),
+    }));
+
+    fresh.unit_stmt(Expr::ForRange {
+        lo: Atom::Int(0),
+        hi: t.bucket_len.clone(),
+        var: slot,
+        body: Block::unit(slot_body),
+    })
+}
+
+/// `into.f = into.f OP from.f`
+#[allow(clippy::too_many_arguments)]
+fn fold_field(
+    fresh: &mut Fresh,
+    out: &mut Vec<Stmt>,
+    into: Sym,
+    from: Sym,
+    sid: StructId,
+    field: usize,
+    ty: &Type,
+    op: BinOp,
+) {
+    let (a, s1) = fresh.stmt(
+        ty.clone(),
+        Expr::FieldGet {
+            obj: Atom::Sym(into),
+            sid,
+            field,
+        },
+    );
+    out.push(s1);
+    let (b, s2) = fresh.stmt(
+        ty.clone(),
+        Expr::FieldGet {
+            obj: Atom::Sym(from),
+            sid,
+            field,
+        },
+    );
+    out.push(s2);
+    let (c, s3) = fresh.stmt(ty.clone(), Expr::Bin(op, Atom::Sym(a), Atom::Sym(b)));
+    out.push(s3);
+    out.push(fresh.unit_stmt(Expr::FieldSet {
+        obj: Atom::Sym(into),
+        sid,
+        field,
+        value: Atom::Sym(c),
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dblab_ir::hash::program_hash;
+    use dblab_ir::{IrBuilder, Level};
+
+    /// `var acc = 0.0; for (i <- 0 until arr.length) acc = acc + arr(i)`
+    /// — the minimal Shape A loop.
+    fn sum_loop() -> Program {
+        let mut b = IrBuilder::new();
+        let arr = b.array_new(Type::Double, Atom::Int(64));
+        let acc = b.decl_var(Atom::double(0.0));
+        let n = b.array_len(arr.clone());
+        b.for_range(Atom::Int(0), n, |bb, i| {
+            let v = bb.array_get(arr.clone(), i);
+            let g = bb.read_var(acc);
+            let s = bb.add(g, v);
+            bb.assign(acc, s);
+        });
+        let r = b.read_var(acc);
+        b.finish(r, Level::CScala)
+    }
+
+    fn top_level_parallel_for(p: &Program) -> Option<&Expr> {
+        p.body
+            .stmts
+            .iter()
+            .map(|st| &st.expr)
+            .find(|e| matches!(e, Expr::ParallelFor { .. }))
+    }
+
+    #[test]
+    fn scalar_sum_becomes_a_parallel_for() {
+        let p = sum_loop();
+        let q = apply(&p, 4);
+        match top_level_parallel_for(&q) {
+            Some(Expr::ParallelFor {
+                threads,
+                accs,
+                merge,
+                ..
+            }) => {
+                assert_eq!(*threads, 4);
+                assert_eq!(accs.len(), 1, "one private accumulator");
+                assert!(accs[0].var, "Shape A privatizes a mutable var");
+                // The merge folds the worker copy back with the same op.
+                assert!(merge
+                    .stmts
+                    .iter()
+                    .any(|st| matches!(st.expr, Expr::Bin(BinOp::Add, _, _))));
+            }
+            other => panic!("expected a top-level ParallelFor, got {other:?}"),
+        }
+        assert!(
+            !p.body
+                .stmts
+                .iter()
+                .any(|st| matches!(st.expr, Expr::ParallelFor { .. })),
+            "input must be untouched"
+        );
+    }
+
+    #[test]
+    fn threads_one_is_the_identity() {
+        let p = sum_loop();
+        let q = apply(&p, 1);
+        assert_eq!(program_hash(&p), program_hash(&q));
+    }
+
+    /// `acc = arr(i)` is a plain overwrite, not a reduction — the loop
+    /// must stay serial (order-dependent final value).
+    #[test]
+    fn non_reduction_assignment_stays_serial() {
+        let mut b = IrBuilder::new();
+        let arr = b.array_new(Type::Double, Atom::Int(64));
+        let acc = b.decl_var(Atom::double(0.0));
+        let n = b.array_len(arr.clone());
+        b.for_range(Atom::Int(0), n, |bb, i| {
+            let v = bb.array_get(arr.clone(), i);
+            bb.assign(acc, v);
+        });
+        let r = b.read_var(acc);
+        let p = b.finish(r, Level::CScala);
+        let q = apply(&p, 4);
+        assert_eq!(program_hash(&p), program_hash(&q));
+    }
+
+    /// Printing inside the loop is I/O in loop order — an immediate veto.
+    #[test]
+    fn printf_in_the_body_vetoes() {
+        let mut b = IrBuilder::new();
+        let arr = b.array_new(Type::Double, Atom::Int(64));
+        let acc = b.decl_var(Atom::double(0.0));
+        let n = b.array_len(arr.clone());
+        b.for_range(Atom::Int(0), n, |bb, i| {
+            let v = bb.array_get(arr.clone(), i);
+            bb.printf("%f\n", vec![v.clone()]);
+            let g = bb.read_var(acc);
+            let s = bb.add(g, v);
+            bb.assign(acc, s);
+        });
+        let r = b.read_var(acc);
+        let p = b.finish(r, Level::CScala);
+        let q = apply(&p, 4);
+        assert_eq!(program_hash(&p), program_hash(&q));
+    }
+
+    /// A fixed-trip loop (`for (i <- 0 until 64)`) is not a data scan;
+    /// the pass only fires on `ArrayLen`-bounded loops.
+    #[test]
+    fn fixed_trip_loops_stay_serial() {
+        let mut b = IrBuilder::new();
+        let acc = b.decl_var(Atom::Int(0));
+        b.for_range(Atom::Int(0), Atom::Int(64), |bb, i| {
+            let g = bb.read_var(acc);
+            let s = bb.add(g, i);
+            bb.assign(acc, s);
+        });
+        let r = b.read_var(acc);
+        let p = b.finish(r, Level::CScala);
+        let q = apply(&p, 4);
+        assert_eq!(program_hash(&p), program_hash(&q));
+    }
+}

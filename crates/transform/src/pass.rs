@@ -498,6 +498,61 @@ impl Pass for LayoutDecision {
     }
 }
 
+/// Morsel-driven scan parallelization (see [`crate::parallelize`]).
+/// Selected only when the configuration asks for more than one worker, so
+/// serial pipelines are untouched down to the memo keys.
+struct ParallelizeScans;
+
+impl Pass for ParallelizeScans {
+    fn name(&self) -> &'static str {
+        "parallelize-scans"
+    }
+    fn kind(&self) -> PassKind {
+        PassKind::Optimization
+    }
+    fn source(&self) -> Level {
+        Level::CScala
+    }
+    fn target(&self) -> Level {
+        Level::CScala
+    }
+    fn applies(&self, cfg: &StackConfig) -> bool {
+        cfg.threads > 1
+    }
+    fn floats(&self) -> bool {
+        true
+    }
+    fn cfg_key(&self, cfg: &StackConfig) -> u64 {
+        // The worker count is baked into the emitted `ParallelFor` nodes.
+        cfg.threads as u64
+    }
+    /// The scan shapes this pass recognizes are the *outputs* of the whole
+    /// optimization stack: privatization keys on the specialized bucket
+    /// arrays, hoisted pools, pruned records and flattened `&`-chains, so
+    /// every enabled rewrite must have finished before it looks. Each edge
+    /// is real — run this pass first and the patterns simply do not exist
+    /// yet (the loop stays serial and the output program differs).
+    fn after(&self) -> &'static [&'static str] {
+        &[
+            "horizontal-fusion",
+            "string-dictionaries",
+            "hash-table-specialization",
+            "list-specialization",
+            "field-removal",
+            "memory-hoisting",
+            "branch-optimization",
+        ]
+    }
+    /// The terminal sweep must still run over the merge blocks this pass
+    /// synthesizes.
+    fn before(&self) -> &'static [&'static str] {
+        &["final"]
+    }
+    fn run(&self, p: &Program, ctx: &PassCtx) -> Program {
+        crate::parallelize::apply(p, ctx.cfg.threads)
+    }
+}
+
 /// Terminal generic-optimizer sweep at whatever level the stack reached.
 struct FinalCleanup;
 
@@ -539,6 +594,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(MemoryHoisting),
         Box::new(BranchOptimization),
         Box::new(LayoutDecision),
+        Box::new(ParallelizeScans),
         Box::new(FinalCleanup),
     ]
 }

@@ -16,14 +16,37 @@
 //! ```text
 //! cargo run --release --example tpch_showdown            # Q1 Q3 Q6 Q14 at SF 0.02
 //! cargo run --release --example tpch_showdown -- 0.05 1 6 19
+//! cargo run --release --example tpch_showdown -- --threads 4 1 6
 //! ```
+//!
+//! `--threads N` adds a morsel-parallel five-level row (first available
+//! native backend, `parallelize-scans` on); `--iterations N` sets the
+//! timed repetitions per cell (default 3; the table shows the median,
+//! the JSON carries median + min); `--build-jobs N` sizes the build
+//! fan-out.
 
 use std::sync::Mutex;
 use std::time::Instant;
 
 use dblab::codegen::{backend, build_cache, same_normalized, CompiledArtifact, Compiler};
 use dblab::transform::{memo, StackConfig};
-use dblab_bench::json;
+use dblab_bench::{json, timings, Timings};
+
+/// Pull `--flag N` out of the positional argv, returning the default
+/// when absent.
+fn take_flag(argv: &mut Vec<String>, flag: &str, default: usize) -> usize {
+    match argv.iter().position(|a| a == flag) {
+        Some(i) if i + 1 < argv.len() => {
+            let v = argv[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} <int>"));
+            argv.drain(i..=i + 1);
+            v
+        }
+        Some(_) => panic!("{flag} <int>"),
+        None => default,
+    }
+}
 
 fn main() {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +55,12 @@ fn main() {
     // much of the build phase a previous process paid for).
     let persist_cache = argv.iter().any(|a| a == "--persist-cache");
     argv.retain(|a| a != "--persist-cache");
+    let exec_threads = take_flag(&mut argv, "--threads", 1).max(1);
+    let iterations = take_flag(&mut argv, "--iterations", 3).max(1);
+    let default_jobs = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
+    let threads = take_flag(&mut argv, "--build-jobs", default_jobs).max(1);
     let sf: f64 = argv.first().and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let queries: Vec<usize> = if argv.len() > 1 {
         argv[1..]
@@ -41,9 +70,6 @@ fn main() {
     } else {
         vec![1, 3, 6, 14]
     };
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1);
 
     let dir = std::env::temp_dir().join(format!("dblab_showdown_{sf}"));
     let db = dblab::tpch::generate(sf, &dir);
@@ -74,6 +100,21 @@ fn main() {
             eprintln!("(skipping backend `{b}`: toolchain not present)");
         }
     }
+    // `--threads N`: one more five-level row with the morsel pass on,
+    // through the first available native backend.
+    if exec_threads > 1 {
+        match ["gcc", "rustc"]
+            .into_iter()
+            .find(|b| backend(b).expect("registered").available())
+        {
+            Some(b) => {
+                let mut cfg = StackConfig::level5();
+                cfg.threads = exec_threads;
+                rows.push((format!("DBLAB/LB 5 x {b} T{exec_threads}"), cfg, b));
+            }
+            None => eprintln!("(skipping the --threads row: no native toolchain present)"),
+        }
+    }
 
     // Build phase: every (row, query) artifact, fanned out across the
     // thread pool. Jobs land in a fixed slot each, so the later timing
@@ -99,7 +140,13 @@ fn main() {
                 let (label, cfg, bname) = &rows[ri];
                 let q = queries[qi];
                 let prog = dblab::tpch::queries::query(q);
-                let name = format!("sd_q{q}_{}_{bname}", cfg.name.replace([' ', '/'], "_"));
+                // `_t{n}` keeps the threaded five-level row's artifacts
+                // distinct from the serial row with the same config name.
+                let name = format!(
+                    "sd_q{q}_{}_{bname}_t{}",
+                    cfg.name.replace([' ', '/'], "_"),
+                    cfg.threads
+                );
                 match Compiler::new(&schema)
                     .config(cfg)
                     .backend(backend(bname).expect("registered"))
@@ -118,7 +165,7 @@ fn main() {
     let disk_d = build_cache::disk_stats().since(&disk0);
     let built = built.into_inner().unwrap();
     println!(
-        "(built {} artifacts in {:.2}s on {threads} threads; pass-cache {}/{} hits, \
+        "(built {} artifacts in {:.2}s on {threads} build jobs; pass-cache {}/{} hits, \
          build-cache {}/{} hits{})\n",
         built.iter().filter(|a| a.is_some()).count(),
         build_wall.as_secs_f64(),
@@ -138,56 +185,81 @@ fn main() {
         .iter()
         .map(|&q| dblab::engine::execute_program(&dblab::tpch::queries::query(q), &db).to_text())
         .collect();
-    print!("{:<22}", format!("SF {sf}"));
+    print!("{:<26}", format!("SF {sf}"));
     for q in &queries {
         print!("{:>10}", format!("Q{q} (ms)"));
     }
     println!();
+    let mut cells: Vec<Vec<Option<Timings>>> = Vec::with_capacity(rows.len());
     for (ri, (label, _, _)) in rows.iter().enumerate() {
-        print!("{label:<22}");
+        print!("{label:<26}");
+        let mut row_cells = Vec::with_capacity(queries.len());
         for (qi, &q) in queries.iter().enumerate() {
             let slot = ri * queries.len() + qi;
             // Run failures degrade the cell to NaN (like build failures)
             // instead of aborting the remaining grid; result *mismatches*
             // still assert — wrong answers are never just a bad cell.
-            let ms = built[slot]
-                .as_ref()
-                .and_then(|art| {
-                    let mut best = f64::INFINITY;
-                    let mut last = None;
-                    for _ in 0..3 {
-                        match art.run(&dir) {
-                            Ok(r) => {
-                                best = best.min(r.query_ms);
-                                last = Some(r);
-                            }
-                            Err(e) => {
-                                eprintln!("Q{q} under {label}: run failed: {e}");
-                                return None;
-                            }
+            let t = built[slot].as_ref().and_then(|art| {
+                let mut samples = Vec::with_capacity(iterations);
+                let mut last = None;
+                for _ in 0..iterations {
+                    match art.run(&dir) {
+                        Ok(r) => {
+                            samples.push(r.query_ms);
+                            last = Some(r);
+                        }
+                        Err(e) => {
+                            eprintln!("Q{q} under {label}: run failed: {e}");
+                            return None;
                         }
                     }
-                    let r = last.expect("ran");
-                    assert!(
-                        same_normalized(&oracles[qi], &r.stdout),
-                        "Q{q} result mismatch under {label}:\noracle:\n{}\ngot:\n{}",
-                        oracles[qi],
-                        r.stdout
-                    );
-                    Some(best)
-                })
-                .unwrap_or(f64::NAN);
-            print!("{ms:>10.2}");
+                }
+                let r = last.expect("ran");
+                assert!(
+                    same_normalized(&oracles[qi], &r.stdout),
+                    "Q{q} result mismatch under {label}:\noracle:\n{}\ngot:\n{}",
+                    oracles[qi],
+                    r.stdout
+                );
+                Some(timings(&mut samples))
+            });
+            print!("{:>10.2}", t.map(|t| t.median_ms).unwrap_or(f64::NAN));
+            row_cells.push(t);
         }
+        cells.push(row_cells);
         println!();
     }
-    println!("\n(lower is better; every run's result text is checked against the oracle)");
+    println!(
+        "\n(median of {iterations} run(s), lower is better; every run's result \
+         text is checked against the oracle)"
+    );
 
+    let timings_json = json::array(rows.iter().enumerate().map(|(ri, (label, cfg, bname))| {
+        json::Obj::new()
+            .str("config", label)
+            .str("backend", bname)
+            .int("threads", cfg.threads as u64)
+            .raw(
+                "queries",
+                &json::array(queries.iter().enumerate().map(|(qi, &q)| {
+                    let mut o = json::Obj::new().int("query", q as u64);
+                    if let Some(t) = cells[ri][qi] {
+                        o = o.num("median_ms", t.median_ms).num("min_ms", t.min_ms);
+                    }
+                    o.build()
+                })),
+            )
+            .build()
+    }));
     let blob = json::Obj::new()
         .str("bench", "tpch_showdown")
+        .int("schema_version", 2)
         .num("sf", sf)
-        .int("threads", threads as u64)
+        .int("threads", exec_threads as u64)
+        .int("build_jobs", threads as u64)
+        .int("iterations", iterations as u64)
         .num("build_wall_s", build_wall.as_secs_f64())
+        .raw("timings", &timings_json)
         .raw(
             "pass_cache",
             &json::Obj::new()

@@ -43,7 +43,7 @@ fn conformance_suite(cfg: &StackConfig, tag: &str) -> Vec<String> {
         }
         for (i, (prog, oracle)) in programs.iter().zip(&oracles).enumerate() {
             let n = i + 1;
-            let name = format!("bc_q{n}_l{}_{}", cfg.levels, b.name());
+            let name = format!("bc_q{n}_l{}_t{}_{}", cfg.levels, cfg.threads, b.name());
             let verdict = Compiler::new(&schema)
                 .config(cfg)
                 .backend(dblab::codegen::backend(b.name()).expect("registered"))
@@ -74,6 +74,57 @@ fn every_backend_matches_the_oracle_on_the_full_stack() {
 fn every_backend_matches_the_oracle_on_the_generic_stack() {
     let failures = conformance_suite(&StackConfig::level2(), "l2");
     assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// The morsel-parallel plans (`threads = 2`): every backend — the
+/// interpreter executes `ParallelFor` as one logical worker, the native
+/// backends spawn real threads — must still conform on all 22 queries.
+#[test]
+fn every_backend_matches_the_oracle_with_two_threads() {
+    let mut cfg = StackConfig::level5();
+    cfg.threads = 2;
+    let failures = conformance_suite(&cfg, "l5t2");
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// Same axis at `threads = 4`: more partitions, more merge interleavings.
+#[test]
+fn every_backend_matches_the_oracle_with_four_threads() {
+    let mut cfg = StackConfig::level5();
+    cfg.threads = 4;
+    let failures = conformance_suite(&cfg, "l5t4");
+    assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// `threads = 1` must be invisible end to end: the `parallelize-scans`
+/// pass never enters the schedule, the config fingerprint (the pass- and
+/// build-cache key component) is unchanged, and the emitted C/Rust is
+/// exactly the serial text — no parallel runtime anywhere.
+#[test]
+fn threads_one_is_exactly_the_serial_stack() {
+    let serial = StackConfig::level5();
+    let mut explicit = StackConfig::level5();
+    explicit.threads = 1;
+    assert_eq!(serial.fingerprint(), explicit.fingerprint());
+
+    let db = tpch::generate(0.002, &std::env::temp_dir().join("dblab_conf_t1"));
+    let schema = db.schema.clone();
+    for n in 1..=22 {
+        let prog = tpch::queries::query(n);
+        let cq = dblab::transform::compile(&prog, &schema, &explicit);
+        assert!(
+            cq.stages.iter().all(|st| st.name != "parallelize-scans"),
+            "Q{n}: parallelize-scans ran at threads = 1"
+        );
+        for b in backends() {
+            let src = b.emit(&cq.program, &schema);
+            assert!(
+                !src.contains("dblab_par_"),
+                "Q{n} [{}]: serial emission references the parallel runtime",
+                b.name()
+            );
+        }
+    }
 }
 
 /// The native backends consume the *same* lowered program and must agree

@@ -434,10 +434,15 @@ fn declared_commuting_pairs_hash_equal_when_swapped() {
     let corpus: Vec<(String, dblab::frontend::qplan::QueryProgram)> = (1..=22)
         .map(|n| (format!("Q{n}"), dblab::tpch::queries::query(n)))
         .collect();
+    // The threaded five-level stack adds `parallelize-scans` to the DAG;
+    // its commutation claims are verified like everyone else's.
+    let mut level5_threaded = StackConfig::level5();
+    level5_threaded.threads = 4;
     for cfg in [
         StackConfig::level5(),
         StackConfig::level4(),
         StackConfig::compliant(),
+        level5_threaded,
     ] {
         let sched = Scheduler::from_registry(&cfg).expect("DAG builds");
         assert!(

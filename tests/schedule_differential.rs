@@ -177,6 +177,97 @@ fn compliant_stack_schedules_agree_on_the_showdown_queries() {
     }
 }
 
+/// `threads > 1` adds `parallelize-scans` to the DAG with no change to
+/// any call site — the scheduler picks it up from the registry, its
+/// declared edges constrain every sampled ordering, and each schedule
+/// still agrees with the oracle (the interpreter executes `ParallelFor`
+/// as one logical worker).
+#[test]
+fn threaded_schedules_pick_up_parallelize_scans_and_agree() {
+    let (db, _) = setup();
+    let schema = db.schema.clone();
+    let mut cfg = StackConfig::level5();
+    cfg.threads = 4;
+    let sched = Scheduler::from_registry(&cfg).expect("threaded DAG builds");
+    assert!(
+        sched.baseline().contains(&"parallelize-scans"),
+        "threads = 4 must select the pass: {:?}",
+        sched.baseline()
+    );
+    let orders = orderings(&sched);
+    assert!(orders.len() >= ORDERINGS);
+    // Every sampled ordering keeps the pass after all of its declared
+    // prerequisites (validate_order enforces the DAG).
+    for o in &orders {
+        sched.validate_order(o).expect("sampled schedule valid");
+    }
+    // Q1 (hash-table build), Q6 (scalar reductions), Q17 (multimap
+    // chain concatenation): one query per privatization shape.
+    for n in [1, 6, 17] {
+        let prog = tpch::queries::query(n);
+        let oracle = engine::execute_program(&prog, &db).to_text();
+        let mut verified: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        for order in &orders {
+            let (cq, _) = compile_scheduled(&sched, &prog, &schema, order, false)
+                .unwrap_or_else(|e| panic!("Q{n} @ {order:?}: {e}"));
+            let hash = dblab::ir::hash::program_hash(&cq.program);
+            let agree = *verified
+                .entry(hash)
+                .or_insert_with(|| same_normalized(&oracle, &dblab::interp::run(&cq.program, &db)));
+            assert!(agree, "Q{n} diverges under threaded schedule {order:?}");
+        }
+    }
+}
+
+/// `parallelize-scans`' declared edges are real dependencies, not
+/// decoration: an ordering that runs it before one of its prerequisites
+/// must be rejected by the driver, naming the violated edge.
+#[test]
+fn parallelize_scans_declared_edges_are_enforced() {
+    let (db, _) = setup();
+    let schema = db.schema.clone();
+    let mut cfg = StackConfig::level5();
+    cfg.threads = 4;
+    let sched = Scheduler::from_registry(&cfg).expect("threaded DAG builds");
+    // Move parallelize-scans before branch-optimization — both float at
+    // C.Scala, so the swap is level-wise legal and only the declared
+    // edge forbids it (swapped, the `&`-chains the privatization
+    // analysis walks are still `&&` trees).
+    let mut order = sched.baseline();
+    let ips = order
+        .iter()
+        .position(|n| *n == "parallelize-scans")
+        .unwrap();
+    order.remove(ips);
+    let ibo = order
+        .iter()
+        .position(|n| *n == "branch-optimization")
+        .unwrap();
+    order.insert(ibo, "parallelize-scans");
+    let prog = tpch::queries::query(1);
+    let err = compile_ordered(&prog, &schema, &cfg, &order).unwrap_err();
+    assert!(
+        err.contains("declared edge branch-optimization -> parallelize-scans"),
+        "declared-edge violation must be named: {err}"
+    );
+    // And before field-removal (swapped, the privatization analysis
+    // would key on record layouts field-removal is about to change).
+    let mut order = sched.baseline();
+    let ips = order
+        .iter()
+        .position(|n| *n == "parallelize-scans")
+        .unwrap();
+    order.remove(ips);
+    let ifr = order.iter().position(|n| *n == "field-removal").unwrap();
+    order.insert(ifr, "parallelize-scans");
+    let err = compile_ordered(&prog, &schema, &cfg, &order).unwrap_err();
+    assert!(
+        err.contains("parallelize-scans"),
+        "declared-edge violation must name the pass: {err}"
+    );
+    drop(db);
+}
+
 /// The shrinker itself is exercised against a known-bad schedule: orders
 /// that violate the DAG must be rejected up front by the driver, so a
 /// "failing ordering" can only ever be a valid-but-miscompiling one —
