@@ -1,0 +1,348 @@
+//! The latency-under-load harness: N concurrent clients replaying a
+//! zipfian mix of TPC-H templates against a live `dblab-server`.
+//!
+//! By default the harness stands up an in-process server (any free
+//! loopback port) and tears it down gracefully at the end; `--addr
+//! host:port` aims it at an external one instead. Every client prepares
+//! the selected templates once, then issues `--requests` executes drawn
+//! from a zipf(s=1) distribution over them — the head query is hot, the
+//! tail cold, which is what makes background tier-up visible: hot
+//! queries swap to native early while the harness is still running, so
+//! the per-tier latency split quantifies tier-up interference (what the
+//! same request cost before vs after the hot swap).
+//!
+//! Every returned row set is checked against the Volcano oracle; every
+//! shed (`busy`) and `timeout` frame is counted — those are the server
+//! keeping its admission-control promise, not failures. What *is* a
+//! failure: a wrong result, or a hung connection (no response within
+//! the client read timeout). Either exits non-zero.
+//!
+//! ```text
+//! cargo run --release -p dblab-bench --bin loadgen -- \
+//!     --sf 0.01 --queries 1,3,6 --clients 64 --requests 50 \
+//!     --server-workers 4 --queue-cap 64 --deadline-ms 30000 --json load.json
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dblab_bench::{data_dir, emit_json, json, latency_obj, Args};
+use dblab_codegen::same_normalized;
+use dblab_engine::service::{EngineOptions, NativeChoice};
+use dblab_server::{tpch_resolver, Client, ClientError, ErrorCode, Server, ServerOptions};
+use dblab_tpch::rng::Rng64;
+use dblab_transform::StackConfig;
+
+/// One successful execution, as seen by a client.
+struct Sample {
+    query: usize,
+    wall_ms: f64,
+    native: bool,
+    /// This client's first-ever request (the cold, tier-0 path).
+    first: bool,
+    correct: bool,
+}
+
+/// Shared failure tallies (successes travel back as [`Sample`]s).
+#[derive(Default)]
+struct Tally {
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    hung: AtomicU64,
+    server_errors: AtomicU64,
+    transport_errors: AtomicU64,
+}
+
+/// Zipf(s=1) sampler over `n` templates: rank `i` gets weight `1/(i+1)`.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Zipf {
+        let mut cdf: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        for i in 1..n {
+            cdf[i] += cdf[i - 1];
+        }
+        let total = *cdf.last().expect("at least one query");
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn client_loop(
+    id: usize,
+    addr: std::net::SocketAddr,
+    read_timeout: Duration,
+    args: &Args,
+    oracles: &[String],
+    tally: &Tally,
+) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    let mut c = match Client::connect_timeout(addr, Some(read_timeout)) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.transport_errors.fetch_add(1, Ordering::AcqRel);
+            return samples;
+        }
+    };
+    // Prepare every template up front (the server dedupes across
+    // sessions — N clients still cost one compile per template).
+    let mut stmts = Vec::with_capacity(args.queries.len());
+    for &q in &args.queries {
+        match c.prepare(&format!("tpch:{q}")) {
+            Ok(id) => stmts.push(id),
+            Err(e) => {
+                count_failure(&e, tally);
+                return samples;
+            }
+        }
+    }
+    let zipf = Zipf::new(args.queries.len());
+    let mut rng = Rng64::seed_from_u64(args.seed ^ (0x10ad_0000 + id as u64));
+    for req in 0..args.requests {
+        let qi = zipf.sample(&mut rng);
+        let t0 = Instant::now();
+        match c.execute(stmts[qi]) {
+            Ok(reply) => samples.push(Sample {
+                query: args.queries[qi],
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                native: reply.native,
+                first: req == 0,
+                correct: same_normalized(&oracles[qi], &reply.rows),
+            }),
+            Err(e) => {
+                count_failure(&e, tally);
+                if matches!(&e, ClientError::Io(_)) {
+                    return samples; // transport is gone; stop this client
+                }
+            }
+        }
+    }
+    let _ = c.close();
+    samples
+}
+
+fn count_failure(e: &ClientError, tally: &Tally) {
+    match e {
+        ClientError::Server { code, .. } => match code {
+            ErrorCode::Busy => tally.shed.fetch_add(1, Ordering::AcqRel),
+            ErrorCode::Timeout => tally.timeouts.fetch_add(1, Ordering::AcqRel),
+            _ => tally.server_errors.fetch_add(1, Ordering::AcqRel),
+        },
+        ClientError::Io(_) if e.is_hang() => tally.hung.fetch_add(1, Ordering::AcqRel),
+        ClientError::Io(_) => tally.transport_errors.fetch_add(1, Ordering::AcqRel),
+    };
+}
+
+fn main() {
+    let args = Args::parse();
+    let (db, data) = data_dir(args.sf);
+    let schema = db.schema.clone();
+
+    let oracles: Vec<String> = args
+        .queries
+        .iter()
+        .map(|&q| dblab_engine::execute_program(&dblab_tpch::queries::query(q), &db).to_text())
+        .collect();
+
+    // In-process server unless --addr points at a live one.
+    let deadline = Duration::from_millis(args.deadline_ms);
+    let server = if args.addr.is_none() {
+        let mut config = StackConfig::level5();
+        config.threads = args.threads;
+        let native = match args.backend.as_str() {
+            "auto" | "interp" => NativeChoice::Auto,
+            other => NativeChoice::Backend(other.to_string()),
+        };
+        Some(
+            Server::start(
+                &schema,
+                &data,
+                tpch_resolver(),
+                ServerOptions {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers: args.server_workers,
+                    queue_cap: args.queue_cap,
+                    deadline,
+                    engine: EngineOptions {
+                        config,
+                        gen_dir: std::env::temp_dir().join("dblab_loadgen_gen"),
+                        workers: args.build_jobs,
+                        native,
+                        persist_cache: args.persist_cache,
+                        schedule_candidates: args.orderings,
+                        seed: args.seed,
+                    },
+                    debug_worker_delay: Duration::ZERO,
+                },
+            )
+            .expect("start in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&server, &args.addr) {
+        (Some(s), _) => s.addr(),
+        (None, Some(a)) => a.parse().expect("--addr host:port"),
+        (None, None) => unreachable!(),
+    };
+    // A hung connection is "no answer for the whole deadline plus slack".
+    let read_timeout = deadline + Duration::from_secs(60);
+
+    println!(
+        "# loadgen — {} clients x {} requests, zipf over {:?} (SF {}, {} server workers, queue cap {}, deadline {:?})",
+        args.clients, args.requests, args.queries, args.sf, args.server_workers, args.queue_cap, deadline
+    );
+
+    let tally = Arc::new(Tally::default());
+    let wall0 = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|id| {
+                let tally = Arc::clone(&tally);
+                let (args, oracles) = (&args, &oracles);
+                s.spawn(move || client_loop(id, addr, read_timeout, args, oracles, &tally))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = wall0.elapsed().as_secs_f64() * 1e3;
+
+    // Pull the server's own view before shutdown.
+    let server_stats = Client::connect_timeout(addr, Some(Duration::from_secs(30)))
+        .ok()
+        .and_then(|mut c| c.stats().ok());
+    let report = server.map(|s| s.shutdown());
+
+    // Slice the latency populations.
+    let mut all: Vec<f64> = samples.iter().map(|s| s.wall_ms).collect();
+    let mut first: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.first)
+        .map(|s| s.wall_ms)
+        .collect();
+    let mut steady: Vec<f64> = samples
+        .iter()
+        .filter(|s| !s.first)
+        .map(|s| s.wall_ms)
+        .collect();
+    let mut interp: Vec<f64> = samples
+        .iter()
+        .filter(|s| !s.native)
+        .map(|s| s.wall_ms)
+        .collect();
+    let mut native: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.native)
+        .map(|s| s.wall_ms)
+        .collect();
+    let incorrect = samples.iter().filter(|s| !s.correct).count();
+    let ok = samples.len();
+    let shed = tally.shed.load(Ordering::Acquire);
+    let timeouts = tally.timeouts.load(Ordering::Acquire);
+    let hung = tally.hung.load(Ordering::Acquire);
+    let server_errors = tally.server_errors.load(Ordering::Acquire);
+    let transport_errors = tally.transport_errors.load(Ordering::Acquire);
+
+    let per_query = json::array(args.queries.iter().map(|&q| {
+        let mut lat: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.query == q)
+            .map(|s| s.wall_ms)
+            .collect();
+        let served_native = samples.iter().filter(|s| s.query == q && s.native).count();
+        json::Obj::new()
+            .int("query", q as u64)
+            .int("native_served", served_native as u64)
+            .raw("latency", &latency_obj(&mut lat))
+            .build()
+    }));
+
+    println!(
+        "# {} ok ({} incorrect), {} shed, {} timeouts, {} hung, {} server errors, {} transport errors in {:.0}ms",
+        ok, incorrect, shed, timeouts, hung, server_errors, transport_errors, wall_ms
+    );
+    if !interp.is_empty() && !native.is_empty() {
+        let mut i2 = interp.clone();
+        let mut n2 = native.clone();
+        println!(
+            "# tier-up interference: interp-tier {} vs native-tier {} (p50)",
+            {
+                i2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                format!("{:.2}ms", dblab_bench::percentile(&i2, 0.5))
+            },
+            {
+                n2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                format!("{:.2}ms", dblab_bench::percentile(&n2, 0.5))
+            }
+        );
+    }
+
+    let totals = json::Obj::new()
+        .int("ok", ok as u64)
+        .int("incorrect", incorrect as u64)
+        .int("shed", shed)
+        .int("timeouts", timeouts)
+        .int("hung_connections", hung)
+        .int("server_errors", server_errors)
+        .int("transport_errors", transport_errors)
+        .build();
+    let latency = json::Obj::new()
+        .raw("all", &latency_obj(&mut all))
+        .raw("first_result", &latency_obj(&mut first))
+        .raw("steady", &latency_obj(&mut steady))
+        .raw("interp_tier", &latency_obj(&mut interp))
+        .raw("native_tier", &latency_obj(&mut native))
+        .build();
+    let mut blob = json::Obj::new()
+        .str("bench", "loadgen")
+        .int("schema_version", 1)
+        .num("sf", args.sf)
+        .int("clients", args.clients as u64)
+        .int("requests_per_client", args.requests as u64)
+        .int("server_workers", args.server_workers as u64)
+        .int("queue_cap", args.queue_cap as u64)
+        .num("deadline_ms", args.deadline_ms as f64)
+        .num("wall_ms", wall_ms)
+        .bool("all_agree", incorrect == 0)
+        .raw("totals", &totals)
+        .raw("latency_ms", &latency)
+        .raw("per_query", &per_query);
+    if let Some(stats) = &server_stats {
+        blob = blob.raw("server_stats", stats);
+    }
+    if let Some(r) = &report {
+        blob = blob.raw(
+            "shutdown",
+            &json::Obj::new()
+                .int("connections", r.connections)
+                .int("executed", r.executed)
+                .int("shed", r.shed)
+                .int("timeouts", r.timeouts)
+                .int("drained_in_flight", r.drained_in_flight as u64)
+                .build(),
+        );
+    }
+    emit_json(&args, &blob.build());
+
+    if incorrect > 0 {
+        eprintln!("RESULT DIVERGENCE: {incorrect} response(s) disagreed with the oracle");
+        std::process::exit(1);
+    }
+    if hung > 0 {
+        eprintln!("HUNG CONNECTIONS: {hung} request(s) got no response within {read_timeout:?}");
+        std::process::exit(1);
+    }
+}

@@ -32,7 +32,7 @@ use std::time::Duration;
 
 use dblab_bench::{data_dir, emit_json, json, Args};
 use dblab_codegen::{build_cache, same_normalized};
-use dblab_engine::service::{EngineOptions, NativeChoice, QueryEngine, Tier};
+use dblab_engine::service::{EngineOptions, NativeChoice, QueryEngine, ServeStats, Tier};
 use dblab_transform::{memo, StackConfig};
 
 /// One prepared query's serving measurements. Two first-result numbers
@@ -53,6 +53,10 @@ struct Row {
     swaps: u64,
     /// Tier-up provenance, when the native tier landed.
     tier_up: Option<(f64, f64, bool, bool, f64)>, // gen, build, cached, non_baseline, elapsed
+    /// The full serving snapshot, embedded verbatim in the JSON — the
+    /// same [`ServeStats::to_json`] shape the network server's `stats`
+    /// frame returns per query.
+    stats: ServeStats,
     agree: bool,
 }
 
@@ -72,7 +76,7 @@ fn serve_phase(
     gen_dir: &std::path::Path,
     data: &std::path::Path,
     oracles: &[String],
-) -> (Vec<Row>, Option<&'static str>) {
+) -> (Vec<Row>, Option<&'static str>, String) {
     // `--threads N` flows into the stack config: the engine's prepared
     // plans (interpreted tier 0 included) are the morsel-parallel ones.
     let mut config = StackConfig::level5();
@@ -95,11 +99,15 @@ fn serve_phase(
     }
 
     let mut rows = Vec::new();
+    // Handles stay alive until the engine-wide snapshot below — the
+    // stats registry holds weak references and prunes dropped queries.
+    let mut handles = Vec::new();
     for (qi, &q) in args.queries.iter().enumerate() {
         let prog = dblab_tpch::queries::query(q);
         let handle = engine
             .prepare_named(&prog, &format!("serve_q{q}"))
             .expect("prepare");
+        handles.push(handle.clone());
         // First result: executed the instant prepare returns — this is
         // the latency a client sees, whatever tier serves it.
         let first = handle.execute(data).expect("first execution");
@@ -145,10 +153,13 @@ fn serve_phase(
                     u.elapsed_ms,
                 )
             }),
+            stats,
             agree: first_agree && steady.1,
         });
     }
-    (rows, engine.native_backend())
+    let engine_stats = engine.stats().to_json();
+    drop(handles);
+    (rows, engine.native_backend(), engine_stats)
 }
 
 fn print_rows(rows: &[Row]) {
@@ -206,7 +217,11 @@ fn rows_json(rows: &[Row]) -> String {
             .num("steady_ms", r.steady_ms)
             .str("steady_tier", &r.steady_tier.to_string())
             .int("swaps", r.swaps)
-            .bool("agree", r.agree);
+            .bool("agree", r.agree)
+            // The shared per-query snapshot (tier, latency tallies,
+            // tier-up provenance) — one renderer for benches and the
+            // network server's `stats` frame.
+            .raw("stats", &r.stats.to_json());
         if let Some((gen_ms, build_ms, cached, non_baseline, elapsed)) = r.tier_up {
             o = o.raw(
                 "tier_up",
@@ -244,7 +259,8 @@ fn main() {
         args.threads
     );
     let disk0 = build_cache::disk_stats();
-    let (rows, native) = serve_phase("serve", &args, &schema, &gen_dir, &data, &oracles);
+    let (rows, native, engine_stats) =
+        serve_phase("serve", &args, &schema, &gen_dir, &data, &oracles);
     let disk_serve = build_cache::disk_stats().since(&disk0);
     print_rows(&rows);
     println!(
@@ -262,7 +278,7 @@ fn main() {
         dblab_transform::schedule::cost::clear();
         println!("\n# restart — caches dropped, disk index reloaded");
         let disk1 = build_cache::disk_stats();
-        let (rows2, _) = serve_phase("restart", &args, &schema, &gen_dir, &data, &oracles);
+        let (rows2, _, _) = serve_phase("restart", &args, &schema, &gen_dir, &data, &oracles);
         let disk_restart = build_cache::disk_stats().since(&disk1);
         print_rows(&rows2);
         let lookups: u64 = rows2.iter().map(|r| u64::from(r.tier_up.is_some())).sum();
@@ -302,7 +318,11 @@ fn main() {
         .int("swaps_total", swaps_total)
         .int("non_baseline_orders", non_baseline_orders as u64)
         .bool("all_agree", all_agree)
-        .raw("queries", &rows_json(&rows));
+        .raw("queries", &rows_json(&rows))
+        // Engine-wide snapshot at end of phase one — the same
+        // `EngineStats::to_json` the network server's `stats` frame
+        // embeds under its `engine` key.
+        .raw("engine_stats", &engine_stats);
     if let Some((rows2, disk_restart)) = &restart {
         blob = blob.raw(
             "restart",

@@ -82,6 +82,22 @@ pub struct Args {
     /// ([`dblab_codegen::build_cache::enable_persistence`]) so artifacts
     /// survive process restarts; benches report disk-hit rates.
     pub persist_cache: bool,
+    /// Concurrent clients the `loadgen` harness spawns (`--clients`,
+    /// default 64 — the acceptance floor).
+    pub clients: usize,
+    /// Execute requests each client issues (`--requests`, default 50).
+    pub requests: usize,
+    /// Server admission-queue bound (`--queue-cap`, default 64).
+    pub queue_cap: usize,
+    /// Per-request deadline in milliseconds (`--deadline-ms`, default
+    /// 30000 — generous; shrink it to provoke timeout frames).
+    pub deadline_ms: u64,
+    /// Request worker threads for the in-process server
+    /// (`--server-workers`, default 4).
+    pub server_workers: usize,
+    /// Aim `loadgen` at an already-running server instead of starting an
+    /// in-process one (`--addr host:port`).
+    pub addr: Option<String>,
 }
 
 impl Args {
@@ -99,6 +115,12 @@ impl Args {
         let mut seed = 0xdb1a_b5ee_d001;
         let mut backend = String::from("interp");
         let mut persist_cache = false;
+        let mut clients = 64;
+        let mut requests = 50;
+        let mut queue_cap = 64;
+        let mut deadline_ms = 30_000;
+        let mut server_workers = 4;
+        let mut addr = None;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -150,6 +172,30 @@ impl Args {
                     persist_cache = true;
                     i += 1;
                 }
+                "--clients" => {
+                    clients = argv[i + 1].parse().expect("--clients <int>");
+                    i += 2;
+                }
+                "--requests" => {
+                    requests = argv[i + 1].parse().expect("--requests <int>");
+                    i += 2;
+                }
+                "--queue-cap" => {
+                    queue_cap = argv[i + 1].parse().expect("--queue-cap <int>");
+                    i += 2;
+                }
+                "--deadline-ms" => {
+                    deadline_ms = argv[i + 1].parse().expect("--deadline-ms <u64>");
+                    i += 2;
+                }
+                "--server-workers" => {
+                    server_workers = argv[i + 1].parse().expect("--server-workers <int>");
+                    i += 2;
+                }
+                "--addr" => {
+                    addr = Some(argv[i + 1].clone());
+                    i += 2;
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -165,78 +211,45 @@ impl Args {
             seed,
             backend,
             persist_cache,
+            clients: clients.max(1),
+            requests: requests.max(1),
+            queue_cap: queue_cap.max(1),
+            deadline_ms: deadline_ms.max(1),
+            server_workers: server_workers.max(1),
+            addr,
         }
     }
 }
 
-/// Minimal hand-rolled JSON emission (the container has no serde; the
-/// blobs the benches write are flat enough that a string builder is the
-/// whole story).
-pub mod json {
-    /// Escape a string for inclusion in a JSON document.
-    pub fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\r' => out.push_str("\\r"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
+/// Sorted-latency percentiles for load reports. `p(q)` takes the
+/// nearest-rank sample, so `p999` over 64 samples is the max — honest
+/// about what little data can say.
+pub fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
     }
-
-    /// An object under construction. Values passed to `raw` must already
-    /// be valid JSON (numbers, nested objects, arrays).
-    #[derive(Default)]
-    pub struct Obj {
-        fields: Vec<String>,
-    }
-
-    impl Obj {
-        pub fn new() -> Obj {
-            Obj::default()
-        }
-        pub fn str(mut self, k: &str, v: &str) -> Obj {
-            self.fields
-                .push(format!("\"{}\": \"{}\"", escape(k), escape(v)));
-            self
-        }
-        pub fn num(mut self, k: &str, v: f64) -> Obj {
-            // JSON has no NaN/Infinity; benches use null for "not run".
-            if v.is_finite() {
-                self.fields.push(format!("\"{}\": {v}", escape(k)));
-            } else {
-                self.fields.push(format!("\"{}\": null", escape(k)));
-            }
-            self
-        }
-        pub fn int(mut self, k: &str, v: u64) -> Obj {
-            self.fields.push(format!("\"{}\": {v}", escape(k)));
-            self
-        }
-        pub fn bool(mut self, k: &str, v: bool) -> Obj {
-            self.fields.push(format!("\"{}\": {v}", escape(k)));
-            self
-        }
-        pub fn raw(mut self, k: &str, v: &str) -> Obj {
-            self.fields.push(format!("\"{}\": {}", escape(k), v));
-            self
-        }
-        pub fn build(self) -> String {
-            format!("{{{}}}", self.fields.join(", "))
-        }
-    }
-
-    /// A JSON array from already-rendered element strings.
-    pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
-        format!("[{}]", items.into_iter().collect::<Vec<_>>().join(", "))
-    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
 }
+
+/// Render `{count, p50, p99, p999, max}` for one latency population
+/// (sorts in place).
+pub fn latency_obj(samples: &mut [f64]) -> String {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    json::Obj::new()
+        .int("count", samples.len() as u64)
+        .num("p50_ms", percentile(samples, 0.50))
+        .num("p99_ms", percentile(samples, 0.99))
+        .num("p999_ms", percentile(samples, 0.999))
+        .num("max_ms", samples.last().copied().unwrap_or(f64::NAN))
+        .build()
+}
+
+/// The shared JSON string builder, re-exported from its home in
+/// `dblab-runtime` (it moved down so the serving engine's stats renderer
+/// and the network server's `stats` frame emit the same format the
+/// benches do).
+pub use dblab_runtime::json;
 
 /// Write (or print) a bench's JSON blob: to `--json PATH` when given,
 /// otherwise to stdout behind a greppable marker line.
@@ -328,6 +341,20 @@ mod tests {
         let t = timings(&mut [4.0, 2.0, 8.0, 6.0]);
         assert_eq!(t.median_ms, 5.0);
         assert_eq!(t.min_ms, 2.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let blob = latency_obj(&mut samples);
+        assert!(blob.contains("\"p50_ms\": 50"), "{blob}");
+        assert!(blob.contains("\"p99_ms\": 99"), "{blob}");
+        assert!(blob.contains("\"p999_ms\": 100"), "{blob}");
+        assert_eq!(
+            percentile(&[7.0], 0.999),
+            7.0,
+            "small populations take the max"
+        );
     }
 
     #[test]

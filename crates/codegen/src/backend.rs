@@ -58,11 +58,34 @@ pub struct RunOutput {
 pub trait Executable: Send + Sync {
     /// Execute against `data_dir` and capture result rows + metrics.
     fn run(&self, data_dir: &Path) -> io::Result<RunOutput>;
+    /// [`Executable::run`] with an execution budget: once `deadline`
+    /// elapses the run is abandoned — the native backends kill the query
+    /// process, the interpreter interrupts cooperatively at loop
+    /// back-edges — and an [`io::ErrorKind::TimedOut`] error comes back
+    /// instead of a hung thread. The default ignores the deadline, which
+    /// is correct for executables that cannot be interrupted; the serving
+    /// engine's typed timeout rides on the shipped overrides.
+    fn run_deadline(&self, data_dir: &Path, deadline: Option<Duration>) -> io::Result<RunOutput> {
+        let _ = deadline;
+        self.run(data_dir)
+    }
     /// Wall time the toolchain spent building (the gcc/rustc half of
     /// Figure 9; zero for in-process backends).
     fn build_time(&self) -> Duration;
     /// The produced binary on disk, if any.
     fn artifact(&self) -> Option<&Path>;
+}
+
+/// The error every deadline overrun surfaces as (matched upstream by
+/// `ErrorKind::TimedOut`).
+pub fn timeout_error(budget: Duration) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::TimedOut,
+        format!(
+            "query exceeded its {:.0}ms execution deadline",
+            budget.as_secs_f64() * 1e3
+        ),
+    )
 }
 
 /// Everything a backend needs to build: the emitted source, where to put
@@ -138,6 +161,81 @@ pub fn run_binary(binary: &Path, data_dir: &Path) -> io::Result<RunOutput> {
     }
     Ok(RunOutput {
         stdout: String::from_utf8_lossy(&out.stdout).into_owned(),
+        query_ms,
+        peak_rss_kb,
+        wall,
+    })
+}
+
+/// [`run_binary`] under an execution budget: the child is spawned with
+/// piped output, drained by two reader threads (a full pipe must never
+/// wedge the poll loop), and polled with `try_wait`; past the deadline it
+/// is killed and the run reports [`io::ErrorKind::TimedOut`]. The drainer
+/// threads are joined on every path — a timed-out query leaks neither a
+/// process nor a thread.
+pub fn run_binary_deadline(
+    binary: &Path,
+    data_dir: &Path,
+    deadline: Duration,
+) -> io::Result<RunOutput> {
+    use std::io::Read;
+    use std::process::Stdio;
+
+    let t0 = Instant::now();
+    let mut child = Command::new(binary)
+        .arg(data_dir)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()?;
+    let mut out_pipe = child.stdout.take().expect("piped stdout");
+    let mut err_pipe = child.stderr.take().expect("piped stderr");
+    let drain_out = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = out_pipe.read_to_end(&mut buf);
+        buf
+    });
+    let drain_err = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = err_pipe.read_to_end(&mut buf);
+        buf
+    });
+
+    let status = loop {
+        match child.try_wait()? {
+            Some(status) => break status,
+            None if t0.elapsed() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = drain_out.join();
+                let _ = drain_err.join();
+                return Err(timeout_error(deadline));
+            }
+            None => std::thread::sleep(Duration::from_millis(1)),
+        }
+    };
+    let wall = t0.elapsed();
+    let stdout = drain_out.join().unwrap_or_default();
+    let stderr = drain_err.join().unwrap_or_default();
+    if !status.success() {
+        return Err(io::Error::other(format!(
+            "query binary {} failed: {}",
+            binary.display(),
+            String::from_utf8_lossy(&stderr)
+        )));
+    }
+    let stderr = String::from_utf8_lossy(&stderr);
+    let mut query_ms = f64::NAN;
+    let mut peak_rss_kb = 0;
+    for line in stderr.lines() {
+        if let Some(v) = line.strip_prefix("QUERY_TIME_MS: ") {
+            query_ms = v.trim().parse().unwrap_or(f64::NAN);
+        } else if let Some(v) = line.strip_prefix("PEAK_RSS_KB: ") {
+            peak_rss_kb = v.trim().parse().unwrap_or(0);
+        }
+    }
+    Ok(RunOutput {
+        stdout: String::from_utf8_lossy(&stdout).into_owned(),
         query_ms,
         peak_rss_kb,
         wall,
@@ -255,6 +353,12 @@ impl Executable for NativeExecutable {
     fn run(&self, data_dir: &Path) -> io::Result<RunOutput> {
         run_binary(&self.binary, data_dir)
     }
+    fn run_deadline(&self, data_dir: &Path, deadline: Option<Duration>) -> io::Result<RunOutput> {
+        match deadline {
+            Some(budget) => run_binary_deadline(&self.binary, data_dir, budget),
+            None => self.run(data_dir),
+        }
+    }
     fn build_time(&self) -> Duration {
         self.build_time
     }
@@ -353,10 +457,20 @@ struct InterpExecutable {
 
 impl Executable for InterpExecutable {
     fn run(&self, data_dir: &Path) -> io::Result<RunOutput> {
+        self.run_deadline(data_dir, None)
+    }
+    fn run_deadline(&self, data_dir: &Path, deadline: Option<Duration>) -> io::Result<RunOutput> {
         let t0 = Instant::now();
         let db = Database::read_all(&self.schema, data_dir)?;
         let tq = Instant::now();
-        let stdout = dblab_interp::run(&self.program, &db);
+        // The interpreter interrupts itself at loop back-edges once the
+        // absolute deadline passes — the budget covers query evaluation,
+        // not the data load above (native binaries exclude loading from
+        // their in-query timer the same way).
+        let stdout = dblab_interp::run_with_deadline(&self.program, &db, deadline.map(|d| tq + d))
+            .map_err(|dblab_interp::Interrupted| {
+                timeout_error(deadline.expect("interrupt implies a deadline"))
+            })?;
         let query = tq.elapsed();
         Ok(RunOutput {
             stdout,

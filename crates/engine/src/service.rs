@@ -38,6 +38,7 @@ use std::time::{Duration, Instant};
 use dblab_catalog::Schema;
 use dblab_codegen::{backend, Compiler, Executable, InterpBackend, RunOutput};
 use dblab_frontend::qplan::QueryProgram;
+use dblab_runtime::json;
 use dblab_transform::{stack, Scheduler, StackConfig};
 
 /// Which executable currently backs a prepared query.
@@ -171,7 +172,10 @@ pub struct TierUpReport {
     pub elapsed_ms: f64,
 }
 
-/// A point-in-time view of a prepared query's serving state.
+/// A point-in-time view of a prepared query's serving state. A plain
+/// serializable struct: [`ServeStats::to_json`] renders it for the
+/// network server's `stats` frame and the `serve`/`loadgen` benches, all
+/// through the same builder.
 #[derive(Debug, Clone)]
 pub struct ServeStats {
     pub tier: Tier,
@@ -180,10 +184,91 @@ pub struct ServeStats {
     pub first_result_ms: Option<f64>,
     pub interp: LatencySummary,
     pub native: LatencySummary,
+    /// Executions abandoned because their per-request deadline elapsed.
+    pub timeouts: u64,
     pub tier_up: Option<TierUpReport>,
     /// Set when the native tier can never arrive (no toolchain) or its
     /// compile failed; the query stays on the interpreter.
     pub pinned_to_interp: Option<String>,
+}
+
+impl LatencySummary {
+    /// `{"runs": …, "mean_ms": …, "best_ms": …}` (nulls while unserved).
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .int("runs", self.runs)
+            .num("mean_ms", self.mean_ms())
+            .num("best_ms", self.best_ms)
+            .build()
+    }
+}
+
+impl TierUpReport {
+    /// The swap provenance as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("backend", self.backend)
+            .num("gen_ms", self.gen_ms)
+            .num("build_ms", self.build_ms)
+            .bool("build_cached", self.build_cached)
+            .bool("non_baseline_order", self.non_baseline)
+            .bool("explored", self.explored)
+            .num("elapsed_ms", self.elapsed_ms)
+            .build()
+    }
+}
+
+impl ServeStats {
+    /// The one stats renderer: the server's `stats` frame and the bench
+    /// blobs embed exactly this object, so dashboards parse one shape.
+    pub fn to_json(&self) -> String {
+        let mut o = json::Obj::new()
+            .str("tier", &self.tier.to_string())
+            .int("swaps", self.swaps)
+            .num("first_result_ms", self.first_result_ms.unwrap_or(f64::NAN))
+            .int("timeouts", self.timeouts)
+            .raw("interp", &self.interp.to_json())
+            .raw("native", &self.native.to_json());
+        if let Some(up) = &self.tier_up {
+            o = o.raw("tier_up", &up.to_json());
+        }
+        if let Some(reason) = &self.pinned_to_interp {
+            o = o.str("pinned_to_interp", reason);
+        }
+        o.build()
+    }
+}
+
+/// An engine-wide stats snapshot: the resolved native tier, the tier-up
+/// queue, and every live prepared query's [`ServeStats`] (dropped handles
+/// fall out on their own — the registry holds weak references).
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    pub native_backend: Option<&'static str>,
+    pub degraded: Option<String>,
+    /// Tier-up jobs not yet picked up by a worker.
+    pub pending_tier_ups: usize,
+    /// `(name, stats)` for every live prepared query, in prepare order.
+    pub queries: Vec<(String, ServeStats)>,
+}
+
+impl EngineStats {
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("native_backend", self.native_backend.unwrap_or("none"))
+            .bool("degraded", self.degraded.is_some())
+            .int("pending_tier_ups", self.pending_tier_ups as u64)
+            .raw(
+                "queries",
+                &json::array(self.queries.iter().map(|(name, s)| {
+                    json::Obj::new()
+                        .str("name", name)
+                        .raw("stats", &s.to_json())
+                        .build()
+                })),
+            )
+            .build()
+    }
 }
 
 /// One execution's result, tagged with the tier that served it.
@@ -192,6 +277,39 @@ pub struct ServedRun {
     pub tier: Tier,
     pub output: RunOutput,
 }
+
+/// Why an execution did not produce rows. The variant matters to servers:
+/// a [`ExecError::Timeout`] is the request's fault (its budget ran out —
+/// the worker is fine and the native binary was killed / the interpreter
+/// interrupted), everything else is the execution's.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The per-request deadline elapsed; the run was abandoned, not hung.
+    Timeout {
+        /// The budget that ran out.
+        budget: Duration,
+        /// The tier that was executing when it did.
+        tier: Tier,
+    },
+    /// The execution itself failed (IO, missing data directory, a broken
+    /// binary).
+    Exec(io::Error),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Timeout { budget, tier } => write!(
+                f,
+                "query exceeded its {:.0}ms deadline on tier {tier}",
+                budget.as_secs_f64() * 1e3
+            ),
+            ExecError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 struct Active {
     exe: Arc<dyn Executable>,
@@ -217,6 +335,7 @@ struct PreparedInner {
     meta: Mutex<Meta>,
     cvar: Condvar,
     swaps: AtomicU64,
+    timeouts: AtomicU64,
     first_result_ms: Mutex<Option<f64>>,
     lat_interp: Mutex<LatencySummary>,
     lat_native: Mutex<LatencySummary>,
@@ -234,12 +353,43 @@ impl PreparedQuery {
     /// Execute against a `.tbl` data directory on whatever tier is
     /// currently active. Never blocks on the background compile.
     pub fn execute(&self, data_dir: &Path) -> io::Result<ServedRun> {
+        self.execute_with_deadline(data_dir, None)
+            .map_err(|e| match e {
+                // Unreachable without a deadline; keep the io::Result
+                // signature every existing caller has.
+                ExecError::Timeout { budget, .. } => dblab_codegen::timeout_error(budget),
+                ExecError::Exec(io) => io,
+            })
+    }
+
+    /// [`PreparedQuery::execute`] under a per-request execution budget.
+    /// When the budget elapses the run is *abandoned*, not awaited: the
+    /// native tier's query process is killed, the interpreter tier
+    /// interrupts at its next loop back-edge, and the caller gets
+    /// [`ExecError::Timeout`] — a typed error, never a hung worker. Timed
+    /// out runs count in [`ServeStats::timeouts`] and leave the latency
+    /// tallies untouched (a killed run has no honest latency).
+    pub fn execute_with_deadline(
+        &self,
+        data_dir: &Path,
+        deadline: Option<Duration>,
+    ) -> Result<ServedRun, ExecError> {
         let (exe, tier) = {
             let act = self.inner.active.read().unwrap();
             (Arc::clone(&act.exe), act.tier)
         };
         let t0 = Instant::now();
-        let output = exe.run(data_dir)?;
+        let output = exe.run_deadline(data_dir, deadline).map_err(|e| {
+            if e.kind() == io::ErrorKind::TimedOut {
+                self.inner.timeouts.fetch_add(1, Ordering::AcqRel);
+                ExecError::Timeout {
+                    budget: deadline.unwrap_or_default(),
+                    tier,
+                }
+            } else {
+                ExecError::Exec(e)
+            }
+        })?;
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         {
             let mut first = self.inner.first_result_ms.lock().unwrap();
@@ -307,6 +457,7 @@ impl PreparedQuery {
             first_result_ms: *self.inner.first_result_ms.lock().unwrap(),
             interp: *self.inner.lat_interp.lock().unwrap(),
             native: *self.inner.lat_native.lock().unwrap(),
+            timeouts: self.inner.timeouts.load(Ordering::Acquire),
             tier_up: meta.tier_up.clone(),
             pinned_to_interp: meta.pinned.clone(),
         }
@@ -370,6 +521,9 @@ struct EngineShared {
     build_seq: AtomicU64,
     queue: Mutex<QueueState>,
     cvar: Condvar,
+    /// Every handle this engine prepared, weakly: [`QueryEngine::stats`]
+    /// aggregates the live ones and prunes the dead.
+    prepared: Mutex<Vec<(String, Weak<PreparedInner>)>>,
 }
 
 impl EngineShared {
@@ -444,6 +598,7 @@ impl QueryEngine {
                 shutdown: false,
             }),
             cvar: Condvar::new(),
+            prepared: Mutex::new(Vec::new()),
         });
         let worker_count = if shared.native.is_some() {
             opts.workers.max(1)
@@ -498,10 +653,15 @@ impl QueryEngine {
             meta: Mutex::new(Meta::default()),
             cvar: Condvar::new(),
             swaps: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
             first_result_ms: Mutex::new(None),
             lat_interp: Mutex::new(LatencySummary::default()),
             lat_native: Mutex::new(LatencySummary::default()),
         });
+        s.prepared
+            .lock()
+            .unwrap()
+            .push((name.to_string(), Arc::downgrade(&inner)));
 
         match s.native {
             Some(_) => {
@@ -541,6 +701,29 @@ impl QueryEngine {
     /// Tier-up jobs not yet picked up by a worker.
     pub fn pending_jobs(&self) -> usize {
         self.shared.queue.lock().unwrap().jobs.len()
+    }
+
+    /// An engine-wide snapshot: native-tier resolution, tier-up queue
+    /// depth, and per-query [`ServeStats`] for every live handle. Plain
+    /// data — render it with [`EngineStats::to_json`] (the server's
+    /// `stats` frame does exactly that) or consume the fields directly.
+    pub fn stats(&self) -> EngineStats {
+        let mut prepared = self.shared.prepared.lock().unwrap();
+        // Prune dropped handles while snapshotting the live ones.
+        prepared.retain(|(_, weak)| weak.strong_count() > 0);
+        let queries = prepared
+            .iter()
+            .filter_map(|(name, weak)| {
+                weak.upgrade()
+                    .map(|inner| (name.clone(), PreparedQuery { inner }.stats()))
+            })
+            .collect();
+        EngineStats {
+            native_backend: self.shared.native,
+            degraded: self.shared.degraded.clone(),
+            pending_tier_ups: self.shared.queue.lock().unwrap().jobs.len(),
+            queries,
+        }
     }
 
     /// The configuration queries compile under.
@@ -769,6 +952,75 @@ mod tests {
         assert!(stats.pinned_to_interp.is_some());
         assert!(stats.first_result_ms.is_some());
         assert!(q.report().contains("tier interp permanently"));
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_typed_timeout() {
+        let schema = schema("svc_deadline");
+        let dir = data(&schema, "svc_deadline", "deadline");
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                native: NativeChoice::Disabled,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        let q = engine.prepare(&sum_query("svc_deadline")).expect("prepare");
+
+        // A zero budget is already expired when evaluation starts: the
+        // interpreter interrupts at its first loop back-edge and the
+        // caller gets the typed error, not a hang and not rows.
+        match q.execute_with_deadline(&dir, Some(Duration::ZERO)) {
+            Err(ExecError::Timeout { tier, .. }) => assert_eq!(tier, Tier::Interp),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        let stats = q.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(stats.interp.runs, 0, "abandoned runs record no latency");
+
+        // The same handle still serves once given room.
+        let run = q
+            .execute_with_deadline(&dir, Some(Duration::from_secs(60)))
+            .expect("generous budget");
+        assert_eq!(run.output.stdout.trim(), "12|24");
+        assert_eq!(q.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn engine_stats_snapshot_is_plain_data_and_serializes() {
+        let schema = schema("svc_stats");
+        let dir = data(&schema, "svc_stats", "stats");
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                native: NativeChoice::Disabled,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        let q = engine
+            .prepare_named(&sum_query("svc_stats"), "stats_probe")
+            .expect("prepare");
+        q.execute(&dir).expect("serve");
+
+        let snap = engine.stats();
+        assert_eq!(snap.native_backend, None);
+        assert!(snap.degraded.is_some());
+        assert_eq!(snap.queries.len(), 1);
+        assert_eq!(snap.queries[0].0, "stats_probe");
+        assert_eq!(snap.queries[0].1.interp.runs, 1);
+
+        let blob = snap.to_json();
+        assert!(blob.contains("\"native_backend\": \"none\""));
+        assert!(blob.contains("\"name\": \"stats_probe\""));
+        assert!(blob.contains("\"tier\": \"interp\""));
+        assert!(blob.contains("\"timeouts\": 0"));
+        assert!(blob.contains("\"pinned_to_interp\""));
+
+        // Dropped handles fall out of the next snapshot.
+        drop(q);
+        assert!(engine.stats().queries.is_empty());
     }
 
     #[test]

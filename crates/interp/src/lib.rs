@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Instant;
 
 use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, PrimOp, Sym, UnOp};
 use dblab_ir::{Program, Type};
@@ -96,25 +97,83 @@ pub struct Interp<'d> {
     env: HashMap<Sym, V>,
     dicts: HashMap<Arc<str>, StringDict>,
     pub output: String,
+    /// Cooperative-interrupt state: once the wall clock passes `deadline`,
+    /// every loop breaks at its next back-edge and the partial output is
+    /// discarded by [`run_with_deadline`]. The fuel counter amortizes the
+    /// `Instant::now()` syscall over [`FUEL`] iterations.
+    deadline: Option<Instant>,
+    fuel: u32,
+    interrupted: bool,
 }
+
+/// The interpreter hit its execution deadline; whatever partial output it
+/// produced is meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted;
+
+/// How many loop back-edges run between two wall-clock reads.
+const FUEL: u32 = 256;
 
 /// Execute a program against the database; returns the captured stdout
 /// (result rows, same format as the compiled C).
 pub fn run(p: &Program, db: &Database) -> String {
+    run_with_deadline(p, db, None).expect("no deadline, no interruption")
+}
+
+/// [`run`], but give up once the wall clock passes `deadline`. The check
+/// sits on loop back-edges (straight-line code always completes), so an
+/// expired interpreter unwinds within one fuel window instead of hanging
+/// the thread that called it — the serving engine's per-request deadline
+/// rides on this.
+pub fn run_with_deadline(
+    p: &Program,
+    db: &Database,
+    deadline: Option<Instant>,
+) -> Result<String, Interrupted> {
     let mut it = Interp {
         p: p.clone(),
         db,
         env: HashMap::new(),
         dicts: HashMap::new(),
         output: String::new(),
+        deadline,
+        // The first back-edge reads the clock, so a deadline already in
+        // the past interrupts deterministically before real work starts.
+        fuel: 1,
+        interrupted: false,
     };
     it.block(&p.body.clone());
-    it.output
+    if it.interrupted {
+        Err(Interrupted)
+    } else {
+        Ok(it.output)
+    }
 }
 
 impl Interp<'_> {
     fn set(&mut self, s: Sym, v: V) {
         self.env.insert(s, v);
+    }
+
+    /// Loop back-edge check: `true` once the deadline has passed. Every
+    /// loop form consults this and bails; the remaining straight-line
+    /// statements still execute (each is O(1)), so the interpreter drains
+    /// in bounded time without threading `Result` through every node.
+    fn expired(&mut self) -> bool {
+        if self.interrupted {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.fuel -= 1;
+        if self.fuel == 0 {
+            self.fuel = FUEL;
+            if Instant::now() >= deadline {
+                self.interrupted = true;
+            }
+        }
+        self.interrupted
     }
 
     fn atom(&self, a: &Atom) -> V {
@@ -202,6 +261,9 @@ impl Interp<'_> {
             Expr::ForRange { lo, hi, var, body } => {
                 let (l, h) = (self.atom(lo).i(), self.atom(hi).i());
                 for i in l..h {
+                    if self.expired() {
+                        break;
+                    }
                     self.set(*var, V::I(i));
                     self.block(body);
                 }
@@ -209,7 +271,7 @@ impl Interp<'_> {
             }
             Expr::While { cond, body } => {
                 loop {
-                    if !self.block(cond).b() {
+                    if self.expired() || !self.block(cond).b() {
                         break;
                     }
                     self.block(body);
@@ -284,6 +346,11 @@ impl Interp<'_> {
                         env: self.env.clone(),
                         dicts: self.dicts.clone(),
                         output: String::new(),
+                        // Comparators are tiny; the outer loops carry the
+                        // deadline.
+                        deadline: None,
+                        fuel: 1,
+                        interrupted: false,
                     };
                     let c = me.block(cmp).i();
                     c.cmp(&0)
@@ -306,6 +373,9 @@ impl Interp<'_> {
                 let l = self.atom(list).cells();
                 let items: Vec<V> = l.borrow().clone();
                 for v in items {
+                    if self.expired() {
+                        break;
+                    }
                     self.set(*var, v);
                     self.block(body);
                 }
@@ -346,6 +416,9 @@ impl Interp<'_> {
                     .collect();
                 entries.sort_by_key(|(k, _)| format!("{k:?}"));
                 for (k, v) in entries {
+                    if self.expired() {
+                        break;
+                    }
                     self.set(*kvar, key_back(&k));
                     self.set(*vvar, v);
                     self.block(body);
@@ -380,6 +453,9 @@ impl Interp<'_> {
                 let k = key_of(&self.atom(key));
                 let items: Vec<V> = m.borrow().get(&k).cloned().unwrap_or_default();
                 for v in items {
+                    if self.expired() {
+                        break;
+                    }
                     self.set(*var, v);
                     self.block(body);
                 }
@@ -446,6 +522,9 @@ impl Interp<'_> {
                 }
                 let (l, h) = (self.atom(lo).i(), self.atom(hi).i());
                 for i in l..h {
+                    if self.expired() {
+                        break;
+                    }
                     self.set(*var, V::I(i));
                     self.block(body);
                 }
@@ -748,6 +827,29 @@ mod tests {
         b.printf("%d\n", vec![out]);
         let p = b.finish(Atom::Unit, Level::MapList);
         assert_eq!(run(&p, &empty_db()), "30\n");
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_instead_of_running() {
+        // A long loop with a deadline already in the past: the first
+        // back-edge check fires and the run reports Interrupted.
+        let mut b = IrBuilder::new();
+        let total = b.decl_var(Atom::Int(0));
+        b.for_range(Atom::Int(0), Atom::Int(1_000_000), |bb, i| {
+            let c = bb.read_var(total);
+            let n = bb.add(c, i);
+            bb.assign(total, n);
+        });
+        let out = b.read_var(total);
+        b.printf("%d\n", vec![out]);
+        let p = b.finish(Atom::Unit, Level::ScaLite);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert_eq!(
+            run_with_deadline(&p, &empty_db(), Some(past)),
+            Err(Interrupted)
+        );
+        // And without a deadline the same program completes.
+        assert!(run_with_deadline(&p, &empty_db(), None).is_ok());
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Minimal hand-rolled JSON emission (the container has no serde; the
+//! blobs this workspace writes — bench results, serving-stats snapshots,
+//! the server's `stats` frame — are flat enough that a string builder is
+//! the whole story).
+//!
+//! Lives in `dblab-runtime` because every layer that renders stats sits
+//! above it: the serving engine's [`ServeStats`] renderer, the network
+//! server's `stats` frame and the bench binaries all emit through the
+//! same [`Obj`] builder, so the machine-readable blobs speak one format.
+//!
+//! [`ServeStats`]: ../../dblab_engine/service/struct.ServeStats.html
+
+/// Escape a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An object under construction. Values passed to `raw` must already
+/// be valid JSON (numbers, nested objects, arrays).
+#[derive(Default)]
+pub struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+    pub fn str(mut self, k: &str, v: &str) -> Obj {
+        self.fields
+            .push(format!("\"{}\": \"{}\"", escape(k), escape(v)));
+        self
+    }
+    pub fn num(mut self, k: &str, v: f64) -> Obj {
+        // JSON has no NaN/Infinity; callers use null for "not run".
+        if v.is_finite() {
+            self.fields.push(format!("\"{}\": {v}", escape(k)));
+        } else {
+            self.fields.push(format!("\"{}\": null", escape(k)));
+        }
+        self
+    }
+    pub fn int(mut self, k: &str, v: u64) -> Obj {
+        self.fields.push(format!("\"{}\": {v}", escape(k)));
+        self
+    }
+    pub fn bool(mut self, k: &str, v: bool) -> Obj {
+        self.fields.push(format!("\"{}\": {v}", escape(k)));
+        self
+    }
+    pub fn raw(mut self, k: &str, v: &str) -> Obj {
+        self.fields.push(format!("\"{}\": {}", escape(k), v));
+        self
+    }
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(", "))
+    }
+}
+
+/// A JSON array from already-rendered element strings.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    format!("[{}]", items.into_iter().collect::<Vec<_>>().join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_escapes_and_nests() {
+        let inner = Obj::new().int("n", 3).build();
+        let blob = Obj::new()
+            .str("name", "a\"b\n")
+            .num("nan", f64::NAN)
+            .bool("ok", true)
+            .raw("inner", &inner)
+            .raw("list", &array(vec!["1".to_string(), "2".to_string()]))
+            .build();
+        assert_eq!(
+            blob,
+            "{\"name\": \"a\\\"b\\n\", \"nan\": null, \"ok\": true, \
+             \"inner\": {\"n\": 3}, \"list\": [1, 2]}"
+        );
+    }
+}

@@ -10,6 +10,7 @@
 //! generator are all built on this crate.
 
 pub mod hash;
+pub mod json;
 pub mod like;
 pub mod pool;
 pub mod string_dict;

@@ -1,0 +1,37 @@
+//! `dblab-server` — the network serving front end.
+//!
+//! A concurrent TCP server over [`dblab_engine::service::QueryEngine`]:
+//! length-prefixed binary frames ([`protocol`]), per-connection sessions
+//! ([`session`]), a bounded request worker pool with admission control
+//! and per-request deadlines, and a graceful drain-then-join shutdown
+//! ([`server`]). [`client`] is the matching blocking client used by the
+//! `loadgen` harness and the integration tests.
+//!
+//! ```no_run
+//! use dblab_server::{Client, Server, ServerOptions, tpch_resolver};
+//!
+//! let schema = dblab_tpch::schema::tpch_schema();
+//! let server = Server::start(
+//!     &schema,
+//!     std::path::Path::new("tpch-data"),
+//!     tpch_resolver(),
+//!     ServerOptions::default(),
+//! ).unwrap();
+//!
+//! let mut c = Client::connect(server.addr()).unwrap();
+//! let stmt = c.prepare("tpch:6").unwrap();
+//! let reply = c.execute(stmt).unwrap();
+//! println!("{}", reply.rows);
+//! c.close().unwrap();
+//! let report = server.shutdown();
+//! assert_eq!(report.executed, 1);
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError, ExecReply};
+pub use protocol::{ErrorCode, Frame};
+pub use server::{tpch_resolver, QueryResolver, Server, ServerOptions, ShutdownReport};

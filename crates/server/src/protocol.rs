@@ -1,0 +1,232 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is `len:u32be` followed by `len` body bytes; the body is
+//! `opcode:u8 seq:u32be payload`. `seq` is chosen by the client and
+//! echoed verbatim in the response, so one connection can have several
+//! requests in flight and still match answers to questions. The server
+//! never leaves a request unanswered: every admitted, shed, timed-out or
+//! malformed request produces exactly one response frame (load shedding
+//! is an explicit [`ErrorCode::Busy`] frame, never a silent drop).
+//!
+//! | request | payload | response | payload |
+//! |---------|---------|----------|---------|
+//! | `PREPARE` | query spec, UTF-8 (`"tpch:6"`) | `PREPARED` | `stmt:u32be` |
+//! | `EXECUTE` | `stmt:u32be` | `RESULT` | `tier:u8 query_ms:f64be rows` |
+//! | `STATS` | empty | `STATS_REPLY` | JSON, UTF-8 |
+//! | `CLOSE` | empty | `BYE` | empty |
+//! | any | — | `ERROR` | `code:u8 message` |
+//!
+//! Frames above [`MAX_FRAME`] are rejected as malformed — a client that
+//! sends a garbage length prefix gets one `ERROR` frame and the socket
+//! closed, because framing cannot resync after that.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body; anything larger is a framing error.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Body overhead before the payload: opcode byte + sequence number.
+pub const HEADER: usize = 5;
+
+// Request opcodes.
+pub const OP_PREPARE: u8 = 0x01;
+pub const OP_EXECUTE: u8 = 0x02;
+pub const OP_STATS: u8 = 0x03;
+pub const OP_CLOSE: u8 = 0x04;
+
+// Response opcodes.
+pub const OP_PREPARED: u8 = 0x81;
+pub const OP_RESULT: u8 = 0x82;
+pub const OP_STATS_REPLY: u8 = 0x83;
+pub const OP_BYE: u8 = 0x84;
+pub const OP_ERROR: u8 = 0xC0;
+
+/// Typed failure causes carried by `ERROR` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Unparseable frame, unknown opcode, or a payload the opcode cannot
+    /// accept.
+    Malformed = 1,
+    /// Unknown query spec or statement id.
+    Unknown = 2,
+    /// Admission control shed this request: the pending queue is full.
+    Busy = 3,
+    /// The per-request deadline elapsed (queueing included) before rows
+    /// were produced; the execution was abandoned, not left running.
+    Timeout = 4,
+    /// The server is draining for shutdown and admits no new work.
+    ShuttingDown = 5,
+    /// The execution itself failed.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    pub fn from_u8(v: u8) -> Option<ErrorCode> {
+        Some(match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::Unknown,
+            3 => ErrorCode::Busy,
+            4 => ErrorCode::Timeout,
+            5 => ErrorCode::ShuttingDown,
+            6 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::Unknown => "unknown",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        })
+    }
+}
+
+/// One decoded frame (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub opcode: u8,
+    pub seq: u32,
+    pub payload: Vec<u8>,
+}
+
+/// Write one frame. The whole frame is assembled first and written with
+/// one `write_all`, so concurrent writers serialized by a mutex can never
+/// interleave half-frames.
+pub fn write_frame(w: &mut impl Write, opcode: u8, seq: u32, payload: &[u8]) -> io::Result<()> {
+    let len = HEADER + payload.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    buf.push(opcode);
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF at a frame boundary (the
+/// peer closed); an EOF mid-frame, an oversized length prefix or a body
+/// shorter than the header all come back as `InvalidData` — the caller
+/// cannot resync and should drop the connection.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut len4 = [0u8; 4];
+    match r.read(&mut len4[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len4[1..])?,
+    }
+    let len = u32::from_be_bytes(len4) as usize;
+    if !(HEADER..=MAX_FRAME).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside [{HEADER}, {MAX_FRAME}]"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let opcode = body[0];
+    let seq = u32::from_be_bytes(body[1..5].try_into().unwrap());
+    Ok(Some(Frame {
+        opcode,
+        seq,
+        payload: body[5..].to_vec(),
+    }))
+}
+
+/// Encode a `RESULT` payload: which tier served (`0` interp, `1`
+/// native), the in-query milliseconds, then the result rows.
+pub fn encode_result(native_tier: bool, query_ms: f64, rows: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(9 + rows.len());
+    p.push(native_tier as u8);
+    p.extend_from_slice(&query_ms.to_bits().to_be_bytes());
+    p.extend_from_slice(rows.as_bytes());
+    p
+}
+
+/// Decode a `RESULT` payload into `(native_tier, query_ms, rows)`.
+pub fn decode_result(payload: &[u8]) -> Option<(bool, f64, String)> {
+    if payload.len() < 9 || payload[0] > 1 {
+        return None;
+    }
+    let ms = f64::from_bits(u64::from_be_bytes(payload[1..9].try_into().unwrap()));
+    Some((
+        payload[0] == 1,
+        ms,
+        String::from_utf8_lossy(&payload[9..]).into_owned(),
+    ))
+}
+
+/// Encode an `ERROR` payload.
+pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(1 + message.len());
+    p.push(code as u8);
+    p.extend_from_slice(message.as_bytes());
+    p
+}
+
+/// Decode an `ERROR` payload into `(code, message)`.
+pub fn decode_error(payload: &[u8]) -> Option<(ErrorCode, String)> {
+    let code = ErrorCode::from_u8(*payload.first()?)?;
+    Some((code, String::from_utf8_lossy(&payload[1..]).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, OP_PREPARE, 7, b"tpch:6").unwrap();
+        write_frame(&mut buf, OP_EXECUTE, 8, &1u32.to_be_bytes()).unwrap();
+        let mut r = &buf[..];
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(
+            (f1.opcode, f1.seq, &f1.payload[..]),
+            (OP_PREPARE, 7, &b"tpch:6"[..])
+        );
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!((f2.opcode, f2.seq), (OP_EXECUTE, 8));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_runt_lengths_are_framing_errors() {
+        let mut r = &((MAX_FRAME as u32 + 1).to_be_bytes())[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        let mut r = &(2u32.to_be_bytes())[..]; // shorter than the header
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn result_and_error_payloads_round_trip() {
+        let p = encode_result(true, 12.5, "a|b\n");
+        assert_eq!(decode_result(&p), Some((true, 12.5, "a|b\n".to_string())));
+        assert_eq!(decode_result(&[9]), None);
+        let p = encode_error(ErrorCode::Busy, "queue full");
+        assert_eq!(
+            decode_error(&p),
+            Some((ErrorCode::Busy, "queue full".to_string()))
+        );
+        assert_eq!(decode_error(&[0xEE]), None);
+        for code in [1, 2, 3, 4, 5, 6] {
+            assert_eq!(ErrorCode::from_u8(code).map(|c| c as u8), Some(code));
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The concurrent TCP front end over [`QueryEngine`].
+//!
+//! ## Thread anatomy
+//!
+//! One **accept** thread owns the listener; every connection gets a
+//! **reader** thread that parses frames, answers `prepare`/`stats`
+//! inline, and submits `execute` requests to a bounded **request worker
+//! pool** — sized independently of the engine's tier-up pool, so a
+//! compile storm can never starve query serving (nor the reverse).
+//! Workers write responses straight to the connection through a
+//! per-connection write mutex; the client's `seq` echo pairs them up.
+//!
+//! ## Admission control
+//!
+//! The pending queue is bounded by [`ServerOptions::queue_cap`]. A full
+//! queue sheds the request *immediately* with an [`ErrorCode::Busy`]
+//! frame — the client always hears back, never hangs on a socket the
+//! server silently dropped. Admitted requests carry their enqueue time;
+//! the per-request deadline ([`ServerOptions::deadline`]) covers queue
+//! wait *plus* execution, and an overrun kills the native query process
+//! (or interrupts the interpreter) and answers [`ErrorCode::Timeout`].
+//!
+//! ## Shutdown sequence
+//!
+//! [`Server::shutdown`] (1) stops accepting and drops the listener, so
+//! new connections are refused by the OS; (2) closes admission — new
+//! `execute` frames get [`ErrorCode::ShuttingDown`]; (3) drains: every
+//! already-admitted query completes and its response is written; (4)
+//! joins the workers; (5) severs the remaining sockets and joins every
+//! reader thread. Nothing is detached, so a process embedding a server
+//! returns to its pre-start thread count.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dblab_catalog::Schema;
+use dblab_engine::service::{EngineOptions, ExecError, PreparedQuery, QueryEngine, Tier};
+use dblab_frontend::qplan::QueryProgram;
+use dblab_runtime::json;
+
+use crate::protocol::*;
+use crate::session::Session;
+
+/// Maps a wire query spec (`"tpch:6"`) to a plan. Servers for other
+/// catalogs (and the protocol tests) install their own.
+pub type QueryResolver = Arc<dyn Fn(&str) -> Option<QueryProgram> + Send + Sync>;
+
+/// The default resolver: TPC-H templates, spelled `tpch:N` or `qN`.
+pub fn tpch_resolver() -> QueryResolver {
+    Arc::new(|spec| {
+        let n: usize = spec
+            .strip_prefix("tpch:")
+            .or_else(|| spec.strip_prefix('q').map(|s| s.trim_start_matches(':')))?
+            .parse()
+            .ok()?;
+        (1..=22).contains(&n).then(|| dblab_tpch::queries::query(n))
+    })
+}
+
+/// Server construction knobs. `Default` is a small serving setup: any
+/// free loopback port, four request workers, a 64-deep admission queue,
+/// a 30s request deadline.
+#[derive(Clone)]
+pub struct ServerOptions {
+    /// Bind address; port `0` picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Request worker threads (independent of `engine.workers`, the
+    /// tier-up pool).
+    pub workers: usize,
+    /// Admission-queue bound; a full queue sheds with a `busy` frame.
+    pub queue_cap: usize,
+    /// Per-request budget, queue wait included. Overruns abandon the
+    /// execution and answer a `timeout` frame.
+    pub deadline: Duration,
+    /// The tiered engine every session shares.
+    pub engine: EngineOptions,
+    /// Fault injection for tests: every worker sleeps this long before
+    /// executing, so admission and deadline behavior can be pinned
+    /// without depending on real query runtimes. Zero in production.
+    pub debug_worker_delay: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            deadline: Duration::from_secs(30),
+            engine: EngineOptions::default(),
+            debug_worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Monotonic event counters, snapshotted into the `stats` frame and the
+/// [`ShutdownReport`].
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    executed: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    malformed: AtomicU64,
+    rejected: AtomicU64,
+    exec_errors: AtomicU64,
+}
+
+/// What the server did over its lifetime, returned by
+/// [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    pub connections: u64,
+    pub executed: u64,
+    pub shed: u64,
+    pub timeouts: u64,
+    pub malformed: u64,
+    pub rejected: u64,
+    pub exec_errors: u64,
+    /// Requests still queued or running when shutdown began — all of
+    /// them completed and were answered before the drain finished.
+    pub drained_in_flight: usize,
+}
+
+/// One admitted execute request, queued for the worker pool.
+struct ExecJob {
+    handle: PreparedQuery,
+    seq: u32,
+    wire: Wire,
+    enqueued: Instant,
+}
+
+/// The write half of a connection; workers and the reader serialize
+/// whole frames through the mutex.
+type Wire = Arc<Mutex<TcpStream>>;
+
+struct Admission {
+    jobs: VecDeque<ExecJob>,
+    /// Jobs popped but not yet answered.
+    active: usize,
+    /// Set once shutdown begins: nothing new is admitted, the backlog
+    /// still drains.
+    closed: bool,
+}
+
+struct Shared {
+    engine: QueryEngine,
+    data_dir: PathBuf,
+    resolver: QueryResolver,
+    /// spec -> handle: sessions share one compiled query per spec, so N
+    /// clients preparing `tpch:6` cost one tier-0 compile and one
+    /// background tier-up, not N.
+    prepared: Mutex<HashMap<String, PreparedQuery>>,
+    q: Mutex<Admission>,
+    cvar: Condvar,
+    stop_accepting: AtomicBool,
+    deadline: Duration,
+    debug_worker_delay: Duration,
+    queue_cap: usize,
+    workers: usize,
+    counters: Counters,
+    started: Instant,
+    /// Socket clones for severing idle readers at shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Dropping it performs the same graceful shutdown as
+/// [`Server::shutdown`] (so a panicking test never leaks threads); call
+/// `shutdown` explicitly to get the [`ShutdownReport`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, start the worker pool and the accept loop. The engine is
+    /// constructed here and owned by the server for its lifetime.
+    pub fn start(
+        schema: &Schema,
+        data_dir: &std::path::Path,
+        resolver: QueryResolver,
+        opts: ServerOptions,
+    ) -> io::Result<Server> {
+        let engine = QueryEngine::with_options(schema, opts.engine.clone())?;
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            engine,
+            data_dir: data_dir.to_path_buf(),
+            resolver,
+            prepared: Mutex::new(HashMap::new()),
+            q: Mutex::new(Admission {
+                jobs: VecDeque::new(),
+                active: 0,
+                closed: false,
+            }),
+            cvar: Condvar::new(),
+            stop_accepting: AtomicBool::new(false),
+            deadline: opts.deadline,
+            debug_worker_delay: opts.debug_worker_delay,
+            queue_cap: opts.queue_cap.max(1),
+            workers: opts.workers.max(1),
+            counters: Counters::default(),
+            started: Instant::now(),
+            conns: Mutex::new(Vec::new()),
+            reader_threads: Mutex::new(Vec::new()),
+        });
+
+        let workers = (0..shared.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dblab-srv-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn request worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("dblab-srv-accept".to_string())
+                    .spawn(move || accept_loop(&shared, listener))
+                    .expect("spawn accept loop"),
+            )
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine the server serves from (for tests and embedding).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.shared.engine
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.counters.shed.load(Ordering::Acquire)
+    }
+
+    /// Requests that overran their deadline so far.
+    pub fn timeout_count(&self) -> u64 {
+        self.shared.counters.timeouts.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: refuse new connections, drain every admitted
+    /// request to a written response, join all threads. See the module
+    /// docs for the exact sequence.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let drained = self.shutdown_impl();
+        let c = &self.shared.counters;
+        ShutdownReport {
+            connections: c.connections.load(Ordering::Acquire),
+            executed: c.executed.load(Ordering::Acquire),
+            shed: c.shed.load(Ordering::Acquire),
+            timeouts: c.timeouts.load(Ordering::Acquire),
+            malformed: c.malformed.load(Ordering::Acquire),
+            rejected: c.rejected.load(Ordering::Acquire),
+            exec_errors: c.exec_errors.load(Ordering::Acquire),
+            drained_in_flight: drained,
+        }
+    }
+
+    fn shutdown_impl(&mut self) -> usize {
+        // (1) Stop accepting; joining the accept thread drops the
+        // listener, so the OS refuses connections from here on.
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        // (2) Close admission. Readers still answer — with
+        // `shutting-down` errors.
+        let in_flight = {
+            let mut q = self.shared.q.lock().unwrap();
+            q.closed = true;
+            q.jobs.len() + q.active
+        };
+        self.shared.cvar.notify_all();
+        // (3) Drain: every admitted request is answered.
+        {
+            let mut q = self.shared.q.lock().unwrap();
+            while !(q.jobs.is_empty() && q.active == 0) {
+                q = self.shared.cvar.wait(q).unwrap();
+            }
+        }
+        // (4) Workers exit once the queue is empty and closed.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // (5) Sever remaining sockets; blocked readers see EOF and exit.
+        for s in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let readers: Vec<_> = self
+            .shared
+            .reader_threads
+            .lock()
+            .unwrap()
+            .drain(..)
+            .collect();
+        for r in readers {
+            let _ = r.join();
+        }
+        in_flight
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.counters.connections.fetch_add(1, Ordering::AcqRel);
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                }
+                let s2 = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("dblab-srv-conn".to_string())
+                    .spawn(move || connection_loop(&s2, stream))
+                    .expect("spawn connection reader");
+                shared.reader_threads.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.stop_accepting.load(Ordering::SeqCst) {
+                    return; // drops the listener: connections now refused
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if shared.stop_accepting.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Serialize one response frame onto the wire. Write errors mean the
+/// client is gone; the reader loop notices on its side, so they are
+/// swallowed here.
+fn respond(wire: &Wire, opcode: u8, seq: u32, payload: &[u8]) {
+    let mut w = wire.lock().unwrap();
+    let _ = write_frame(&mut *w, opcode, seq, payload);
+}
+
+fn respond_error(wire: &Wire, seq: u32, code: ErrorCode, msg: &str) {
+    respond(wire, OP_ERROR, seq, &encode_error(code, msg));
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let wire: Wire = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut session = Session::new();
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                if !handle_frame(shared, &wire, &mut session, frame) {
+                    break;
+                }
+            }
+            Ok(None) => break, // clean close
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Framing is unrecoverable: one explicit error, then
+                // hang up (seq 0 — there is no trustworthy request id).
+                shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+                respond_error(&wire, 0, ErrorCode::Malformed, &e.to_string());
+                break;
+            }
+            Err(_) => break, // reset / severed at shutdown
+        }
+    }
+    let _ = wire.lock().unwrap().shutdown(Shutdown::Both);
+}
+
+/// Dispatch one request frame; `false` ends the session.
+fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Frame) -> bool {
+    match f.opcode {
+        OP_PREPARE => {
+            let spec = match std::str::from_utf8(&f.payload) {
+                Ok(s) if !s.is_empty() => s.to_string(),
+                _ => {
+                    shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+                    respond_error(
+                        wire,
+                        f.seq,
+                        ErrorCode::Malformed,
+                        "prepare wants a UTF-8 query spec",
+                    );
+                    return true;
+                }
+            };
+            if shared.q.lock().unwrap().closed {
+                shared.counters.rejected.fetch_add(1, Ordering::AcqRel);
+                respond_error(wire, f.seq, ErrorCode::ShuttingDown, "server is draining");
+                return true;
+            }
+            match prepare_shared(shared, &spec) {
+                Ok(handle) => {
+                    let id = session.add(handle, &spec);
+                    respond(wire, OP_PREPARED, f.seq, &id.to_be_bytes());
+                }
+                Err(PrepareError::UnknownSpec) => {
+                    respond_error(
+                        wire,
+                        f.seq,
+                        ErrorCode::Unknown,
+                        &format!("unknown query spec `{spec}`"),
+                    );
+                }
+                Err(PrepareError::Engine(e)) => {
+                    shared.counters.exec_errors.fetch_add(1, Ordering::AcqRel);
+                    respond_error(wire, f.seq, ErrorCode::Internal, &e);
+                }
+            }
+            true
+        }
+        OP_EXECUTE => {
+            let Ok(id4) = <[u8; 4]>::try_from(&f.payload[..]) else {
+                shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+                respond_error(
+                    wire,
+                    f.seq,
+                    ErrorCode::Malformed,
+                    "execute wants a u32 statement id",
+                );
+                return true;
+            };
+            let id = u32::from_be_bytes(id4);
+            let Some((handle, _)) = session.get(id) else {
+                respond_error(
+                    wire,
+                    f.seq,
+                    ErrorCode::Unknown,
+                    &format!("unknown statement id {id}"),
+                );
+                return true;
+            };
+            let job = ExecJob {
+                handle: handle.clone(),
+                seq: f.seq,
+                wire: Arc::clone(wire),
+                enqueued: Instant::now(),
+            };
+            // Admission control: answer *now*, one way or the other.
+            let mut q = shared.q.lock().unwrap();
+            if q.closed {
+                drop(q);
+                shared.counters.rejected.fetch_add(1, Ordering::AcqRel);
+                respond_error(wire, f.seq, ErrorCode::ShuttingDown, "server is draining");
+            } else if q.jobs.len() >= shared.queue_cap {
+                drop(q);
+                shared.counters.shed.fetch_add(1, Ordering::AcqRel);
+                respond_error(
+                    wire,
+                    f.seq,
+                    ErrorCode::Busy,
+                    &format!(
+                        "server busy: admission queue full ({} pending)",
+                        shared.queue_cap
+                    ),
+                );
+            } else {
+                q.jobs.push_back(job);
+                drop(q);
+                shared.cvar.notify_one();
+            }
+            true
+        }
+        OP_STATS => {
+            respond(wire, OP_STATS_REPLY, f.seq, stats_json(shared).as_bytes());
+            true
+        }
+        OP_CLOSE => {
+            respond(wire, OP_BYE, f.seq, &[]);
+            false
+        }
+        other => {
+            shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+            respond_error(
+                wire,
+                f.seq,
+                ErrorCode::Malformed,
+                &format!("unknown opcode {other:#x}"),
+            );
+            true
+        }
+    }
+}
+
+enum PrepareError {
+    UnknownSpec,
+    Engine(String),
+}
+
+/// Resolve + prepare through the shared cache. The map lock is held
+/// across the engine prepare on purpose: a thundering herd of identical
+/// prepares must collapse to one tier-0 compile and one tier-up job.
+fn prepare_shared(shared: &Shared, spec: &str) -> Result<PreparedQuery, PrepareError> {
+    let mut cache = shared.prepared.lock().unwrap();
+    if let Some(h) = cache.get(spec) {
+        return Ok(h.clone());
+    }
+    let prog = (shared.resolver)(spec).ok_or(PrepareError::UnknownSpec)?;
+    let name: String = spec
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let handle = shared
+        .engine
+        .prepare_named(&prog, &format!("srv_{name}"))
+        .map_err(|e| PrepareError::Engine(e.to_string()))?;
+    cache.insert(spec.to_string(), handle.clone());
+    Ok(handle)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.q.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.active += 1;
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.cvar.wait(q).unwrap();
+            }
+        };
+        serve_one(shared, &job);
+        let mut q = shared.q.lock().unwrap();
+        q.active -= 1;
+        drop(q);
+        // Wake both kinds of waiters: workers (more jobs) and the
+        // shutdown drain (active count).
+        shared.cvar.notify_all();
+    }
+}
+
+fn serve_one(shared: &Shared, job: &ExecJob) {
+    if !shared.debug_worker_delay.is_zero() {
+        std::thread::sleep(shared.debug_worker_delay);
+    }
+    // The deadline covers queue wait: whatever the queue already ate
+    // comes out of the execution budget, and a request that aged out
+    // while queued is answered without running at all.
+    let Some(remaining) = shared.deadline.checked_sub(job.enqueued.elapsed()) else {
+        shared.counters.timeouts.fetch_add(1, Ordering::AcqRel);
+        respond_error(
+            &job.wire,
+            job.seq,
+            ErrorCode::Timeout,
+            &format!("deadline ({:?}) elapsed while queued", shared.deadline),
+        );
+        return;
+    };
+    match job
+        .handle
+        .execute_with_deadline(&shared.data_dir, Some(remaining))
+    {
+        Ok(run) => {
+            shared.counters.executed.fetch_add(1, Ordering::AcqRel);
+            respond(
+                &job.wire,
+                OP_RESULT,
+                job.seq,
+                &encode_result(
+                    run.tier == Tier::Native,
+                    run.output.query_ms,
+                    &run.output.stdout,
+                ),
+            );
+        }
+        Err(ExecError::Timeout { .. }) => {
+            shared.counters.timeouts.fetch_add(1, Ordering::AcqRel);
+            respond_error(
+                &job.wire,
+                job.seq,
+                ErrorCode::Timeout,
+                &format!("deadline ({:?}) elapsed during execution", shared.deadline),
+            );
+        }
+        Err(ExecError::Exec(e)) => {
+            shared.counters.exec_errors.fetch_add(1, Ordering::AcqRel);
+            respond_error(&job.wire, job.seq, ErrorCode::Internal, &e.to_string());
+        }
+    }
+}
+
+/// The `stats` frame body: server counters + queue state, plus the
+/// engine-wide snapshot rendered by the same
+/// [`dblab_engine::service::EngineStats::to_json`] the benches embed.
+fn stats_json(shared: &Shared) -> String {
+    let c = &shared.counters;
+    let (depth, active, closed) = {
+        let q = shared.q.lock().unwrap();
+        (q.jobs.len(), q.active, q.closed)
+    };
+    let server = json::Obj::new()
+        .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
+        .int("connections", c.connections.load(Ordering::Acquire))
+        .int("executed", c.executed.load(Ordering::Acquire))
+        .int("shed", c.shed.load(Ordering::Acquire))
+        .int("timeouts", c.timeouts.load(Ordering::Acquire))
+        .int("malformed", c.malformed.load(Ordering::Acquire))
+        .int("rejected", c.rejected.load(Ordering::Acquire))
+        .int("exec_errors", c.exec_errors.load(Ordering::Acquire))
+        .int("queue_depth", depth as u64)
+        .int("queue_active", active as u64)
+        .int("queue_cap", shared.queue_cap as u64)
+        .int("workers", shared.workers as u64)
+        .num("deadline_ms", shared.deadline.as_secs_f64() * 1e3)
+        .bool("draining", closed)
+        .build();
+    json::Obj::new()
+        .raw("server", &server)
+        .raw("engine", &shared.engine.stats().to_json())
+        .build()
+}

@@ -1,0 +1,55 @@
+//! Per-connection session state.
+//!
+//! A session owns the mapping from wire statement ids to prepared-query
+//! handles. The handles themselves are cheap clones out of the server's
+//! *shared* prepared cache ([`crate::server`]), so two sessions preparing
+//! the same spec share one compiled query and one background tier-up —
+//! what dies with the connection is only this id table.
+
+use dblab_engine::service::PreparedQuery;
+
+/// One connection's statement table. Ids are 1-based and never reused
+/// within a session (`0` is reserved as "no statement").
+#[derive(Default)]
+pub struct Session {
+    stmts: Vec<(PreparedQuery, String)>,
+}
+
+impl Session {
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Register a prepared handle under the next statement id.
+    pub fn add(&mut self, handle: PreparedQuery, spec: &str) -> u32 {
+        self.stmts.push((handle, spec.to_string()));
+        self.stmts.len() as u32
+    }
+
+    /// Look a statement id up.
+    pub fn get(&self, id: u32) -> Option<&(PreparedQuery, String)> {
+        (id > 0).then(|| self.stmts.get(id as usize - 1)).flatten()
+    }
+
+    /// How many statements this session prepared.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_one_based_and_stable() {
+        let s = Session::new();
+        assert!(s.get(0).is_none());
+        assert!(s.get(1).is_none());
+        assert!(s.is_empty());
+    }
+}
