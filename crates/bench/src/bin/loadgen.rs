@@ -143,8 +143,165 @@ fn count_failure(e: &ClientError, tally: &Tally) {
     };
 }
 
+/// `--param-mix N`: replay the parameterized Q6 template with `N`
+/// distinct literal bindings through both wire paths (spec-embedded
+/// bindings and explicit per-execute parameter sections), oracle-check
+/// every row set, then assert cache transparency: the engine must
+/// report exactly **one** tier-0 compile and at most **one** tier-up
+/// for the whole run, no matter how many literals went by.
+fn run_param_mix(args: &Args) -> ! {
+    use dblab_runtime::Value;
+    use std::collections::HashMap;
+    use std::sync::Arc as StdArc;
+
+    let n = args.param_mix.max(8);
+    let (db, data) = data_dir(args.sf);
+    let schema = db.schema.clone();
+
+    let template = dblab_tpch::queries::template(6).expect("q6 template");
+    let bindings: Vec<(f64, f64)> = (0..n)
+        .map(|k| (0.02 + 0.01 * (k % 8) as f64, 20.0 + k as f64))
+        .collect();
+    let oracles: Vec<String> = bindings
+        .iter()
+        .map(|&(disc, qty)| {
+            let mut b: HashMap<StdArc<str>, Value> = HashMap::new();
+            b.insert("discount".into(), Value::Double(disc));
+            b.insert("quantity".into(), Value::Double(qty));
+            dblab_engine::execute_program_bound(&template, &db, &b).to_text()
+        })
+        .collect();
+
+    let mut config = StackConfig::level5();
+    config.threads = args.threads;
+    let native = match args.backend.as_str() {
+        "auto" | "interp" => NativeChoice::Auto,
+        other => NativeChoice::Backend(other.to_string()),
+    };
+    let server = Server::start(
+        &schema,
+        &data,
+        tpch_resolver(),
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: args.server_workers,
+            queue_cap: args.queue_cap,
+            deadline: Duration::from_millis(args.deadline_ms),
+            engine: EngineOptions {
+                config,
+                gen_dir: std::env::temp_dir().join("dblab_loadgen_gen"),
+                workers: args.build_jobs,
+                native,
+                persist_cache: args.persist_cache,
+                schedule_candidates: args.orderings,
+                seed: args.seed,
+                ..EngineOptions::default()
+            },
+            prepared_cap: 64,
+            debug_worker_delay: Duration::ZERO,
+        },
+    )
+    .expect("start in-process server");
+
+    println!(
+        "# loadgen --param-mix — Q6 template, {n} distinct bindings (SF {})",
+        args.sf
+    );
+    let mut c =
+        Client::connect_timeout(server.addr(), Some(Duration::from_secs(120))).expect("connect");
+    let mut incorrect = 0usize;
+    let mut native_served = 0usize;
+
+    // Path 1: every binding as its own spec-embedded statement. All of
+    // them share one cache entry (the `tpch:6?` template).
+    for (i, &(disc, qty)) in bindings.iter().enumerate() {
+        let spec = format!("tpch:6?discount={disc}&quantity={qty}");
+        let stmt = c.prepare(&spec).expect("prepare spec-bound statement");
+        let reply = c.execute(stmt).expect("execute spec-bound statement");
+        native_served += reply.native as usize;
+        if !same_normalized(&oracles[i], &reply.rows) {
+            eprintln!("binding {i} ({spec}): rows diverge from oracle");
+            incorrect += 1;
+        }
+    }
+
+    // Path 2: one bare template statement, bindings shipped per-execute
+    // as wire parameter sections.
+    let defaults: Vec<Value> = template
+        .params
+        .iter()
+        .map(|d| dblab_engine::eval::lit_value(&d.default))
+        .collect();
+    let disc_at = template
+        .params
+        .iter()
+        .position(|d| &*d.name == "discount")
+        .expect("q6 template declares `discount`");
+    let qty_at = template
+        .params
+        .iter()
+        .position(|d| &*d.name == "quantity")
+        .expect("q6 template declares `quantity`");
+    let stmt = c.prepare("tpch:6?").expect("prepare bare template");
+    for (i, &(disc, qty)) in bindings.iter().enumerate() {
+        let mut ps = defaults.clone();
+        ps[disc_at] = Value::Double(disc);
+        ps[qty_at] = Value::Double(qty);
+        let reply = c.execute_params(stmt, &ps).expect("execute with params");
+        native_served += reply.native as usize;
+        if !same_normalized(&oracles[i], &reply.rows) {
+            eprintln!("wire binding {i}: rows diverge from oracle");
+            incorrect += 1;
+        }
+    }
+    let _ = c.close();
+
+    let stats = server.engine().stats();
+    let (compiles, tierups) = (stats.tier0_compiles, stats.tierups_built);
+    server.shutdown();
+
+    println!(
+        "# {} executions ({} native-tier, {} incorrect): {} tier-0 compile(s), {} tier-up(s)",
+        2 * n,
+        native_served,
+        incorrect,
+        compiles,
+        tierups
+    );
+    emit_json(
+        args,
+        &json::Obj::new()
+            .str("bench", "loadgen-param-mix")
+            .int("schema_version", 1)
+            .num("sf", args.sf)
+            .int("distinct_bindings", n as u64)
+            .int("executed", 2 * n as u64)
+            .int("native_served", native_served as u64)
+            .int("incorrect", incorrect as u64)
+            .int("tier0_compiles", compiles)
+            .int("tierups_built", tierups)
+            .bool("all_agree", incorrect == 0)
+            .build(),
+    );
+
+    if incorrect > 0 {
+        eprintln!("RESULT DIVERGENCE: {incorrect} binding(s) disagreed with the oracle");
+        std::process::exit(1);
+    }
+    if compiles != 1 || tierups > 1 {
+        eprintln!(
+            "CACHE NOT TRANSPARENT: {n} distinct bindings cost {compiles} tier-0 compiles and {tierups} tier-ups (want exactly 1 and <=1)"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::parse();
+    if args.param_mix > 0 {
+        run_param_mix(&args);
+    }
     let (db, data) = data_dir(args.sf);
     let schema = db.schema.clone();
 
@@ -181,7 +338,9 @@ fn main() {
                         persist_cache: args.persist_cache,
                         schedule_candidates: args.orderings,
                         seed: args.seed,
+                        ..EngineOptions::default()
                     },
+                    prepared_cap: 64,
                     debug_worker_delay: Duration::ZERO,
                 },
             )

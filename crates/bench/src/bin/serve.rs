@@ -91,6 +91,7 @@ fn serve_phase(
             persist_cache: args.persist_cache,
             schedule_candidates: args.orderings,
             seed: args.seed,
+            ..EngineOptions::default()
         },
     )
     .expect("engine");

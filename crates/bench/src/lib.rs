@@ -98,6 +98,11 @@ pub struct Args {
     /// Aim `loadgen` at an already-running server instead of starting an
     /// in-process one (`--addr host:port`).
     pub addr: Option<String>,
+    /// `loadgen --param-mix N`: replay the parameterized Q6 template
+    /// with `N` distinct literal bindings (default 0 = off) and assert
+    /// the engine compiled the template exactly once — the cache must
+    /// be transparent to binding churn.
+    pub param_mix: usize,
 }
 
 impl Args {
@@ -121,6 +126,7 @@ impl Args {
         let mut deadline_ms = 30_000;
         let mut server_workers = 4;
         let mut addr = None;
+        let mut param_mix = 0;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -196,6 +202,10 @@ impl Args {
                     addr = Some(argv[i + 1].clone());
                     i += 2;
                 }
+                "--param-mix" => {
+                    param_mix = argv[i + 1].parse().expect("--param-mix <int>");
+                    i += 2;
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -217,6 +227,7 @@ impl Args {
             deadline_ms: deadline_ms.max(1),
             server_workers: server_workers.max(1),
             addr,
+            param_mix,
         }
     }
 }

@@ -69,6 +69,26 @@ pub trait Executable: Send + Sync {
         let _ = deadline;
         self.run(data_dir)
     }
+    /// [`Executable::run_deadline`] with positional query-parameter
+    /// bindings: the `idx`-th `LoadParam` in the program reads
+    /// `params[idx]`. Native backends pass the canonical text form (see
+    /// [`format_param`]) as `argv[2..]`; the interpreter binds the values
+    /// directly. The default accepts only an empty binding vector — an
+    /// executable that has not opted in cannot silently ignore parameters.
+    fn run_bound(
+        &self,
+        data_dir: &Path,
+        params: &[dblab_runtime::Value],
+        deadline: Option<Duration>,
+    ) -> io::Result<RunOutput> {
+        if params.is_empty() {
+            self.run_deadline(data_dir, deadline)
+        } else {
+            Err(io::Error::other(
+                "this executable does not accept query parameters",
+            ))
+        }
+    }
     /// Wall time the toolchain spent building (the gcc/rustc half of
     /// Figure 9; zero for in-process backends).
     fn build_time(&self) -> Duration;
@@ -139,8 +159,31 @@ fn toolchain_present(cache: &'static OnceLock<bool>, cmd: &str) -> bool {
 /// lines (`QUERY_TIME_MS`, `PEAK_RSS_KB`) from stderr. Shared by the gcc
 /// and rustc backends — the generated programs speak the same protocol.
 pub fn run_binary(binary: &Path, data_dir: &Path) -> io::Result<RunOutput> {
+    run_binary_args(binary, data_dir, &[])
+}
+
+/// Canonical command-line text for one query-parameter value, identical
+/// for every native backend: decimal integers, Rust's shortest
+/// round-tripping `{}` for doubles (which C's `atof`/`strtod` parses back
+/// to the same bits), `0`/`1` for bools. One binding therefore maps to one
+/// argv vector, whichever backend serves it.
+pub fn format_param(v: &dblab_runtime::Value) -> String {
+    use dblab_runtime::Value;
+    match v {
+        Value::Null => "0".to_string(),
+        Value::Bool(b) => (if *b { "1" } else { "0" }).to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Long(l) => l.to_string(),
+        Value::Double(d) => d.to_string(),
+        Value::Str(s) => s.to_string(),
+    }
+}
+
+/// [`run_binary`] with query parameters appended after the data directory
+/// (`argv[2..]`, canonical text form — see [`format_param`]).
+pub fn run_binary_args(binary: &Path, data_dir: &Path, params: &[String]) -> io::Result<RunOutput> {
     let t0 = Instant::now();
-    let out = Command::new(binary).arg(data_dir).output()?;
+    let out = Command::new(binary).arg(data_dir).args(params).output()?;
     let wall = t0.elapsed();
     if !out.status.success() {
         return Err(io::Error::other(format!(
@@ -178,12 +221,24 @@ pub fn run_binary_deadline(
     data_dir: &Path,
     deadline: Duration,
 ) -> io::Result<RunOutput> {
+    run_binary_args_deadline(binary, data_dir, &[], deadline)
+}
+
+/// [`run_binary_deadline`] with query parameters appended after the data
+/// directory (`argv[2..]`, canonical text form — see [`format_param`]).
+pub fn run_binary_args_deadline(
+    binary: &Path,
+    data_dir: &Path,
+    params: &[String],
+    deadline: Duration,
+) -> io::Result<RunOutput> {
     use std::io::Read;
     use std::process::Stdio;
 
     let t0 = Instant::now();
     let mut child = Command::new(binary)
         .arg(data_dir)
+        .args(params)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::piped())
@@ -359,6 +414,18 @@ impl Executable for NativeExecutable {
             None => self.run(data_dir),
         }
     }
+    fn run_bound(
+        &self,
+        data_dir: &Path,
+        params: &[dblab_runtime::Value],
+        deadline: Option<Duration>,
+    ) -> io::Result<RunOutput> {
+        let args: Vec<String> = params.iter().map(format_param).collect();
+        match deadline {
+            Some(budget) => run_binary_args_deadline(&self.binary, data_dir, &args, budget),
+            None => run_binary_args(&self.binary, data_dir, &args),
+        }
+    }
     fn build_time(&self) -> Duration {
         self.build_time
     }
@@ -460,6 +527,14 @@ impl Executable for InterpExecutable {
         self.run_deadline(data_dir, None)
     }
     fn run_deadline(&self, data_dir: &Path, deadline: Option<Duration>) -> io::Result<RunOutput> {
+        self.run_bound(data_dir, &[], deadline)
+    }
+    fn run_bound(
+        &self,
+        data_dir: &Path,
+        params: &[dblab_runtime::Value],
+        deadline: Option<Duration>,
+    ) -> io::Result<RunOutput> {
         let t0 = Instant::now();
         let db = Database::read_all(&self.schema, data_dir)?;
         let tq = Instant::now();
@@ -467,7 +542,7 @@ impl Executable for InterpExecutable {
         // absolute deadline passes — the budget covers query evaluation,
         // not the data load above (native binaries exclude loading from
         // their in-query timer the same way).
-        let stdout = dblab_interp::run_with_deadline(&self.program, &db, deadline.map(|d| tq + d))
+        let stdout = dblab_interp::run_bound(&self.program, &db, params, deadline.map(|d| tq + d))
             .map_err(|dblab_interp::Interrupted| {
                 timeout_error(deadline.expect("interrupt implies a deadline"))
             })?;
@@ -696,14 +771,18 @@ impl<'s> Compiler<'s> {
 
     /// Stable artifact name derived from the lowered program text plus the
     /// configuration and backend — distinct programs get distinct
-    /// artifacts, identical compiles reuse the same name.
+    /// artifacts, identical compiles reuse the same name. Hashed with the
+    /// same process-independent FNV the build cache uses, so names stay
+    /// valid across runs (`DefaultHasher` is seeded per process and would
+    /// strand every persisted artifact).
     fn auto_name(&self, cq: &CompiledQuery) -> String {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.cfg.name.hash(&mut h);
-        self.backend.name().hash(&mut h);
-        dblab_ir::printer::print_program(&cq.program).hash(&mut h);
-        format!("q_{:016x}", h.finish())
+        let text = format!(
+            "{}\x1f{}\x1f{}",
+            self.cfg.name,
+            self.backend.name(),
+            dblab_ir::printer::print_program(&cq.program)
+        );
+        format!("q_{:016x}", dblab_ir::hash::str_hash(&text))
     }
 }
 

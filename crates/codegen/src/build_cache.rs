@@ -44,7 +44,10 @@ use std::time::Duration;
 
 use dblab_ir::hash::str_hash;
 
-use crate::backend::{run_binary, Backend, BuildInput, Executable, RunOutput};
+use crate::backend::{
+    format_param, run_binary, run_binary_args, run_binary_args_deadline, run_binary_deadline,
+    Backend, BuildInput, Executable, RunOutput,
+};
 
 /// One previously built artifact.
 #[derive(Debug, Clone)]
@@ -76,6 +79,12 @@ static DISK_HITS: AtomicU64 = AtomicU64::new(0);
 static DISK_LOADED: AtomicU64 = AtomicU64::new(0);
 /// Where the attached index lives, when persistence is on.
 static PERSIST: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// Index appends that failed (see [`persist_entry`]) — the compile still
+/// succeeds, but the artifact will not survive a restart.
+static WRITE_FAILURES: AtomicU64 = AtomicU64::new(0);
+/// One warning per process for failed index appends; after that only the
+/// [`DiskCacheStats::write_failures`] counter moves.
+static WARNED_WRITE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 fn cache() -> &'static Mutex<HashMap<(&'static str, u64), CachedBuild>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
@@ -140,6 +149,10 @@ pub struct DiskCacheStats {
     /// Cache hits served by restored entries — the toolchain runs a
     /// previous *process* saved this one.
     pub hits: u64,
+    /// Index appends that failed. Persistence stays best-effort — the
+    /// compile that produced the artifact still succeeded — but the
+    /// failure is counted here (and warned once) instead of vanishing.
+    pub write_failures: u64,
 }
 
 impl DiskCacheStats {
@@ -147,6 +160,7 @@ impl DiskCacheStats {
         DiskCacheStats {
             loaded: self.loaded - earlier.loaded,
             hits: self.hits - earlier.hits,
+            write_failures: self.write_failures - earlier.write_failures,
         }
     }
 }
@@ -156,6 +170,7 @@ pub fn disk_stats() -> DiskCacheStats {
     DiskCacheStats {
         loaded: DISK_LOADED.load(Ordering::Relaxed),
         hits: DISK_HITS.load(Ordering::Relaxed),
+        write_failures: WRITE_FAILURES.load(Ordering::Relaxed),
     }
 }
 
@@ -252,9 +267,12 @@ pub fn persistence_enabled() -> bool {
     PERSIST.lock().unwrap().is_some()
 }
 
-/// Append one freshly built artifact to the attached index, if any. Write
-/// failures are swallowed deliberately: persistence is an optimization,
-/// and a read-only gen dir must not fail the compile that just succeeded.
+/// Append one freshly built artifact to the attached index, if any. A
+/// write failure never fails the compile that just succeeded — persistence
+/// is an optimization, and a read-only gen dir must keep working — but it
+/// is no longer silent either: each failure bumps
+/// [`DiskCacheStats::write_failures`], and the first one per process warns
+/// on stderr so an operator learns the cache stopped surviving restarts.
 fn persist_entry(backend: &'static str, hash: u64, binary: &Path) {
     let guard = PERSIST.lock().unwrap();
     let Some(index) = guard.as_ref() else {
@@ -265,11 +283,21 @@ fn persist_entry(backend: &'static str, hash: u64, binary: &Path) {
         .and_then(|d| binary.strip_prefix(d).ok())
         .unwrap_or(binary);
     let line = format!("v1\t{backend}\t{hash:016x}\t{}\n", rel.display());
-    let _ = std::fs::OpenOptions::new()
+    let wrote = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(index)
         .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = wrote {
+        WRITE_FAILURES.fetch_add(1, Ordering::Relaxed);
+        if !WARNED_WRITE.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: build-cache index {} is not writable ({e}); \
+                 artifacts built from here on will not survive a restart",
+                index.display()
+            );
+        }
+    }
 }
 
 /// A build-cache hit: the artifact already exists on disk, so no
@@ -282,6 +310,24 @@ struct CachedExecutable {
 impl Executable for CachedExecutable {
     fn run(&self, data_dir: &Path) -> io::Result<RunOutput> {
         run_binary(&self.binary, data_dir)
+    }
+    fn run_deadline(&self, data_dir: &Path, deadline: Option<Duration>) -> io::Result<RunOutput> {
+        match deadline {
+            Some(budget) => run_binary_deadline(&self.binary, data_dir, budget),
+            None => self.run(data_dir),
+        }
+    }
+    fn run_bound(
+        &self,
+        data_dir: &Path,
+        params: &[dblab_runtime::Value],
+        deadline: Option<Duration>,
+    ) -> io::Result<RunOutput> {
+        let args: Vec<String> = params.iter().map(format_param).collect();
+        match deadline {
+            Some(budget) => run_binary_args_deadline(&self.binary, data_dir, &args, budget),
+            None => run_binary_args(&self.binary, data_dir, &args),
+        }
     }
     fn build_time(&self) -> Duration {
         Duration::ZERO
@@ -343,8 +389,12 @@ mod tests {
     use super::*;
     use crate::backend::InterpBackend;
 
+    /// Tests that attach/detach the process-global index must not overlap.
+    static PERSIST_TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn index_load_skips_malformed_and_missing_entries() {
+        let _serial = PERSIST_TEST_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("dblab_bc_index_unit");
         std::fs::create_dir_all(&dir).unwrap();
         let art = dir.join("idx_unit_artifact");
@@ -377,6 +427,36 @@ mod tests {
         // The index file itself is left alone by detaching.
         assert!(dir.join(INDEX_FILE).exists());
     }
+    #[test]
+    fn failed_index_appends_are_counted_not_swallowed() {
+        let _serial = PERSIST_TEST_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("dblab_bc_wfail_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        enable_persistence(&dir).expect("attach");
+        // Make the append fail deterministically (even as root, where
+        // permission bits don't bite): a *directory* squats on the index
+        // path, so open-for-append errors with EISDIR.
+        let index = dir.join(INDEX_FILE);
+        let _ = std::fs::remove_file(&index);
+        std::fs::create_dir_all(&index).unwrap();
+        let art = dir.join("wfail_artifact");
+        std::fs::write(&art, b"bytes").unwrap();
+        let before = disk_stats();
+        persist_entry("gcc", 0xfeed, &art);
+        assert_eq!(
+            disk_stats().since(&before).write_failures,
+            1,
+            "failed append surfaces in disk_stats()"
+        );
+        // The compile path itself must stay unaffected: counting is the
+        // whole fix, not new failure modes.
+        persist_entry("gcc", 0xfeee, &art);
+        assert_eq!(disk_stats().since(&before).write_failures, 2);
+        disable_persistence();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     use dblab_catalog::Schema;
     use dblab_ir::expr::Annotations;
     use dblab_ir::types::StructRegistry;

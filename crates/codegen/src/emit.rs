@@ -37,12 +37,21 @@ pub fn emit(p: &Program, schema: &Schema) -> String {
     if e.uses_par {
         out.push_str(crate::runtime::DBLAB_RUNTIME_PAR_H);
     }
+    // Like the parallel prelude, the parameter helpers ride inside the
+    // generated source only when used, so parameter-free programs stay
+    // byte-identical and keep their build-cache entries.
+    if e.uses_param {
+        out.push_str(crate::runtime::DBLAB_RUNTIME_PARAM_H);
+    }
     out.push('\n');
     out.push_str(&e.typedefs);
     out.push('\n');
     out.push_str(&e.top);
     out.push_str("\nint main(int argc, char** argv) {\n");
     out.push_str("    dblab_data_dir = argc > 1 ? argv[1] : \".\";\n");
+    if e.uses_param {
+        out.push_str("    dblab_argc = argc; dblab_argv = argv;\n");
+    }
     out.push_str(&body);
     out.push_str("    return 0;\n}\n");
     out
@@ -67,6 +76,8 @@ struct Emitter<'p> {
     fn_ctr: usize,
     /// Program contains a ParallelFor: pull in the pthread prelude.
     uses_par: bool,
+    /// Program contains a LoadParam: pull in the argv-parameter prelude.
+    uses_param: bool,
 }
 
 impl<'p> Emitter<'p> {
@@ -84,6 +95,7 @@ impl<'p> Emitter<'p> {
             csr_built: HashSet::new(),
             fn_ctr: 0,
             uses_par: false,
+            uses_param: false,
         }
     }
 
@@ -1135,6 +1147,18 @@ impl<'p> Emitter<'p> {
                 self.block(merge, d + 1, out);
                 self.line(d, out, "}");
                 self.line(depth, out, "}");
+            }
+            Expr::LoadParam { idx } => {
+                self.uses_param = true;
+                let rhs = match &st.ty {
+                    Type::Int => format!("atoi(dblab_param({idx}))"),
+                    Type::Long => format!("atoll(dblab_param({idx}))"),
+                    Type::Double => format!("atof(dblab_param({idx}))"),
+                    Type::Bool => format!("(atoi(dblab_param({idx})) != 0)"),
+                    Type::String => format!("dblab_param({idx})"),
+                    other => panic!("unsupported query-parameter type {other:?}"),
+                };
+                self.def(st, depth, out, &rhs);
             }
         }
     }

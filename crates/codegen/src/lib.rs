@@ -38,9 +38,10 @@ pub mod rust_rt;
 mod tables;
 
 pub use backend::{
-    available_backends, backend, backends, run_binary, run_binary_deadline, same_normalized,
-    timeout_error, Backend, BuildInput, CBackend, CompiledArtifact, Compiler, Executable,
-    InterpBackend, RunOutput, RustBackend,
+    available_backends, backend, backends, format_param, run_binary, run_binary_args,
+    run_binary_args_deadline, run_binary_deadline, same_normalized, timeout_error, Backend,
+    BuildInput, CBackend, CompiledArtifact, Compiler, Executable, InterpBackend, RunOutput,
+    RustBackend,
 };
 pub use build_cache::{build_with_cache, BuildCacheStats, DiskCacheStats};
 pub use cc::{compile_c, Compiled};

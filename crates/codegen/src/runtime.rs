@@ -362,3 +362,22 @@ pub const DBLAB_RUNTIME_PAR_H: &str = r#"
 #include <pthread.h>
 #define DBLAB_MORSEL 16384
 "#;
+
+/// Query-parameter prelude, appended into the generated source only when
+/// the program contains a `LoadParam` — parameter-free programs stay
+/// byte-identical to earlier output, keeping their build-cache entries
+/// valid. Parameters travel as `argv[2..]` in canonical text form
+/// (`argv[1]` remains the data directory); a missing slot is a hard error,
+/// since the serving engine always passes the full declared vector.
+pub const DBLAB_RUNTIME_PARAM_H: &str = r#"
+/* ---------------- query parameters (argv[2..]) ---------------- */
+static int dblab_argc;
+static char **dblab_argv;
+static const char *dblab_param(int idx) {
+    if (idx + 2 >= dblab_argc) {
+        fprintf(stderr, "missing query parameter %d\n", idx);
+        exit(2);
+    }
+    return dblab_argv[idx + 2];
+}
+"#;

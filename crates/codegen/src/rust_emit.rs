@@ -25,7 +25,7 @@ use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, Layout, PrimOp, Stmt, Sym
 use dblab_ir::types::StructId;
 use dblab_ir::{Program, Type};
 
-use crate::rust_rt::DBLAB_RUNTIME_RS;
+use crate::rust_rt::{DBLAB_RUNTIME_PARAM_RS, DBLAB_RUNTIME_RS};
 use crate::tables::TableInfo;
 
 /// Generate the complete Rust source for a program.
@@ -44,6 +44,12 @@ pub fn emit_rust(p: &Program, schema: &Schema) -> String {
     // container loops index Vecs behind raw pointers deliberately.
     out.push_str("#![allow(dangerous_implicit_autorefs)]\n");
     out.push_str(DBLAB_RUNTIME_RS);
+    // Like the C side, the parameter helpers ride inside the generated
+    // source only when used, so parameter-free programs stay byte-identical
+    // and keep their build-cache entries.
+    if e.uses_param {
+        out.push_str(DBLAB_RUNTIME_PARAM_RS);
+    }
     out.push('\n');
     out.push_str(&e.typedefs);
     out.push('\n');
@@ -56,6 +62,9 @@ pub fn emit_rust(p: &Program, schema: &Schema) -> String {
     out.push_str(
         "    set_data_dir(if args.len() > 1 { args[1].clone() } else { \".\".to_string() });\n",
     );
+    if e.uses_param {
+        out.push_str("    set_params(args.iter().skip(2).cloned().collect());\n");
+    }
     out.push_str("    unsafe { query(); }\n");
     out.push_str("}\n");
     out
@@ -72,6 +81,8 @@ struct REmitter<'p> {
     handles: HashMap<Sym, (Sym, String)>,
     /// sids with generated key hash/eq functions.
     key_fns: HashSet<StructId>,
+    /// Program contains a LoadParam: pull in the argv-parameter prelude.
+    uses_param: bool,
     /// CSR builders already emitted: (table, col).
     csr_built: HashSet<(Arc<str>, usize)>,
     fn_ctr: usize,
@@ -88,6 +99,7 @@ impl<'p> REmitter<'p> {
             table_by_name: HashMap::new(),
             handles: HashMap::new(),
             key_fns: HashSet::new(),
+            uses_param: false,
             csr_built: HashSet::new(),
             fn_ctr: 0,
         }
@@ -1234,6 +1246,18 @@ impl<'p> REmitter<'p> {
                 self.block(merge, d + 1, out);
                 self.line(d, out, "}");
                 self.line(depth, out, "}");
+            }
+            Expr::LoadParam { idx } => {
+                self.uses_param = true;
+                let rhs = match &st.ty {
+                    Type::Int => format!("param_i32({idx})"),
+                    Type::Long => format!("param_i64({idx})"),
+                    Type::Double => format!("param_f64({idx})"),
+                    Type::Bool => format!("param_bool({idx})"),
+                    Type::String => format!("param_str({idx})"),
+                    other => panic!("unsupported query-parameter type {other:?}"),
+                };
+                self.def(st, depth, out, &rhs, None);
             }
         }
     }

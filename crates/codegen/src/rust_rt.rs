@@ -392,3 +392,41 @@ pub fn parse_date(f: &[u8]) -> i32 {
 pub fn ord3(c: i32) -> std::cmp::Ordering { c.cmp(&0) }
 // ---------------- end prelude ----------------
 "#;
+
+/// Query-parameter prelude, appended into the generated source only when the
+/// program contains a `LoadParam` — parameter-free programs stay
+/// byte-identical to earlier output, keeping their build-cache entries valid
+/// (the same conditional-inclusion rule as the C side's
+/// `DBLAB_RUNTIME_PARAM_H`). Parameters travel as `argv[2..]` in canonical
+/// text form (`argv[1]` remains the data directory); a missing or malformed
+/// slot is a hard error, since the serving engine always passes the full
+/// declared vector.
+pub const DBLAB_RUNTIME_PARAM_RS: &str = r#"
+// ---------------- query parameters (argv[2..]) ----------------
+static PARAMS: OnceLock<Vec<String>> = OnceLock::new();
+pub fn set_params(v: Vec<String>) { let _ = PARAMS.set(v); }
+fn param(idx: usize) -> &'static str {
+    match PARAMS.get().and_then(|p| p.get(idx)) {
+        Some(s) => s.as_str(),
+        None => {
+            eprintln!("missing query parameter {idx}");
+            std::process::exit(2);
+        }
+    }
+}
+fn parse_param<T: std::str::FromStr>(idx: usize) -> T {
+    match param(idx).parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("malformed query parameter {idx}");
+            std::process::exit(2);
+        }
+    }
+}
+pub fn param_i32(idx: usize) -> i32 { parse_param(idx) }
+pub fn param_i64(idx: usize) -> i64 { parse_param(idx) }
+pub fn param_f64(idx: usize) -> f64 { parse_param(idx) }
+pub fn param_bool(idx: usize) -> bool { parse_param::<i32>(idx) != 0 }
+pub fn param_str(idx: usize) -> Str { Str::lit(param(idx)) }
+// ---------------- end query parameters ----------------
+"#;

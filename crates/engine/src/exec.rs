@@ -52,8 +52,29 @@ pub fn execute_plan(plan: &QPlan, db: &Database) -> ResultSet {
 
 /// Execute a full program: lets first (each must yield at least one row;
 /// its first column's first value binds the parameter), then the main plan.
+/// Declared parameters evaluate at their defaults.
 pub fn execute_program(prog: &QueryProgram, db: &Database) -> ResultSet {
+    execute_program_bound(prog, db, &HashMap::new())
+}
+
+/// [`execute_program`] with explicit bindings for the program's declared
+/// parameters: `bindings` overrides a declaration's default by name
+/// (unknown names are ignored), declarations without an override keep
+/// their default. Declared parameters are seeded *before* the lets, so a
+/// scalar-subquery plan may itself reference a declared parameter.
+pub fn execute_program_bound(
+    prog: &QueryProgram,
+    db: &Database,
+    bindings: &HashMap<Arc<str>, Value>,
+) -> ResultSet {
     let mut params = HashMap::new();
+    for decl in &prog.params {
+        let v = bindings
+            .get(&decl.name)
+            .cloned()
+            .unwrap_or_else(|| crate::eval::lit_value(&decl.default));
+        params.insert(decl.name.clone(), v);
+    }
     for (name, plan) in &prog.lets {
         let rs = run(plan, db, &params);
         let v = rs

@@ -16,5 +16,5 @@ pub mod eval;
 pub mod exec;
 pub mod service;
 
-pub use exec::{execute_plan, execute_program, ResultSet};
+pub use exec::{execute_plan, execute_program, execute_program_bound, ResultSet};
 pub use service::{EngineOptions, NativeChoice, PreparedQuery, QueryEngine, Tier};

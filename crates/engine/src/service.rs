@@ -37,8 +37,9 @@ use std::time::{Duration, Instant};
 
 use dblab_catalog::Schema;
 use dblab_codegen::{backend, Compiler, Executable, InterpBackend, RunOutput};
-use dblab_frontend::qplan::QueryProgram;
-use dblab_runtime::json;
+use dblab_frontend::expr::Lit;
+use dblab_frontend::qplan::{ParamDecl, QueryProgram};
+use dblab_runtime::{json, Value};
 use dblab_transform::{stack, Scheduler, StackConfig};
 
 /// Which executable currently backs a prepared query.
@@ -94,6 +95,12 @@ pub struct EngineOptions {
     /// Seed for the candidate sample (fixed per engine so the cost model
     /// keeps scoring one pool and converges).
     pub seed: u64,
+    /// Relative row-count drift (per table, vs the schema statistics the
+    /// current native tier compiled under) beyond which
+    /// [`QueryEngine::refresh_stats`] re-enqueues tier-up builds for every
+    /// live prepared query. `0.5` = re-tier once any table grew or shrank
+    /// by half; non-finite or negative disables automatic re-tiering.
+    pub retier_threshold: f64,
 }
 
 impl Default for EngineOptions {
@@ -106,6 +113,7 @@ impl Default for EngineOptions {
             persist_cache: false,
             schedule_candidates: 4,
             seed: 0xdb1a_b5e2_7e00,
+            retier_threshold: 0.5,
         }
     }
 }
@@ -248,6 +256,12 @@ pub struct EngineStats {
     pub degraded: Option<String>,
     /// Tier-up jobs not yet picked up by a worker.
     pub pending_tier_ups: usize,
+    /// Tier-0 (prepare-time) compiles this engine has run. With prepared
+    /// templates this stays flat while distinct parameter bindings grow —
+    /// the property the loadgen `--param-mix` run asserts.
+    pub tier0_compiles: u64,
+    /// Native tier-up builds that landed (initial swaps and re-tiers).
+    pub tierups_built: u64,
     /// `(name, stats)` for every live prepared query, in prepare order.
     pub queries: Vec<(String, ServeStats)>,
 }
@@ -258,6 +272,8 @@ impl EngineStats {
             .str("native_backend", self.native_backend.unwrap_or("none"))
             .bool("degraded", self.degraded.is_some())
             .int("pending_tier_ups", self.pending_tier_ups as u64)
+            .int("tier0_compiles", self.tier0_compiles)
+            .int("tierups_built", self.tierups_built)
             .raw(
                 "queries",
                 &json::array(self.queries.iter().map(|(name, s)| {
@@ -326,6 +342,15 @@ struct Meta {
 
 struct PreparedInner {
     name: String,
+    /// Filesystem stem every artifact of this handle builds under:
+    /// `{name}_{program_hash:08x}`. The hash disambiguates — two distinct
+    /// programs prepared under one display name (or two server specs that
+    /// sanitize to the same string) must never share a `gen_dir` output
+    /// path, or one's binary silently serves the other's rows.
+    artifact_stem: String,
+    /// The source program, kept for re-tiering (a stats refresh recompiles
+    /// from here) and for its parameter declarations.
+    prog: QueryProgram,
     prepared_at: Instant,
     /// Tier-0 compile cost paid inside `prepare` (ms).
     prepare_ms: f64,
@@ -374,12 +399,47 @@ impl PreparedQuery {
         data_dir: &Path,
         deadline: Option<Duration>,
     ) -> Result<ServedRun, ExecError> {
+        self.execute_bound(data_dir, &[], deadline)
+    }
+
+    /// [`PreparedQuery::execute_with_deadline`] with positional bindings
+    /// for the program's declared parameters: `overrides[i]` binds the
+    /// `i`-th declaration, declarations past the end of `overrides` keep
+    /// their defaults. Every execution passes the *full* declared vector
+    /// down (defaults filled in), whichever tier serves — one compiled
+    /// template, any binding. Overrides are coerced to the declared type;
+    /// more overrides than declarations is an error, not a silent drop.
+    pub fn execute_bound(
+        &self,
+        data_dir: &Path,
+        overrides: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<ServedRun, ExecError> {
+        let decls = &self.inner.prog.params;
+        if overrides.len() > decls.len() {
+            return Err(ExecError::Exec(io::Error::other(format!(
+                "{} parameter(s) bound but `{}` declares {}",
+                overrides.len(),
+                self.inner.name,
+                decls.len()
+            ))));
+        }
+        let mut bound = Vec::with_capacity(decls.len());
+        for (i, decl) in decls.iter().enumerate() {
+            let v = match overrides.get(i) {
+                Some(v) => {
+                    coerce_param(decl, v).map_err(|e| ExecError::Exec(io::Error::other(e)))?
+                }
+                None => lit_to_value(&decl.default),
+            };
+            bound.push(v);
+        }
         let (exe, tier) = {
             let act = self.inner.active.read().unwrap();
             (Arc::clone(&act.exe), act.tier)
         };
         let t0 = Instant::now();
-        let output = exe.run_deadline(data_dir, deadline).map_err(|e| {
+        let output = exe.run_bound(data_dir, &bound, deadline).map_err(|e| {
             if e.kind() == io::ErrorKind::TimedOut {
                 self.inner.timeouts.fetch_add(1, Ordering::AcqRel);
                 ExecError::Timeout {
@@ -405,9 +465,21 @@ impl PreparedQuery {
         Ok(ServedRun { tier, output })
     }
 
-    /// The artifact-name stem this query compiles under.
+    /// The display name this query was prepared under.
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+
+    /// The filesystem stem artifacts build under: the display name plus
+    /// the lowered program's stable hash (collision-proofed — distinct
+    /// programs sharing a display name get distinct stems).
+    pub fn artifact_stem(&self) -> &str {
+        &self.inner.artifact_stem
+    }
+
+    /// The program's declared parameters, in wire (positional) order.
+    pub fn params(&self) -> &[ParamDecl] {
+        &self.inner.prog.params
     }
 
     /// The currently active tier.
@@ -494,6 +566,35 @@ impl PreparedQuery {
     }
 }
 
+/// A declaration's default literal as a runtime value.
+fn lit_to_value(l: &Lit) -> Value {
+    match l {
+        Lit::Bool(b) => Value::Bool(*b),
+        Lit::Int(v) => Value::Int(*v),
+        Lit::Long(v) => Value::Long(*v),
+        Lit::Double(v) => Value::Double(*v),
+        Lit::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Coerce one override to its declaration's type (the generated code read
+/// a typed slot at compile time; a binding of another numeric width is a
+/// client convenience, not an error — but bool/string mismatches are).
+fn coerce_param(decl: &ParamDecl, v: &Value) -> Result<Value, String> {
+    use dblab_catalog::ColType;
+    let numeric = matches!(v, Value::Int(_) | Value::Long(_) | Value::Double(_));
+    match decl.default.ty() {
+        ColType::Int if numeric => Ok(Value::Int(v.as_f64() as i32)),
+        ColType::Long if numeric => Ok(Value::Long(v.as_f64() as i64)),
+        ColType::Double if numeric => Ok(Value::Double(v.as_f64())),
+        ColType::Bool if matches!(v, Value::Bool(_)) => Ok(v.clone()),
+        want => Err(format!(
+            "parameter `{}` declared {want:?}, bound {v:?}",
+            decl.name
+        )),
+    }
+}
+
 struct Job {
     prepared: Weak<PreparedInner>,
     prog: QueryProgram,
@@ -504,8 +605,37 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// The weak-ref registry of every handle an engine prepared, plus its
+/// amortized-prune watermark. Dead entries are dropped whenever the list
+/// reaches the watermark (then the watermark doubles from the surviving
+/// length), so a server churning through prepare/drop cycles holds O(live)
+/// entries instead of growing without bound until someone calls `stats`.
+struct Registry {
+    entries: Vec<(String, Weak<PreparedInner>)>,
+    prune_at: usize,
+}
+
+impl Registry {
+    const MIN_PRUNE_AT: usize = 16;
+
+    fn push(&mut self, name: String, weak: Weak<PreparedInner>) {
+        if self.entries.len() >= self.prune_at {
+            self.prune();
+        }
+        self.entries.push((name, weak));
+    }
+
+    fn prune(&mut self) {
+        self.entries.retain(|(_, weak)| weak.strong_count() > 0);
+        self.prune_at = (self.entries.len() * 2).max(Self::MIN_PRUNE_AT);
+    }
+}
+
 struct EngineShared {
-    schema: Schema,
+    /// The schema queries compile under. Writable: a statistics refresh
+    /// ([`QueryEngine::refresh_stats`]) swaps it, and later compiles —
+    /// including triggered re-tiers — pick the new statistics up.
+    schema: RwLock<Schema>,
     cfg: StackConfig,
     gen_dir: PathBuf,
     /// Resolved tier-1 backend registry name; `None` = degraded/disabled.
@@ -522,8 +652,14 @@ struct EngineShared {
     queue: Mutex<QueueState>,
     cvar: Condvar,
     /// Every handle this engine prepared, weakly: [`QueryEngine::stats`]
-    /// aggregates the live ones and prunes the dead.
-    prepared: Mutex<Vec<(String, Weak<PreparedInner>)>>,
+    /// aggregates the live ones; pushes prune dead entries amortized.
+    prepared: Mutex<Registry>,
+    /// See [`EngineOptions::retier_threshold`].
+    retier_threshold: f64,
+    /// Tier-0 compiles run by `prepare*` (never moves per-execution).
+    tier0_compiles: AtomicU64,
+    /// Native builds that swapped in (initial tier-ups and re-tiers).
+    tierups_built: AtomicU64,
 }
 
 impl EngineShared {
@@ -583,7 +719,7 @@ impl QueryEngine {
             )
         });
         let shared = Arc::new(EngineShared {
-            schema: schema.clone(),
+            schema: RwLock::new(schema.clone()),
             cfg: opts.config,
             gen_dir: opts.gen_dir,
             native,
@@ -598,7 +734,13 @@ impl QueryEngine {
                 shutdown: false,
             }),
             cvar: Condvar::new(),
-            prepared: Mutex::new(Vec::new()),
+            prepared: Mutex::new(Registry {
+                entries: Vec::new(),
+                prune_at: Registry::MIN_PRUNE_AT,
+            }),
+            retier_threshold: opts.retier_threshold,
+            tier0_compiles: AtomicU64::new(0),
+            tierups_built: AtomicU64::new(0),
         });
         let worker_count = if shared.native.is_some() {
             opts.workers.max(1)
@@ -631,17 +773,28 @@ impl QueryEngine {
     pub fn prepare_named(&self, prog: &QueryProgram, name: &str) -> io::Result<PreparedQuery> {
         let s = &self.shared;
         let t0 = Instant::now();
-        let cq = dblab_transform::compile(prog, &s.schema, &s.cfg);
+        let schema = s.schema.read().unwrap().clone();
+        let cq = dblab_transform::compile(prog, &schema, &s.cfg);
         let stage_report = cq.stage_report();
-        let art = Compiler::new(&s.schema)
+        // The on-disk stem carries the lowered program's stable hash:
+        // distinct programs prepared under one display name (or colliding
+        // sanitized server specs) land on distinct artifact paths.
+        let artifact_stem = format!(
+            "{name}_{:08x}",
+            dblab_ir::hash::program_hash(&cq.program) as u32
+        );
+        let art = Compiler::new(&schema)
             .config(&s.cfg)
             .backend(Box::new(InterpBackend))
             .out_dir(&s.gen_dir)
-            .build_staged(cq, name)?;
+            .build_staged(cq, &artifact_stem)?;
         let prepare_ms = t0.elapsed().as_secs_f64() * 1e3;
+        s.tier0_compiles.fetch_add(1, Ordering::Relaxed);
 
         let inner = Arc::new(PreparedInner {
             name: name.to_string(),
+            artifact_stem,
+            prog: prog.clone(),
             prepared_at: Instant::now(),
             prepare_ms,
             stage_report,
@@ -661,7 +814,7 @@ impl QueryEngine {
         s.prepared
             .lock()
             .unwrap()
-            .push((name.to_string(), Arc::downgrade(&inner)));
+            .push(name.to_string(), Arc::downgrade(&inner));
 
         match s.native {
             Some(_) => {
@@ -710,8 +863,9 @@ impl QueryEngine {
     pub fn stats(&self) -> EngineStats {
         let mut prepared = self.shared.prepared.lock().unwrap();
         // Prune dropped handles while snapshotting the live ones.
-        prepared.retain(|(_, weak)| weak.strong_count() > 0);
+        prepared.prune();
         let queries = prepared
+            .entries
             .iter()
             .filter_map(|(name, weak)| {
                 weak.upgrade()
@@ -722,8 +876,58 @@ impl QueryEngine {
             native_backend: self.shared.native,
             degraded: self.shared.degraded.clone(),
             pending_tier_ups: self.shared.queue.lock().unwrap().jobs.len(),
+            tier0_compiles: self.shared.tier0_compiles.load(Ordering::Relaxed),
+            tierups_built: self.shared.tierups_built.load(Ordering::Relaxed),
             queries,
         }
+    }
+
+    /// Raw weak-ref registry length, dead entries included — what the
+    /// amortized prune keeps bounded (tests assert on it).
+    pub fn registry_len(&self) -> usize {
+        self.shared.prepared.lock().unwrap().entries.len()
+    }
+
+    /// Attach fresh schema statistics. Later compiles use them
+    /// immediately; and when any table's row count drifted beyond
+    /// [`EngineOptions::retier_threshold`] relative to the statistics the
+    /// engine was serving under, every live prepared query is re-enqueued
+    /// for a native rebuild — data that doubled deserves the pass
+    /// schedule and specializations its new shape earns. Returns how many
+    /// re-tier jobs were enqueued (0 when the drift stayed under the
+    /// threshold or the native tier is absent). Swap counters keep
+    /// counting: a handle that re-tiers reports `swaps >= 2`.
+    pub fn refresh_stats(&self, fresh: &Schema) -> usize {
+        let s = &self.shared;
+        let drift = {
+            let old = s.schema.read().unwrap();
+            max_rowcount_drift(&old, fresh)
+        };
+        *s.schema.write().unwrap() = fresh.clone();
+        let disabled = s.retier_threshold.is_nan() || s.retier_threshold < 0.0;
+        if disabled || drift <= s.retier_threshold || s.native.is_none() {
+            return 0;
+        }
+        let live: Vec<(Weak<PreparedInner>, QueryProgram)> = {
+            let reg = s.prepared.lock().unwrap();
+            reg.entries
+                .iter()
+                .filter_map(|(_, weak)| {
+                    weak.upgrade()
+                        .map(|inner| (Weak::clone(weak), inner.prog.clone()))
+                })
+                .collect()
+        };
+        let n = live.len();
+        if n > 0 {
+            let mut q = s.queue.lock().unwrap();
+            for (prepared, prog) in live {
+                q.jobs.push_back(Job { prepared, prog });
+            }
+            drop(q);
+            s.cvar.notify_all();
+        }
+        n
     }
 
     /// The configuration queries compile under.
@@ -731,17 +935,34 @@ impl QueryEngine {
         &self.shared.cfg
     }
 
-    /// Stable artifact stem from program text + configuration (the
-    /// backend name is appended per tier by the workers). Only names
-    /// files — artifact *reuse* is keyed on emitted-source hashes in the
-    /// build cache, not on this stem.
+    /// Stable display/artifact name from program text + configuration
+    /// (the lowered-program hash and backend name are appended per
+    /// handle/tier). Hashed with the process-independent FNV the build
+    /// cache uses — `DefaultHasher` is seeded per process, which would
+    /// give persisted artifacts a different name every restart. Only
+    /// names files — artifact *reuse* is keyed on emitted-source hashes
+    /// in the build cache, not on this stem.
     fn auto_name(&self, prog: &QueryProgram) -> String {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        format!("{prog:?}").hash(&mut h);
-        self.shared.cfg.name.hash(&mut h);
-        format!("serve_{:016x}", h.finish())
+        let text = format!("{prog:?}\x1f{}", self.shared.cfg.name);
+        format!("serve_{:016x}", dblab_ir::hash::str_hash(&text))
     }
+}
+
+/// Largest relative per-table row-count change between two schema
+/// snapshots (tables present in only one side are ignored — drift is
+/// about data growth, not DDL).
+fn max_rowcount_drift(old: &Schema, fresh: &Schema) -> f64 {
+    let mut drift = 0.0f64;
+    for t in &fresh.tables {
+        if !old.has_table(&t.name) {
+            continue;
+        }
+        let before = old.table(&t.name).stats.row_count as f64;
+        let after = t.stats.row_count as f64;
+        let rel = (after - before).abs() / before.max(1.0);
+        drift = drift.max(rel);
+    }
+    drift
 }
 
 impl Drop for QueryEngine {
@@ -833,13 +1054,9 @@ fn tier_up(
     let bname = shared
         .native
         .expect("tier-up only enqueued with a native backend");
-    let cs = stack::compile_cost_scored(
-        &shared.sched,
-        prog,
-        &shared.schema,
-        shared.seed,
-        shared.candidates,
-    )?;
+    let schema = shared.schema.read().unwrap().clone();
+    let cs =
+        stack::compile_cost_scored(&shared.sched, prog, &schema, shared.seed, shared.candidates)?;
     let gen_ms = cs.cq.gen_time.as_secs_f64() * 1e3;
     // The artifact name carries a per-engine sequence number: two
     // handles prepared for the same program share a deterministic stem,
@@ -848,11 +1065,11 @@ fn tier_up(
     // in). Reuse still happens where it is safe — the build cache keys
     // on emitted source, not on this file name.
     let seq = shared.build_seq.fetch_add(1, Ordering::Relaxed);
-    let art = Compiler::new(&shared.schema)
+    let art = Compiler::new(&schema)
         .config(&shared.cfg)
         .backend(backend(bname).expect("resolved at construction"))
         .out_dir(&shared.gen_dir)
-        .build_staged(cs.cq, &format!("{}_{seq}_{bname}", inner.name))
+        .build_staged(cs.cq, &format!("{}_{seq}_{bname}", inner.artifact_stem))
         .map_err(|e| e.to_string())?;
     let report = TierUpReport {
         backend: art.backend,
@@ -874,6 +1091,7 @@ fn tier_up(
         act.backend = report.backend;
     }
     inner.swaps.fetch_add(1, Ordering::AcqRel);
+    shared.tierups_built.fetch_add(1, Ordering::Relaxed);
     {
         let mut meta = inner.meta.lock().unwrap();
         meta.tier_up = Some(report);

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use dblab_catalog::{ColType, Schema};
 
-use crate::expr::ScalarExpr;
+use crate::expr::{Lit, ScalarExpr};
 
 /// Sort direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,11 +284,25 @@ impl QPlan {
     }
 }
 
+/// A declared query parameter: a typed hole in the plan, referenced by
+/// name via [`ScalarExpr::Param`] and bound to a concrete value per
+/// execution. The default literal doubles as the type declaration — a
+/// parameterized query runs unbound by evaluating its defaults, and the
+/// compiled template stays one artifact across every binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    pub name: Arc<str>,
+    pub default: Lit,
+}
+
 /// A query with optional scalar-subquery prologue: every `let` is a plan
 /// producing a single row whose first column's value is bound to the name,
-/// usable in later plans as [`ScalarExpr::Param`].
+/// usable in later plans as [`ScalarExpr::Param`]. Declared parameters
+/// (see [`ParamDecl`]) share that reference mechanism but are bound per
+/// execution rather than computed by a plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryProgram {
+    pub params: Vec<ParamDecl>,
     pub lets: Vec<(Arc<str>, QPlan)>,
     pub main: QPlan,
 }
@@ -296,9 +310,20 @@ pub struct QueryProgram {
 impl QueryProgram {
     pub fn new(main: QPlan) -> QueryProgram {
         QueryProgram {
+            params: Vec::new(),
             lets: Vec::new(),
             main,
         }
+    }
+
+    /// Declare a typed, defaulted query parameter. Position in the
+    /// declaration order is the parameter's wire slot.
+    pub fn with_param(mut self, name: &str, default: Lit) -> QueryProgram {
+        self.params.push(ParamDecl {
+            name: name.into(),
+            default,
+        });
+        self
     }
 
     /// Prepend a scalar subquery binding.

@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use dblab_ir::expr::{Atom, BinOp, Block, DictOp, Expr, PrimOp, Sym, UnOp};
 use dblab_ir::{Program, Type};
-use dblab_runtime::{ColData, Database, StringDict};
+use dblab_runtime::{ColData, Database, StringDict, Value};
 
 /// A dynamic value.
 #[derive(Debug, Clone)]
@@ -69,6 +69,18 @@ impl V {
     }
 }
 
+/// A runtime [`Value`] (the engine's currency) as an interpreter value.
+fn v_of_value(v: &Value) -> V {
+    match v {
+        Value::Null => V::Null,
+        Value::Bool(b) => V::B(*b),
+        Value::Int(i) => V::I(*i as i64),
+        Value::Long(l) => V::I(*l),
+        Value::Double(d) => V::D(*d),
+        Value::Str(s) => V::S(s.clone()),
+    }
+}
+
 /// Hashable key form of a value (records flattened by value).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Key {
@@ -94,6 +106,8 @@ fn key_of(v: &V) -> Key {
 pub struct Interp<'d> {
     p: Program,
     db: &'d Database,
+    /// Positional query-parameter bindings, read by `Expr::LoadParam`.
+    params: Vec<V>,
     env: HashMap<Sym, V>,
     dicts: HashMap<Arc<str>, StringDict>,
     pub output: String,
@@ -130,9 +144,22 @@ pub fn run_with_deadline(
     db: &Database,
     deadline: Option<Instant>,
 ) -> Result<String, Interrupted> {
+    run_bound(p, db, &[], deadline)
+}
+
+/// [`run_with_deadline`] with positional query-parameter bindings: the
+/// `idx`-th [`dblab_ir::Expr::LoadParam`] in `p` evaluates to
+/// `params[idx]`. Programs without parameters accept an empty slice.
+pub fn run_bound(
+    p: &Program,
+    db: &Database,
+    params: &[Value],
+    deadline: Option<Instant>,
+) -> Result<String, Interrupted> {
     let mut it = Interp {
         p: p.clone(),
         db,
+        params: params.iter().map(v_of_value).collect(),
         env: HashMap::new(),
         dicts: HashMap::new(),
         output: String::new(),
@@ -343,6 +370,7 @@ impl Interp<'_> {
                     let mut me = Interp {
                         p: self.p.clone(),
                         db: self.db,
+                        params: self.params.clone(),
                         env: self.env.clone(),
                         dicts: self.dicts.clone(),
                         output: String::new(),
@@ -531,6 +559,11 @@ impl Interp<'_> {
                 self.block(merge);
                 V::Unit
             }
+            Expr::LoadParam { idx } => self
+                .params
+                .get(*idx)
+                .cloned()
+                .unwrap_or_else(|| panic!("unbound query parameter {idx}")),
         }
     }
 

@@ -104,6 +104,9 @@ pub fn effects_of(e: &Expr) -> Effects {
         // observable effects are whatever its blocks do (the merge writes
         // shared state, so a live ParallelFor is never removable).
         Expr::ParallelFor { .. } => Effects::PURE,
+        // Parameters are bound once per execution and immutable for its
+        // duration, so reading one is pure (CSE-able, droppable if dead).
+        Expr::LoadParam { .. } => Effects::PURE,
     };
     e.blocks()
         .into_iter()

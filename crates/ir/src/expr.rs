@@ -425,6 +425,22 @@ pub enum Expr {
         /// to that worker's final value; folds into the shared state.
         merge: Block,
     },
+
+    // ---- prepared-query parameters ----------------------------------------
+    /// Read the `idx`-th query parameter, bound per execution (argv for
+    /// native binaries, a value slice for the interpreter). The parameter's
+    /// *value* never appears in the IR — only this positional slot — so
+    /// `program_hash` is automatically "modulo parameter values": every
+    /// literal binding of one template shares one hash, one pass-memo line
+    /// and one build-cache artifact. The statement's declared type carries
+    /// the parameter type.
+    ///
+    /// Like [`Expr::ParallelFor`], this sits at the end of the enum so the
+    /// derived-`Hash` discriminants of every pre-existing variant are
+    /// unchanged and existing programs keep their exact `program_hash`.
+    LoadParam {
+        idx: usize,
+    },
 }
 
 /// One worker-local accumulator of an [`Expr::ParallelFor`].
@@ -560,6 +576,7 @@ impl Expr {
                 f(lo);
                 f(hi);
             }
+            Expr::LoadParam { .. } => {}
         }
     }
 

@@ -256,6 +256,7 @@ fn discriminant_name(e: &Expr) -> &'static str {
         Expr::LoadIndexItems { .. } => "LoadIndexItems",
         Expr::Printf { .. } => "Printf",
         Expr::ParallelFor { .. } => "ParallelFor",
+        Expr::LoadParam { .. } => "LoadParam",
     }
 }
 

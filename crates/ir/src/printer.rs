@@ -366,6 +366,9 @@ fn print_stmt(st: &Stmt, depth: usize, out: &mut String) {
             block_arg(merge, depth, out);
             out.push('\n');
         }
+        Expr::LoadParam { idx } => {
+            let _ = writeln!(out, "param({idx})");
+        }
     }
 }
 

@@ -390,6 +390,7 @@ impl<'p> Rewriter<'p> {
                 });
                 Atom::Unit
             }
+            Expr::LoadParam { idx } => self.b.emit(st.ty.clone(), Expr::LoadParam { idx: *idx }),
         }
     }
 }

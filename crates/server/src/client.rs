@@ -145,9 +145,37 @@ impl Client {
         Ok(u32::from_be_bytes(id4))
     }
 
-    /// Execute a prepared statement and collect its rows.
+    /// Execute a prepared statement and collect its rows. A bare
+    /// execute runs with the statement's spec-derived bindings (or the
+    /// template defaults); see [`Client::execute_params`] to override
+    /// them per call.
     pub fn execute(&mut self, stmt: u32) -> Result<ExecReply, ClientError> {
         let f = Self::expect(self.roundtrip(OP_EXECUTE, &stmt.to_be_bytes())?, OP_RESULT)?;
+        let (native, query_ms, rows) = decode_result(&f.payload).ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "runt RESULT payload",
+            ))
+        })?;
+        Ok(ExecReply {
+            native,
+            query_ms,
+            rows,
+        })
+    }
+
+    /// Execute a prepared statement with explicit positional parameter
+    /// bindings for this call only. Positions follow the template's
+    /// parameter declarations; a shorter vector leaves the tail at the
+    /// declared defaults.
+    pub fn execute_params(
+        &mut self,
+        stmt: u32,
+        params: &[dblab_runtime::Value],
+    ) -> Result<ExecReply, ClientError> {
+        let mut payload = stmt.to_be_bytes().to_vec();
+        payload.extend_from_slice(&encode_params(params));
+        let f = Self::expect(self.roundtrip(OP_EXECUTE, &payload)?, OP_RESULT)?;
         let (native, query_ms, rows) = decode_result(&f.payload).ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::InvalidData,

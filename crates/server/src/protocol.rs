@@ -10,11 +10,16 @@
 //!
 //! | request | payload | response | payload |
 //! |---------|---------|----------|---------|
-//! | `PREPARE` | query spec, UTF-8 (`"tpch:6"`) | `PREPARED` | `stmt:u32be` |
-//! | `EXECUTE` | `stmt:u32be` | `RESULT` | `tier:u8 query_ms:f64be rows` |
+//! | `PREPARE` | query spec, UTF-8 (`"tpch:6"` or `"tpch:6?discount=0.07"`) | `PREPARED` | `stmt:u32be` |
+//! | `EXECUTE` | `stmt:u32be [params]` | `RESULT` | `tier:u8 query_ms:f64be rows` |
 //! | `STATS` | empty | `STATS_REPLY` | JSON, UTF-8 |
 //! | `CLOSE` | empty | `BYE` | empty |
 //! | any | — | `ERROR` | `code:u8 message` |
+//!
+//! The optional `EXECUTE` parameter section (see [`encode_params`]) binds
+//! the statement's declared parameters positionally for this one
+//! execution; a bare 4-byte payload — everything a pre-parameter client
+//! sends — keeps the bindings the statement was prepared with.
 //!
 //! Frames above [`MAX_FRAME`] are rejected as malformed — a client that
 //! sends a garbage length prefix gets one `ERROR` frame and the socket
@@ -166,6 +171,95 @@ pub fn decode_result(payload: &[u8]) -> Option<(bool, f64, String)> {
     ))
 }
 
+// Parameter-value tags in the `EXECUTE` parameter section.
+const PT_BOOL: u8 = 0;
+const PT_INT: u8 = 1;
+const PT_LONG: u8 = 2;
+const PT_DOUBLE: u8 = 3;
+const PT_STR: u8 = 4;
+
+/// Encode an `EXECUTE` parameter section: `count:u16be`, then per value a
+/// tag byte (`0` bool, `1` i32, `2` i64, `3` f64 bits, `4` `len:u32be` +
+/// UTF-8) and its big-endian body. Appended after the statement id;
+/// absent entirely for clients that keep the prepared bindings.
+pub fn encode_params(params: &[dblab_runtime::Value]) -> Vec<u8> {
+    use dblab_runtime::Value;
+    let mut p = Vec::with_capacity(2 + params.len() * 9);
+    p.extend_from_slice(&(params.len() as u16).to_be_bytes());
+    for v in params {
+        match v {
+            Value::Null | Value::Bool(_) => {
+                p.push(PT_BOOL);
+                p.push(matches!(v, Value::Bool(true)) as u8);
+            }
+            Value::Int(i) => {
+                p.push(PT_INT);
+                p.extend_from_slice(&i.to_be_bytes());
+            }
+            Value::Long(l) => {
+                p.push(PT_LONG);
+                p.extend_from_slice(&l.to_be_bytes());
+            }
+            Value::Double(d) => {
+                p.push(PT_DOUBLE);
+                p.extend_from_slice(&d.to_bits().to_be_bytes());
+            }
+            Value::Str(s) => {
+                p.push(PT_STR);
+                p.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                p.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    p
+}
+
+/// Decode an `EXECUTE` parameter section. `None` on any truncation, bad
+/// tag, or trailing garbage — a malformed binding must never silently
+/// execute with defaults.
+pub fn decode_params(mut b: &[u8]) -> Option<Vec<dblab_runtime::Value>> {
+    use dblab_runtime::Value;
+    let count = u16::from_be_bytes(b.get(..2)?.try_into().unwrap()) as usize;
+    b = &b[2..];
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let (tag, rest) = b.split_first()?;
+        b = rest;
+        let v = match *tag {
+            PT_BOOL => {
+                let (x, rest) = b.split_first()?;
+                b = rest;
+                Value::Bool(*x != 0)
+            }
+            PT_INT => {
+                let x = i32::from_be_bytes(b.get(..4)?.try_into().unwrap());
+                b = &b[4..];
+                Value::Int(x)
+            }
+            PT_LONG => {
+                let x = i64::from_be_bytes(b.get(..8)?.try_into().unwrap());
+                b = &b[8..];
+                Value::Long(x)
+            }
+            PT_DOUBLE => {
+                let x = f64::from_bits(u64::from_be_bytes(b.get(..8)?.try_into().unwrap()));
+                b = &b[8..];
+                Value::Double(x)
+            }
+            PT_STR => {
+                let len = u32::from_be_bytes(b.get(..4)?.try_into().unwrap()) as usize;
+                let s = std::str::from_utf8(b.get(4..4 + len)?).ok()?;
+                let v = Value::str(s);
+                b = &b[4 + len..];
+                v
+            }
+            _ => return None,
+        };
+        out.push(v);
+    }
+    b.is_empty().then_some(out)
+}
+
 /// Encode an `ERROR` payload.
 pub fn encode_error(code: ErrorCode, message: &str) -> Vec<u8> {
     let mut p = Vec::with_capacity(1 + message.len());
@@ -212,6 +306,35 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             std::io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn param_sections_round_trip_and_reject_garbage() {
+        use dblab_runtime::Value;
+        let vals = vec![
+            Value::Bool(true),
+            Value::Int(-7),
+            Value::Long(1 << 40),
+            Value::Double(0.07),
+            Value::str("N H"),
+        ];
+        let enc = encode_params(&vals);
+        let dec = decode_params(&enc).expect("round trip");
+        assert_eq!(dec.len(), 5);
+        assert!(matches!(dec[0], Value::Bool(true)));
+        assert!(matches!(dec[1], Value::Int(-7)));
+        assert!(matches!(dec[2], Value::Long(x) if x == 1 << 40));
+        assert!(matches!(dec[3], Value::Double(x) if x == 0.07));
+        assert!(matches!(&dec[4], Value::Str(s) if &**s == "N H"));
+        assert_eq!(decode_params(&[]).as_deref(), None, "truncated count");
+        assert!(decode_params(&enc[..enc.len() - 1]).is_none(), "truncated");
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(decode_params(&trailing).is_none(), "trailing garbage");
+        let mut bad_tag = encode_params(&[Value::Int(1)]);
+        bad_tag[2] = 9;
+        assert!(decode_params(&bad_tag).is_none(), "unknown tag");
+        assert_eq!(decode_params(&encode_params(&[])), Some(vec![]));
     }
 
     #[test]

@@ -39,27 +39,43 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dblab_catalog::Schema;
+use dblab_catalog::{ColType, Schema};
 use dblab_engine::service::{EngineOptions, ExecError, PreparedQuery, QueryEngine, Tier};
-use dblab_frontend::qplan::QueryProgram;
-use dblab_runtime::json;
+use dblab_frontend::qplan::{ParamDecl, QueryProgram};
+use dblab_runtime::{json, Value};
 
 use crate::protocol::*;
 use crate::session::Session;
 
-/// Maps a wire query spec (`"tpch:6"`) to a plan. Servers for other
-/// catalogs (and the protocol tests) install their own.
+/// Maps a wire query spec to a plan. Two spellings arrive here: a plain
+/// spec (`"tpch:6"` — literals baked in) and a *template* spec, marked by
+/// a trailing `?` (`"tpch:6?"`), which should resolve to a program with
+/// declared parameters. A resolver that has no parameterized form for a
+/// base spec returns `None` for the `?` spelling; the binding text itself
+/// never reaches the resolver — the server parses it against the resolved
+/// template's declarations. Servers for other catalogs (and the protocol
+/// tests) install their own.
 pub type QueryResolver = Arc<dyn Fn(&str) -> Option<QueryProgram> + Send + Sync>;
 
-/// The default resolver: TPC-H templates, spelled `tpch:N` or `qN`.
+/// The default resolver: TPC-H queries, spelled `tpch:N` or `qN`; the
+/// `tpch:N?` template spelling resolves through
+/// [`dblab_tpch::queries::template`] where one exists.
 pub fn tpch_resolver() -> QueryResolver {
     Arc::new(|spec| {
+        let (spec, templated) = match spec.strip_suffix('?') {
+            Some(base) => (base, true),
+            None => (spec, false),
+        };
         let n: usize = spec
             .strip_prefix("tpch:")
             .or_else(|| spec.strip_prefix('q').map(|s| s.trim_start_matches(':')))?
             .parse()
             .ok()?;
-        (1..=22).contains(&n).then(|| dblab_tpch::queries::query(n))
+        if templated {
+            dblab_tpch::queries::template(n)
+        } else {
+            (1..=22).contains(&n).then(|| dblab_tpch::queries::query(n))
+        }
     })
 }
 
@@ -80,6 +96,12 @@ pub struct ServerOptions {
     pub deadline: Duration,
     /// The tiered engine every session shares.
     pub engine: EngineOptions,
+    /// Server-wide prepared-cache capacity: at most this many *ready*
+    /// specs stay cached; the least-recently-prepared is evicted past
+    /// the cap (its handle lives on in sessions that hold it, and the
+    /// engine's weak registry forgets it once they drop). `0` disables
+    /// eviction.
+    pub prepared_cap: usize,
     /// Fault injection for tests: every worker sleeps this long before
     /// executing, so admission and deadline behavior can be pinned
     /// without depending on real query runtimes. Zero in production.
@@ -94,6 +116,7 @@ impl Default for ServerOptions {
             queue_cap: 64,
             deadline: Duration::from_secs(30),
             engine: EngineOptions::default(),
+            prepared_cap: 64,
             debug_worker_delay: Duration::ZERO,
         }
     }
@@ -131,6 +154,9 @@ pub struct ShutdownReport {
 /// One admitted execute request, queued for the worker pool.
 struct ExecJob {
     handle: PreparedQuery,
+    /// Positional parameter bindings for this execution (statement
+    /// defaults, or the frame's explicit param section).
+    params: Vec<Value>,
     seq: u32,
     wire: Wire,
     enqueued: Instant,
@@ -149,14 +175,75 @@ struct Admission {
     closed: bool,
 }
 
+/// One entry in the server-wide prepared cache. `Building` is the
+/// in-flight latch: the first preparer of a spec inserts it, compiles
+/// *outside* the cache lock, then swaps in `Ready`; concurrent
+/// preparers of the *same* spec wait on the latch condvar (thundering
+/// herd still collapses to one compile), while preparers of *other*
+/// specs sail past — a slow cold prepare no longer blocks the cache.
+enum PrepState {
+    Building,
+    Ready {
+        handle: PreparedQuery,
+        /// LRU clock tick of the last prepare that hit this entry.
+        last_used: u64,
+    },
+}
+
+/// spec -> handle: sessions share one compiled query per spec, so N
+/// clients preparing `tpch:6` cost one tier-0 compile and one
+/// background tier-up, not N. Parameterized specs share one entry per
+/// *template* (`tpch:6?` — bindings stripped), which is the whole point
+/// of parameterization: every literal instantiation serves from one
+/// compiled artifact. Bounded LRU: ready entries past `cap` are
+/// evicted coldest-first.
+struct PreparedCache {
+    entries: HashMap<String, PrepState>,
+    clock: u64,
+    cap: usize,
+    evicted: u64,
+}
+
+impl PreparedCache {
+    fn touch(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Drop the coldest `Ready` entries until at or under `cap`.
+    /// `Building` latches are never evicted — someone is waiting on
+    /// them.
+    fn evict_over_cap(&mut self) {
+        if self.cap == 0 {
+            return;
+        }
+        loop {
+            let ready = self
+                .entries
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    PrepState::Ready { last_used, .. } => Some((*last_used, k.clone())),
+                    PrepState::Building => None,
+                })
+                .collect::<Vec<_>>();
+            if ready.len() <= self.cap {
+                return;
+            }
+            let coldest = ready.iter().min().expect("non-empty over-cap set");
+            self.entries.remove(&coldest.1);
+            self.evicted += 1;
+        }
+    }
+}
+
 struct Shared {
     engine: QueryEngine,
     data_dir: PathBuf,
     resolver: QueryResolver,
-    /// spec -> handle: sessions share one compiled query per spec, so N
-    /// clients preparing `tpch:6` cost one tier-0 compile and one
-    /// background tier-up, not N.
-    prepared: Mutex<HashMap<String, PreparedQuery>>,
+    prepared: Mutex<PreparedCache>,
+    /// Wakes waiters parked on a `Building` latch when it resolves
+    /// (either way: ready or failed-and-removed).
+    prep_cvar: Condvar,
     q: Mutex<Admission>,
     cvar: Condvar,
     stop_accepting: AtomicBool,
@@ -199,7 +286,13 @@ impl Server {
             engine,
             data_dir: data_dir.to_path_buf(),
             resolver,
-            prepared: Mutex::new(HashMap::new()),
+            prepared: Mutex::new(PreparedCache {
+                entries: HashMap::new(),
+                clock: 0,
+                cap: opts.prepared_cap,
+                evicted: 0,
+            }),
+            prep_cvar: Condvar::new(),
             q: Mutex::new(Admission {
                 jobs: VecDeque::new(),
                 active: 0,
@@ -426,9 +519,26 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                 respond_error(wire, f.seq, ErrorCode::ShuttingDown, "server is draining");
                 return true;
             }
-            match prepare_shared(shared, &spec) {
+            // `base?bindings` — the cache/compile key is the *template*
+            // (`base?`); the binding text stays per-statement.
+            let (key, binding_text) = match spec.find('?') {
+                Some(i) => (format!("{}?", &spec[..i]), Some(&spec[i + 1..])),
+                None => (spec.clone(), None),
+            };
+            match prepare_shared(shared, &key) {
                 Ok(handle) => {
-                    let id = session.add(handle, &spec);
+                    let bindings = match binding_text {
+                        Some(text) => match parse_bindings(text, handle.params()) {
+                            Ok(b) => b,
+                            Err(e) => {
+                                shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+                                respond_error(wire, f.seq, ErrorCode::Malformed, &e);
+                                return true;
+                            }
+                        },
+                        None => Vec::new(),
+                    };
+                    let id = session.add(handle, &spec, bindings);
                     respond(wire, OP_PREPARED, f.seq, &id.to_be_bytes());
                 }
                 Err(PrepareError::UnknownSpec) => {
@@ -447,7 +557,7 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
             true
         }
         OP_EXECUTE => {
-            let Ok(id4) = <[u8; 4]>::try_from(&f.payload[..]) else {
+            if f.payload.len() < 4 {
                 shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
                 respond_error(
                     wire,
@@ -456,9 +566,9 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                     "execute wants a u32 statement id",
                 );
                 return true;
-            };
-            let id = u32::from_be_bytes(id4);
-            let Some((handle, _)) = session.get(id) else {
+            }
+            let id = u32::from_be_bytes(f.payload[..4].try_into().unwrap());
+            let Some(stmt) = session.get(id) else {
                 respond_error(
                     wire,
                     f.seq,
@@ -467,8 +577,30 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                 );
                 return true;
             };
+            // A bare 4-byte payload (every pre-parameter client) runs
+            // with the statement's own spec-derived bindings; an
+            // explicit param section overrides them for this execution
+            // only.
+            let params = if f.payload.len() == 4 {
+                stmt.bindings.clone()
+            } else {
+                match decode_params(&f.payload[4..]) {
+                    Some(p) => p,
+                    None => {
+                        shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+                        respond_error(
+                            wire,
+                            f.seq,
+                            ErrorCode::Malformed,
+                            "execute carries a malformed parameter section",
+                        );
+                        return true;
+                    }
+                }
+            };
             let job = ExecJob {
-                handle: handle.clone(),
+                handle: stmt.handle.clone(),
+                params,
                 seq: f.seq,
                 wire: Arc::clone(wire),
                 enqueued: Instant::now(),
@@ -524,25 +656,115 @@ enum PrepareError {
     Engine(String),
 }
 
-/// Resolve + prepare through the shared cache. The map lock is held
-/// across the engine prepare on purpose: a thundering herd of identical
-/// prepares must collapse to one tier-0 compile and one tier-up job.
+/// Resolve + prepare through the shared cache.
+///
+/// The cache lock is *never* held across resolution or the engine's
+/// tier-0 compile. The first preparer of a spec plants a
+/// [`PrepState::Building`] latch and compiles unlocked; duplicate
+/// preparers of the same spec park on the latch (the herd still
+/// collapses to one compile, one tier-up job), and preparers of
+/// unrelated specs proceed concurrently — cold-compiling spec A no
+/// longer head-of-line-blocks a warm prepare of spec B.
 fn prepare_shared(shared: &Shared, spec: &str) -> Result<PreparedQuery, PrepareError> {
     let mut cache = shared.prepared.lock().unwrap();
-    if let Some(h) = cache.get(spec) {
-        return Ok(h.clone());
+    loop {
+        match cache.entries.get_mut(spec) {
+            Some(PrepState::Ready { handle, .. }) => {
+                let h = handle.clone();
+                let tick = cache.touch();
+                if let Some(PrepState::Ready { last_used, .. }) = cache.entries.get_mut(spec) {
+                    *last_used = tick;
+                }
+                return Ok(h);
+            }
+            Some(PrepState::Building) => {
+                cache = shared.prep_cvar.wait(cache).unwrap();
+            }
+            None => break,
+        }
     }
-    let prog = (shared.resolver)(spec).ok_or(PrepareError::UnknownSpec)?;
-    let name: String = spec
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+    cache.entries.insert(spec.to_string(), PrepState::Building);
+    drop(cache);
+
+    let result = (|| {
+        let prog = (shared.resolver)(spec).ok_or(PrepareError::UnknownSpec)?;
+        let name: String = spec
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        shared
+            .engine
+            .prepare_named(&prog, &format!("srv_{name}"))
+            .map_err(|e| PrepareError::Engine(e.to_string()))
+    })();
+
+    let mut cache = shared.prepared.lock().unwrap();
+    match &result {
+        Ok(handle) => {
+            let tick = cache.touch();
+            cache.entries.insert(
+                spec.to_string(),
+                PrepState::Ready {
+                    handle: handle.clone(),
+                    last_used: tick,
+                },
+            );
+            cache.evict_over_cap();
+        }
+        Err(_) => {
+            // Failed latches are removed, not cached: the next preparer
+            // retries from scratch (the failure may be transient).
+            cache.entries.remove(spec);
+        }
+    }
+    drop(cache);
+    shared.prep_cvar.notify_all();
+    result
+}
+
+/// Parse a spec's `k=v&k2=v2` binding suffix against the template's
+/// parameter declarations, yielding a full positional vector (defaults
+/// fill unbound slots). Unknown names and unparsable values are errors
+/// — a typo must not silently run the default plan.
+fn parse_bindings(text: &str, decls: &[ParamDecl]) -> Result<Vec<Value>, String> {
+    let mut out: Vec<Value> = decls
+        .iter()
+        .map(|d| dblab_engine::eval::lit_value(&d.default))
         .collect();
-    let handle = shared
-        .engine
-        .prepare_named(&prog, &format!("srv_{name}"))
-        .map_err(|e| PrepareError::Engine(e.to_string()))?;
-    cache.insert(spec.to_string(), handle.clone());
-    Ok(handle)
+    if text.is_empty() {
+        return Ok(out);
+    }
+    for pair in text.split('&') {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("malformed binding `{pair}` (want k=v)"))?;
+        let idx = decls
+            .iter()
+            .position(|d| &*d.name == k)
+            .ok_or_else(|| format!("unknown parameter `{k}`"))?;
+        let ty = decls[idx].default.ty();
+        out[idx] = match ty {
+            ColType::Int => Value::Int(
+                v.parse()
+                    .map_err(|_| format!("parameter `{k}` wants an int, got `{v}`"))?,
+            ),
+            ColType::Long => Value::Long(
+                v.parse()
+                    .map_err(|_| format!("parameter `{k}` wants a long, got `{v}`"))?,
+            ),
+            ColType::Double => Value::Double(
+                v.parse()
+                    .map_err(|_| format!("parameter `{k}` wants a double, got `{v}`"))?,
+            ),
+            ColType::Bool => match v {
+                "0" | "false" => Value::Bool(false),
+                "1" | "true" => Value::Bool(true),
+                _ => return Err(format!("parameter `{k}` wants a bool, got `{v}`")),
+            },
+            other => return Err(format!("parameter `{k}` has unsupported type {other:?}")),
+        };
+    }
+    Ok(out)
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
@@ -589,7 +811,7 @@ fn serve_one(shared: &Shared, job: &ExecJob) {
     };
     match job
         .handle
-        .execute_with_deadline(&shared.data_dir, Some(remaining))
+        .execute_bound(&shared.data_dir, &job.params, Some(remaining))
     {
         Ok(run) => {
             shared.counters.executed.fetch_add(1, Ordering::AcqRel);
@@ -629,6 +851,10 @@ fn stats_json(shared: &Shared) -> String {
         let q = shared.q.lock().unwrap();
         (q.jobs.len(), q.active, q.closed)
     };
+    let (prepared_cached, prepared_evicted, prepared_cap) = {
+        let c = shared.prepared.lock().unwrap();
+        (c.entries.len(), c.evicted, c.cap)
+    };
     let server = json::Obj::new()
         .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
         .int("connections", c.connections.load(Ordering::Acquire))
@@ -641,6 +867,9 @@ fn stats_json(shared: &Shared) -> String {
         .int("queue_depth", depth as u64)
         .int("queue_active", active as u64)
         .int("queue_cap", shared.queue_cap as u64)
+        .int("prepared_cached", prepared_cached as u64)
+        .int("prepared_evicted", prepared_evicted)
+        .int("prepared_cap", prepared_cap as u64)
         .int("workers", shared.workers as u64)
         .num("deadline_ms", shared.deadline.as_secs_f64() * 1e3)
         .bool("draining", closed)

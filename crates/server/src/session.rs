@@ -5,14 +5,30 @@
 //! *shared* prepared cache ([`crate::server`]), so two sessions preparing
 //! the same spec share one compiled query and one background tier-up —
 //! what dies with the connection is only this id table.
+//!
+//! What is per-*statement* (not shared) are the parameter bindings the
+//! spec carried (`tpch:6?discount=0.07`): the compiled template is one
+//! cache entry, but each statement remembers its own literals and an
+//! `EXECUTE` without an explicit parameter section runs with them.
 
 use dblab_engine::service::PreparedQuery;
+use dblab_runtime::Value;
+
+/// One prepared statement: the shared handle plus this statement's own
+/// spec text and spec-derived positional parameter bindings.
+pub struct Stmt {
+    pub handle: PreparedQuery,
+    pub spec: String,
+    /// Positional bindings parsed from the spec's `?k=v` suffix, already
+    /// aligned to the template's declaration order. Empty = defaults.
+    pub bindings: Vec<Value>,
+}
 
 /// One connection's statement table. Ids are 1-based and never reused
 /// within a session (`0` is reserved as "no statement").
 #[derive(Default)]
 pub struct Session {
-    stmts: Vec<(PreparedQuery, String)>,
+    stmts: Vec<Stmt>,
 }
 
 impl Session {
@@ -21,13 +37,17 @@ impl Session {
     }
 
     /// Register a prepared handle under the next statement id.
-    pub fn add(&mut self, handle: PreparedQuery, spec: &str) -> u32 {
-        self.stmts.push((handle, spec.to_string()));
+    pub fn add(&mut self, handle: PreparedQuery, spec: &str, bindings: Vec<Value>) -> u32 {
+        self.stmts.push(Stmt {
+            handle,
+            spec: spec.to_string(),
+            bindings,
+        });
         self.stmts.len() as u32
     }
 
     /// Look a statement id up.
-    pub fn get(&self, id: u32) -> Option<&(PreparedQuery, String)> {
+    pub fn get(&self, id: u32) -> Option<&Stmt> {
         (id > 0).then(|| self.stmts.get(id as usize - 1)).flatten()
     }
 

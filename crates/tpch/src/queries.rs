@@ -1030,6 +1030,140 @@ pub fn all() -> Vec<(String, QueryProgram)> {
     (1..=22).map(|n| (format!("Q{n}"), query(n))).collect()
 }
 
+/// Parameterized (prepared-statement) form of Q1: the shipdate cutoff
+/// becomes a bound parameter. With its default the template is
+/// row-for-row identical to [`q1`].
+pub fn q1_template() -> QueryProgram {
+    QueryProgram::new(
+        scan("lineitem")
+            .select(col("l_shipdate").le(param("ship_hi")))
+            .agg(
+                vec![
+                    ("l_returnflag", col("l_returnflag")),
+                    ("l_linestatus", col("l_linestatus")),
+                ],
+                vec![
+                    ("sum_qty", Sum(col("l_quantity"))),
+                    ("sum_base_price", Sum(col("l_extendedprice"))),
+                    ("sum_disc_price", Sum(revenue())),
+                    (
+                        "sum_charge",
+                        Sum(revenue().mul(lit_d(1.0).add(col("l_tax")))),
+                    ),
+                    ("avg_qty", Avg(col("l_quantity"))),
+                    ("avg_price", Avg(col("l_extendedprice"))),
+                    ("avg_disc", Avg(col("l_discount"))),
+                    ("count_order", Count),
+                ],
+            )
+            .sort(vec![(col("l_returnflag"), Asc), (col("l_linestatus"), Asc)]),
+    )
+    .with_param(
+        "ship_hi",
+        Lit::Int(dblab_catalog::dates::encode(1998, 9, 2)),
+    )
+}
+
+/// Parameterized form of Q6: the classic prepared statement — date
+/// window, discount band center and quantity ceiling all become bound
+/// parameters, the band computed at runtime as `discount ± 0.01` (the
+/// TPC-H spec's own parameterization, and the path that exercises
+/// parameters inside arithmetic). Note the band endpoints are
+/// `0.06 ± 0.01` evaluated in floating point, which is *not*
+/// bit-identical to [`q6`]'s baked `0.05`/`0.07` literals — boundary
+/// rows can differ; the oracle evaluates the same arithmetic, so
+/// differential checks are exact.
+pub fn q6_template() -> QueryProgram {
+    QueryProgram::new(
+        scan("lineitem")
+            .select(
+                col("l_shipdate")
+                    .ge(param("date_lo"))
+                    .and(col("l_shipdate").lt(param("date_hi")))
+                    .and(col("l_discount").between(
+                        param("discount").sub(lit_d(0.01)),
+                        param("discount").add(lit_d(0.01)),
+                    ))
+                    .and(col("l_quantity").lt(param("quantity"))),
+            )
+            .agg(
+                vec![],
+                vec![(
+                    "revenue",
+                    Sum(col("l_extendedprice").mul(col("l_discount"))),
+                )],
+            ),
+    )
+    .with_param(
+        "date_lo",
+        Lit::Int(dblab_catalog::dates::encode(1994, 1, 1)),
+    )
+    .with_param(
+        "date_hi",
+        Lit::Int(dblab_catalog::dates::encode(1995, 1, 1)),
+    )
+    .with_param("discount", Lit::Double(0.06))
+    .with_param("quantity", Lit::Double(24.0))
+}
+
+/// Parameterized form of Q14: the promo-month window becomes a pair of
+/// bound date parameters. Defaults reproduce [`q14`] exactly.
+pub fn q14_template() -> QueryProgram {
+    QueryProgram::new(
+        scan("lineitem")
+            .select(
+                col("l_shipdate")
+                    .ge(param("date_lo"))
+                    .and(col("l_shipdate").lt(param("date_hi"))),
+            )
+            .hash_join(
+                scan("part"),
+                Inner,
+                vec![col("l_partkey")],
+                vec![col("p_partkey")],
+            )
+            .agg(
+                vec![],
+                vec![
+                    (
+                        "promo",
+                        Sum(ScalarExpr::case_when(
+                            col("p_type").starts_with("PROMO"),
+                            revenue(),
+                            lit_d(0.0),
+                        )),
+                    ),
+                    ("total", Sum(revenue())),
+                ],
+            )
+            .project(vec![(
+                "promo_revenue",
+                lit_d(100.0).mul(col("promo")).div(col("total")),
+            )]),
+    )
+    .with_param(
+        "date_lo",
+        Lit::Int(dblab_catalog::dates::encode(1995, 9, 1)),
+    )
+    .with_param(
+        "date_hi",
+        Lit::Int(dblab_catalog::dates::encode(1995, 10, 1)),
+    )
+}
+
+/// Parameterized template by query number, where one exists. The
+/// server's `tpch:N?` spec spelling resolves through here; queries
+/// whose interesting literals are strings (specialized away by the
+/// string-dictionary pass) have no template.
+pub fn template(n: usize) -> Option<QueryProgram> {
+    match n {
+        1 => Some(q1_template()),
+        6 => Some(q6_template()),
+        14 => Some(q14_template()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

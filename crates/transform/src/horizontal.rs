@@ -265,6 +265,7 @@ fn for_each_atom_mut(e: &mut Expr, f: &mut dyn FnMut(&mut dblab_ir::expr::Atom))
             f(lo);
             f(hi);
         }
+        LoadParam { .. } => {}
     }
 }
 

@@ -82,6 +82,26 @@ pub fn lower_program(prog: &QueryProgram, schema: &Schema, cfg: &StackConfig) ->
     }
     lw.preload_indexes(&prog.main);
 
+    // Declared-parameter prologue: each declaration becomes a positional
+    // `LoadParam` slot, typed by its default literal. Binding happens here,
+    // before the query timer — argv parsing is setup, not query work — and
+    // before the lets, which may reference parameters. The parameter
+    // *value* never enters the IR, so every binding of one template hashes,
+    // memoizes and compiles identically.
+    for (idx, decl) in prog.params.iter().enumerate() {
+        assert!(
+            decl.default.ty() != dblab_catalog::ColType::String,
+            "string-typed query parameters are not supported \
+             (parameter `{}`): string predicates specialize against the \
+             per-column dictionary at compile time, which a per-execution \
+             binding would bypass",
+            decl.name
+        );
+        let atom =
+            lw.b.emit(ir_type(decl.default.ty()), Expr::LoadParam { idx });
+        lw.params.insert(decl.name.clone(), atom);
+    }
+
     lw.b.prim(PrimOp::TimerStart, vec![]);
 
     // Scalar-subquery prologue.
