@@ -17,14 +17,25 @@
 //! failure: a wrong result, or a hung connection (no response within
 //! the client read timeout). Either exits non-zero.
 //!
+//! Since the reactor rewrite the harness also proves the *anatomy*
+//! claim: with every connection multiplexed onto `--io-threads` reactor
+//! threads, the server's thread count and its per-connection fd cost
+//! must stay flat as `--clients` grows. When the server runs in-process
+//! on a procfs system, the harness snapshots `/proc/self/status`
+//! (`Threads:`) and `/proc/self/fd` before the server starts and again
+//! at peak connection count (every client connected and prepared,
+//! parked on a barrier), and exits non-zero if the deltas exceed the
+//! reactor anatomy — a reader-thread-per-connection regression fails
+//! the run even when every row agrees.
+//!
 //! ```text
 //! cargo run --release -p dblab-bench --bin loadgen -- \
-//!     --sf 0.01 --queries 1,3,6 --clients 64 --requests 50 \
-//!     --server-workers 4 --queue-cap 64 --deadline-ms 30000 --json load.json
+//!     --sf 0.01 --queries 1,3,6 --clients 512 --requests 50 \
+//!     --server-workers 4 --io-threads 2 --queue-cap 4096 --json load.json
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use dblab_bench::{data_dir, emit_json, json, latency_obj, Args};
@@ -85,12 +96,14 @@ fn client_loop(
     args: &Args,
     oracles: &[String],
     tally: &Tally,
+    connected: &Barrier,
 ) -> Vec<Sample> {
     let mut samples = Vec::new();
     let mut c = match Client::connect_timeout(addr, Some(read_timeout)) {
         Ok(c) => c,
         Err(_) => {
             tally.transport_errors.fetch_add(1, Ordering::AcqRel);
+            connected.wait();
             return samples;
         }
     };
@@ -102,10 +115,16 @@ fn client_loop(
             Ok(id) => stmts.push(id),
             Err(e) => {
                 count_failure(&e, tally);
+                connected.wait();
                 return samples;
             }
         }
     }
+    // Hold here until every client is connected and prepared: the far
+    // side of this barrier is the process's peak connection count, which
+    // the main thread snapshots for the thread/fd flatness check. Every
+    // return path above also waits, so a failed client can't wedge it.
+    connected.wait();
     let zipf = Zipf::new(args.queries.len());
     let mut rng = Rng64::seed_from_u64(args.seed ^ (0x10ad_0000 + id as u64));
     for req in 0..args.requests {
@@ -129,6 +148,21 @@ fn client_loop(
     }
     let _ = c.close();
     samples
+}
+
+/// The process's thread count (`Threads:` in `/proc/self/status`), or
+/// `None` off-procfs — the flatness checks quietly skip there.
+fn proc_threads() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// The process's open-descriptor count (entries in `/proc/self/fd`).
+fn proc_fds() -> Option<u64> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count() as u64)
 }
 
 fn count_failure(e: &ClientError, tally: &Tally) {
@@ -198,7 +232,8 @@ fn run_param_mix(args: &Args) -> ! {
                 ..EngineOptions::default()
             },
             prepared_cap: 64,
-            debug_worker_delay: Duration::ZERO,
+            io_threads: args.io_threads,
+            ..ServerOptions::default()
         },
     )
     .expect("start in-process server");
@@ -313,6 +348,9 @@ fn main() {
 
     // In-process server unless --addr points at a live one.
     let deadline = Duration::from_millis(args.deadline_ms);
+    // Thread/fd baseline, snapshotted before the server exists so the
+    // peak-load delta isolates what serving N sockets costs the process.
+    let (t_pre, fd_pre) = (proc_threads(), proc_fds());
     let server = if args.addr.is_none() {
         let mut config = StackConfig::level5();
         config.threads = args.threads;
@@ -341,7 +379,8 @@ fn main() {
                         ..EngineOptions::default()
                     },
                     prepared_cap: 64,
-                    debug_worker_delay: Duration::ZERO,
+                    io_threads: args.io_threads,
+                    ..ServerOptions::default()
                 },
             )
             .expect("start in-process server"),
@@ -358,26 +397,90 @@ fn main() {
     let read_timeout = deadline + Duration::from_secs(60);
 
     println!(
-        "# loadgen — {} clients x {} requests, zipf over {:?} (SF {}, {} server workers, queue cap {}, deadline {:?})",
-        args.clients, args.requests, args.queries, args.sf, args.server_workers, args.queue_cap, deadline
+        "# loadgen — {} clients x {} requests, zipf over {:?} (SF {}, {} server workers, {} io threads, queue cap {}, deadline {:?})",
+        args.clients, args.requests, args.queries, args.sf, args.server_workers, args.io_threads, args.queue_cap, deadline
     );
 
     let tally = Arc::new(Tally::default());
+    let connected = Barrier::new(args.clients + 1);
     let wall0 = Instant::now();
+    let mut peak = (None, None);
     let samples: Vec<Sample> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.clients)
             .map(|id| {
-                let tally = Arc::clone(&tally);
+                let (tally, connected) = (Arc::clone(&tally), &connected);
                 let (args, oracles) = (&args, &oracles);
-                s.spawn(move || client_loop(id, addr, read_timeout, args, oracles, &tally))
+                s.spawn(move || {
+                    client_loop(id, addr, read_timeout, args, oracles, &tally, connected)
+                })
             })
             .collect();
+        // Peak connection count: every client is connected and prepared,
+        // parked on the barrier. One thread and two fds per client are
+        // the *harness's* (the blocking client dups its stream); beyond
+        // that, every thread and fd is what the server chose to spend —
+        // and the reactor's whole point is one fd per connection and a
+        // thread count that never moves.
+        connected.wait();
+        peak = (proc_threads(), proc_fds());
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("client thread"))
             .collect()
     });
     let wall_ms = wall0.elapsed().as_secs_f64() * 1e3;
+    let (t_peak, fd_peak) = peak;
+
+    // Flatness verdicts — only when the server ran in-process (an
+    // external server's threads are invisible here) and procfs exists.
+    let mut threads_flat = true;
+    let mut fd_flat = true;
+    let mut anatomy_json = None;
+    if let (true, Some(t0), Some(t1), Some(f0), Some(f1)) =
+        (server.is_some(), t_pre, t_peak, fd_pre, fd_peak)
+    {
+        let clients = args.clients as u64;
+        // The server's own threads at peak: the total, minus the
+        // baseline, minus the one thread per client the harness spawned.
+        let server_threads = t1.saturating_sub(t0).saturating_sub(clients);
+        // The reactor anatomy: one acceptor + the io threads + the
+        // request workers, plus the engine's build pool and the morsel
+        // pools the workers fan out to, plus slack for short-lived
+        // helpers. Generous in constants, deliberately independent of
+        // `clients` — a reader thread per connection blows through it
+        // at any realistic client count.
+        let threads_limit = 1
+            + (args.io_threads + args.server_workers + args.build_jobs) as u64
+            + (args.server_workers * args.threads) as u64
+            + 16;
+        threads_flat = server_threads <= threads_limit;
+        // Rounded reader-threads-per-connection estimate: 0 when flat,
+        // ~1 under the old thread-per-connection design.
+        let per_conn = server_threads
+            .saturating_sub(threads_limit)
+            .div_ceil(clients.max(1));
+        // Descriptors: two per client are the harness's own (the
+        // blocking client dups its stream), one per accepted connection
+        // is the server's, plus slack for the listener, the reactors'
+        // epoll/waker fds, data files and the build cache.
+        let fds_added = f1.saturating_sub(f0);
+        let fds_limit = 3 * clients + 64 + 3 * args.build_jobs as u64;
+        fd_flat = fds_added <= fds_limit;
+        println!(
+            "# server anatomy at peak ({clients} conns): {server_threads} server threads (limit {threads_limit}, flat={threads_flat}), {fds_added} fds added (limit {fds_limit}, flat={fd_flat})"
+        );
+        anatomy_json = Some(
+            json::Obj::new()
+                .int("server_threads", server_threads)
+                .int("server_threads_limit", threads_limit)
+                .bool("server_threads_flat", threads_flat)
+                .int("per_conn_reader_threads", per_conn)
+                .int("fds_added", fds_added)
+                .int("fds_limit", fds_limit)
+                .bool("fd_ceiling_flat", fd_flat)
+                .build(),
+        );
+    }
 
     // Pull the server's own view before shutdown.
     let server_stats = Client::connect_timeout(addr, Some(Duration::from_secs(30)))
@@ -472,6 +575,7 @@ fn main() {
         .int("clients", args.clients as u64)
         .int("requests_per_client", args.requests as u64)
         .int("server_workers", args.server_workers as u64)
+        .int("io_threads", args.io_threads as u64)
         .int("queue_cap", args.queue_cap as u64)
         .num("deadline_ms", args.deadline_ms as f64)
         .num("wall_ms", wall_ms)
@@ -482,6 +586,9 @@ fn main() {
     if let Some(stats) = &server_stats {
         blob = blob.raw("server_stats", stats);
     }
+    if let Some(anatomy) = &anatomy_json {
+        blob = blob.raw("thread_anatomy", anatomy);
+    }
     if let Some(r) = &report {
         blob = blob.raw(
             "shutdown",
@@ -490,6 +597,8 @@ fn main() {
                 .int("executed", r.executed)
                 .int("shed", r.shed)
                 .int("timeouts", r.timeouts)
+                .int("write_overflows", r.write_overflows)
+                .int("chunked_results", r.chunked_results)
                 .int("drained_in_flight", r.drained_in_flight as u64)
                 .build(),
         );
@@ -502,6 +611,13 @@ fn main() {
     }
     if hung > 0 {
         eprintln!("HUNG CONNECTIONS: {hung} request(s) got no response within {read_timeout:?}");
+        std::process::exit(1);
+    }
+    if !threads_flat || !fd_flat {
+        eprintln!(
+            "ANATOMY REGRESSION: the server's thread or fd cost grew with the client count \
+             (see the thread_anatomy block) — the reactor is supposed to pin both"
+        );
         std::process::exit(1);
     }
 }

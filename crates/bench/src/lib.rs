@@ -95,6 +95,11 @@ pub struct Args {
     /// Request worker threads for the in-process server
     /// (`--server-workers`, default 4).
     pub server_workers: usize,
+    /// Reactor I/O threads for the in-process server (`--io-threads`,
+    /// default 2). The whole point of the readiness reactor is that this
+    /// number — not the client count — bounds the server's thread
+    /// anatomy; `loadgen` asserts exactly that.
+    pub io_threads: usize,
     /// Aim `loadgen` at an already-running server instead of starting an
     /// in-process one (`--addr host:port`).
     pub addr: Option<String>,
@@ -125,6 +130,7 @@ impl Args {
         let mut queue_cap = 64;
         let mut deadline_ms = 30_000;
         let mut server_workers = 4;
+        let mut io_threads = 2;
         let mut addr = None;
         let mut param_mix = 0;
         let argv: Vec<String> = std::env::args().collect();
@@ -198,6 +204,10 @@ impl Args {
                     server_workers = argv[i + 1].parse().expect("--server-workers <int>");
                     i += 2;
                 }
+                "--io-threads" => {
+                    io_threads = argv[i + 1].parse().expect("--io-threads <int>");
+                    i += 2;
+                }
                 "--addr" => {
                     addr = Some(argv[i + 1].clone());
                     i += 2;
@@ -226,6 +236,7 @@ impl Args {
             queue_cap: queue_cap.max(1),
             deadline_ms: deadline_ms.max(1),
             server_workers: server_workers.max(1),
+            io_threads: io_threads.max(1),
             addr,
             param_mix,
         }

@@ -99,6 +99,12 @@ impl Client {
         self.seq = self.seq.wrapping_add(1);
         let seq = self.seq;
         write_frame(&mut self.writer, opcode, seq, payload)?;
+        self.read_reply(seq)
+    }
+
+    /// Read one response frame for `seq`, mapping `ERROR` frames to
+    /// [`ClientError::Server`].
+    fn read_reply(&mut self, seq: u32) -> Result<Frame, ClientError> {
         let frame = read_frame(&mut self.reader)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -150,18 +156,8 @@ impl Client {
     /// template defaults); see [`Client::execute_params`] to override
     /// them per call.
     pub fn execute(&mut self, stmt: u32) -> Result<ExecReply, ClientError> {
-        let f = Self::expect(self.roundtrip(OP_EXECUTE, &stmt.to_be_bytes())?, OP_RESULT)?;
-        let (native, query_ms, rows) = decode_result(&f.payload).ok_or_else(|| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "runt RESULT payload",
-            ))
-        })?;
-        Ok(ExecReply {
-            native,
-            query_ms,
-            rows,
-        })
+        let first = self.roundtrip(OP_EXECUTE, &stmt.to_be_bytes())?;
+        self.collect_result(first)
     }
 
     /// Execute a prepared statement with explicit positional parameter
@@ -175,8 +171,62 @@ impl Client {
     ) -> Result<ExecReply, ClientError> {
         let mut payload = stmt.to_be_bytes().to_vec();
         payload.extend_from_slice(&encode_params(params));
-        let f = Self::expect(self.roundtrip(OP_EXECUTE, &payload)?, OP_RESULT)?;
-        let (native, query_ms, rows) = decode_result(&f.payload).ok_or_else(|| {
+        let first = self.roundtrip(OP_EXECUTE, &payload)?;
+        self.collect_result(first)
+    }
+
+    /// Assemble one execute response: a single `RESULT` frame, or a
+    /// `RESULT_CHUNK*` + `RESULT_END` stream whose slices concatenate
+    /// byte-identically to the single-frame payload. The `RESULT_END`
+    /// length claim is verified — a short or long stream is a
+    /// transport error, never a silently truncated row set.
+    fn collect_result(&mut self, first: Frame) -> Result<ExecReply, ClientError> {
+        let payload = match first.opcode {
+            OP_RESULT => first.payload,
+            OP_RESULT_CHUNK => {
+                let seq = first.seq;
+                let mut assembled = first.payload;
+                loop {
+                    // `read_reply` enforces the seq echo on every chunk.
+                    let f = self.read_reply(seq)?;
+                    match f.opcode {
+                        OP_RESULT_CHUNK => assembled.extend_from_slice(&f.payload),
+                        OP_RESULT_END => {
+                            let claimed = decode_result_end(&f.payload).ok_or_else(|| {
+                                ClientError::Io(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    "runt RESULT_END payload",
+                                ))
+                            })?;
+                            if claimed != assembled.len() as u64 {
+                                return Err(ClientError::Io(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!(
+                                        "stream claims {claimed} bytes, got {}",
+                                        assembled.len()
+                                    ),
+                                )));
+                            }
+                            break;
+                        }
+                        other => {
+                            return Err(ClientError::Io(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("opcode {other:#x} inside a result stream"),
+                            )))
+                        }
+                    }
+                }
+                assembled
+            }
+            other => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected opcode {OP_RESULT:#x}, got {other:#x}"),
+                )))
+            }
+        };
+        let (native, query_ms, rows) = decode_result(&payload).ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "runt RESULT payload",

@@ -2,10 +2,12 @@
 //!
 //! A concurrent TCP server over [`dblab_engine::service::QueryEngine`]:
 //! length-prefixed binary frames ([`protocol`]), per-connection sessions
-//! ([`session`]), a bounded request worker pool with admission control
-//! and per-request deadlines, and a graceful drain-then-join shutdown
-//! ([`server`]). [`client`] is the matching blocking client used by the
-//! `loadgen` harness and the integration tests.
+//! ([`session`]), a readiness reactor multiplexing every connection
+//! onto a fixed set of I/O threads ([`reactor`]), a bounded request
+//! worker pool with admission control and per-request deadlines, and a
+//! graceful drain-then-join shutdown ([`server`]). [`client`] is the
+//! matching blocking client used by the `loadgen` harness and the
+//! integration tests.
 //!
 //! ```no_run
 //! use dblab_server::{Client, Server, ServerOptions, tpch_resolver};
@@ -29,9 +31,11 @@
 
 pub mod client;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod session;
 
 pub use client::{Client, ClientError, ExecReply};
 pub use protocol::{ErrorCode, Frame};
+pub use reactor::{ConnHandle, FrameHandler, Reactor, ReactorConfig};
 pub use server::{tpch_resolver, QueryResolver, Server, ServerOptions, ShutdownReport};

@@ -12,9 +12,18 @@
 //! |---------|---------|----------|---------|
 //! | `PREPARE` | query spec, UTF-8 (`"tpch:6"` or `"tpch:6?discount=0.07"`) | `PREPARED` | `stmt:u32be` |
 //! | `EXECUTE` | `stmt:u32be [params]` | `RESULT` | `tier:u8 query_ms:f64be rows` |
+//! | `EXECUTE` (large result) | — | `RESULT_CHUNK`* then `RESULT_END` | payload slices; `total:u64be` |
 //! | `STATS` | empty | `STATS_REPLY` | JSON, UTF-8 |
 //! | `CLOSE` | empty | `BYE` | empty |
 //! | any | — | `ERROR` | `code:u8 message` |
+//!
+//! A result payload above the server's streaming threshold arrives as
+//! one or more `RESULT_CHUNK` frames (all with the request's `seq`)
+//! whose payloads concatenate to exactly the single-frame `RESULT`
+//! payload, terminated by a `RESULT_END` frame carrying the total
+//! payload length as a `u64be` integrity check. Below the threshold the
+//! classic single `RESULT` frame is unchanged, so pre-streaming clients
+//! keep working.
 //!
 //! The optional `EXECUTE` parameter section (see [`encode_params`]) binds
 //! the statement's declared parameters positionally for this one
@@ -44,6 +53,12 @@ pub const OP_PREPARED: u8 = 0x81;
 pub const OP_RESULT: u8 = 0x82;
 pub const OP_STATS_REPLY: u8 = 0x83;
 pub const OP_BYE: u8 = 0x84;
+/// One slice of a streamed result; slices concatenate to a `RESULT`
+/// payload.
+pub const OP_RESULT_CHUNK: u8 = 0x85;
+/// Terminates a `RESULT_CHUNK` sequence; payload is the total streamed
+/// payload length as `u64be`.
+pub const OP_RESULT_END: u8 = 0x86;
 pub const OP_ERROR: u8 = 0xC0;
 
 /// Typed failure causes carried by `ERROR` frames.
@@ -169,6 +184,18 @@ pub fn decode_result(payload: &[u8]) -> Option<(bool, f64, String)> {
         ms,
         String::from_utf8_lossy(&payload[9..]).into_owned(),
     ))
+}
+
+/// Encode a `RESULT_END` payload: the total streamed payload length.
+pub fn encode_result_end(total: usize) -> [u8; 8] {
+    (total as u64).to_be_bytes()
+}
+
+/// Decode a `RESULT_END` payload back to the total length the sender
+/// claims; `None` unless the payload is exactly the `u64be`.
+pub fn decode_result_end(payload: &[u8]) -> Option<u64> {
+    let bytes: [u8; 8] = payload.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
 }
 
 // Parameter-value tags in the `EXECUTE` parameter section.
@@ -335,6 +362,89 @@ mod tests {
         bad_tag[2] = 9;
         assert!(decode_params(&bad_tag).is_none(), "unknown tag");
         assert_eq!(decode_params(&encode_params(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn result_end_payloads_round_trip_and_reject_wrong_widths() {
+        assert_eq!(decode_result_end(&encode_result_end(0)), Some(0));
+        assert_eq!(
+            decode_result_end(&encode_result_end(usize::MAX)),
+            Some(usize::MAX as u64)
+        );
+        assert_eq!(decode_result_end(&[]), None, "empty");
+        assert_eq!(decode_result_end(&[0; 7]), None, "runt");
+        assert_eq!(decode_result_end(&[0; 9]), None, "oversized");
+    }
+
+    /// Property test: seeded random frames (arbitrary opcode, seq and
+    /// payload bytes) survive encode→decode byte-identically, with no
+    /// over-read past the frame boundary.
+    #[test]
+    fn random_frames_round_trip_byte_identically() {
+        let mut rng = dblab_tpch::rng::Rng64::seed_from_u64(0xf2a3_0001);
+        for case in 0..256u32 {
+            let opcode = rng.next_u64() as u8;
+            let seq = rng.next_u64() as u32;
+            let len = (rng.next_u64() % 4096) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, opcode, seq, &payload).unwrap();
+            // A trailing sentinel proves the decoder reads exactly one
+            // frame and not a byte more.
+            buf.push(0xA5);
+            let mut r = &buf[..];
+            let f = read_frame(&mut r).unwrap().expect("one frame");
+            assert_eq!(
+                (f.opcode, f.seq, f.payload),
+                (opcode, seq, payload),
+                "case {case}"
+            );
+            assert_eq!(r, [0xA5], "case {case}: decoder over-read");
+        }
+    }
+
+    /// Fuzz: every truncation prefix of a valid frame, and random
+    /// single-byte corruptions of one, either decode to something or
+    /// fail with a clean `io::Error` — never a panic, never a read past
+    /// the input.
+    #[test]
+    fn truncations_and_corruptions_never_panic() {
+        let mut rng = dblab_tpch::rng::Rng64::seed_from_u64(0xf2a3_0002);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, OP_EXECUTE, 9, &encode_params(&[])).unwrap();
+        for cut in 0..wire.len() {
+            let mut r = &wire[..cut];
+            match read_frame(&mut r) {
+                Ok(None) => assert_eq!(cut, 0, "only an empty input is a clean EOF"),
+                Ok(Some(_)) => panic!("{cut}-byte prefix decoded as a whole frame"),
+                Err(_) => {} // truncation surfaces as a typed io::Error
+            }
+        }
+        for _ in 0..512 {
+            let mut dented = wire.clone();
+            let at = (rng.next_u64() as usize) % dented.len();
+            dented[at] ^= (rng.next_u64() as u8) | 1;
+            let mut r = &dented[..];
+            // Either outcome is fine; what's asserted is "no panic" and
+            // that decoding stops within the input.
+            let _ = read_frame(&mut r);
+        }
+        // Payload decoders on random garbage: return `None`/partial, never
+        // panic, even on adversarial inner length fields.
+        for _ in 0..512 {
+            let len = (rng.next_u64() % 64) as usize;
+            let junk: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = decode_result(&junk);
+            let _ = decode_error(&junk);
+            let _ = decode_params(&junk);
+            let _ = decode_result_end(&junk);
+        }
+        // A params section claiming a huge string must fail cleanly, not
+        // slice out of bounds.
+        let mut lying = encode_params(&[dblab_runtime::Value::str("x")]);
+        let claim = (u32::MAX).to_be_bytes();
+        lying[3..7].copy_from_slice(&claim);
+        assert_eq!(decode_params(&lying), None, "length claim exceeds input");
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! ## Thread anatomy
 //!
-//! One **accept** thread owns the listener; every connection gets a
-//! **reader** thread that parses frames, answers `prepare`/`stats`
-//! inline, and submits `execute` requests to a bounded **request worker
-//! pool** — sized independently of the engine's tier-up pool, so a
-//! compile storm can never starve query serving (nor the reverse).
-//! Workers write responses straight to the connection through a
-//! per-connection write mutex; the client's `seq` echo pairs them up.
+//! One **accept** thread owns the listener and deals freshly accepted
+//! sockets round-robin onto a fixed set of **reactor** threads
+//! ([`crate::reactor`]): every connection lives nonblocking on one
+//! reactor for its whole life, so the server's thread count is a
+//! constant — `1 + io_threads + workers` — however many clients
+//! connect. Reactors parse frames and answer `prepare`/`stats` inline;
+//! `execute` requests are admitted into a bounded queue and served by
+//! the **request worker pool** — sized independently of the engine's
+//! tier-up pool, so a compile storm can never starve query serving
+//! (nor the reverse). Workers append responses to the connection's
+//! backpressured write queue; the client's `seq` echo pairs them up.
 //!
 //! ## Admission control
 //!
@@ -20,21 +24,32 @@
 //! wait *plus* execution, and an overrun kills the native query process
 //! (or interrupts the interpreter) and answers [`ErrorCode::Timeout`].
 //!
+//! ## Result streaming
+//!
+//! A result payload at most [`ServerOptions::stream_threshold`] bytes
+//! goes out as the classic single `RESULT` frame. Past the threshold
+//! it streams as `RESULT_CHUNK` frames of
+//! [`ServerOptions::stream_chunk`] bytes, terminated by `RESULT_END` —
+//! so one giant row set neither occupies one giant frame nor
+//! monopolizes a connection's write queue; backpressure applies
+//! between chunks.
+//!
 //! ## Shutdown sequence
 //!
 //! [`Server::shutdown`] (1) stops accepting and drops the listener, so
 //! new connections are refused by the OS; (2) closes admission — new
-//! `execute` frames get [`ErrorCode::ShuttingDown`]; (3) drains: every
-//! already-admitted query completes and its response is written; (4)
-//! joins the workers; (5) severs the remaining sockets and joins every
-//! reader thread. Nothing is detached, so a process embedding a server
-//! returns to its pre-start thread count.
+//! `execute`/`prepare` frames get [`ErrorCode::ShuttingDown`]; (3)
+//! drains: every already-admitted request completes and its response is
+//! queued; (4) joins the workers; (5) shuts the reactors down — each
+//! flushes pending output (bounded grace), closes its sockets and
+//! exits. Nothing is detached, so a process embedding a server returns
+//! to its pre-start thread count.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufReader};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -45,7 +60,7 @@ use dblab_frontend::qplan::{ParamDecl, QueryProgram};
 use dblab_runtime::{json, Value};
 
 use crate::protocol::*;
-use crate::session::Session;
+use crate::reactor::{ConnHandle, FrameHandler, Reactor, ReactorConfig};
 
 /// Maps a wire query spec to a plan. Two spellings arrive here: a plain
 /// spec (`"tpch:6"` — literals baked in) and a *template* spec, marked by
@@ -80,8 +95,8 @@ pub fn tpch_resolver() -> QueryResolver {
 }
 
 /// Server construction knobs. `Default` is a small serving setup: any
-/// free loopback port, four request workers, a 64-deep admission queue,
-/// a 30s request deadline.
+/// free loopback port, two reactor threads, four request workers, a
+/// 64-deep admission queue, a 30s request deadline.
 #[derive(Clone)]
 pub struct ServerOptions {
     /// Bind address; port `0` picks a free port (see [`Server::addr`]).
@@ -89,6 +104,10 @@ pub struct ServerOptions {
     /// Request worker threads (independent of `engine.workers`, the
     /// tier-up pool).
     pub workers: usize,
+    /// Reactor (I/O) threads; connections are dealt round-robin across
+    /// them. The count is fixed at start — it does not grow with
+    /// client count.
+    pub io_threads: usize,
     /// Admission-queue bound; a full queue sheds with a `busy` frame.
     pub queue_cap: usize,
     /// Per-request budget, queue wait included. Overruns abandon the
@@ -102,6 +121,26 @@ pub struct ServerOptions {
     /// engine's weak registry forgets it once they drop). `0` disables
     /// eviction.
     pub prepared_cap: usize,
+    /// Result payloads above this stream as `RESULT_CHUNK` frames
+    /// instead of one `RESULT` frame.
+    pub stream_threshold: usize,
+    /// Chunk size for streamed results.
+    pub stream_chunk: usize,
+    /// Per-connection write-queue bound; a peer that lets `this` many
+    /// bytes of responses pile up unread is a stalled reader.
+    pub write_buf_cap: usize,
+    /// How long a worker waits for write-queue space before shedding
+    /// the connection as a stalled reader.
+    pub write_stall: Duration,
+    /// Skip `epoll` and run the reactors on the portable `poll(2)`
+    /// backend (tests pin both).
+    pub force_poll: bool,
+    /// Kernel send-buffer clamp per connection (`SO_SNDBUF` bytes);
+    /// `0` keeps the kernel default and its auto-tuning. Clamping
+    /// bounds kernel memory per connection at high connection counts
+    /// and makes the write-queue backpressure the binding constraint
+    /// instead of megabytes of kernel slack.
+    pub sock_sndbuf: usize,
     /// Fault injection for tests: every worker sleeps this long before
     /// executing, so admission and deadline behavior can be pinned
     /// without depending on real query runtimes. Zero in production.
@@ -113,10 +152,17 @@ impl Default for ServerOptions {
         ServerOptions {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
+            io_threads: 2,
             queue_cap: 64,
             deadline: Duration::from_secs(30),
             engine: EngineOptions::default(),
             prepared_cap: 64,
+            stream_threshold: 256 << 10,
+            stream_chunk: 64 << 10,
+            write_buf_cap: 8 << 20,
+            write_stall: Duration::from_secs(10),
+            force_poll: false,
+            sock_sndbuf: 0,
             debug_worker_delay: Duration::ZERO,
         }
     }
@@ -133,6 +179,8 @@ struct Counters {
     malformed: AtomicU64,
     rejected: AtomicU64,
     exec_errors: AtomicU64,
+    /// Results that streamed as chunks instead of one frame.
+    chunked: AtomicU64,
 }
 
 /// What the server did over its lifetime, returned by
@@ -146,6 +194,10 @@ pub struct ShutdownReport {
     pub malformed: u64,
     pub rejected: u64,
     pub exec_errors: u64,
+    /// Connections shed because the peer stopped draining responses.
+    pub write_overflows: u64,
+    /// Results streamed as `RESULT_CHUNK` sequences.
+    pub chunked_results: u64,
     /// Requests still queued or running when shutdown began — all of
     /// them completed and were answered before the drain finished.
     pub drained_in_flight: usize,
@@ -158,16 +210,26 @@ struct ExecJob {
     /// defaults, or the frame's explicit param section).
     params: Vec<Value>,
     seq: u32,
-    wire: Wire,
+    conn: Arc<ConnHandle>,
     enqueued: Instant,
 }
 
-/// The write half of a connection; workers and the reader serialize
-/// whole frames through the mutex.
-type Wire = Arc<Mutex<TcpStream>>;
+/// A cold prepare, run on the worker pool so a compile never occupies
+/// a reactor thread. Bypasses the admission cap: prepares are answered
+/// per-waiter, not shed.
+struct PrepJob {
+    key: String,
+}
+
+enum Job {
+    Exec(ExecJob),
+    Prep(PrepJob),
+}
 
 struct Admission {
-    jobs: VecDeque<ExecJob>,
+    jobs: VecDeque<Job>,
+    /// Exec jobs in `jobs` — the population `queue_cap` bounds.
+    exec_pending: usize,
     /// Jobs popped but not yet answered.
     active: usize,
     /// Set once shutdown begins: nothing new is admitted, the backlog
@@ -175,14 +237,27 @@ struct Admission {
     closed: bool,
 }
 
+/// A prepare parked on an in-flight [`PrepState::Building`] latch:
+/// when the build resolves, the builder worker answers every waiter.
+/// Nothing ever *blocks* on a latch — a thundering herd of N identical
+/// prepares costs one compile and N queued replies.
+struct PrepWaiter {
+    conn: Arc<ConnHandle>,
+    seq: u32,
+    spec: String,
+    binding_text: Option<String>,
+}
+
 /// One entry in the server-wide prepared cache. `Building` is the
-/// in-flight latch: the first preparer of a spec inserts it, compiles
-/// *outside* the cache lock, then swaps in `Ready`; concurrent
-/// preparers of the *same* spec wait on the latch condvar (thundering
-/// herd still collapses to one compile), while preparers of *other*
-/// specs sail past — a slow cold prepare no longer blocks the cache.
+/// in-flight latch: the first preparer of a spec inserts it (and
+/// enqueues the compile on the worker pool); concurrent preparers of
+/// the *same* spec park as waiters on the latch (the herd still
+/// collapses to one compile), while preparers of *other* specs sail
+/// past — a slow cold prepare never blocks the cache or a thread.
 enum PrepState {
-    Building,
+    Building {
+        waiters: Vec<PrepWaiter>,
+    },
     Ready {
         handle: PreparedQuery,
         /// LRU clock tick of the last prepare that hit this entry.
@@ -223,7 +298,7 @@ impl PreparedCache {
                 .iter()
                 .filter_map(|(k, v)| match v {
                     PrepState::Ready { last_used, .. } => Some((*last_used, k.clone())),
-                    PrepState::Building => None,
+                    PrepState::Building { .. } => None,
                 })
                 .collect::<Vec<_>>();
             if ready.len() <= self.cap {
@@ -241,9 +316,6 @@ struct Shared {
     data_dir: PathBuf,
     resolver: QueryResolver,
     prepared: Mutex<PreparedCache>,
-    /// Wakes waiters parked on a `Building` latch when it resolves
-    /// (either way: ready or failed-and-removed).
-    prep_cvar: Condvar,
     q: Mutex<Admission>,
     cvar: Condvar,
     stop_accepting: AtomicBool,
@@ -251,11 +323,13 @@ struct Shared {
     debug_worker_delay: Duration,
     queue_cap: usize,
     workers: usize,
+    io_threads: usize,
+    stream_threshold: usize,
+    stream_chunk: usize,
     counters: Counters,
     started: Instant,
-    /// Socket clones for severing idle readers at shutdown.
-    conns: Mutex<Vec<TcpStream>>,
-    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    open_conns: Arc<AtomicUsize>,
+    write_overflows: Arc<AtomicU64>,
 }
 
 /// A running server. Dropping it performs the same graceful shutdown as
@@ -266,11 +340,13 @@ pub struct Server {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    reactors: Vec<Reactor>,
 }
 
 impl Server {
-    /// Bind, start the worker pool and the accept loop. The engine is
-    /// constructed here and owned by the server for its lifetime.
+    /// Bind, start the reactor set, the worker pool and the accept
+    /// loop. The engine is constructed here and owned by the server for
+    /// its lifetime.
     pub fn start(
         schema: &Schema,
         data_dir: &std::path::Path,
@@ -282,6 +358,14 @@ impl Server {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
+        let stream_chunk = opts.stream_chunk.clamp(1, MAX_FRAME - HEADER);
+        let stream_threshold = opts.stream_threshold.min(MAX_FRAME - HEADER);
+        // The write queue must hold at least one whole chunk plus an
+        // error frame, or streaming could never make progress.
+        let write_buf_cap = opts.write_buf_cap.max(stream_chunk + 1024);
+        let open_conns = Arc::new(AtomicUsize::new(0));
+        let write_overflows = Arc::new(AtomicU64::new(0));
+
         let shared = Arc::new(Shared {
             engine,
             data_dir: data_dir.to_path_buf(),
@@ -292,9 +376,9 @@ impl Server {
                 cap: opts.prepared_cap,
                 evicted: 0,
             }),
-            prep_cvar: Condvar::new(),
             q: Mutex::new(Admission {
                 jobs: VecDeque::new(),
+                exec_pending: 0,
                 active: 0,
                 closed: false,
             }),
@@ -304,12 +388,32 @@ impl Server {
             debug_worker_delay: opts.debug_worker_delay,
             queue_cap: opts.queue_cap.max(1),
             workers: opts.workers.max(1),
+            io_threads: opts.io_threads.max(1),
+            stream_threshold,
+            stream_chunk,
             counters: Counters::default(),
             started: Instant::now(),
-            conns: Mutex::new(Vec::new()),
-            reader_threads: Mutex::new(Vec::new()),
+            open_conns: Arc::clone(&open_conns),
+            write_overflows: Arc::clone(&write_overflows),
         });
 
+        let reactors = (0..shared.io_threads)
+            .map(|i| {
+                Reactor::spawn(
+                    &format!("dblab-srv-io-{i}"),
+                    Arc::clone(&shared) as Arc<dyn FrameHandler>,
+                    ReactorConfig {
+                        write_buf_cap,
+                        write_stall: opts.write_stall,
+                        shutdown_grace: Duration::from_secs(5),
+                        force_poll: opts.force_poll,
+                        sock_sndbuf: opts.sock_sndbuf,
+                        open_conns: Arc::clone(&open_conns),
+                        write_overflows: Arc::clone(&write_overflows),
+                    },
+                )
+            })
+            .collect::<io::Result<Vec<_>>>()?;
         let workers = (0..shared.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -321,10 +425,11 @@ impl Server {
             .collect();
         let accept = {
             let shared = Arc::clone(&shared);
+            let registrars: Vec<_> = reactors.iter().map(|r| r.registrar()).collect();
             Some(
                 std::thread::Builder::new()
                     .name("dblab-srv-accept".to_string())
-                    .spawn(move || accept_loop(&shared, listener))
+                    .spawn(move || accept_loop(&shared, listener, registrars))
                     .expect("spawn accept loop"),
             )
         };
@@ -333,6 +438,7 @@ impl Server {
             addr,
             accept,
             workers,
+            reactors,
         })
     }
 
@@ -356,9 +462,19 @@ impl Server {
         self.shared.counters.timeouts.load(Ordering::Acquire)
     }
 
+    /// Connections shed for never draining their responses so far.
+    pub fn overflow_count(&self) -> u64 {
+        self.shared.write_overflows.load(Ordering::Acquire)
+    }
+
+    /// Currently open connections across the reactor set.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_conns.load(Ordering::Acquire)
+    }
+
     /// Graceful shutdown: refuse new connections, drain every admitted
-    /// request to a written response, join all threads. See the module
-    /// docs for the exact sequence.
+    /// request to a queued response, flush and close every connection,
+    /// join all threads. See the module docs for the exact sequence.
     pub fn shutdown(mut self) -> ShutdownReport {
         let drained = self.shutdown_impl();
         let c = &self.shared.counters;
@@ -370,6 +486,8 @@ impl Server {
             malformed: c.malformed.load(Ordering::Acquire),
             rejected: c.rejected.load(Ordering::Acquire),
             exec_errors: c.exec_errors.load(Ordering::Acquire),
+            write_overflows: self.shared.write_overflows.load(Ordering::Acquire),
+            chunked_results: c.chunked.load(Ordering::Acquire),
             drained_in_flight: drained,
         }
     }
@@ -381,7 +499,7 @@ impl Server {
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
-        // (2) Close admission. Readers still answer — with
+        // (2) Close admission. Reactors still answer — with
         // `shutting-down` errors.
         let in_flight = {
             let mut q = self.shared.q.lock().unwrap();
@@ -389,7 +507,8 @@ impl Server {
             q.jobs.len() + q.active
         };
         self.shared.cvar.notify_all();
-        // (3) Drain: every admitted request is answered.
+        // (3) Drain: every admitted request is answered (the reactors
+        // are still flushing, so queued responses reach the wire).
         {
             let mut q = self.shared.q.lock().unwrap();
             while !(q.jobs.is_empty() && q.active == 0) {
@@ -400,19 +519,13 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // (5) Sever remaining sockets; blocked readers see EOF and exit.
-        for s in self.shared.conns.lock().unwrap().drain(..) {
-            let _ = s.shutdown(Shutdown::Both);
+        // (5) Reactors flush remaining output (bounded grace), close
+        // every socket, and exit.
+        for r in &self.reactors {
+            r.request_shutdown();
         }
-        let readers: Vec<_> = self
-            .shared
-            .reader_threads
-            .lock()
-            .unwrap()
-            .drain(..)
-            .collect();
-        for r in readers {
-            let _ = r.join();
+        for r in &mut self.reactors {
+            r.join();
         }
         in_flight
     }
@@ -424,22 +537,20 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: TcpListener,
+    registrars: Vec<crate::reactor::ReactorRegistrar>,
+) {
+    let mut next = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.counters.connections.fetch_add(1, Ordering::AcqRel);
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().unwrap().push(clone);
-                }
-                let s2 = Arc::clone(shared);
-                let handle = std::thread::Builder::new()
-                    .name("dblab-srv-conn".to_string())
-                    .spawn(move || connection_loop(&s2, stream))
-                    .expect("spawn connection reader");
-                shared.reader_threads.lock().unwrap().push(handle);
+                // Deal round-robin; the reactor flips the stream
+                // nonblocking and it stays that way for life.
+                registrars[next % registrars.len()].register(stream);
+                next = next.wrapping_add(1);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 if shared.stop_accepting.load(Ordering::SeqCst) {
@@ -457,48 +568,32 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
-/// Serialize one response frame onto the wire. Write errors mean the
-/// client is gone; the reader loop notices on its side, so they are
-/// swallowed here.
-fn respond(wire: &Wire, opcode: u8, seq: u32, payload: &[u8]) {
-    let mut w = wire.lock().unwrap();
-    let _ = write_frame(&mut *w, opcode, seq, payload);
+/// Queue one response frame from a reactor thread (never blocks).
+fn respond(conn: &ConnHandle, opcode: u8, seq: u32, payload: &[u8]) {
+    conn.try_send_frame(opcode, seq, payload);
 }
 
-fn respond_error(wire: &Wire, seq: u32, code: ErrorCode, msg: &str) {
-    respond(wire, OP_ERROR, seq, &encode_error(code, msg));
+fn respond_error(conn: &ConnHandle, seq: u32, code: ErrorCode, msg: &str) {
+    respond(conn, OP_ERROR, seq, &encode_error(code, msg));
 }
 
-fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
-    let wire: Wire = match stream.try_clone() {
-        Ok(clone) => Arc::new(Mutex::new(clone)),
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut session = Session::new();
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Some(frame)) => {
-                if !handle_frame(shared, &wire, &mut session, frame) {
-                    break;
-                }
-            }
-            Ok(None) => break, // clean close
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Framing is unrecoverable: one explicit error, then
-                // hang up (seq 0 — there is no trustworthy request id).
-                shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
-                respond_error(&wire, 0, ErrorCode::Malformed, &e.to_string());
-                break;
-            }
-            Err(_) => break, // reset / severed at shutdown
-        }
+impl FrameHandler for Shared {
+    fn on_frame(&self, conn: &Arc<ConnHandle>, frame: Frame) -> bool {
+        handle_frame(self, conn, frame)
     }
-    let _ = wire.lock().unwrap().shutdown(Shutdown::Both);
+
+    fn on_malformed(&self, conn: &Arc<ConnHandle>, detail: &str) {
+        // Framing is unrecoverable: one explicit error, then hang up
+        // (seq 0 — there is no trustworthy request id).
+        self.counters.malformed.fetch_add(1, Ordering::AcqRel);
+        respond_error(conn, 0, ErrorCode::Malformed, detail);
+    }
 }
 
-/// Dispatch one request frame; `false` ends the session.
-fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Frame) -> bool {
+/// Dispatch one request frame on a reactor thread; `false` ends the
+/// session. Nothing here may block: answers are queued inline, cold
+/// prepares and executes go to the worker pool.
+fn handle_frame(shared: &Shared, conn: &Arc<ConnHandle>, f: Frame) -> bool {
     match f.opcode {
         OP_PREPARE => {
             let spec = match std::str::from_utf8(&f.payload) {
@@ -506,7 +601,7 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                 _ => {
                     shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
                     respond_error(
-                        wire,
+                        conn,
                         f.seq,
                         ErrorCode::Malformed,
                         "prepare wants a UTF-8 query spec",
@@ -516,43 +611,68 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
             };
             if shared.q.lock().unwrap().closed {
                 shared.counters.rejected.fetch_add(1, Ordering::AcqRel);
-                respond_error(wire, f.seq, ErrorCode::ShuttingDown, "server is draining");
+                respond_error(conn, f.seq, ErrorCode::ShuttingDown, "server is draining");
                 return true;
             }
             // `base?bindings` — the cache/compile key is the *template*
             // (`base?`); the binding text stays per-statement.
             let (key, binding_text) = match spec.find('?') {
-                Some(i) => (format!("{}?", &spec[..i]), Some(&spec[i + 1..])),
+                Some(i) => (format!("{}?", &spec[..i]), Some(spec[i + 1..].to_string())),
                 None => (spec.clone(), None),
             };
-            match prepare_shared(shared, &key) {
-                Ok(handle) => {
-                    let bindings = match binding_text {
-                        Some(text) => match parse_bindings(text, handle.params()) {
-                            Ok(b) => b,
-                            Err(e) => {
-                                shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
-                                respond_error(wire, f.seq, ErrorCode::Malformed, &e);
-                                return true;
-                            }
-                        },
-                        None => Vec::new(),
-                    };
-                    let id = session.add(handle, &spec, bindings);
-                    respond(wire, OP_PREPARED, f.seq, &id.to_be_bytes());
+            let waiter = PrepWaiter {
+                conn: Arc::clone(conn),
+                seq: f.seq,
+                spec,
+                binding_text,
+            };
+            enum Next {
+                Answer(PreparedQuery, PrepWaiter),
+                Build(String),
+                Parked,
+            }
+            let next = {
+                let mut cache = shared.prepared.lock().unwrap();
+                match cache.entries.get_mut(&key) {
+                    Some(PrepState::Ready { handle, .. }) => {
+                        let h = handle.clone();
+                        let tick = cache.touch();
+                        if let Some(PrepState::Ready { last_used, .. }) =
+                            cache.entries.get_mut(&key)
+                        {
+                            *last_used = tick;
+                        }
+                        Next::Answer(h, waiter)
+                    }
+                    Some(PrepState::Building { waiters }) => {
+                        waiters.push(waiter);
+                        Next::Parked
+                    }
+                    None => {
+                        cache.entries.insert(
+                            key.clone(),
+                            PrepState::Building {
+                                waiters: vec![waiter],
+                            },
+                        );
+                        Next::Build(key)
+                    }
                 }
-                Err(PrepareError::UnknownSpec) => {
-                    respond_error(
-                        wire,
-                        f.seq,
-                        ErrorCode::Unknown,
-                        &format!("unknown query spec `{spec}`"),
-                    );
+            };
+            match next {
+                Next::Answer(handle, waiter) => {
+                    answer_prepare(shared, &waiter, &Ok(handle), false);
                 }
-                Err(PrepareError::Engine(e)) => {
-                    shared.counters.exec_errors.fetch_add(1, Ordering::AcqRel);
-                    respond_error(wire, f.seq, ErrorCode::Internal, &e);
+                Next::Build(key) => {
+                    // Compiles run on the worker pool, past the
+                    // admission cap: a prepare is never shed, and the
+                    // drain at shutdown covers it like any job.
+                    let mut q = shared.q.lock().unwrap();
+                    q.jobs.push_back(Job::Prep(PrepJob { key }));
+                    drop(q);
+                    shared.cvar.notify_one();
                 }
+                Next::Parked => {}
             }
             true
         }
@@ -560,7 +680,7 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
             if f.payload.len() < 4 {
                 shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
                 respond_error(
-                    wire,
+                    conn,
                     f.seq,
                     ErrorCode::Malformed,
                     "execute wants a u32 statement id",
@@ -568,9 +688,10 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                 return true;
             }
             let id = u32::from_be_bytes(f.payload[..4].try_into().unwrap());
-            let Some(stmt) = session.get(id) else {
+            let stmt = conn.session.lock().unwrap().lookup_exec(id);
+            let Some((handle, bindings)) = stmt else {
                 respond_error(
-                    wire,
+                    conn,
                     f.seq,
                     ErrorCode::Unknown,
                     &format!("unknown statement id {id}"),
@@ -582,14 +703,14 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
             // explicit param section overrides them for this execution
             // only.
             let params = if f.payload.len() == 4 {
-                stmt.bindings.clone()
+                bindings
             } else {
                 match decode_params(&f.payload[4..]) {
                     Some(p) => p,
                     None => {
                         shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
                         respond_error(
-                            wire,
+                            conn,
                             f.seq,
                             ErrorCode::Malformed,
                             "execute carries a malformed parameter section",
@@ -599,10 +720,10 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                 }
             };
             let job = ExecJob {
-                handle: stmt.handle.clone(),
+                handle,
                 params,
                 seq: f.seq,
-                wire: Arc::clone(wire),
+                conn: Arc::clone(conn),
                 enqueued: Instant::now(),
             };
             // Admission control: answer *now*, one way or the other.
@@ -610,12 +731,12 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
             if q.closed {
                 drop(q);
                 shared.counters.rejected.fetch_add(1, Ordering::AcqRel);
-                respond_error(wire, f.seq, ErrorCode::ShuttingDown, "server is draining");
-            } else if q.jobs.len() >= shared.queue_cap {
+                respond_error(conn, f.seq, ErrorCode::ShuttingDown, "server is draining");
+            } else if q.exec_pending >= shared.queue_cap {
                 drop(q);
                 shared.counters.shed.fetch_add(1, Ordering::AcqRel);
                 respond_error(
-                    wire,
+                    conn,
                     f.seq,
                     ErrorCode::Busy,
                     &format!(
@@ -624,24 +745,25 @@ fn handle_frame(shared: &Arc<Shared>, wire: &Wire, session: &mut Session, f: Fra
                     ),
                 );
             } else {
-                q.jobs.push_back(job);
+                q.jobs.push_back(Job::Exec(job));
+                q.exec_pending += 1;
                 drop(q);
                 shared.cvar.notify_one();
             }
             true
         }
         OP_STATS => {
-            respond(wire, OP_STATS_REPLY, f.seq, stats_json(shared).as_bytes());
+            respond(conn, OP_STATS_REPLY, f.seq, stats_json(shared).as_bytes());
             true
         }
         OP_CLOSE => {
-            respond(wire, OP_BYE, f.seq, &[]);
+            respond(conn, OP_BYE, f.seq, &[]);
             false
         }
         other => {
             shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
             respond_error(
-                wire,
+                conn,
                 f.seq,
                 ErrorCode::Malformed,
                 &format!("unknown opcode {other:#x}"),
@@ -656,39 +778,68 @@ enum PrepareError {
     Engine(String),
 }
 
-/// Resolve + prepare through the shared cache.
-///
-/// The cache lock is *never* held across resolution or the engine's
-/// tier-0 compile. The first preparer of a spec plants a
-/// [`PrepState::Building`] latch and compiles unlocked; duplicate
-/// preparers of the same spec park on the latch (the herd still
-/// collapses to one compile, one tier-up job), and preparers of
-/// unrelated specs proceed concurrently — cold-compiling spec A no
-/// longer head-of-line-blocks a warm prepare of spec B.
-fn prepare_shared(shared: &Shared, spec: &str) -> Result<PreparedQuery, PrepareError> {
-    let mut cache = shared.prepared.lock().unwrap();
-    loop {
-        match cache.entries.get_mut(spec) {
-            Some(PrepState::Ready { handle, .. }) => {
-                let h = handle.clone();
-                let tick = cache.touch();
-                if let Some(PrepState::Ready { last_used, .. }) = cache.entries.get_mut(spec) {
-                    *last_used = tick;
-                }
-                return Ok(h);
-            }
-            Some(PrepState::Building) => {
-                cache = shared.prep_cvar.wait(cache).unwrap();
-            }
-            None => break,
+/// Answer one prepare against a resolved build result: parse the
+/// statement's own bindings, register it in the session, reply.
+/// `blocking` selects the worker send path (backpressured) vs the
+/// reactor inline path (never blocks).
+fn answer_prepare(
+    shared: &Shared,
+    w: &PrepWaiter,
+    result: &Result<PreparedQuery, PrepareError>,
+    blocking: bool,
+) {
+    let send = |opcode: u8, seq: u32, payload: &[u8]| {
+        if blocking {
+            w.conn.send_frame(opcode, seq, payload);
+        } else {
+            w.conn.try_send_frame(opcode, seq, payload);
+        }
+    };
+    match result {
+        Ok(handle) => {
+            let bindings = match &w.binding_text {
+                Some(text) => match parse_bindings(text, handle.params()) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        shared.counters.malformed.fetch_add(1, Ordering::AcqRel);
+                        send(OP_ERROR, w.seq, &encode_error(ErrorCode::Malformed, &e));
+                        return;
+                    }
+                },
+                None => Vec::new(),
+            };
+            let id = w
+                .conn
+                .session
+                .lock()
+                .unwrap()
+                .add(handle.clone(), &w.spec, bindings);
+            send(OP_PREPARED, w.seq, &id.to_be_bytes());
+        }
+        Err(PrepareError::UnknownSpec) => {
+            send(
+                OP_ERROR,
+                w.seq,
+                &encode_error(
+                    ErrorCode::Unknown,
+                    &format!("unknown query spec `{}`", w.spec),
+                ),
+            );
+        }
+        Err(PrepareError::Engine(e)) => {
+            shared.counters.exec_errors.fetch_add(1, Ordering::AcqRel);
+            send(OP_ERROR, w.seq, &encode_error(ErrorCode::Internal, e));
         }
     }
-    cache.entries.insert(spec.to_string(), PrepState::Building);
-    drop(cache);
+}
 
+/// Worker-side completion of a cold prepare: resolve and compile with
+/// no cache lock held, install `Ready` (or remove the failed latch so
+/// the next preparer retries), then answer every parked waiter.
+fn finish_prepare(shared: &Shared, key: &str) {
     let result = (|| {
-        let prog = (shared.resolver)(spec).ok_or(PrepareError::UnknownSpec)?;
-        let name: String = spec
+        let prog = (shared.resolver)(key).ok_or(PrepareError::UnknownSpec)?;
+        let name: String = key
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
             .collect();
@@ -698,12 +849,21 @@ fn prepare_shared(shared: &Shared, spec: &str) -> Result<PreparedQuery, PrepareE
             .map_err(|e| PrepareError::Engine(e.to_string()))
     })();
 
-    let mut cache = shared.prepared.lock().unwrap();
-    match &result {
-        Ok(handle) => {
+    let waiters = {
+        let mut cache = shared.prepared.lock().unwrap();
+        let waiters = match cache.entries.remove(key) {
+            Some(PrepState::Building { waiters }) => waiters,
+            Some(other) => {
+                // Raced with an eviction+rebuild; put it back.
+                cache.entries.insert(key.to_string(), other);
+                Vec::new()
+            }
+            None => Vec::new(),
+        };
+        if let Ok(handle) = &result {
             let tick = cache.touch();
             cache.entries.insert(
-                spec.to_string(),
+                key.to_string(),
                 PrepState::Ready {
                     handle: handle.clone(),
                     last_used: tick,
@@ -711,15 +871,11 @@ fn prepare_shared(shared: &Shared, spec: &str) -> Result<PreparedQuery, PrepareE
             );
             cache.evict_over_cap();
         }
-        Err(_) => {
-            // Failed latches are removed, not cached: the next preparer
-            // retries from scratch (the failure may be transient).
-            cache.entries.remove(spec);
-        }
+        waiters
+    };
+    for w in &waiters {
+        answer_prepare(shared, w, &result, true);
     }
-    drop(cache);
-    shared.prep_cvar.notify_all();
-    result
 }
 
 /// Parse a spec's `k=v&k2=v2` binding suffix against the template's
@@ -773,6 +929,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             let mut q = shared.q.lock().unwrap();
             loop {
                 if let Some(job) = q.jobs.pop_front() {
+                    if matches!(job, Job::Exec(_)) {
+                        q.exec_pending -= 1;
+                    }
                     q.active += 1;
                     break job;
                 }
@@ -782,7 +941,10 @@ fn worker_loop(shared: &Arc<Shared>) {
                 q = shared.cvar.wait(q).unwrap();
             }
         };
-        serve_one(shared, &job);
+        match job {
+            Job::Exec(j) => serve_one(shared, &j),
+            Job::Prep(j) => finish_prepare(shared, &j.key),
+        }
         let mut q = shared.q.lock().unwrap();
         q.active -= 1;
         drop(q);
@@ -792,18 +954,29 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Queue an error reply from a worker; a gone connection is the
+/// peer's loss, not ours.
+fn worker_error(job: &ExecJob, code: ErrorCode, msg: &str) {
+    job.conn
+        .send_frame(OP_ERROR, job.seq, &encode_error(code, msg));
+}
+
 fn serve_one(shared: &Shared, job: &ExecJob) {
     if !shared.debug_worker_delay.is_zero() {
         std::thread::sleep(shared.debug_worker_delay);
+    }
+    // A connection that died (or was shed) while this request queued
+    // has nobody left to answer — don't burn a worker executing for it.
+    if job.conn.is_closed() {
+        return;
     }
     // The deadline covers queue wait: whatever the queue already ate
     // comes out of the execution budget, and a request that aged out
     // while queued is answered without running at all.
     let Some(remaining) = shared.deadline.checked_sub(job.enqueued.elapsed()) else {
         shared.counters.timeouts.fetch_add(1, Ordering::AcqRel);
-        respond_error(
-            &job.wire,
-            job.seq,
+        worker_error(
+            job,
             ErrorCode::Timeout,
             &format!("deadline ({:?}) elapsed while queued", shared.deadline),
         );
@@ -815,31 +988,48 @@ fn serve_one(shared: &Shared, job: &ExecJob) {
     {
         Ok(run) => {
             shared.counters.executed.fetch_add(1, Ordering::AcqRel);
-            respond(
-                &job.wire,
-                OP_RESULT,
-                job.seq,
-                &encode_result(
-                    run.tier == Tier::Native,
-                    run.output.query_ms,
-                    &run.output.stdout,
-                ),
+            send_result(
+                shared,
+                job,
+                run.tier == Tier::Native,
+                run.output.query_ms,
+                &run.output.stdout,
             );
         }
         Err(ExecError::Timeout { .. }) => {
             shared.counters.timeouts.fetch_add(1, Ordering::AcqRel);
-            respond_error(
-                &job.wire,
-                job.seq,
+            worker_error(
+                job,
                 ErrorCode::Timeout,
                 &format!("deadline ({:?}) elapsed during execution", shared.deadline),
             );
         }
         Err(ExecError::Exec(e)) => {
             shared.counters.exec_errors.fetch_add(1, Ordering::AcqRel);
-            respond_error(&job.wire, job.seq, ErrorCode::Internal, &e.to_string());
+            worker_error(job, ErrorCode::Internal, &e.to_string());
         }
     }
+}
+
+/// Ship one result: a single `RESULT` frame below the streaming
+/// threshold, a `RESULT_CHUNK*` + `RESULT_END` sequence above it.
+/// Backpressure applies per chunk, so a slow reader throttles the
+/// stream instead of ballooning the write queue; a shed or closed
+/// connection abandons the remainder.
+fn send_result(shared: &Shared, job: &ExecJob, native: bool, query_ms: f64, rows: &str) {
+    let payload = encode_result(native, query_ms, rows);
+    if payload.len() <= shared.stream_threshold {
+        job.conn.send_frame(OP_RESULT, job.seq, &payload);
+        return;
+    }
+    shared.counters.chunked.fetch_add(1, Ordering::AcqRel);
+    for chunk in payload.chunks(shared.stream_chunk) {
+        if !job.conn.send_frame(OP_RESULT_CHUNK, job.seq, chunk) {
+            return;
+        }
+    }
+    job.conn
+        .send_frame(OP_RESULT_END, job.seq, &encode_result_end(payload.len()));
 }
 
 /// The `stats` frame body: server counters + queue state, plus the
@@ -858,12 +1048,21 @@ fn stats_json(shared: &Shared) -> String {
     let server = json::Obj::new()
         .num("uptime_ms", shared.started.elapsed().as_secs_f64() * 1e3)
         .int("connections", c.connections.load(Ordering::Acquire))
+        .int(
+            "open_conns",
+            shared.open_conns.load(Ordering::Acquire) as u64,
+        )
         .int("executed", c.executed.load(Ordering::Acquire))
         .int("shed", c.shed.load(Ordering::Acquire))
         .int("timeouts", c.timeouts.load(Ordering::Acquire))
         .int("malformed", c.malformed.load(Ordering::Acquire))
         .int("rejected", c.rejected.load(Ordering::Acquire))
         .int("exec_errors", c.exec_errors.load(Ordering::Acquire))
+        .int(
+            "write_overflows",
+            shared.write_overflows.load(Ordering::Acquire),
+        )
+        .int("chunked_results", c.chunked.load(Ordering::Acquire))
         .int("queue_depth", depth as u64)
         .int("queue_active", active as u64)
         .int("queue_cap", shared.queue_cap as u64)
@@ -871,6 +1070,8 @@ fn stats_json(shared: &Shared) -> String {
         .int("prepared_evicted", prepared_evicted)
         .int("prepared_cap", prepared_cap as u64)
         .int("workers", shared.workers as u64)
+        .int("io_threads", shared.io_threads as u64)
+        .int("stream_threshold", shared.stream_threshold as u64)
         .num("deadline_ms", shared.deadline.as_secs_f64() * 1e3)
         .bool("draining", closed)
         .build();

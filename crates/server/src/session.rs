@@ -51,6 +51,14 @@ impl Session {
         (id > 0).then(|| self.stmts.get(id as usize - 1)).flatten()
     }
 
+    /// Clone out what an execute needs — the handle and the
+    /// statement's own bindings — so the reactor can release the
+    /// session lock before touching the admission queue. Handles are
+    /// cheap `Arc` clones.
+    pub fn lookup_exec(&self, id: u32) -> Option<(PreparedQuery, Vec<Value>)> {
+        self.get(id).map(|s| (s.handle.clone(), s.bindings.clone()))
+    }
+
     /// How many statements this session prepared.
     pub fn len(&self) -> usize {
         self.stmts.len()
