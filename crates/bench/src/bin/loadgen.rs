@@ -49,7 +49,8 @@ use dblab_transform::StackConfig;
 struct Sample {
     query: usize,
     wall_ms: f64,
-    native: bool,
+    /// Wire code of the tier that served (`protocol::TIER_*`).
+    tier: u8,
     /// This client's first-ever request (the cold, tier-0 path).
     first: bool,
     correct: bool,
@@ -134,7 +135,7 @@ fn client_loop(
             Ok(reply) => samples.push(Sample {
                 query: args.queries[qi],
                 wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-                native: reply.native,
+                tier: reply.tier,
                 first: req == 0,
                 correct: same_normalized(&oracles[qi], &reply.rows),
             }),
@@ -246,6 +247,7 @@ fn run_param_mix(args: &Args) -> ! {
         Client::connect_timeout(server.addr(), Some(Duration::from_secs(120))).expect("connect");
     let mut incorrect = 0usize;
     let mut native_served = 0usize;
+    let mut jit_served = 0usize;
 
     // Path 1: every binding as its own spec-embedded statement. All of
     // them share one cache entry (the `tpch:6?` template).
@@ -253,7 +255,8 @@ fn run_param_mix(args: &Args) -> ! {
         let spec = format!("tpch:6?discount={disc}&quantity={qty}");
         let stmt = c.prepare(&spec).expect("prepare spec-bound statement");
         let reply = c.execute(stmt).expect("execute spec-bound statement");
-        native_served += reply.native as usize;
+        native_served += reply.native() as usize;
+        jit_served += (reply.tier == dblab_server::protocol::TIER_JIT) as usize;
         if !same_normalized(&oracles[i], &reply.rows) {
             eprintln!("binding {i} ({spec}): rows diverge from oracle");
             incorrect += 1;
@@ -283,7 +286,8 @@ fn run_param_mix(args: &Args) -> ! {
         ps[disc_at] = Value::Double(disc);
         ps[qty_at] = Value::Double(qty);
         let reply = c.execute_params(stmt, &ps).expect("execute with params");
-        native_served += reply.native as usize;
+        native_served += reply.native() as usize;
+        jit_served += (reply.tier == dblab_server::protocol::TIER_JIT) as usize;
         if !same_normalized(&oracles[i], &reply.rows) {
             eprintln!("wire binding {i}: rows diverge from oracle");
             incorrect += 1;
@@ -292,16 +296,20 @@ fn run_param_mix(args: &Args) -> ! {
     let _ = c.close();
 
     let stats = server.engine().stats();
-    let (compiles, tierups) = (stats.tier0_compiles, stats.tierups_built);
+    let (compiles, tierups, jit_builds) =
+        (stats.tier0_compiles, stats.tierups_built, stats.jit_builds);
     server.shutdown();
 
     println!(
-        "# {} executions ({} native-tier, {} incorrect): {} tier-0 compile(s), {} tier-up(s)",
+        "# {} executions ({} native-tier, {} jit-tier, {} incorrect): \
+         {} tier-0 compile(s), {} tier-up(s), {} jit build(s)",
         2 * n,
         native_served,
+        jit_served,
         incorrect,
         compiles,
-        tierups
+        tierups,
+        jit_builds
     );
     emit_json(
         args,
@@ -312,9 +320,11 @@ fn run_param_mix(args: &Args) -> ! {
             .int("distinct_bindings", n as u64)
             .int("executed", 2 * n as u64)
             .int("native_served", native_served as u64)
+            .int("jit_served", jit_served as u64)
             .int("incorrect", incorrect as u64)
             .int("tier0_compiles", compiles)
             .int("tierups_built", tierups)
+            .int("jit_builds", jit_builds)
             .bool("all_agree", incorrect == 0)
             .build(),
     );
@@ -323,9 +333,13 @@ fn run_param_mix(args: &Args) -> ! {
         eprintln!("RESULT DIVERGENCE: {incorrect} binding(s) disagreed with the oracle");
         std::process::exit(1);
     }
-    if compiles != 1 || tierups > 1 {
+    // Jit builds are counted separately (`jit_builds`): the middle rung
+    // costs one in-process compile per template, never per binding, and
+    // must not dilute the tier-up transparency check.
+    if compiles != 1 || tierups > 1 || jit_builds > 1 {
         eprintln!(
-            "CACHE NOT TRANSPARENT: {n} distinct bindings cost {compiles} tier-0 compiles and {tierups} tier-ups (want exactly 1 and <=1)"
+            "CACHE NOT TRANSPARENT: {n} distinct bindings cost {compiles} tier-0 compiles, \
+             {tierups} tier-ups and {jit_builds} jit builds (want exactly 1, <=1, <=1)"
         );
         std::process::exit(1);
     }
@@ -500,16 +514,18 @@ fn main() {
         .filter(|s| !s.first)
         .map(|s| s.wall_ms)
         .collect();
-    let mut interp: Vec<f64> = samples
-        .iter()
-        .filter(|s| !s.native)
-        .map(|s| s.wall_ms)
-        .collect();
-    let mut native: Vec<f64> = samples
-        .iter()
-        .filter(|s| s.native)
-        .map(|s| s.wall_ms)
-        .collect();
+    // Three tier populations — the jit rung gets its own latency
+    // distribution, not a share of the interpreter's.
+    let by_tier = |code: u8| -> Vec<f64> {
+        samples
+            .iter()
+            .filter(|s| s.tier == code)
+            .map(|s| s.wall_ms)
+            .collect()
+    };
+    let mut interp = by_tier(dblab_server::protocol::TIER_INTERP);
+    let mut jit = by_tier(dblab_server::protocol::TIER_JIT);
+    let mut native = by_tier(dblab_server::protocol::TIER_NATIVE);
     let incorrect = samples.iter().filter(|s| !s.correct).count();
     let ok = samples.len();
     let shed = tally.shed.load(Ordering::Acquire);
@@ -524,10 +540,17 @@ fn main() {
             .filter(|s| s.query == q)
             .map(|s| s.wall_ms)
             .collect();
-        let served_native = samples.iter().filter(|s| s.query == q && s.native).count();
+        let served = |code: u8| {
+            samples
+                .iter()
+                .filter(|s| s.query == q && s.tier == code)
+                .count() as u64
+        };
         json::Obj::new()
             .int("query", q as u64)
-            .int("native_served", served_native as u64)
+            .int("interp_served", served(dblab_server::protocol::TIER_INTERP))
+            .int("jit_served", served(dblab_server::protocol::TIER_JIT))
+            .int("native_served", served(dblab_server::protocol::TIER_NATIVE))
             .raw("latency", &latency_obj(&mut lat))
             .build()
     }));
@@ -536,19 +559,20 @@ fn main() {
         "# {} ok ({} incorrect), {} shed, {} timeouts, {} hung, {} server errors, {} transport errors in {:.0}ms",
         ok, incorrect, shed, timeouts, hung, server_errors, transport_errors, wall_ms
     );
-    if !interp.is_empty() && !native.is_empty() {
-        let mut i2 = interp.clone();
-        let mut n2 = native.clone();
-        println!(
-            "# tier-up interference: interp-tier {} vs native-tier {} (p50)",
-            {
-                i2.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                format!("{:.2}ms", dblab_bench::percentile(&i2, 0.5))
-            },
-            {
-                n2.sort_by(|a, b| a.partial_cmp(b).unwrap());
-                format!("{:.2}ms", dblab_bench::percentile(&n2, 0.5))
+    {
+        let p50 = |v: &[f64]| {
+            if v.is_empty() {
+                return "-".to_string();
             }
+            let mut s = v.to_vec();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            format!("{:.2}ms", dblab_bench::percentile(&s, 0.5))
+        };
+        println!(
+            "# tier latency p50: interp {} / jit {} / native {}",
+            p50(&interp),
+            p50(&jit),
+            p50(&native)
         );
     }
 
@@ -566,6 +590,7 @@ fn main() {
         .raw("first_result", &latency_obj(&mut first))
         .raw("steady", &latency_obj(&mut steady))
         .raw("interp_tier", &latency_obj(&mut interp))
+        .raw("jit_tier", &latency_obj(&mut jit))
         .raw("native_tier", &latency_obj(&mut native))
         .build();
     let mut blob = json::Obj::new()

@@ -562,9 +562,9 @@ impl Executable for InterpExecutable {
     }
 }
 
-/// `VmHWM` of the current process (the interpreter runs in-process), 0
-/// where procfs is unavailable.
-fn self_peak_rss_kb() -> u64 {
+/// `VmHWM` of the current process (the interpreter and jit run
+/// in-process), 0 where procfs is unavailable.
+pub(crate) fn self_peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
         .ok()
         .and_then(|s| {
@@ -607,6 +607,7 @@ pub fn backends() -> Vec<Box<dyn Backend>> {
     vec![
         Box::new(CBackend),
         Box::new(RustBackend),
+        Box::new(crate::jit::JitBackend),
         Box::new(InterpBackend),
     ]
 }
@@ -791,9 +792,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_lists_three_backends_with_unique_names() {
+    fn registry_lists_four_backends_with_unique_names() {
         let names: Vec<&str> = backends().iter().map(|b| b.name()).collect();
-        assert_eq!(names, vec!["gcc", "rustc", "interp"]);
+        assert_eq!(names, vec!["gcc", "rustc", "jit", "interp"]);
         for n in &names {
             assert!(backend(n).is_some(), "{n} resolves");
         }

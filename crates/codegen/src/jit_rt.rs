@@ -1,0 +1,392 @@
+//! # jit_rt — runtime state for the in-process closure JIT
+//!
+//! The execution half of [`crate::jit`]: the dynamic value representation,
+//! the numbered-slot frame, cooperative-deadline bookkeeping, and the data
+//! loading helpers (`.tbl` columns → records, CSR indexes, string
+//! dictionaries). Semantics mirror `dblab-interp` exactly — the JIT's
+//! conformance story is "same observable behaviour as the interpreter,
+//! reached without an environment hash lookup per variable access".
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dblab_ir::types::StructDef;
+use dblab_ir::Type;
+use dblab_runtime::{ColData, Database, StringDict, Value};
+
+/// A dynamic runtime value. Same shape as the interpreter's `V`: records,
+/// arrays and lists share reference semantics through `Cells`.
+#[derive(Debug, Clone)]
+pub enum JV {
+    Unit,
+    Null,
+    B(bool),
+    I(i64),
+    D(f64),
+    S(Arc<str>),
+    Cells(Rc<RefCell<Vec<JV>>>),
+    Map(Rc<RefCell<HashMap<Key, JV>>>),
+    MMap(Rc<RefCell<HashMap<Key, Vec<JV>>>>),
+}
+
+impl JV {
+    #[inline]
+    pub fn as_i(&self) -> i64 {
+        match self {
+            JV::I(v) => *v,
+            JV::B(b) => *b as i64,
+            other => panic!("expected int, got {other:?}"),
+        }
+    }
+    #[inline]
+    pub fn as_d(&self) -> f64 {
+        match self {
+            JV::D(v) => *v,
+            JV::I(v) => *v as f64,
+            other => panic!("expected double, got {other:?}"),
+        }
+    }
+    #[inline]
+    pub fn as_b(&self) -> bool {
+        match self {
+            JV::B(v) => *v,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+    #[inline]
+    pub fn as_s(&self) -> Arc<str> {
+        match self {
+            JV::S(v) => v.clone(),
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+    #[inline]
+    pub fn cells(&self) -> Rc<RefCell<Vec<JV>>> {
+        match self {
+            JV::Cells(c) => c.clone(),
+            other => panic!("expected record/array/list, got {other:?}"),
+        }
+    }
+    #[inline]
+    pub fn map(&self) -> Rc<RefCell<HashMap<Key, JV>>> {
+        match self {
+            JV::Map(m) => m.clone(),
+            other => panic!("expected hashmap, got {other:?}"),
+        }
+    }
+    #[inline]
+    pub fn mmap(&self) -> Rc<RefCell<HashMap<Key, Vec<JV>>>> {
+        match self {
+            JV::MMap(m) => m.clone(),
+            other => panic!("expected multimap, got {other:?}"),
+        }
+    }
+}
+
+/// Hashable key form of a value (records flattened by value). The variant
+/// shapes — and their derived `Debug` strings, which order hash-map
+/// iteration — match the interpreter's `Key` so both tiers print identical
+/// rows in identical order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Key {
+    B(bool),
+    I(i64),
+    D(u64),
+    S(Arc<str>),
+    Tuple(Vec<Key>),
+}
+
+pub fn key_of(v: &JV) -> Key {
+    match v {
+        JV::B(b) => Key::B(*b),
+        JV::I(i) => Key::I(*i),
+        JV::D(d) => Key::D(d.to_bits()),
+        JV::S(s) => Key::S(s.clone()),
+        JV::Cells(c) => Key::Tuple(c.borrow().iter().map(key_of).collect()),
+        other => panic!("unhashable key {other:?}"),
+    }
+}
+
+pub fn key_back(k: &Key) -> JV {
+    match k {
+        Key::B(b) => JV::B(*b),
+        Key::I(i) => JV::I(*i),
+        Key::D(bits) => JV::D(f64::from_bits(*bits)),
+        Key::S(s) => JV::S(s.clone()),
+        Key::Tuple(items) => JV::Cells(Rc::new(RefCell::new(items.iter().map(key_back).collect()))),
+    }
+}
+
+pub fn zero_of(t: &Type) -> JV {
+    match t {
+        Type::Double => JV::D(0.0),
+        Type::Bool => JV::B(false),
+        Type::Int | Type::Long => JV::I(0),
+        Type::String => JV::S("".into()),
+        _ => JV::Null,
+    }
+}
+
+pub fn jv_of_value(v: &Value) -> JV {
+    match v {
+        Value::Null => JV::Null,
+        Value::Bool(b) => JV::B(*b),
+        Value::Int(i) => JV::I(*i as i64),
+        Value::Long(l) => JV::I(*l),
+        Value::Double(d) => JV::D(*d),
+        Value::Str(s) => JV::S(s.clone()),
+    }
+}
+
+/// How many loop back-edges run between two wall-clock reads (same
+/// amortization constant as the interpreter).
+const FUEL: u32 = 256;
+
+/// Per-execution state threaded through every compiled closure: the slot
+/// frame, parameter bindings, lazily built string dictionaries, captured
+/// output, and the cooperative-deadline counters.
+pub struct Rt<'d> {
+    /// Numbered variable slots — `Sym(n)` lives at `frame[n]`, assigned at
+    /// compile time. No per-access environment lookups.
+    pub frame: Vec<JV>,
+    pub params: Vec<JV>,
+    pub db: &'d Database,
+    pub dicts: HashMap<Arc<str>, StringDict>,
+    pub output: String,
+    pub deadline: Option<Instant>,
+    pub fuel: u32,
+    pub interrupted: bool,
+    /// `TimerStart` / `TimerStop` honoured in-process: query time excluding
+    /// the data-loading phase, like the generated native binaries report.
+    pub timer_start: Option<Instant>,
+    pub query_ms: Option<f64>,
+}
+
+impl<'d> Rt<'d> {
+    pub fn new(frame_size: usize, db: &'d Database, params: &[Value]) -> Rt<'d> {
+        Rt {
+            frame: vec![JV::Unit; frame_size],
+            params: params.iter().map(jv_of_value).collect(),
+            db,
+            dicts: HashMap::new(),
+            output: String::new(),
+            deadline: None,
+            // The first back-edge reads the clock, so a deadline already in
+            // the past interrupts deterministically before real work starts.
+            fuel: 1,
+            interrupted: false,
+            timer_start: None,
+            query_ms: None,
+        }
+    }
+
+    /// Loop back-edge check: `true` once the deadline has passed. Every
+    /// compiled loop consults this and breaks; the remaining straight-line
+    /// closures still run (each is O(1)), so the program drains in bounded
+    /// time and the caller discards the partial output.
+    #[inline]
+    pub fn expired(&mut self) -> bool {
+        if self.interrupted {
+            return true;
+        }
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        self.fuel -= 1;
+        if self.fuel == 0 {
+            self.fuel = FUEL;
+            if Instant::now() >= deadline {
+                self.interrupted = true;
+            }
+        }
+        self.interrupted
+    }
+
+    pub fn dict(&mut self, name: &Arc<str>) -> &StringDict {
+        if !self.dicts.contains_key(name) {
+            // name is "<table>__<column>".
+            let (t, c) = name.rsplit_once("__").expect("dict name");
+            let col: usize = c.parse().expect("dict column index");
+            let table = self.db.table(t);
+            let values: Vec<&str> = match &table.cols[col] {
+                ColData::Str(v) => v.iter().map(|s| &**s).collect(),
+                other => panic!("dictionary over non-string column {other:?}"),
+            };
+            self.dicts
+                .insert(name.clone(), StringDict::build(values, true));
+        }
+        &self.dicts[name]
+    }
+
+    // ---- loading --------------------------------------------------------
+
+    pub fn load_table(&mut self, table: &Arc<str>, def: &StructDef) -> JV {
+        let t = self.db.table(table);
+        let col_idx: Vec<usize> = def
+            .fields
+            .iter()
+            .map(|f| t.def.col_index(&f.name))
+            .collect();
+        // Build dictionaries for the encoded fields up front so the row loop
+        // below can borrow them immutably.
+        for (&c, f) in col_idx.iter().zip(&def.fields) {
+            if matches!((&t.cols[c], &f.ty), (ColData::Str(_), Type::Int)) {
+                let name: Arc<str> = format!("{table}__{c}").into();
+                self.dict(&name);
+            }
+        }
+        let t = self.db.table(table);
+        let rows: Vec<JV> = (0..t.len())
+            .map(|r| {
+                let fields: Vec<JV> = col_idx
+                    .iter()
+                    .zip(&def.fields)
+                    .map(|(&c, f)| match (&t.cols[c], &f.ty) {
+                        (ColData::Str(col), Type::Int) => {
+                            // dictionary-encoded
+                            let name: Arc<str> = format!("{table}__{c}").into();
+                            JV::I(self.dicts[&name].code(&col[r]) as i64)
+                        }
+                        (ColData::Str(col), _) => JV::S(col[r].clone()),
+                        (ColData::Int(col), _) => JV::I(col[r] as i64),
+                        (ColData::Long(col), _) => JV::I(col[r]),
+                        (ColData::Double(col), _) => JV::D(col[r]),
+                    })
+                    .collect();
+                JV::Cells(Rc::new(RefCell::new(fields)))
+            })
+            .collect();
+        JV::Cells(Rc::new(RefCell::new(rows)))
+    }
+
+    pub fn int_column(&self, table: &str, field: usize) -> Vec<i64> {
+        match &self.db.table(table).cols[field] {
+            ColData::Int(v) => v.iter().map(|x| *x as i64).collect(),
+            ColData::Long(v) => v.clone(),
+            other => panic!("index key over non-int column {other:?}"),
+        }
+    }
+
+    pub fn index_unique(&self, table: &str, field: usize) -> JV {
+        let keys = self.int_column(table, field);
+        let max = keys.iter().copied().max().unwrap_or(0).max(0) as usize;
+        let mut idx = vec![JV::I(-1); max + 2];
+        for (row, k) in keys.iter().enumerate() {
+            idx[*k as usize] = JV::I(row as i64);
+        }
+        JV::Cells(Rc::new(RefCell::new(idx)))
+    }
+
+    pub fn csr(&self, table: &str, field: usize) -> (Vec<JV>, Vec<JV>) {
+        let keys = self.int_column(table, field);
+        let max = keys.iter().copied().max().unwrap_or(0).max(0) as usize;
+        let mut counts = vec![0i64; max + 2];
+        for k in &keys {
+            counts[*k as usize] += 1;
+        }
+        let mut starts = Vec::with_capacity(max + 2);
+        let mut acc = 0;
+        for c in &counts {
+            starts.push(acc);
+            acc += c;
+        }
+        let mut cur = vec![0usize; max + 2];
+        let mut items = vec![0i64; keys.len()];
+        for (row, k) in keys.iter().enumerate() {
+            let k = *k as usize;
+            items[(starts[k] as usize) + cur[k]] = row as i64;
+            cur[k] += 1;
+        }
+        (
+            starts.into_iter().map(JV::I).collect(),
+            items.into_iter().map(JV::I).collect(),
+        )
+    }
+}
+
+/// One precompiled segment of a printf format string: the parse happens
+/// once at JIT-compile time, not once per emitted row.
+#[derive(Debug, Clone)]
+pub enum PfSeg {
+    Lit(Arc<str>),
+    /// `%d` / `%ld`
+    Int,
+    /// `%c`
+    Char,
+    /// `%s`
+    Str,
+    /// `%.4f`
+    F4,
+}
+
+/// Split a printf format into literal and specifier segments. Supports the
+/// specifiers the pipeline emits (`%d %ld %c %s %.4f %%`), like the
+/// interpreter.
+pub fn compile_printf(fmt: &str) -> Vec<PfSeg> {
+    let mut segs = Vec::new();
+    let mut lit = String::new();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            lit.push(c);
+            continue;
+        }
+        let mut spec = String::new();
+        for c2 in chars.by_ref() {
+            spec.push(c2);
+            if matches!(c2, 'd' | 'c' | 's' | 'f' | '%') {
+                break;
+            }
+        }
+        let seg = match spec.as_str() {
+            "%" => {
+                lit.push('%');
+                continue;
+            }
+            "d" | "ld" => PfSeg::Int,
+            "c" => PfSeg::Char,
+            "s" => PfSeg::Str,
+            ".4f" => PfSeg::F4,
+            other => panic!("unsupported printf spec %{other}"),
+        };
+        if !lit.is_empty() {
+            segs.push(PfSeg::Lit(std::mem::take(&mut lit).into()));
+        }
+        segs.push(seg);
+    }
+    if !lit.is_empty() {
+        segs.push(PfSeg::Lit(lit.into()));
+    }
+    segs
+}
+
+use std::fmt::Write as _;
+
+/// Render precompiled segments against evaluated arguments into `out`.
+pub fn format_segs(segs: &[PfSeg], args: &[JV], out: &mut String) {
+    let mut ai = 0;
+    for seg in segs {
+        match seg {
+            PfSeg::Lit(s) => out.push_str(s),
+            PfSeg::Int => {
+                let _ = write!(out, "{}", args[ai].as_i());
+                ai += 1;
+            }
+            PfSeg::Char => {
+                out.push(args[ai].as_i() as u8 as char);
+                ai += 1;
+            }
+            PfSeg::Str => {
+                out.push_str(&args[ai].as_s());
+                ai += 1;
+            }
+            PfSeg::F4 => {
+                let _ = write!(out, "{:.4}", args[ai].as_d());
+                ai += 1;
+            }
+        }
+    }
+}

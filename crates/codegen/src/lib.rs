@@ -32,6 +32,8 @@ pub mod backend;
 pub mod build_cache;
 pub mod cc;
 pub mod emit;
+pub mod jit;
+pub mod jit_rt;
 pub mod runtime;
 pub mod rust_emit;
 pub mod rust_rt;
@@ -46,4 +48,5 @@ pub use backend::{
 pub use build_cache::{build_with_cache, BuildCacheStats, DiskCacheStats};
 pub use cc::{compile_c, Compiled};
 pub use emit::emit;
+pub use jit::JitBackend;
 pub use rust_emit::emit_rust;

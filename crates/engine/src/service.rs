@@ -42,21 +42,46 @@ use dblab_frontend::qplan::{ParamDecl, QueryProgram};
 use dblab_runtime::{json, Value};
 use dblab_transform::{stack, Scheduler, StackConfig};
 
-/// Which executable currently backs a prepared query.
+/// Which executable currently backs a prepared query. The ladder is
+/// rank-ordered: a swap only ever moves a handle *up* (or re-lands the
+/// same rank, for re-tiering) — a slow low-tier build finishing late can
+/// never downgrade a handle that already serves a higher tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
     /// The zero-build in-process interpreter (serves immediately).
     Interp,
+    /// The in-process closure JIT (tier 0.5): compiled in microseconds by
+    /// a prioritized worker job, no toolchain, no fork+exec.
+    Jit,
     /// A natively compiled binary (hot-swapped in by the worker pool).
     Native,
 }
 
+impl Tier {
+    /// Every tier, lowest first — the shape of [`ServeStats::ladder`].
+    pub const LADDER: [Tier; 3] = [Tier::Interp, Tier::Jit, Tier::Native];
+
+    /// Position in the ladder; swaps are guarded on this.
+    pub fn rank(self) -> usize {
+        match self {
+            Tier::Interp => 0,
+            Tier::Jit => 1,
+            Tier::Native => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Interp => "interp",
+            Tier::Jit => "jit",
+            Tier::Native => "native",
+        }
+    }
+}
+
 impl std::fmt::Display for Tier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            Tier::Interp => "interp",
-            Tier::Native => "native",
-        })
+        f.write_str(self.name())
     }
 }
 
@@ -101,6 +126,13 @@ pub struct EngineOptions {
     /// live prepared query. `0.5` = re-tier once any table grew or shrank
     /// by half; non-finite or negative disables automatic re-tiering.
     pub retier_threshold: f64,
+    /// Serve the in-process closure-JIT middle tier (tier 0.5): a
+    /// prioritized worker job compiles the already-lowered program into
+    /// pre-resolved closures in microseconds and hot-swaps it in long
+    /// before any native build lands. No toolchain involved, so it works
+    /// on degraded engines too. [`NativeChoice::Disabled`] keeps its
+    /// documented "serve tier 0 only" meaning and disables this as well.
+    pub jit_tier: bool,
 }
 
 impl Default for EngineOptions {
@@ -114,6 +146,7 @@ impl Default for EngineOptions {
             schedule_candidates: 4,
             seed: 0xdb1a_b5e2_7e00,
             retier_threshold: 0.5,
+            jit_tier: true,
         }
     }
 }
@@ -152,6 +185,15 @@ impl LatencySummary {
             self.total_ms / self.runs as f64
         }
     }
+
+    /// Fold another tally in (engine-wide ladder aggregation).
+    pub fn merge(&mut self, other: &LatencySummary) {
+        self.runs += other.runs;
+        self.total_ms += other.total_ms;
+        if other.best_ms < self.best_ms {
+            self.best_ms = other.best_ms;
+        }
+    }
 }
 
 /// Everything the background compile decided and measured, recorded at
@@ -180,6 +222,38 @@ pub struct TierUpReport {
     pub elapsed_ms: f64,
 }
 
+/// One rung of a prepared query's tier ladder: the tier's name, how many
+/// swaps landed it, the prepare→tier-ready swap latency, and the latency
+/// tally of every execution it served.
+#[derive(Debug, Clone, Copy)]
+pub struct TierStats {
+    pub tier: Tier,
+    /// Executable swaps that landed this tier (0 for interp — it is
+    /// installed synchronously at prepare; >1 after re-tiering).
+    pub swaps: u64,
+    /// Wall time from `prepare` returning to this tier being ready to
+    /// serve (ms); `None` while the tier hasn't landed. Interp reports
+    /// `0.0` — it *is* the prepare. This is the per-tier swap latency the
+    /// `serve` bench aggregates into percentiles.
+    pub swap_ms: Option<f64>,
+    pub lat: LatencySummary,
+}
+
+impl TierStats {
+    /// `{"tier": …, "swaps": …, "swap_ms": …, "runs": …, …}` — the
+    /// latency tally flattened in.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("tier", self.tier.name())
+            .int("swaps", self.swaps)
+            .num("swap_ms", self.swap_ms.unwrap_or(f64::NAN))
+            .int("runs", self.lat.runs)
+            .num("mean_ms", self.lat.mean_ms())
+            .num("best_ms", self.lat.best_ms)
+            .build()
+    }
+}
+
 /// A point-in-time view of a prepared query's serving state. A plain
 /// serializable struct: [`ServeStats::to_json`] renders it for the
 /// network server's `stats` frame and the `serve`/`loadgen` benches, all
@@ -190,14 +264,21 @@ pub struct ServeStats {
     pub swaps: u64,
     /// Latency of the very first execution (whatever tier served it).
     pub first_result_ms: Option<f64>,
-    pub interp: LatencySummary,
-    pub native: LatencySummary,
+    /// Per-tier serving state, lowest tier first ([`Tier::LADDER`] order).
+    pub ladder: [TierStats; 3],
     /// Executions abandoned because their per-request deadline elapsed.
     pub timeouts: u64,
     pub tier_up: Option<TierUpReport>,
     /// Set when the native tier can never arrive (no toolchain) or its
-    /// compile failed; the query stays on the interpreter.
-    pub pinned_to_interp: Option<String>,
+    /// compile failed; the query stays on its best in-process tier.
+    pub pinned: Option<String>,
+}
+
+impl ServeStats {
+    /// The ladder rung for one tier.
+    pub fn tier_stats(&self, t: Tier) -> &TierStats {
+        &self.ladder[t.rank()]
+    }
 }
 
 impl LatencySummary {
@@ -229,19 +310,23 @@ impl TierUpReport {
 impl ServeStats {
     /// The one stats renderer: the server's `stats` frame and the bench
     /// blobs embed exactly this object, so dashboards parse one shape.
+    /// Per-tier state lives in the `ladder` array — adding a tier adds a
+    /// rung, not a field.
     pub fn to_json(&self) -> String {
         let mut o = json::Obj::new()
-            .str("tier", &self.tier.to_string())
+            .str("tier", self.tier.name())
             .int("swaps", self.swaps)
             .num("first_result_ms", self.first_result_ms.unwrap_or(f64::NAN))
             .int("timeouts", self.timeouts)
-            .raw("interp", &self.interp.to_json())
-            .raw("native", &self.native.to_json());
+            .raw(
+                "ladder",
+                &json::array(self.ladder.iter().map(|t| t.to_json())),
+            );
         if let Some(up) = &self.tier_up {
             o = o.raw("tier_up", &up.to_json());
         }
-        if let Some(reason) = &self.pinned_to_interp {
-            o = o.str("pinned_to_interp", reason);
+        if let Some(reason) = &self.pinned {
+            o = o.str("pinned", reason);
         }
         o.build()
     }
@@ -262,6 +347,11 @@ pub struct EngineStats {
     pub tier0_compiles: u64,
     /// Native tier-up builds that landed (initial swaps and re-tiers).
     pub tierups_built: u64,
+    /// In-process jit tier builds that landed.
+    pub jit_builds: u64,
+    /// Engine-wide tier ladder: per tier, total swaps and the merged
+    /// latency tally across every live prepared query.
+    pub ladder: [TierStats; 3],
     /// `(name, stats)` for every live prepared query, in prepare order.
     pub queries: Vec<(String, ServeStats)>,
 }
@@ -274,6 +364,11 @@ impl EngineStats {
             .int("pending_tier_ups", self.pending_tier_ups as u64)
             .int("tier0_compiles", self.tier0_compiles)
             .int("tierups_built", self.tierups_built)
+            .int("jit_builds", self.jit_builds)
+            .raw(
+                "ladder",
+                &json::array(self.ladder.iter().map(|t| t.to_json())),
+            )
             .raw(
                 "queries",
                 &json::array(self.queries.iter().map(|(name, s)| {
@@ -335,9 +430,14 @@ struct Active {
 
 #[derive(Default)]
 struct Meta {
+    /// Per-rank prepare→ready swap latency (ms); `Some` once the tier
+    /// landed. Interp lands at prepare with `0.0`.
+    landed: [Option<f64>; 3],
     tier_up: Option<TierUpReport>,
     /// Why the native tier will never arrive, when it won't.
     pinned: Option<String>,
+    /// Why the jit tier will never arrive (disabled, or its build failed).
+    jit_off: Option<String>,
 }
 
 struct PreparedInner {
@@ -360,10 +460,16 @@ struct PreparedInner {
     meta: Mutex<Meta>,
     cvar: Condvar,
     swaps: AtomicU64,
+    /// Swaps per ladder rank (re-tiers keep counting).
+    tier_swaps: [AtomicU64; 3],
     timeouts: AtomicU64,
     first_result_ms: Mutex<Option<f64>>,
-    lat_interp: Mutex<LatencySummary>,
-    lat_native: Mutex<LatencySummary>,
+    /// Latency tally per ladder rank.
+    lats: [Mutex<LatencySummary>; 3],
+    /// Every tier's executable is retained after it lands, so benches can
+    /// execute a specific tier ([`PreparedQuery::execute_pinned`]) while
+    /// normal traffic serves from the active (highest) one.
+    tier_exes: Mutex<[Option<Arc<dyn Executable>>; 3]>,
 }
 
 /// A handle to one prepared query. Cheap to clone; every clone shares the
@@ -415,6 +521,39 @@ impl PreparedQuery {
         overrides: &[Value],
         deadline: Option<Duration>,
     ) -> Result<ServedRun, ExecError> {
+        let bound = self.bind(overrides)?;
+        let (exe, tier) = {
+            let act = self.inner.active.read().unwrap();
+            (Arc::clone(&act.exe), act.tier)
+        };
+        self.run_on(&exe, tier, data_dir, &bound, deadline)
+    }
+
+    /// Execute on one *specific* tier's retained executable, bypassing
+    /// the active-tier selection — how the `serve` bench measures every
+    /// rung of the ladder side by side. `None` when that tier never
+    /// landed on this handle. Runs are recorded in the same per-tier
+    /// latency tallies as served traffic.
+    pub fn execute_pinned(
+        &self,
+        tier: Tier,
+        data_dir: &Path,
+        overrides: &[Value],
+        deadline: Option<Duration>,
+    ) -> Option<Result<ServedRun, ExecError>> {
+        let exe = self.inner.tier_exes.lock().unwrap()[tier.rank()]
+            .as_ref()
+            .map(Arc::clone)?;
+        let bound = match self.bind(overrides) {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(self.run_on(&exe, tier, data_dir, &bound, deadline))
+    }
+
+    /// Full positional parameter vector: overrides by position, declared
+    /// defaults elsewhere; more overrides than declarations is an error.
+    fn bind(&self, overrides: &[Value]) -> Result<Vec<Value>, ExecError> {
         let decls = &self.inner.prog.params;
         if overrides.len() > decls.len() {
             return Err(ExecError::Exec(io::Error::other(format!(
@@ -434,12 +573,19 @@ impl PreparedQuery {
             };
             bound.push(v);
         }
-        let (exe, tier) = {
-            let act = self.inner.active.read().unwrap();
-            (Arc::clone(&act.exe), act.tier)
-        };
+        Ok(bound)
+    }
+
+    fn run_on(
+        &self,
+        exe: &Arc<dyn Executable>,
+        tier: Tier,
+        data_dir: &Path,
+        bound: &[Value],
+        deadline: Option<Duration>,
+    ) -> Result<ServedRun, ExecError> {
         let t0 = Instant::now();
-        let output = exe.run_bound(data_dir, &bound, deadline).map_err(|e| {
+        let output = exe.run_bound(data_dir, bound, deadline).map_err(|e| {
             if e.kind() == io::ErrorKind::TimedOut {
                 self.inner.timeouts.fetch_add(1, Ordering::AcqRel);
                 ExecError::Timeout {
@@ -457,11 +603,7 @@ impl PreparedQuery {
                 *first = Some(ms);
             }
         }
-        let lat = match tier {
-            Tier::Interp => &self.inner.lat_interp,
-            Tier::Native => &self.inner.lat_native,
-        };
-        lat.lock().unwrap().record(ms);
+        self.inner.lats[tier.rank()].lock().unwrap().record(ms);
         Ok(ServedRun { tier, output })
     }
 
@@ -498,17 +640,25 @@ impl PreparedQuery {
         self.inner.prepare_ms
     }
 
-    /// Block until the native tier is active, the query is pinned to the
-    /// interpreter (no toolchain / failed build), or the timeout elapses.
-    /// Returns `true` iff the native tier is active.
-    pub fn wait_for_native(&self, timeout: Duration) -> bool {
+    /// Block until a tier at least this high is active, every higher tier
+    /// is known dead (pinned / jit disabled), or the timeout elapses.
+    /// Returns `true` iff a tier of that rank or above landed.
+    pub fn wait_for_tier(&self, tier: Tier, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut meta = self.inner.meta.lock().unwrap();
         loop {
-            if meta.tier_up.is_some() {
+            if meta.landed[tier.rank()..].iter().any(Option::is_some) {
                 return true;
             }
-            if meta.pinned.is_some() {
+            // Everything at or above the requested rank is dead: native
+            // dies when pinned; jit dies when it's off AND native (which
+            // would satisfy the wait too) is pinned.
+            let dead = match tier {
+                Tier::Interp => false,
+                Tier::Jit => meta.jit_off.is_some() && meta.pinned.is_some(),
+                Tier::Native => meta.pinned.is_some(),
+            };
+            if dead {
                 return false;
             }
             let now = Instant::now();
@@ -520,18 +670,30 @@ impl PreparedQuery {
         }
     }
 
+    /// Block until the native tier is active, the query is pinned to an
+    /// in-process tier (no toolchain / failed build), or the timeout
+    /// elapses. Returns `true` iff the native tier is active.
+    pub fn wait_for_native(&self, timeout: Duration) -> bool {
+        self.wait_for_tier(Tier::Native, timeout)
+    }
+
     /// Current serving statistics.
     pub fn stats(&self) -> ServeStats {
         let meta = self.inner.meta.lock().unwrap();
+        let ladder = std::array::from_fn(|rank| TierStats {
+            tier: Tier::LADDER[rank],
+            swaps: self.inner.tier_swaps[rank].load(Ordering::Acquire),
+            swap_ms: meta.landed[rank],
+            lat: *self.inner.lats[rank].lock().unwrap(),
+        });
         ServeStats {
             tier: self.tier(),
             swaps: self.swap_count(),
             first_result_ms: *self.inner.first_result_ms.lock().unwrap(),
-            interp: *self.inner.lat_interp.lock().unwrap(),
-            native: *self.inner.lat_native.lock().unwrap(),
+            ladder,
             timeouts: self.inner.timeouts.load(Ordering::Acquire),
             tier_up: meta.tier_up.clone(),
-            pinned_to_interp: meta.pinned.clone(),
+            pinned: meta.pinned.clone(),
         }
     }
 
@@ -541,7 +703,7 @@ impl PreparedQuery {
     pub fn report(&self) -> String {
         let mut out = self.inner.stage_report.clone();
         let stats = self.stats();
-        match (&stats.tier_up, &stats.pinned_to_interp) {
+        match (&stats.tier_up, &stats.pinned) {
             (Some(up), _) => out.push_str(&format!(
                 "serving: tier native via {} (swap #{} after {:.1}ms; \
                  schedule {}{}; build {:.1}ms{})\n",
@@ -557,10 +719,14 @@ impl PreparedQuery {
                 up.build_ms,
                 if up.build_cached { ", cached" } else { "" },
             )),
-            (None, Some(reason)) => {
-                out.push_str(&format!("serving: tier interp permanently ({reason})\n"))
-            }
-            (None, None) => out.push_str("serving: tier interp (native compile pending)\n"),
+            (None, Some(reason)) => out.push_str(&format!(
+                "serving: tier {} permanently ({reason})\n",
+                stats.tier
+            )),
+            (None, None) => out.push_str(&format!(
+                "serving: tier {} (native compile pending)\n",
+                stats.tier
+            )),
         }
         out
     }
@@ -595,9 +761,19 @@ fn coerce_param(decl: &ParamDecl, v: &Value) -> Result<Value, String> {
     }
 }
 
+/// What a queued background build produces.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JobKind {
+    /// In-process closure compile — microseconds, jumps the queue.
+    Jit,
+    /// Toolchain build — the classic tier-up.
+    Native,
+}
+
 struct Job {
     prepared: Weak<PreparedInner>,
     prog: QueryProgram,
+    kind: JobKind,
 }
 
 struct QueueState {
@@ -642,6 +818,8 @@ struct EngineShared {
     native: Option<&'static str>,
     /// Why `native` is `None`, when it is.
     degraded: Option<String>,
+    /// Whether the in-process jit middle tier is on.
+    jit: bool,
     warned: AtomicBool,
     sched: Scheduler,
     seed: u64,
@@ -660,6 +838,8 @@ struct EngineShared {
     tier0_compiles: AtomicU64,
     /// Native builds that swapped in (initial tier-ups and re-tiers).
     tierups_built: AtomicU64,
+    /// In-process jit builds that swapped in.
+    jit_builds: AtomicU64,
 }
 
 impl EngineShared {
@@ -712,6 +892,11 @@ impl QueryEngine {
             }
         }
         let (native, degraded) = resolve_native(&opts.native);
+        // `NativeChoice::Disabled` means "serve tier 0 only" — it turns
+        // the whole background ladder off, jit included. A *degraded*
+        // engine (no toolchain) keeps the jit tier: that is exactly the
+        // deployment where an in-process tier-up earns its keep.
+        let jit = opts.jit_tier && !matches!(opts.native, NativeChoice::Disabled);
         let sched = Scheduler::from_registry(&opts.config).unwrap_or_else(|e| {
             panic!(
                 "config `{}` has no valid schedule DAG: {e}",
@@ -724,6 +909,7 @@ impl QueryEngine {
             gen_dir: opts.gen_dir,
             native,
             degraded,
+            jit,
             warned: AtomicBool::new(false),
             sched,
             seed: opts.seed,
@@ -741,8 +927,9 @@ impl QueryEngine {
             retier_threshold: opts.retier_threshold,
             tier0_compiles: AtomicU64::new(0),
             tierups_built: AtomicU64::new(0),
+            jit_builds: AtomicU64::new(0),
         });
-        let worker_count = if shared.native.is_some() {
+        let worker_count = if shared.native.is_some() || shared.jit {
             opts.workers.max(1)
         } else {
             0
@@ -803,39 +990,70 @@ impl QueryEngine {
                 tier: Tier::Interp,
                 backend: "interp",
             }),
-            meta: Mutex::new(Meta::default()),
+            meta: Mutex::new(Meta {
+                // Interp *is* the prepare: rank 0 lands at 0ms by
+                // definition, so `wait_for_tier(Interp, …)` is a no-op.
+                landed: [Some(0.0), None, None],
+                ..Meta::default()
+            }),
             cvar: Condvar::new(),
             swaps: AtomicU64::new(0),
+            tier_swaps: Default::default(),
             timeouts: AtomicU64::new(0),
             first_result_ms: Mutex::new(None),
-            lat_interp: Mutex::new(LatencySummary::default()),
-            lat_native: Mutex::new(LatencySummary::default()),
+            lats: Default::default(),
+            tier_exes: Mutex::new([None, None, None]),
         });
+        inner.tier_exes.lock().unwrap()[Tier::Interp.rank()] =
+            Some(Arc::clone(&inner.active.read().unwrap().exe));
         s.prepared
             .lock()
             .unwrap()
             .push(name.to_string(), Arc::downgrade(&inner));
 
-        match s.native {
-            Some(_) => {
-                let mut q = s.queue.lock().unwrap();
+        if !s.jit {
+            inner.meta.lock().unwrap().jit_off = Some("jit tier disabled".to_string());
+        }
+        let mut enqueued = false;
+        {
+            let mut q = s.queue.lock().unwrap();
+            if s.native.is_some() {
                 q.jobs.push_back(Job {
                     prepared: Arc::downgrade(&inner),
                     prog: prog.clone(),
+                    kind: JobKind::Native,
                 });
-                drop(q);
-                s.cvar.notify_one();
+                enqueued = true;
             }
-            None => {
-                let reason = s
-                    .degraded
-                    .clone()
-                    .unwrap_or_else(|| "native tier disabled".to_string());
+            // Jit jobs jump the queue: a microsecond compile must never
+            // wait behind a multi-second toolchain build for another
+            // handle — the whole point of the middle tier is that every
+            // fresh prepare leaves tier 0 almost immediately.
+            if s.jit {
+                q.jobs.push_front(Job {
+                    prepared: Arc::downgrade(&inner),
+                    prog: prog.clone(),
+                    kind: JobKind::Jit,
+                });
+                enqueued = true;
+            }
+        }
+        if enqueued {
+            s.cvar.notify_all();
+        }
+        if s.native.is_none() {
+            let reason = s
+                .degraded
+                .clone()
+                .unwrap_or_else(|| "native tier disabled".to_string());
+            if s.jit {
+                s.warn_once(&format!("{reason} — the jit tier is the ceiling"));
+            } else {
                 s.warn_once(&format!(
                     "{reason} — serving the interpreter tier permanently"
                 ));
-                inner.meta.lock().unwrap().pinned = Some(reason);
             }
+            inner.meta.lock().unwrap().pinned = Some(reason);
         }
         Ok(PreparedQuery { inner })
     }
@@ -864,7 +1082,7 @@ impl QueryEngine {
         let mut prepared = self.shared.prepared.lock().unwrap();
         // Prune dropped handles while snapshotting the live ones.
         prepared.prune();
-        let queries = prepared
+        let queries: Vec<(String, ServeStats)> = prepared
             .entries
             .iter()
             .filter_map(|(name, weak)| {
@@ -872,12 +1090,30 @@ impl QueryEngine {
                     .map(|inner| (name.clone(), PreparedQuery { inner }.stats()))
             })
             .collect();
+        // Engine-wide ladder: per tier, swap totals and the merged
+        // latency tally across every live handle (swap_ms is per-handle,
+        // so the aggregate reports none).
+        let ladder = std::array::from_fn(|rank| {
+            let mut agg = TierStats {
+                tier: Tier::LADDER[rank],
+                swaps: 0,
+                swap_ms: None,
+                lat: LatencySummary::default(),
+            };
+            for (_, s) in &queries {
+                agg.swaps += s.ladder[rank].swaps;
+                agg.lat.merge(&s.ladder[rank].lat);
+            }
+            agg
+        });
         EngineStats {
             native_backend: self.shared.native,
             degraded: self.shared.degraded.clone(),
             pending_tier_ups: self.shared.queue.lock().unwrap().jobs.len(),
             tier0_compiles: self.shared.tier0_compiles.load(Ordering::Relaxed),
             tierups_built: self.shared.tierups_built.load(Ordering::Relaxed),
+            jit_builds: self.shared.jit_builds.load(Ordering::Relaxed),
+            ladder,
             queries,
         }
     }
@@ -922,7 +1158,11 @@ impl QueryEngine {
         if n > 0 {
             let mut q = s.queue.lock().unwrap();
             for (prepared, prog) in live {
-                q.jobs.push_back(Job { prepared, prog });
+                q.jobs.push_back(Job {
+                    prepared,
+                    prog,
+                    kind: JobKind::Native,
+                });
             }
             drop(q);
             s.cvar.notify_all();
@@ -1030,17 +1270,108 @@ fn worker_loop(shared: &Arc<EngineShared>) {
         let Some(inner) = job.prepared.upgrade() else {
             continue;
         };
-        match tier_up(shared, &job.prog, &inner) {
-            Ok(()) => {}
-            Err(e) => {
-                let msg = format!("native tier-up for `{}` failed: {e}", inner.name);
-                shared.warn_once(&msg);
-                let mut meta = inner.meta.lock().unwrap();
-                meta.pinned = Some(msg);
-                inner.cvar.notify_all();
+        match job.kind {
+            JobKind::Jit => {
+                if let Err(e) = jit_up(shared, &job.prog, &inner) {
+                    // A failed jit build costs nothing but this query's
+                    // middle rung — the native tier-up is still queued,
+                    // so the ladder just skips straight to tier 1.
+                    let msg = format!("jit tier-up for `{}` failed: {e}", inner.name);
+                    shared.warn_once(&msg);
+                    let mut meta = inner.meta.lock().unwrap();
+                    meta.jit_off = Some(msg);
+                    inner.cvar.notify_all();
+                }
+            }
+            JobKind::Native => {
+                if let Err(e) = tier_up(shared, &job.prog, &inner) {
+                    let msg = format!("native tier-up for `{}` failed: {e}", inner.name);
+                    shared.warn_once(&msg);
+                    let mut meta = inner.meta.lock().unwrap();
+                    meta.pinned = Some(msg);
+                    inner.cvar.notify_all();
+                }
             }
         }
     }
+}
+
+/// Install a freshly built tier: hot-swap it in as the active executable
+/// unless a higher tier already landed (the jit build racing a cached
+/// native build can lose — it must never *downgrade* the handle), retain
+/// it for pinned execution either way, and record the swap latency.
+/// Returns whether the executable became the active one.
+fn install_tier(
+    shared: &EngineShared,
+    inner: &Arc<PreparedInner>,
+    exe: Arc<dyn Executable>,
+    tier: Tier,
+    backend: &'static str,
+) -> bool {
+    let swap_ms = inner.prepared_at.elapsed().as_secs_f64() * 1e3;
+    let swapped = {
+        let mut act = inner.active.write().unwrap();
+        // `>=`, not `>`: a native re-tier replaces the active native
+        // executable; only a strictly lower tier is refused.
+        if tier.rank() >= act.tier.rank() {
+            act.exe = Arc::clone(&exe);
+            act.tier = tier;
+            act.backend = backend;
+            true
+        } else {
+            false
+        }
+    };
+    inner.tier_exes.lock().unwrap()[tier.rank()] = Some(exe);
+    if swapped {
+        inner.swaps.fetch_add(1, Ordering::AcqRel);
+        inner.tier_swaps[tier.rank()].fetch_add(1, Ordering::AcqRel);
+    }
+    match tier {
+        Tier::Jit => {
+            shared.jit_builds.fetch_add(1, Ordering::Relaxed);
+        }
+        Tier::Native => {
+            shared.tierups_built.fetch_add(1, Ordering::Relaxed);
+        }
+        Tier::Interp => {}
+    }
+    {
+        let mut meta = inner.meta.lock().unwrap();
+        if meta.landed[tier.rank()].is_none() {
+            meta.landed[tier.rank()] = Some(swap_ms);
+        }
+    }
+    inner.cvar.notify_all();
+    swapped
+}
+
+/// One in-process jit build: lower through the same memoized stack the
+/// interpreter used (all memo hits), compile the fully-lowered program to
+/// pre-resolved closures, and hot-swap. No scheduler exploration — the
+/// jit rung exists to leave tier 0 in microseconds, not to shop for pass
+/// orders; the native tier-up does that.
+fn jit_up(
+    shared: &EngineShared,
+    prog: &QueryProgram,
+    inner: &Arc<PreparedInner>,
+) -> Result<(), String> {
+    // A cached native build may have landed while this job queued;
+    // building a rung below the active one would be pure waste.
+    if inner.active.read().unwrap().tier.rank() >= Tier::Jit.rank() {
+        return Ok(());
+    }
+    let schema = shared.schema.read().unwrap().clone();
+    let cq = dblab_transform::compile(prog, &schema, &shared.cfg);
+    let seq = shared.build_seq.fetch_add(1, Ordering::Relaxed);
+    let art = Compiler::new(&schema)
+        .config(&shared.cfg)
+        .backend(Box::new(dblab_codegen::JitBackend))
+        .out_dir(&shared.gen_dir)
+        .build_staged(cq, &format!("{}_{seq}_jit", inner.artifact_stem))
+        .map_err(|e| e.to_string())?;
+    install_tier(shared, inner, Arc::from(art.exe), Tier::Jit, art.backend);
+    Ok(())
 }
 
 /// One background compile: cost-scored schedule through the memoized
@@ -1082,21 +1413,20 @@ fn tier_up(
         elapsed_ms: inner.prepared_at.elapsed().as_secs_f64() * 1e3,
     };
     // The swap: writers are rare (one per tier-up), readers clone the Arc
-    // out in O(1) — an in-flight tier-0 run keeps its executable alive
-    // through its own Arc and simply finishes on the old tier.
-    {
-        let mut act = inner.active.write().unwrap();
-        act.exe = Arc::from(art.exe);
-        act.tier = Tier::Native;
-        act.backend = report.backend;
-    }
-    inner.swaps.fetch_add(1, Ordering::AcqRel);
-    shared.tierups_built.fetch_add(1, Ordering::Relaxed);
+    // out in O(1) — an in-flight lower-tier run keeps its executable
+    // alive through its own Arc and simply finishes on the old tier.
+    let backend_name = report.backend;
     {
         let mut meta = inner.meta.lock().unwrap();
         meta.tier_up = Some(report);
     }
-    inner.cvar.notify_all();
+    install_tier(
+        shared,
+        inner,
+        Arc::from(art.exe),
+        Tier::Native,
+        backend_name,
+    );
     Ok(())
 }
 
@@ -1167,8 +1497,10 @@ mod tests {
         assert_eq!(run.output.stdout.trim(), "12|24");
         assert_eq!(q.swap_count(), 0);
         let stats = q.stats();
-        assert!(stats.pinned_to_interp.is_some());
+        assert!(stats.pinned.is_some());
         assert!(stats.first_result_ms.is_some());
+        // Disabled means the whole ladder: no jit middle tier either.
+        assert!(!q.wait_for_tier(Tier::Jit, Duration::from_secs(5)));
         assert!(q.report().contains("tier interp permanently"));
     }
 
@@ -1195,7 +1527,11 @@ mod tests {
         }
         let stats = q.stats();
         assert_eq!(stats.timeouts, 1);
-        assert_eq!(stats.interp.runs, 0, "abandoned runs record no latency");
+        assert_eq!(
+            stats.tier_stats(Tier::Interp).lat.runs,
+            0,
+            "abandoned runs record no latency"
+        );
 
         // The same handle still serves once given room.
         let run = q
@@ -1227,14 +1563,18 @@ mod tests {
         assert!(snap.degraded.is_some());
         assert_eq!(snap.queries.len(), 1);
         assert_eq!(snap.queries[0].0, "stats_probe");
-        assert_eq!(snap.queries[0].1.interp.runs, 1);
+        assert_eq!(snap.queries[0].1.tier_stats(Tier::Interp).lat.runs, 1);
+        assert_eq!(snap.ladder[Tier::Interp.rank()].lat.runs, 1);
+        assert_eq!(snap.jit_builds, 0);
 
         let blob = snap.to_json();
         assert!(blob.contains("\"native_backend\": \"none\""));
         assert!(blob.contains("\"name\": \"stats_probe\""));
         assert!(blob.contains("\"tier\": \"interp\""));
         assert!(blob.contains("\"timeouts\": 0"));
-        assert!(blob.contains("\"pinned_to_interp\""));
+        assert!(blob.contains("\"pinned\""));
+        assert!(blob.contains("\"ladder\""));
+        assert!(blob.contains("\"jit_builds\": 0"));
 
         // Dropped handles fall out of the next snapshot.
         drop(q);
@@ -1256,11 +1596,95 @@ mod tests {
         assert_eq!(engine.native_backend(), None);
         let q = engine.prepare(&sum_query("svc_unknown")).expect("prepare");
         assert!(!q.wait_for_native(Duration::from_millis(10)));
-        assert!(q
-            .stats()
-            .pinned_to_interp
-            .expect("pinned")
-            .contains("cranelift"));
+        assert!(q.stats().pinned.expect("pinned").contains("cranelift"));
+    }
+
+    #[test]
+    fn jit_tier_lands_and_serves_when_native_is_unavailable() {
+        let schema = schema("svc_jit");
+        let dir = data(&schema, "svc_jit", "jit");
+        // An unavailable native backend degrades the engine — exactly the
+        // deployment where the in-process jit becomes the ceiling tier.
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                native: NativeChoice::Backend("cranelift".into()),
+                workers: 1,
+                gen_dir: std::env::temp_dir().join("dblab_service_jit_gen"),
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        assert_eq!(engine.native_backend(), None);
+        let q = engine.prepare(&sum_query("svc_jit")).expect("prepare");
+        assert!(
+            q.wait_for_tier(Tier::Jit, Duration::from_secs(30)),
+            "jit tier must land: {:?}",
+            q.stats()
+        );
+        assert_eq!(q.tier(), Tier::Jit);
+        let run = q.execute(&dir).expect("jit serves");
+        assert_eq!(run.tier, Tier::Jit);
+        assert_eq!(run.output.stdout.trim(), "12|24");
+
+        let stats = q.stats();
+        assert_eq!(stats.tier_stats(Tier::Jit).swaps, 1);
+        assert_eq!(stats.tier_stats(Tier::Jit).lat.runs, 1);
+        let swap_ms = stats.tier_stats(Tier::Jit).swap_ms.expect("landed");
+        assert!(swap_ms >= 0.0);
+        assert_eq!(engine.stats().jit_builds, 1);
+        // Native can never arrive — but waiting for it returns promptly
+        // (pinned), and the handle keeps serving from the jit rung.
+        assert!(!q.wait_for_native(Duration::from_secs(5)));
+        assert!(q.report().contains("tier jit permanently"));
+
+        // Pinned execution reaches every landed rung — and only those.
+        let pinned = q
+            .execute_pinned(Tier::Interp, &dir, &[], None)
+            .expect("interp retained")
+            .expect("interp runs");
+        assert_eq!(pinned.tier, Tier::Interp);
+        assert_eq!(pinned.output.stdout.trim(), "12|24");
+        assert!(q.execute_pinned(Tier::Native, &dir, &[], None).is_none());
+    }
+
+    #[test]
+    fn jit_deadline_interrupts_mid_loop_as_typed_timeout() {
+        let schema = schema("svc_jit_dl");
+        let dir = data(&schema, "svc_jit_dl", "jit_dl");
+        let engine = QueryEngine::with_options(
+            &schema,
+            EngineOptions {
+                native: NativeChoice::Backend("cranelift".into()),
+                workers: 1,
+                gen_dir: std::env::temp_dir().join("dblab_service_jit_dl_gen"),
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        let q = engine.prepare(&sum_query("svc_jit_dl")).expect("prepare");
+        assert!(q.wait_for_tier(Tier::Jit, Duration::from_secs(30)));
+
+        // An already-expired budget: the jit's loop back-edge fuel check
+        // fires before any row lands — typed error, no partial output.
+        match q.execute_with_deadline(&dir, Some(Duration::ZERO)) {
+            Err(ExecError::Timeout { tier, .. }) => assert_eq!(tier, Tier::Jit),
+            other => panic!("expected jit timeout, got {other:?}"),
+        }
+        let stats = q.stats();
+        assert_eq!(stats.timeouts, 1);
+        assert_eq!(
+            stats.tier_stats(Tier::Jit).lat.runs,
+            0,
+            "abandoned runs record no latency"
+        );
+
+        // The same handle still serves full rows once given room.
+        let run = q
+            .execute_with_deadline(&dir, Some(Duration::from_secs(60)))
+            .expect("generous budget");
+        assert_eq!(run.tier, Tier::Jit);
+        assert_eq!(run.output.stdout.trim(), "12|24");
     }
 
     #[test]
@@ -1282,26 +1706,41 @@ mod tests {
         .expect("engine");
         let q = engine.prepare(&sum_query("svc_tierup")).expect("prepare");
 
-        // Tier 0 answers without waiting for gcc.
+        // An in-process tier answers without waiting for gcc. (Whether
+        // that is interp or already jit is a race the jit usually wins —
+        // it compiles in microseconds.)
         let first = q.execute(&dir).expect("immediate");
-        assert_eq!(first.tier, Tier::Interp);
+        assert_ne!(first.tier, Tier::Native);
         assert_eq!(first.output.stdout.trim(), "12|24");
 
         assert!(
             q.wait_for_native(Duration::from_secs(120)),
             "tier-up must land: {:?}",
-            q.stats().pinned_to_interp
+            q.stats().pinned
         );
-        assert_eq!(q.swap_count(), 1);
         let after = q.execute(&dir).expect("post-swap");
         assert_eq!(after.tier, Tier::Native);
         assert_eq!(after.output.stdout.trim(), "12|24");
 
         let stats = q.stats();
-        let up = stats.tier_up.expect("report recorded");
+        let up = stats.tier_up.as_ref().expect("report recorded");
         assert_eq!(up.backend, "gcc");
         assert!(up.elapsed_ms >= 0.0);
-        assert!(stats.interp.runs >= 1 && stats.native.runs >= 1);
+        assert_eq!(stats.tier_stats(Tier::Native).swaps, 1);
+        let pre_native: u64 = [Tier::Interp, Tier::Jit]
+            .iter()
+            .map(|t| stats.tier_stats(*t).lat.runs)
+            .sum();
+        assert!(pre_native >= 1 && stats.tier_stats(Tier::Native).lat.runs >= 1);
+        // The jit rung's swap must beat the toolchain by a wide margin
+        // whenever it landed first.
+        if let Some(jit_ms) = stats.tier_stats(Tier::Jit).swap_ms {
+            let native_ms = stats.tier_stats(Tier::Native).swap_ms.expect("landed");
+            assert!(
+                jit_ms <= native_ms,
+                "jit swapped at {jit_ms:.2}ms, after native at {native_ms:.2}ms"
+            );
+        }
         assert!(q.report().contains("tier native via gcc"));
     }
 }

@@ -56,12 +56,24 @@ impl ClientError {
 /// One `EXECUTE` response.
 #[derive(Debug, Clone)]
 pub struct ExecReply {
-    /// Which tier served: `false` interp, `true` native.
-    pub native: bool,
+    /// Wire code of the tier that served (`protocol::TIER_*`).
+    pub tier: u8,
     /// In-query milliseconds measured server-side.
     pub query_ms: f64,
     /// The result rows.
     pub rows: String,
+}
+
+impl ExecReply {
+    /// The serving tier's display name (`interp`/`jit`/`native`).
+    pub fn tier_name(&self) -> &'static str {
+        crate::protocol::tier_name(self.tier)
+    }
+
+    /// Whether the native (out-of-process binary) tier served.
+    pub fn native(&self) -> bool {
+        self.tier == crate::protocol::TIER_NATIVE
+    }
 }
 
 /// A connected protocol client.
@@ -226,14 +238,14 @@ impl Client {
                 )))
             }
         };
-        let (native, query_ms, rows) = decode_result(&payload).ok_or_else(|| {
+        let (tier, query_ms, rows) = decode_result(&payload).ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "runt RESULT payload",
             ))
         })?;
         Ok(ExecReply {
-            native,
+            tier,
             query_ms,
             rows,
         })

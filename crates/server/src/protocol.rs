@@ -163,24 +163,43 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     }))
 }
 
-/// Encode a `RESULT` payload: which tier served (`0` interp, `1`
-/// native), the in-query milliseconds, then the result rows.
-pub fn encode_result(native_tier: bool, query_ms: f64, rows: &str) -> Vec<u8> {
+/// Wire codes for the tier that served a `RESULT`. Native keeps its
+/// original code `1`: the jit tier (`2`) was appended when the ladder
+/// grew a middle rung, so old clients still parse interp/native frames —
+/// the codes are wire history, not ladder order.
+pub const TIER_INTERP: u8 = 0;
+pub const TIER_NATIVE: u8 = 1;
+pub const TIER_JIT: u8 = 2;
+
+/// The stats-key/display name of a wire tier code.
+pub fn tier_name(code: u8) -> &'static str {
+    match code {
+        TIER_INTERP => "interp",
+        TIER_NATIVE => "native",
+        TIER_JIT => "jit",
+        _ => "unknown",
+    }
+}
+
+/// Encode a `RESULT` payload: the wire code of the tier that served
+/// ([`TIER_INTERP`]/[`TIER_NATIVE`]/[`TIER_JIT`]), the in-query
+/// milliseconds, then the result rows.
+pub fn encode_result(tier: u8, query_ms: f64, rows: &str) -> Vec<u8> {
     let mut p = Vec::with_capacity(9 + rows.len());
-    p.push(native_tier as u8);
+    p.push(tier);
     p.extend_from_slice(&query_ms.to_bits().to_be_bytes());
     p.extend_from_slice(rows.as_bytes());
     p
 }
 
-/// Decode a `RESULT` payload into `(native_tier, query_ms, rows)`.
-pub fn decode_result(payload: &[u8]) -> Option<(bool, f64, String)> {
-    if payload.len() < 9 || payload[0] > 1 {
+/// Decode a `RESULT` payload into `(tier, query_ms, rows)`.
+pub fn decode_result(payload: &[u8]) -> Option<(u8, f64, String)> {
+    if payload.len() < 9 || payload[0] > TIER_JIT {
         return None;
     }
     let ms = f64::from_bits(u64::from_be_bytes(payload[1..9].try_into().unwrap()));
     Some((
-        payload[0] == 1,
+        payload[0],
         ms,
         String::from_utf8_lossy(&payload[9..]).into_owned(),
     ))
@@ -449,9 +468,13 @@ mod tests {
 
     #[test]
     fn result_and_error_payloads_round_trip() {
-        let p = encode_result(true, 12.5, "a|b\n");
-        assert_eq!(decode_result(&p), Some((true, 12.5, "a|b\n".to_string())));
-        assert_eq!(decode_result(&[9]), None);
+        for tier in [TIER_INTERP, TIER_NATIVE, TIER_JIT] {
+            let p = encode_result(tier, 12.5, "a|b\n");
+            assert_eq!(decode_result(&p), Some((tier, 12.5, "a|b\n".to_string())));
+        }
+        assert_eq!(decode_result(&[9]), None, "runt");
+        let bad_tier = encode_result(3, 1.0, "x");
+        assert_eq!(decode_result(&bad_tier), None, "unknown tier code");
         let p = encode_error(ErrorCode::Busy, "queue full");
         assert_eq!(
             decode_error(&p),

@@ -991,7 +991,7 @@ fn serve_one(shared: &Shared, job: &ExecJob) {
             send_result(
                 shared,
                 job,
-                run.tier == Tier::Native,
+                tier_code(run.tier),
                 run.output.query_ms,
                 &run.output.stdout,
             );
@@ -1011,13 +1011,23 @@ fn serve_one(shared: &Shared, job: &ExecJob) {
     }
 }
 
+/// The serving tier's wire code (`protocol::TIER_*`). Native stays `1`
+/// for wire back-compat; jit took the next free code.
+fn tier_code(tier: Tier) -> u8 {
+    match tier {
+        Tier::Interp => TIER_INTERP,
+        Tier::Native => TIER_NATIVE,
+        Tier::Jit => TIER_JIT,
+    }
+}
+
 /// Ship one result: a single `RESULT` frame below the streaming
 /// threshold, a `RESULT_CHUNK*` + `RESULT_END` sequence above it.
 /// Backpressure applies per chunk, so a slow reader throttles the
 /// stream instead of ballooning the write queue; a shed or closed
 /// connection abandons the remainder.
-fn send_result(shared: &Shared, job: &ExecJob, native: bool, query_ms: f64, rows: &str) {
-    let payload = encode_result(native, query_ms, rows);
+fn send_result(shared: &Shared, job: &ExecJob, tier: u8, query_ms: f64, rows: &str) {
+    let payload = encode_result(tier, query_ms, rows);
     if payload.len() <= shared.stream_threshold {
         job.conn.send_frame(OP_RESULT, job.seq, &payload);
         return;

@@ -189,10 +189,13 @@ fn lowered_templates_carry_param_slots_not_literals() {
         );
         // The parameter prelude is emitted exactly when the program
         // loads parameters.
+        // Native backends emit the parameter runtime; the in-process
+        // backends (interp, jit) emit printed IR, where the slot shows up
+        // as `param(idx)`.
         for b in backends() {
             let src = b.emit(&cq.program, &schema);
             assert!(
-                src.contains("dblab_param") || src.contains("param_") || b.name() == "interp",
+                src.contains("dblab_param") || src.contains("param_") || src.contains("param("),
                 "Q{n} [{}]: parameterized emission lacks the parameter runtime",
                 b.name()
             );

@@ -53,7 +53,9 @@ fn threads_race_the_hot_swap_and_every_result_matches_the_oracle() {
         let handle = engine
             .prepare_named(&prog, &format!("serve_it_q{q}"))
             .expect("prepare");
-        assert_eq!(handle.tier(), Tier::Interp, "tier 0 serves first");
+        // An in-process tier serves first — interp, or already jit if the
+        // microsecond jit build won the race against this very assert.
+        assert_ne!(handle.tier(), Tier::Native, "native can't land this fast");
 
         // Four executor threads hammer the handle until the swap has
         // landed AND they have each seen the native tier at least once;
@@ -69,7 +71,7 @@ fn threads_race_the_hot_swap_and_every_result_matches_the_oracle() {
                 let handle = handle.clone();
                 let (oracle, data, stop, gave_up) = (&oracle, &data, &stop, &gave_up);
                 executors.push(s.spawn(move || {
-                    let mut tiers = (0u32, 0u32); // (interp, native) runs
+                    let mut tiers = (0u32, 0u32); // (in-process, native) runs
                     loop {
                         let run = handle.execute(data).expect("serve");
                         assert!(
@@ -81,7 +83,7 @@ fn threads_race_the_hot_swap_and_every_result_matches_the_oracle() {
                             run.output.stdout
                         );
                         match run.tier {
-                            Tier::Interp => tiers.0 += 1,
+                            Tier::Interp | Tier::Jit => tiers.0 += 1,
                             Tier::Native => tiers.1 += 1,
                         }
                         // Keep executing until the swap landed and this
@@ -106,31 +108,45 @@ fn threads_race_the_hot_swap_and_every_result_matches_the_oracle() {
                 .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
             (swapped, totals)
         });
-        let (swap_landed, (interp_runs, native_runs)) = swapped;
+        let (swap_landed, (inprocess_runs, native_runs)) = swapped;
         assert!(
             swap_landed,
             "tier-up must land: {:?}",
-            handle.stats().pinned_to_interp
+            handle.stats().pinned
         );
-        assert_eq!(handle.swap_count(), 1, "exactly one swap");
+        let stats = handle.stats();
+        assert_eq!(
+            stats.tier_stats(Tier::Native).swaps,
+            1,
+            "exactly one native swap"
+        );
         assert_eq!(handle.tier(), Tier::Native);
         assert!(
             native_runs >= 4,
             "every thread observed the swapped-in native tier"
         );
-        // gcc takes orders of magnitude longer than one interp run at
+        // gcc takes orders of magnitude longer than one in-process run at
         // this scale, so the pre-swap window is reliably observed.
         assert!(
-            interp_runs >= 1,
-            "at least one execution was served by tier 0 before the swap"
+            inprocess_runs >= 1,
+            "at least one execution was served in-process before the swap"
         );
-        let stats = handle.stats();
-        assert_eq!(stats.interp.runs + stats.native.runs, {
-            // +1: the handle's own wait didn't execute, but threads did.
-            u64::from(interp_runs + native_runs)
-        });
+        let ladder_runs: u64 = Tier::LADDER
+            .iter()
+            .map(|&t| stats.tier_stats(t).lat.runs)
+            .sum();
+        assert_eq!(ladder_runs, u64::from(inprocess_runs + native_runs));
         assert!(stats.first_result_ms.is_some());
-        assert!(stats.tier_up.expect("tier-up report").elapsed_ms >= 0.0);
+        assert!(stats.tier_up.as_ref().expect("tier-up report").elapsed_ms >= 0.0);
+        // The jit rung, when it landed first, must have swapped in far
+        // earlier than the toolchain tier.
+        if let Some(jit_ms) = stats.tier_stats(Tier::Jit).swap_ms {
+            let native_ms = stats.tier_stats(Tier::Native).swap_ms.expect("landed");
+            assert!(
+                jit_ms <= native_ms,
+                "jit ({jit_ms}ms) after native ({native_ms}ms)"
+            );
+        }
     }
 }
 

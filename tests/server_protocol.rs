@@ -68,7 +68,8 @@ fn happy_path_prepare_execute_stats_close() {
     let stmt = c.prepare("tpch:6").expect("prepare");
     assert_eq!(stmt, 1, "first statement id in a fresh session");
     let reply = c.execute(stmt).expect("execute");
-    assert!(!reply.native, "native tier is disabled; interp serves");
+    assert!(!reply.native(), "native tier is disabled; interp serves");
+    assert_eq!(reply.tier_name(), "interp", "Disabled turns off jit too");
     assert!(reply.query_ms >= 0.0);
     assert!(
         same_normalized(&expect, &reply.rows),
